@@ -1,0 +1,85 @@
+// Ablation: thread oversubscription (paper §IV-A).
+//
+// "Our implementation can benefit from using more threads than cores ...
+// using as many as 512 threads on 16 cores offers substantial benefit."
+// Two mechanisms are claimed: (1) more queues -> less lock contention
+// in-memory, and (2) more outstanding I/O requests -> device saturation in
+// semi-external memory. This harness sweeps thread counts for both settings.
+// Mechanism (2) is hardware-independent (blocked threads cost no CPU), so
+// its shape check must hold anywhere; mechanism (1) needs real cores, so the
+// in-memory sweep is reported without a pass/fail gate.
+//
+//   ./ablation_oversubscription [--scale=14] [--threads=1,4,16,64,256,512]
+//                               [--sem-scale=12] [--time-scale=1]
+#include <filesystem>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/async_bfs.hpp"
+#include "graph/graph_io.hpp"
+#include "sem/device_presets.hpp"
+#include "sem/sem_csr.hpp"
+
+using namespace asyncgt;
+using namespace asyncgt::bench;
+
+int main(int argc, char** argv) {
+  const options opt(argc, argv);
+  const auto scale = static_cast<unsigned>(opt.get_int("scale", 14));
+  const auto sem_scale = static_cast<unsigned>(opt.get_int("sem-scale", 12));
+  const auto threads =
+      opt.get_int_list("threads", {1, 4, 16, 64, 256, 512});
+  const double time_scale = opt.get_double("time-scale", 1.0);
+
+  banner("Thread oversubscription ablation", "paper section IV-A");
+
+  const csr32 g = rmat_graph<vertex32>(rmat_a(scale));
+  const csr32 sem_g = rmat_graph<vertex32>(rmat_a(sem_scale));
+  const auto tmp =
+      std::filesystem::temp_directory_path() / "asyncgt_oversub.agt";
+  write_graph(tmp.string(), sem_g);
+
+  text_table table;
+  table.header({"threads", "IM BFS (s)", "IM visits", "SEM BFS intel (s)",
+                "SEM IOPS"});
+
+  std::vector<double> sem_times;
+  for (const auto t : threads) {
+    visitor_queue_config cfg;
+    cfg.num_threads = static_cast<std::size_t>(t);
+
+    bfs_result<vertex32> im_r;
+    const double t_im =
+        time_seconds([&] { im_r = async_bfs(g, vertex32{0}, cfg); });
+
+    sem::ssd_model dev(sem::intel_params(time_scale));
+    sem::sem_csr32 sg(tmp.string(), &dev);
+    visitor_queue_config sem_cfg = cfg;
+    sem_cfg.secondary_vertex_sort = true;
+    bfs_result<vertex32> sem_r;
+    const double t_sem =
+        time_seconds([&] { sem_r = async_bfs(sg, vertex32{0}, sem_cfg); });
+    sem_times.push_back(t_sem);
+
+    table.row({std::to_string(t), fmt_seconds(t_im),
+               fmt_count(im_r.stats.visits), fmt_seconds(t_sem),
+               fmt_count(static_cast<std::uint64_t>(
+                   static_cast<double>(dev.counters().reads) /
+                   std::max(t_sem, 1e-9)))});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  bool ok = true;
+  // SEM: the best oversubscribed run beats the single-thread run by a large
+  // factor — the I/O latency-hiding claim, valid on any core count.
+  double best_sem = sem_times.front();
+  for (const double t : sem_times) best_sem = std::min(best_sem, t);
+  ok &= shape_check(best_sem * 4.0 < sem_times.front(),
+                    "oversubscribed SEM BFS is >=4x faster than "
+                    "single-thread SEM BFS (I/O latency hiding)");
+  // SEM: adding threads never dramatically regresses (no thrashing).
+  ok &= shape_check(sem_times.back() < sem_times.front(),
+                    "SEM BFS at the highest thread count still beats one "
+                    "thread (paper: '512 threads outperform 16 threads')");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,105 @@
+// Figure 1: "Multithreaded random read I/O performance for three NAND Flash
+// configurations" — IOPS versus number of requesting threads, for the
+// FusionIO / Intel / Corsair device models.
+//
+// The paper's claim this regenerates: "for all configurations tested,
+// significant improvements in I/O per second (IOPS) is seen as an increasing
+// number of threads issue read requests", plateauing near 200k / 60k / 30k
+// IOPS respectively. Shape checks verify monotone scaling to the plateau
+// and the device ordering.
+//
+//   ./fig1_ssd_iops [--threads=1,2,4,...,256] [--window=0.25]
+//                   [--time-scale=1.0]
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sem/device_presets.hpp"
+#include "sem/ssd_model.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+using namespace asyncgt;
+using namespace asyncgt::bench;
+
+namespace {
+
+double measure_iops(const sem::ssd_params& params, std::size_t threads,
+                    double window_seconds) {
+  sem::ssd_model dev(params);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) dev.read(4096);
+    });
+  }
+  wall_timer timer;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(window_seconds));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& w : workers) w.join();
+  const double elapsed = timer.elapsed_seconds();
+  return static_cast<double>(dev.counters().reads) / elapsed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const options opt(argc, argv);
+  const auto thread_counts =
+      opt.get_int_list("threads", {1, 2, 4, 8, 16, 32, 64, 128, 256});
+  const double window = opt.get_double("window", 0.25);
+  const double time_scale = opt.get_double("time-scale", 1.0);
+
+  banner("Multithreaded random read IOPS on simulated NAND flash",
+         "paper Figure 1");
+
+  const auto devices = sem::all_device_presets(time_scale);
+  text_table table;
+  table.header({"threads", "FusionIO (IOPS)", "Intel (IOPS)",
+                "Corsair (IOPS)"});
+
+  // iops[device][thread_index]
+  std::vector<std::vector<double>> iops(devices.size());
+  for (const auto t : thread_counts) {
+    std::vector<std::string> row{std::to_string(t)};
+    for (std::size_t d = 0; d < devices.size(); ++d) {
+      const double v = measure_iops(devices[d], static_cast<std::size_t>(t),
+                                    window);
+      iops[d].push_back(v);
+      row.push_back(fmt_count(static_cast<std::uint64_t>(v)));
+    }
+    table.row(std::move(row));
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  bool ok = true;
+  // Scaling region: IOPS at max threads far exceeds single-thread IOPS.
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    ok &= shape_check(iops[d].back() > 4.0 * iops[d].front(),
+                      devices[d].name +
+                          ": multithreading lifts IOPS well above the "
+                          "single-thread rate (paper: 'significant "
+                          "improvements ... as an increasing number of "
+                          "threads issue read requests')");
+  }
+  // Plateau: max-thread IOPS within 35% of the modelled ceiling.
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    const double plateau = devices[d].plateau_iops();
+    ok &= shape_check(iops[d].back() > 0.65 * plateau &&
+                          iops[d].back() < 1.35 * plateau,
+                      devices[d].name + ": plateau near " +
+                          fmt_count(static_cast<std::uint64_t>(plateau)) +
+                          " IOPS");
+  }
+  // Ordering: FusionIO > Intel > Corsair at saturation.
+  ok &= shape_check(
+      iops[0].back() > iops[1].back() && iops[1].back() > iops[2].back(),
+      "device ordering at saturation: FusionIO > Intel > Corsair");
+
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,111 @@
+// google-benchmark microbenchmarks for the hot primitives under the visitor
+// queue: the d-ary heap (vs std::priority_queue), the routing hash, the
+// spinlock (vs std::mutex), and the RNG pipeline feeding the generators.
+// These guard against regressions in the building blocks; the paper-level
+// experiments live in the table*/fig*/ablation* binaries.
+#include <benchmark/benchmark.h>
+
+#include <mutex>
+#include <queue>
+#include <random>
+
+#include "queue/dary_heap.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+#include "util/spinlock.hpp"
+
+namespace {
+
+using asyncgt::dary_heap;
+
+void BM_DaryHeapPushPop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  asyncgt::xoshiro256ss rng(1);
+  std::vector<std::uint64_t> values(n);
+  for (auto& v : values) v = rng();
+  for (auto _ : state) {
+    dary_heap<std::uint64_t, std::less<std::uint64_t>> h;
+    for (const auto v : values) h.push(v);
+    std::uint64_t sink = 0;
+    while (!h.empty()) sink ^= h.pop();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 2);
+}
+BENCHMARK(BM_DaryHeapPushPop)->Arg(1024)->Arg(65536);
+
+void BM_StdPriorityQueuePushPop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  asyncgt::xoshiro256ss rng(1);
+  std::vector<std::uint64_t> values(n);
+  for (auto& v : values) v = rng();
+  for (auto _ : state) {
+    std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
+                        std::greater<std::uint64_t>>
+        h;
+    for (const auto v : values) h.push(v);
+    std::uint64_t sink = 0;
+    while (!h.empty()) {
+      sink ^= h.top();
+      h.pop();
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 2);
+}
+BENCHMARK(BM_StdPriorityQueuePushPop)->Arg(1024)->Arg(65536);
+
+void BM_Mix64Routing(benchmark::State& state) {
+  std::uint64_t v = 0;
+  std::size_t sink = 0;
+  for (auto _ : state) {
+    sink ^= asyncgt::queue_of(v++, 512);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Mix64Routing);
+
+void BM_SpinlockUncontended(benchmark::State& state) {
+  asyncgt::spinlock lock;
+  std::uint64_t counter = 0;
+  for (auto _ : state) {
+    std::lock_guard guard(lock);
+    benchmark::DoNotOptimize(++counter);
+  }
+}
+BENCHMARK(BM_SpinlockUncontended);
+
+void BM_MutexUncontended(benchmark::State& state) {
+  std::mutex lock;
+  std::uint64_t counter = 0;
+  for (auto _ : state) {
+    std::lock_guard guard(lock);
+    benchmark::DoNotOptimize(++counter);
+  }
+}
+BENCHMARK(BM_MutexUncontended);
+
+void BM_Xoshiro(benchmark::State& state) {
+  asyncgt::xoshiro256ss rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Xoshiro);
+
+void BM_Mt19937(benchmark::State& state) {
+  std::mt19937_64 rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Mt19937);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,144 @@
+// Table V: "Performance comparison of Semi-External Memory Connected
+// Components (CC) on three FLASH memory configurations".
+//
+// Same harness structure as table4_bfs_sem, for undirected graphs: RMAT-A /
+// RMAT-B plus the web-graph stand-ins for the paper's sk-2005 and uk-union
+// rows. The baseline-calibration note from table4_bfs_sem.cpp applies (the
+// paper's in-memory serial CC sustained roughly 6M traversed edges/second);
+// see EXPERIMENTS.md.
+//
+//   ./table5_cc_sem [--scales=15,16] [--threads=128] [--time-scale=16]
+//                   [--cache-fraction=0.65] [--bgl-edge-rate=7.4e6]
+//                   [--web-hosts=250]
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "baselines/serial_cc.hpp"
+#include "bench_common.hpp"
+#include "core/async_cc.hpp"
+#include "gen/webgen.hpp"
+#include "graph/graph_io.hpp"
+#include "sem/block_cache.hpp"
+#include "sem/device_presets.hpp"
+#include "sem/sem_csr.hpp"
+
+using namespace asyncgt;
+using namespace asyncgt::bench;
+
+int main(int argc, char** argv) {
+  const options opt(argc, argv);
+  const auto scales = opt.get_int_list("scales", {15, 16});
+  const auto sem_threads =
+      static_cast<std::size_t>(opt.get_int("threads", 128));
+  const double time_scale = opt.get_double("time-scale", 16.0);
+  const double cache_fraction = opt.get_double("cache-fraction", 0.65);
+  const double bgl_edge_rate = opt.get_double("bgl-edge-rate", 7.4e6);
+  const auto web_hosts =
+      static_cast<std::uint64_t>(opt.get_int("web-hosts", 600));
+
+  banner("Semi-External Memory Connected Components", "paper Table V");
+
+  const auto tmp = std::filesystem::temp_directory_path() / "asyncgt_table5";
+  std::filesystem::create_directories(tmp);
+
+  struct workload {
+    std::string name;
+    csr32 graph;
+  };
+  std::vector<workload> workloads;
+  for (const std::string preset : {std::string("a"), std::string("b")}) {
+    for (const auto scale : scales) {
+      workloads.push_back(
+          {rmat_label(preset, static_cast<unsigned>(scale)) + " und",
+           rmat_graph_undirected<vertex32>(
+               rmat_preset(preset, static_cast<unsigned>(scale)))});
+    }
+  }
+  webgen_params wp;
+  wp.num_hosts = web_hosts;
+  wp.isolated_host_fraction = 0.05;
+  wp.seed = 21;
+  workloads.push_back({"web (sk-2005-like)", webgen_graph<vertex32>(wp)});
+  wp.isolated_host_fraction = 0.25;
+  wp.seed = 22;
+  workloads.push_back({"web (uk-union-like)", webgen_graph<vertex32>(wp)});
+
+  text_table table;
+  table.header({"graph", "# verts", "# CCs", "EM size", "device",
+                "semN (s)", "cache hit", "speedup(meas)", "speedup(BGL)"});
+
+  bool ok = true;
+  std::vector<std::vector<double>> dev_time(3);
+  std::vector<double> bgl_speedups_fusion;
+
+  std::size_t wi = 0;
+  for (const auto& w : workloads) {
+    const csr32& g = w.graph;
+    const std::string path = (tmp / (std::to_string(wi++) + ".agt")).string();
+    write_graph(path, g);
+
+    cc_result<vertex32> im_r;
+    const double t_im = time_seconds([&] { im_r = serial_cc(g); });
+    const double t_bgl =
+        static_cast<double>(g.num_edges()) / bgl_edge_rate * time_scale;
+
+    const auto devices = sem::all_device_presets(time_scale);
+    for (std::size_t d = 0; d < devices.size(); ++d) {
+      sem::ssd_model dev(devices[d]);
+      const std::uint64_t file_blocks =
+          std::filesystem::file_size(path) / devices[d].block_bytes + 1;
+      sem::block_cache cache(std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(cache_fraction *
+                                        static_cast<double>(file_blocks))));
+      sem::sem_csr32 sg(path, &dev, &cache);
+
+      visitor_queue_config cfg;
+      cfg.num_threads = sem_threads;
+      cfg.secondary_vertex_sort = true;
+      cc_result<vertex32> sem_r;
+      const double t_sem = time_seconds([&] { sem_r = async_cc(sg, cfg); });
+      if (sem_r.component != im_r.component) {
+        ok &= shape_check(false, w.name + ": SEM CC matches in-memory CC");
+      }
+
+      dev_time[d].push_back(t_sem);
+      const double sp_bgl = t_bgl / t_sem;
+      if (devices[d].name == "fusionio") {
+        bgl_speedups_fusion.push_back(sp_bgl);
+      }
+      table.row({w.name, fmt_count(g.num_vertices()),
+                 fmt_count(im_r.num_components()),
+                 fmt_count(std::filesystem::file_size(path) >> 20) + " MiB",
+                 devices[d].name, fmt_seconds(t_sem),
+                 fmt_ratio(cache.counters().hit_rate()),
+                 fmt_ratio(t_im / t_sem), fmt_ratio(sp_bgl)});
+    }
+    table.rule();
+  }
+
+  std::printf("%s\n", table.render().c_str());
+
+  // Per-row device ordering is noisy for CC even in the paper (its Table V
+  // has Corsair beating FusionIO on RMAT-B 2^27, and Intel beating FusionIO
+  // elsewhere — hence the paper's hedge "typically offers the highest
+  // performance"). Gate on the aggregate: the slowest array must be slowest
+  // overall; FusionIO-vs-Intel is advisory.
+  double sum_time[3] = {0, 0, 0};
+  for (std::size_t d = 0; d < 3; ++d) {
+    for (const double t : dev_time[d]) sum_time[d] += t;
+  }
+  ok &= shape_check(sum_time[2] > sum_time[0] && sum_time[2] > sum_time[1],
+                    "Corsair (slowest array) is slowest on CC in aggregate");
+  shape_check(sum_time[0] <= sum_time[1] * 1.25,
+              "FusionIO at least matches Intel on CC in aggregate "
+              "(advisory — 'typically' fastest in the paper)");
+  double fusion_min = 1e9;
+  for (const double s : bgl_speedups_fusion) {
+    fusion_min = std::min(fusion_min, s);
+  }
+  ok &= shape_check(fusion_min > 1.0,
+                    "FusionIO SEM CC beats the calibrated in-memory serial "
+                    "baseline (paper Table V: speedups 1.3-3.9)");
+  return ok ? 0 : 1;
+}

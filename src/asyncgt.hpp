@@ -1,0 +1,41 @@
+// Umbrella header: the public API of the AsyncGT library.
+//
+// Core entry points:
+//   async_bfs(graph, start, cfg)   -> bfs_result   (levels + parents)
+//   async_sssp(graph, start, cfg)  -> sssp_result  (distances + parents)
+//   async_cc(graph, cfg)           -> cc_result    (min-id component labels)
+// where `graph` is an in-memory csr_graph<V> or a disk-backed
+// sem::sem_csr<V>, and cfg is a visitor_queue_config (thread count,
+// ordering, secondary sort).
+//
+// See README.md for a walkthrough and examples/ for runnable programs.
+#pragma once
+
+#include "core/async_bfs.hpp"
+#include "core/async_cc.hpp"
+#include "core/async_kcore.hpp"
+#include "core/async_pagerank.hpp"
+#include "core/async_sssp.hpp"
+#include "core/checkpoint.hpp"
+#include "core/graph_metrics.hpp"
+#include "core/multi_source_bfs.hpp"
+#include "core/traversal_result.hpp"
+#include "core/validate.hpp"
+#include "gen/grid.hpp"
+#include "gen/random_graphs.hpp"
+#include "gen/rmat.hpp"
+#include "gen/webgen.hpp"
+#include "gen/weights.hpp"
+#include "graph/builder.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/graph_io.hpp"
+#include "graph/graph_stats.hpp"
+#include "graph/text_io.hpp"
+#include "graph/types.hpp"
+#include "queue/visitor_queue.hpp"
+#include "sem/device_presets.hpp"
+#include "sem/block_cache.hpp"
+#include "sem/ext_sorter.hpp"
+#include "sem/ooc_builder.hpp"
+#include "sem/sem_csr.hpp"
+#include "sem/ssd_model.hpp"

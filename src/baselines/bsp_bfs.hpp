@@ -1,0 +1,63 @@
+// BFS on the BSP engine — the PBGL-style distributed baseline for Table I.
+//
+// Messages carry (target, parent, level); each rank keeps the level/parent
+// arrays of its owned block. A superstep corresponds to one BFS level, so
+// the engine's superstep count matches the graph's level count (+1 for the
+// final empty exchange).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "baselines/bsp_engine.hpp"
+#include "core/traversal_result.hpp"
+#include "util/cache_line.hpp"
+#include "graph/types.hpp"
+
+namespace asyncgt {
+
+template <typename Graph>
+bfs_result<typename Graph::vertex_id> bsp_bfs(
+    const Graph& g, typename Graph::vertex_id start, std::size_t ranks,
+    bsp_stats* stats_out = nullptr) {
+  using V = typename Graph::vertex_id;
+  if (start >= g.num_vertices()) {
+    throw std::out_of_range("bsp_bfs: start vertex out of range");
+  }
+
+  struct message {
+    V target;
+    V parent;
+    dist_t level;
+  };
+
+  bfs_result<V> out;
+  out.level.assign(g.num_vertices(), infinite_distance<dist_t>);
+  out.parent.assign(g.num_vertices(), invalid_vertex<V>);
+
+  bsp_distribution dist(g.num_vertices(), ranks);
+  std::vector<padded<std::uint64_t>> updates(ranks);
+
+  const auto handler = [&](std::size_t rank, const message& m, auto&& send) {
+    if (m.level < out.level[m.target]) {
+      out.level[m.target] = m.level;
+      out.parent[m.target] = m.parent;
+      ++updates[rank].value;
+      g.for_each_out_edge(m.target, [&](V v, weight_t) {
+        send(v, message{v, m.target, m.level + 1});
+      });
+    }
+  };
+
+  const std::vector<bsp_initial<message>> initial{
+      {start, message{start, start, 0}}};
+  bsp_stats stats = bsp_run(dist, initial, handler);
+  if (stats_out != nullptr) *stats_out = stats;
+
+  for (const auto& u : updates) out.updates += u.value;
+  out.stats.visits = stats.total_messages;
+  return out;
+}
+
+}  // namespace asyncgt

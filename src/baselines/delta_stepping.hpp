@@ -1,0 +1,87 @@
+// Serial delta-stepping SSSP (Meyer & Sanders 1998) — an additional
+// label-correcting baseline between Dijkstra and Bellman-Ford, included as
+// an ablation comparator for the asynchronous SSSP: like the async
+// algorithm it tolerates re-relaxation, but it synchronizes on bucket
+// boundaries. The bucket-settling count it reports is the synchronous
+// analogue of the async algorithm's zero synchronizations.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/traversal_result.hpp"
+#include "graph/types.hpp"
+
+namespace asyncgt {
+
+struct delta_stepping_extra {
+  std::uint64_t bucket_rounds = 0;  // inner light-edge phases (sync points)
+  std::uint64_t relaxations = 0;
+};
+
+template <typename Graph>
+sssp_result<typename Graph::vertex_id> delta_stepping_sssp(
+    const Graph& g, typename Graph::vertex_id start, dist_t delta,
+    delta_stepping_extra* extra = nullptr) {
+  using V = typename Graph::vertex_id;
+  if (start >= g.num_vertices()) {
+    throw std::out_of_range("delta_stepping: start vertex out of range");
+  }
+  if (delta == 0) throw std::invalid_argument("delta_stepping: delta > 0");
+
+  sssp_result<V> out;
+  out.dist.assign(g.num_vertices(), infinite_distance<dist_t>);
+  out.parent.assign(g.num_vertices(), invalid_vertex<V>);
+
+  std::vector<std::vector<V>> buckets;
+  std::vector<std::uint64_t> in_bucket(g.num_vertices(),
+                                       ~std::uint64_t{0});  // bucket index
+
+  delta_stepping_extra local_extra;
+  delta_stepping_extra& ex = extra != nullptr ? *extra : local_extra;
+
+  const auto relax = [&](V v, dist_t nd, V parent) {
+    ++ex.relaxations;
+    if (nd >= out.dist[v]) return;
+    out.dist[v] = nd;
+    out.parent[v] = parent;
+    ++out.updates;
+    const auto b = static_cast<std::size_t>(nd / delta);
+    if (b >= buckets.size()) buckets.resize(b + 1);
+    // Lazy removal: stale entries in old buckets are skipped by the dist
+    // check when popped.
+    buckets[b].push_back(v);
+    in_bucket[v] = b;
+  };
+
+  relax(start, 0, start);
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    std::vector<V> settled;  // vertices finalized in this bucket (heavy pass)
+    while (!buckets[b].empty()) {
+      ++ex.bucket_rounds;
+      std::vector<V> frontier;
+      frontier.swap(buckets[b]);
+      for (const V u : frontier) {
+        if (out.dist[u] / delta != b) continue;  // stale entry
+        if (in_bucket[u] != b) continue;
+        in_bucket[u] = ~std::uint64_t{0};
+        settled.push_back(u);
+        ++out.stats.visits;
+        // Light edges (w < delta) may re-insert into this bucket.
+        g.for_each_out_edge(u, [&](V v, weight_t w) {
+          if (w < delta) relax(v, out.dist[u] + w, u);
+        });
+      }
+    }
+    // Heavy edges cannot land back in bucket b.
+    for (const V u : settled) {
+      g.for_each_out_edge(u, [&](V v, weight_t w) {
+        if (w >= delta) relax(v, out.dist[u] + w, u);
+      });
+    }
+  }
+  return out;
+}
+
+}  // namespace asyncgt

@@ -1,0 +1,45 @@
+// Serial connected components on an undirected (symmetric) CSR: one BFS per
+// component, scanning seed vertices in ascending id order so every label is
+// the component's minimum vertex id — the same labelling contract as the
+// asynchronous algorithm, making results directly comparable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/traversal_result.hpp"
+#include "graph/types.hpp"
+
+namespace asyncgt {
+
+template <typename Graph>
+cc_result<typename Graph::vertex_id> serial_cc(const Graph& g) {
+  using V = typename Graph::vertex_id;
+  cc_result<V> out;
+  out.component.assign(g.num_vertices(), invalid_vertex<V>);
+
+  std::vector<V> stack;
+  for (V seed = 0; seed < g.num_vertices(); ++seed) {
+    if (out.component[seed] != invalid_vertex<V>) continue;
+    // `seed` is the smallest unlabelled id, hence the minimum of its
+    // component (all smaller members would have labelled it already).
+    out.component[seed] = seed;
+    ++out.updates;
+    stack.push_back(seed);
+    while (!stack.empty()) {
+      const V u = stack.back();
+      stack.pop_back();
+      ++out.stats.visits;
+      g.for_each_out_edge(u, [&](V v, weight_t) {
+        if (out.component[v] == invalid_vertex<V>) {
+          out.component[v] = seed;
+          ++out.updates;
+          stack.push_back(v);
+        }
+      });
+    }
+  }
+  return out;
+}
+
+}  // namespace asyncgt

@@ -1,0 +1,69 @@
+// Serial k-core decomposition by bucket peeling (Batagelj–Zaveršnik,
+// O(V + E)): repeatedly remove the minimum-degree vertex; its degree at
+// removal time is its coreness. The reference implementation the
+// asynchronous h-index version is validated against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace asyncgt {
+
+template <typename Graph>
+std::vector<std::uint32_t> serial_kcore(const Graph& g) {
+  using V = typename Graph::vertex_id;
+  const std::uint64_t n = g.num_vertices();
+  std::vector<std::uint32_t> degree(n);
+  std::uint32_t max_degree = 0;
+  for (V v = 0; v < n; ++v) {
+    degree[v] = static_cast<std::uint32_t>(g.out_degree(v));
+    max_degree = std::max(max_degree, degree[v]);
+  }
+
+  // Bucket sort vertices by degree; `position`/`order` track where each
+  // vertex sits so a degree decrement is an O(1) swap toward its bucket.
+  std::vector<std::uint64_t> bucket_start(max_degree + 2, 0);
+  for (V v = 0; v < n; ++v) ++bucket_start[degree[v] + 1];
+  for (std::uint32_t d = 1; d <= max_degree + 1; ++d) {
+    bucket_start[d] += bucket_start[d - 1];
+  }
+  std::vector<V> order(n);
+  std::vector<std::uint64_t> position(n);
+  {
+    std::vector<std::uint64_t> cursor(bucket_start.begin(),
+                                      bucket_start.end() - 1);
+    for (V v = 0; v < n; ++v) {
+      position[v] = cursor[degree[v]]++;
+      order[position[v]] = v;
+    }
+  }
+
+  std::vector<std::uint32_t> core(n, 0);
+  std::vector<char> removed(n, 0);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const V v = order[i];
+    core[v] = degree[v];
+    removed[v] = 1;
+    g.for_each_out_edge(v, [&](V u, weight_t) {
+      if (removed[u] || degree[u] <= degree[v]) return;
+      // Move u into the next-lower bucket: swap it with the first vertex of
+      // its current bucket, then shrink the bucket boundary.
+      const std::uint32_t du = degree[u];
+      const std::uint64_t u_pos = position[u];
+      const std::uint64_t first_pos = bucket_start[du];
+      const V first = order[first_pos];
+      if (first != u) {
+        std::swap(order[u_pos], order[first_pos]);
+        position[u] = first_pos;
+        position[first] = u_pos;
+      }
+      ++bucket_start[du];
+      --degree[u];
+    });
+  }
+  return core;
+}
+
+}  // namespace asyncgt

@@ -1,0 +1,51 @@
+// Serial Dijkstra SSSP with a lazy-deletion binary heap — the BGL-equivalent
+// serial baseline for the paper's Table II, and the source of reference
+// distances for correctness tests.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "core/traversal_result.hpp"
+#include "graph/types.hpp"
+
+namespace asyncgt {
+
+template <typename Graph>
+sssp_result<typename Graph::vertex_id> dijkstra_sssp(
+    const Graph& g, typename Graph::vertex_id start) {
+  using V = typename Graph::vertex_id;
+  if (start >= g.num_vertices()) {
+    throw std::out_of_range("dijkstra_sssp: start vertex out of range");
+  }
+  sssp_result<V> out;
+  out.dist.assign(g.num_vertices(), infinite_distance<dist_t>);
+  out.parent.assign(g.num_vertices(), invalid_vertex<V>);
+
+  using entry = std::pair<dist_t, V>;  // (distance, vertex), min first
+  std::priority_queue<entry, std::vector<entry>, std::greater<entry>> pq;
+  out.dist[start] = 0;
+  out.parent[start] = start;
+  ++out.updates;
+  pq.push({0, start});
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d != out.dist[u]) continue;  // stale (lazy deletion)
+    ++out.stats.visits;
+    g.for_each_out_edge(u, [&](V v, weight_t w) {
+      const dist_t nd = d + w;
+      if (nd < out.dist[v]) {
+        out.dist[v] = nd;
+        out.parent[v] = u;
+        ++out.updates;
+        pq.push({nd, v});
+      }
+    });
+  }
+  return out;
+}
+
+}  // namespace asyncgt

@@ -1,0 +1,96 @@
+// Synchronous (Jacobi-style) label-propagation Connected Components — the
+// barrier-per-iteration algorithmic class of MTGL's CC on SMP systems.
+//
+// Every iteration, each vertex's next label is the minimum of its own label
+// and its neighbours' current labels; iterate to a fixed point. Labels start
+// as own ids, so the fixed point assigns every vertex the minimum id in its
+// component (same contract as async_cc / serial_cc). The iteration count is
+// bounded by the eccentricity of each component's minimum vertex — small for
+// the small-diameter graphs of the paper, Θ(n) for chains, which the
+// ablation bench uses to show where synchronous propagation collapses.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/traversal_result.hpp"
+#include "graph/types.hpp"
+#include "util/barrier.hpp"
+#include "util/cache_line.hpp"
+
+namespace asyncgt {
+
+struct syncprop_result_extra {
+  std::uint64_t iterations = 0;
+  std::uint64_t barrier_crossings = 0;
+};
+
+template <typename Graph>
+cc_result<typename Graph::vertex_id> syncprop_cc(
+    const Graph& g, std::size_t num_threads,
+    syncprop_result_extra* extra = nullptr) {
+  using V = typename Graph::vertex_id;
+  if (num_threads == 0) {
+    throw std::invalid_argument("syncprop_cc: need at least one thread");
+  }
+  const std::uint64_t n = g.num_vertices();
+  std::vector<V> cur(n), nxt(n);
+  for (std::uint64_t v = 0; v < n; ++v) cur[v] = static_cast<V>(v);
+
+  thread_barrier barrier(num_threads);
+  std::atomic<bool> changed{false};
+  std::atomic<bool> finished{false};
+  std::vector<padded<std::uint64_t>> updates(num_threads);
+  std::uint64_t iterations = 0;
+
+  auto worker = [&](std::size_t tid) {
+    const std::uint64_t lo = n * tid / num_threads;
+    const std::uint64_t hi = n * (tid + 1) / num_threads;
+    for (;;) {
+      bool local_changed = false;
+      for (std::uint64_t v = lo; v < hi; ++v) {
+        V best = cur[v];
+        g.for_each_out_edge(static_cast<V>(v), [&](V u, weight_t) {
+          best = std::min(best, cur[u]);
+        });
+        nxt[v] = best;
+        if (best != cur[v]) {
+          local_changed = true;
+          ++updates[tid].value;
+        }
+      }
+      if (local_changed) changed.store(true, std::memory_order_relaxed);
+      if (barrier.arrive_and_wait()) {
+        cur.swap(nxt);
+        ++iterations;
+        if (!changed.load(std::memory_order_relaxed)) {
+          finished.store(true, std::memory_order_relaxed);
+        }
+        changed.store(false, std::memory_order_relaxed);
+      }
+      barrier.arrive_and_wait();
+      if (finished.load(std::memory_order_relaxed)) return;
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (std::size_t t = 0; t < num_threads; ++t) threads.emplace_back(worker, t);
+  for (auto& th : threads) th.join();
+
+  cc_result<V> out;
+  out.component = std::move(cur);
+  for (const auto& u : updates) out.updates += u.value;
+  out.stats.visits = iterations * n;  // every vertex scanned per iteration
+  if (extra != nullptr) {
+    extra->iterations = iterations;
+    extra->barrier_crossings = barrier.crossings();
+  }
+  return out;
+}
+
+}  // namespace asyncgt

@@ -1,0 +1,76 @@
+// Asynchronous Connected Components for undirected graphs (paper
+// Algorithms 3 and 4).
+//
+// Every vertex is seeded with a visitor carrying its own id as candidate
+// component id; a visitor relaxes a vertex whenever it brings a smaller id
+// and propagates it to all neighbours. "Our approach to CC can be viewed as
+// performing parallel BFS starting from every vertex. When two BFSs ...
+// merge, the BFS that started from the lowest vertex identifier takes over"
+// (§III-C). On completion every vertex holds the smallest vertex id
+// reachable from it, so component roots are exactly { v : cc[v] == v }.
+//
+// Precondition: the graph must be symmetric (undirected); otherwise labels
+// propagate only along edge direction and the result is not the undirected
+// CC. graph_stats.hpp's is_symmetric() checks this in tests.
+#pragma once
+
+#include <cstdint>
+
+#include "core/traversal_result.hpp"
+#include "graph/types.hpp"
+#include "queue/visitor_queue.hpp"
+
+namespace asyncgt {
+
+template <typename Graph>
+struct cc_state {
+  const Graph* g = nullptr;
+  std::vector<typename Graph::vertex_id> ccid;
+  sharded_counter updates;
+
+  cc_state(const Graph& graph, std::size_t num_threads)
+      : g(&graph),
+        ccid(graph.num_vertices(),
+             invalid_vertex<typename Graph::vertex_id>),
+        updates(num_threads) {}
+};
+
+template <typename VertexId>
+struct cc_visitor {
+  VertexId vtx{};
+  VertexId cur_ccid{};
+
+  VertexId vertex() const noexcept { return vtx; }
+  VertexId priority() const noexcept { return cur_ccid; }
+
+  template <typename State, typename Queue>
+  void visit(State& s, Queue& q, std::size_t tid) const {
+    if (cur_ccid < s.ccid[vtx]) {
+      s.ccid[vtx] = cur_ccid;  // relax vertex information
+      s.updates.add(tid);
+      s.g->for_each_out_edge(vtx, [&](VertexId vj, weight_t) {
+        q.push(cc_visitor{vj, cur_ccid});
+      });
+    }
+  }
+};
+
+template <typename Graph>
+cc_result<typename Graph::vertex_id> async_cc(const Graph& g,
+                                              visitor_queue_config cfg = {}) {
+  using V = typename Graph::vertex_id;
+  cc_state<Graph> state(g, cfg.num_threads);
+  visitor_queue<cc_visitor<V>, cc_state<Graph>> q(cfg);
+  // Algorithm 3: queue a visitor for every vertex, in parallel, with the
+  // vertex's own descriptor as the starting component id.
+  auto stats = q.run_seeded(state, g.num_vertices(),
+                            [](V v) { return cc_visitor<V>{v, v}; });
+
+  cc_result<V> out;
+  out.component = std::move(state.ccid);
+  out.stats = std::move(stats);
+  out.updates = state.updates.total();
+  return out;
+}
+
+}  // namespace asyncgt

@@ -1,0 +1,126 @@
+// Asynchronous k-core decomposition — a second extension built on the
+// visitor queue, using the h-index fixed-point formulation (Lü, Zhou et al.:
+// coreness(v) is the unique fixed point of bound(v) = H({bound(u) : u ∈
+// N(v)}), where H is the h-index operator, starting from bound = degree).
+//
+// Asynchrony fits naturally: bounds only ever decrease, the h-operator is
+// monotone, so updates may be applied in any order and still converge to
+// the same fixed point — the same label-correcting structure as the
+// paper's traversals, with "smaller bound" playing the role of "shorter
+// path". A visitor recomputes its vertex's h-index from its neighbours'
+// current bounds; if the bound drops, all neighbours are notified.
+//
+// Unlike the traversal states, the h-index computation must *read* the
+// bounds of neighbour vertices owned by other threads, so the bound array
+// is std::atomic (relaxed loads/stores suffice: the sequence of values at
+// each vertex is monotone decreasing and any stale read only delays, never
+// breaks, convergence). Requires an undirected (symmetric) graph.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "core/traversal_result.hpp"
+#include "graph/types.hpp"
+#include "queue/visitor_queue.hpp"
+
+namespace asyncgt {
+
+template <typename VertexId>
+struct kcore_result {
+  std::vector<std::uint32_t> core;  // coreness of every vertex
+  queue_run_stats stats;
+  std::uint64_t updates = 0;
+
+  std::uint32_t max_core() const {
+    std::uint32_t best = 0;
+    for (const auto c : core) best = std::max(best, c);
+    return best;
+  }
+};
+
+template <typename Graph>
+struct kcore_state {
+  const Graph* g = nullptr;
+  std::vector<std::atomic<std::uint32_t>> bound;
+  sharded_counter updates;
+
+  kcore_state(const Graph& graph, std::size_t num_threads)
+      : g(&graph), bound(graph.num_vertices()), updates(num_threads) {
+    using V = typename Graph::vertex_id;
+    for (V v = 0; v < graph.num_vertices(); ++v) {
+      bound[v].store(static_cast<std::uint32_t>(graph.out_degree(v)),
+                     std::memory_order_relaxed);
+    }
+  }
+};
+
+template <typename VertexId>
+struct kcore_visitor {
+  VertexId vtx{};
+  std::uint32_t hint = 0;  // sender's bound; prioritizes small bounds
+
+  VertexId vertex() const noexcept { return vtx; }
+  std::uint32_t priority() const noexcept { return hint; }
+
+  template <typename State, typename Queue>
+  void visit(State& s, Queue& q, std::size_t tid) const {
+    const std::uint32_t current =
+        s.bound[vtx].load(std::memory_order_relaxed);
+    if (current == 0) return;
+    // h-index of neighbour bounds, capped at `current`: count[i] = how many
+    // neighbours have bound >= i, h = max i with count >= i.
+    thread_local std::vector<std::uint32_t> count;
+    count.assign(current + 1, 0);
+    s.g->for_each_out_edge(vtx, [&](VertexId u, weight_t) {
+      const std::uint32_t b = std::min(
+          s.bound[u].load(std::memory_order_relaxed), current);
+      ++count[b];
+    });
+    std::uint32_t cumulative = 0;
+    std::uint32_t h = 0;
+    for (std::uint32_t i = current; i > 0; --i) {
+      cumulative += count[i];
+      if (cumulative >= i) {
+        h = i;
+        break;
+      }
+    }
+    if (h < current) {
+      s.bound[vtx].store(h, std::memory_order_relaxed);
+      s.updates.add(tid);
+      // Neighbours whose bound exceeds ours may now be reducible.
+      s.g->for_each_out_edge(vtx, [&](VertexId u, weight_t) {
+        if (s.bound[u].load(std::memory_order_relaxed) > h) {
+          q.push(kcore_visitor{u, h});
+        }
+      });
+    }
+  }
+};
+
+/// Computes the coreness of every vertex of a symmetric (undirected) graph.
+template <typename Graph>
+kcore_result<typename Graph::vertex_id> async_kcore(
+    const Graph& g, visitor_queue_config cfg = {}) {
+  using V = typename Graph::vertex_id;
+  kcore_state<Graph> state(g, cfg.num_threads);
+  visitor_queue<kcore_visitor<V>, kcore_state<Graph>> q(cfg);
+  auto stats = q.run_seeded(state, g.num_vertices(), [&g](V v) {
+    return kcore_visitor<V>{
+        v, static_cast<std::uint32_t>(g.out_degree(v))};
+  });
+
+  kcore_result<V> out;
+  out.core.resize(g.num_vertices());
+  for (V v = 0; v < g.num_vertices(); ++v) {
+    out.core[v] = state.bound[v].load(std::memory_order_relaxed);
+  }
+  out.stats = std::move(stats);
+  out.updates = state.updates.total();
+  return out;
+}
+
+}  // namespace asyncgt

@@ -1,0 +1,88 @@
+// Asynchronous Single Source Shortest Path (paper Algorithms 1 and 2).
+//
+// A Bellman-Ford / Dijkstra hybrid: label-correcting like Bellman-Ford
+// (correctness never depends on visit order), priority-ordered like Dijkstra
+// (each queue visits its locally shortest path first). Because there is no
+// global synchronization, a vertex may be visited several times with
+// successively shorter candidate paths — exactly the behaviour the paper
+// walks through in Figure 3 (reproduced in tests/core/sssp_paper_example).
+//
+// The visitor is Algorithm 2 verbatim:
+//   if cur_dist < dist[v]:
+//     dist[v] = cur_dist; parent[v] = cur_parent            (relax)
+//     for each out-edge (v, vj, w): push visitor(vj, cur_dist + w, v)
+//
+// Data-race freedom: dist/parent entries for v are read and written only by
+// the visitor for v, which always executes on the hash-owner thread of v.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "core/traversal_result.hpp"
+#include "graph/types.hpp"
+#include "queue/visitor_queue.hpp"
+
+namespace asyncgt {
+
+template <typename Graph>
+struct sssp_state {
+  const Graph* g = nullptr;
+  std::vector<dist_t> dist;
+  std::vector<typename Graph::vertex_id> parent;
+  sharded_counter updates;
+
+  sssp_state(const Graph& graph, std::size_t num_threads)
+      : g(&graph),
+        dist(graph.num_vertices(), infinite_distance<dist_t>),
+        parent(graph.num_vertices(),
+               invalid_vertex<typename Graph::vertex_id>),
+        updates(num_threads) {}
+};
+
+template <typename VertexId>
+struct sssp_visitor {
+  VertexId vtx{};
+  VertexId cur_parent{};
+  dist_t cur_dist = 0;
+
+  VertexId vertex() const noexcept { return vtx; }
+  dist_t priority() const noexcept { return cur_dist; }
+
+  template <typename State, typename Queue>
+  void visit(State& s, Queue& q, std::size_t tid) const {
+    if (cur_dist < s.dist[vtx]) {
+      s.dist[vtx] = cur_dist;  // relax vertex information
+      s.parent[vtx] = cur_parent;
+      s.updates.add(tid);
+      s.g->for_each_out_edge(vtx, [&](VertexId vj, weight_t w) {
+        q.push(sssp_visitor{vj, vtx, cur_dist + w});
+      });
+    }
+  }
+};
+
+/// Computes SSSP from `start` over any GraphStorage. Edge weights must be
+/// non-negative (u32 by construction). Throws if `start` is out of range.
+template <typename Graph>
+sssp_result<typename Graph::vertex_id> async_sssp(
+    const Graph& g, typename Graph::vertex_id start,
+    visitor_queue_config cfg = {}) {
+  using V = typename Graph::vertex_id;
+  if (start >= g.num_vertices()) {
+    throw std::out_of_range("async_sssp: start vertex out of range");
+  }
+  sssp_state<Graph> state(g, cfg.num_threads);
+  visitor_queue<sssp_visitor<V>, sssp_state<Graph>> q(cfg);
+  q.push(sssp_visitor<V>{start, start, 0});
+  auto stats = q.run(state);
+
+  sssp_result<V> out;
+  out.dist = std::move(state.dist);
+  out.parent = std::move(state.parent);
+  out.stats = std::move(stats);
+  out.updates = state.updates.total();
+  return out;
+}
+
+}  // namespace asyncgt

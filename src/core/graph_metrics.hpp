@@ -1,0 +1,97 @@
+// Structural metrics built on the asynchronous traversals.
+//
+// The paper's §I-B claims — "small diameter" and "giant connected
+// components" — are verified quantitatively with these helpers:
+//
+//   * estimate_diameter — the classic double-sweep lower bound: BFS from a
+//     seed, re-BFS from the farthest vertex found; the second eccentricity
+//     lower-bounds the diameter and is exact on trees. Repeated sweeps
+//     tighten the bound.
+//   * eccentricity — exact eccentricity of one vertex (max finite level).
+//   * average_path_length_sampled — mean hop distance over sampled sources,
+//     restricted to reachable pairs.
+//
+// All run over any GraphStorage and therefore work semi-externally too.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/async_bfs.hpp"
+#include "util/rng.hpp"
+
+namespace asyncgt {
+
+template <typename Graph>
+dist_t eccentricity(const Graph& g, typename Graph::vertex_id v,
+                    visitor_queue_config cfg = {}) {
+  return async_bfs(g, v, cfg).max_level();
+}
+
+struct diameter_estimate {
+  dist_t lower_bound = 0;
+  std::uint64_t sweeps = 0;
+};
+
+/// Double-sweep diameter lower bound with `rounds` restarts. Deterministic
+/// in `seed`. Returns 0 for graphs whose sampled components are singletons.
+template <typename Graph>
+diameter_estimate estimate_diameter(const Graph& g, unsigned rounds = 2,
+                                    std::uint64_t seed = 1,
+                                    visitor_queue_config cfg = {}) {
+  using V = typename Graph::vertex_id;
+  diameter_estimate est;
+  const std::uint64_t n = g.num_vertices();
+  if (n == 0) return est;
+  xoshiro256ss rng(splitmix64(seed).next());
+  for (unsigned round = 0; round < rounds; ++round) {
+    V start = static_cast<V>(rng.next_below(n));
+    // First sweep: find the farthest reached vertex from the random seed.
+    const auto first = async_bfs(g, start, cfg);
+    ++est.sweeps;
+    V far = start;
+    dist_t far_level = 0;
+    for (std::uint64_t v = 0; v < n; ++v) {
+      const dist_t l = first.level[v];
+      if (l != infinite_distance<dist_t> && l > far_level) {
+        far_level = l;
+        far = static_cast<V>(v);
+      }
+    }
+    // Second sweep from the periphery: its eccentricity bounds the diameter.
+    const auto second = async_bfs(g, far, cfg);
+    ++est.sweeps;
+    const dist_t ecc = second.max_level();
+    if (ecc > est.lower_bound) est.lower_bound = ecc;
+  }
+  return est;
+}
+
+/// Mean shortest-path hop count over `samples` BFS sources (reachable pairs
+/// only). The "small diameter" property shows up as a small value here even
+/// for huge graphs.
+template <typename Graph>
+double average_path_length_sampled(const Graph& g, unsigned samples = 4,
+                                   std::uint64_t seed = 7,
+                                   visitor_queue_config cfg = {}) {
+  using V = typename Graph::vertex_id;
+  const std::uint64_t n = g.num_vertices();
+  if (n == 0 || samples == 0) return 0.0;
+  xoshiro256ss rng(splitmix64(seed).next());
+  std::uint64_t pairs = 0;
+  double total = 0.0;
+  for (unsigned s = 0; s < samples; ++s) {
+    const V start = static_cast<V>(rng.next_below(n));
+    const auto r = async_bfs(g, start, cfg);
+    for (std::uint64_t v = 0; v < n; ++v) {
+      const dist_t l = r.level[v];
+      if (v != start && l != infinite_distance<dist_t>) {
+        total += static_cast<double>(l);
+        ++pairs;
+      }
+    }
+  }
+  return pairs == 0 ? 0.0 : total / static_cast<double>(pairs);
+}
+
+}  // namespace asyncgt

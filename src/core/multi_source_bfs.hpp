@@ -1,0 +1,46 @@
+// Multi-source asynchronous BFS: distance to the *nearest* of a set of
+// sources — the landmark/seed-set primitive used for distance sketches,
+// closeness approximations, and the double-sweep diameter estimate in
+// graph_metrics.hpp.
+//
+// Implementation: exactly the paper's BFS visitor, seeded from every source
+// at level 0; label correction resolves overlaps so each vertex ends with
+// min over sources of the hop distance, and parent links form a forest
+// rooted at the sources.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/async_bfs.hpp"
+
+namespace asyncgt {
+
+template <typename Graph>
+bfs_result<typename Graph::vertex_id> async_multi_source_bfs(
+    const Graph& g, const std::vector<typename Graph::vertex_id>& sources,
+    visitor_queue_config cfg = {}) {
+  using V = typename Graph::vertex_id;
+  if (sources.empty()) {
+    throw std::invalid_argument("multi_source_bfs: need at least one source");
+  }
+  for (const V s : sources) {
+    if (s >= g.num_vertices()) {
+      throw std::out_of_range("multi_source_bfs: source out of range");
+    }
+  }
+  bfs_state<Graph> state(g, cfg.num_threads);
+  visitor_queue<bfs_visitor<V>, bfs_state<Graph>> q(cfg);
+  for (const V s : sources) q.push(bfs_visitor<V>{s, s, 0});
+  auto stats = q.run(state);
+
+  bfs_result<V> out;
+  out.level = std::move(state.level);
+  out.parent = std::move(state.parent);
+  out.stats = std::move(stats);
+  out.updates = state.updates.total();
+  return out;
+}
+
+}  // namespace asyncgt

@@ -1,0 +1,100 @@
+// Result types returned by the asynchronous traversals, plus shared
+// per-thread counter plumbing.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "queue/queue_stats.hpp"
+#include "util/cache_line.hpp"
+
+namespace asyncgt {
+
+/// 64-bit path lengths: edge weights are 32-bit but paths sum many of them.
+using dist_t = std::uint64_t;
+
+/// Per-thread contention-free counters, summed after the run.
+class sharded_counter {
+ public:
+  explicit sharded_counter(std::size_t shards) : shards_(shards) {}
+
+  void add(std::size_t shard, std::uint64_t n = 1) noexcept {
+    shards_[shard].value += n;
+  }
+
+  std::uint64_t total() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto& s : shards_) sum += s.value;
+    return sum;
+  }
+
+ private:
+  std::vector<padded<std::uint64_t>> shards_;
+};
+
+template <typename VertexId>
+struct bfs_result {
+  std::vector<dist_t> level;     // infinite_distance<dist_t> = unreached
+  std::vector<VertexId> parent;  // invalid_vertex = none
+  queue_run_stats stats;
+  std::uint64_t updates = 0;  // successful label corrections
+
+  std::uint64_t visited_count() const {
+    std::uint64_t n = 0;
+    for (const auto l : level) n += (l != infinite_distance<dist_t>);
+    return n;
+  }
+
+  /// Largest finite level (the number of BFS levels, paper Table I "# levs").
+  dist_t max_level() const {
+    dist_t m = 0;
+    for (const auto l : level) {
+      if (l != infinite_distance<dist_t> && l > m) m = l;
+    }
+    return m;
+  }
+};
+
+template <typename VertexId>
+struct sssp_result {
+  std::vector<dist_t> dist;
+  std::vector<VertexId> parent;
+  queue_run_stats stats;
+  std::uint64_t updates = 0;
+
+  std::uint64_t visited_count() const {
+    std::uint64_t n = 0;
+    for (const auto d : dist) n += (d != infinite_distance<dist_t>);
+    return n;
+  }
+};
+
+template <typename VertexId>
+struct cc_result {
+  std::vector<VertexId> component;  // smallest reachable vertex id
+  queue_run_stats stats;
+  std::uint64_t updates = 0;
+
+  /// Number of distinct components (paper Table III "# CCs"). A vertex is a
+  /// component root iff component[v] == v.
+  std::uint64_t num_components() const {
+    std::uint64_t n = 0;
+    for (std::size_t v = 0; v < component.size(); ++v) {
+      n += (component[v] == static_cast<VertexId>(v));
+    }
+    return n;
+  }
+
+  /// Size of the largest component.
+  std::uint64_t largest_component_size() const {
+    std::vector<std::uint64_t> sizes(component.size(), 0);
+    for (const auto c : component) ++sizes[c];
+    std::uint64_t best = 0;
+    for (const auto s : sizes) best = std::max(best, s);
+    return best;
+  }
+};
+
+}  // namespace asyncgt

@@ -1,0 +1,175 @@
+// Independent result validation.
+//
+// These checkers verify traversal outputs against first principles rather
+// than against another implementation, so they can validate the baselines
+// too:
+//  * BFS/SSSP: the distance array is a fixed point of relaxation (no edge
+//    can improve any label), every reached vertex has a parent whose label
+//    plus the connecting edge equals its own, and the source has label 0.
+//  * CC: labels are constant within each edge's endpoints, every label is a
+//    component member, and labels are minimal (label == smallest id in the
+//    component, verified via a union-find pass).
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/traversal_result.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/types.hpp"
+
+namespace asyncgt {
+
+struct validation {
+  bool ok = true;
+  std::string error;  // first problem found, empty when ok
+
+  static validation failure(std::string why) { return {false, std::move(why)}; }
+  static validation success() { return {}; }
+};
+
+/// Validates a distance labelling for SSSP from `start` (BFS = weights 1,
+/// which for_each_out_edge reports on unweighted graphs). `dist[v]` must be
+/// infinite exactly for unreachable vertices; this is implied by fixed-point
+/// + source checks for reachable ones, and by the parent check for finite
+/// labels, but unreachability itself is established with a reference scan.
+template <typename Graph>
+validation validate_distances(const Graph& g,
+                              typename Graph::vertex_id start,
+                              const std::vector<dist_t>& dist,
+                              bool unit_weights = false) {
+  using V = typename Graph::vertex_id;
+  const std::uint64_t n = g.num_vertices();
+  if (dist.size() != n) return validation::failure("dist size mismatch");
+  if (dist[start] != 0) return validation::failure("source distance not 0");
+
+  // Fixed point: no edge may offer an improvement.
+  for (V u = 0; u < n; ++u) {
+    if (dist[u] == infinite_distance<dist_t>) continue;
+    validation bad = validation::success();
+    g.for_each_out_edge(u, [&](V v, weight_t w) {
+      const dist_t step = unit_weights ? 1 : w;
+      if (dist[u] + step < dist[v] && bad.ok) {
+        bad = validation::failure(
+            "edge " + std::to_string(u) + "->" + std::to_string(v) +
+            " relaxable: " + std::to_string(dist[u]) + "+" +
+            std::to_string(step) + " < " + std::to_string(dist[v]));
+      }
+    });
+    if (!bad.ok) return bad;
+  }
+
+  // Attainability: every finite label must be witnessed by some in-edge
+  // (or be the source). Scan edges once, marking vertices whose label is
+  // exactly parent-label + weight.
+  std::vector<char> witnessed(n, 0);
+  witnessed[start] = 1;
+  for (V u = 0; u < n; ++u) {
+    if (dist[u] == infinite_distance<dist_t>) continue;
+    g.for_each_out_edge(u, [&](V v, weight_t w) {
+      const dist_t step = unit_weights ? 1 : w;
+      if (dist[v] == dist[u] + step) witnessed[v] = 1;
+    });
+  }
+  for (V v = 0; v < n; ++v) {
+    if (dist[v] != infinite_distance<dist_t> && !witnessed[v]) {
+      return validation::failure("vertex " + std::to_string(v) +
+                                 " has unattainable label " +
+                                 std::to_string(dist[v]));
+    }
+  }
+  return validation::success();
+}
+
+/// Validates a parent (shortest-path tree) array against its labels.
+template <typename Graph>
+validation validate_parents(const Graph& g,
+                            typename Graph::vertex_id start,
+                            const std::vector<dist_t>& dist,
+                            const std::vector<typename Graph::vertex_id>& par,
+                            bool unit_weights = false) {
+  using V = typename Graph::vertex_id;
+  const std::uint64_t n = g.num_vertices();
+  if (par.size() != n) return validation::failure("parent size mismatch");
+  if (par[start] != start) return validation::failure("source parent != self");
+  for (V v = 0; v < n; ++v) {
+    if (v == start) continue;
+    if (dist[v] == infinite_distance<dist_t>) {
+      if (par[v] != invalid_vertex<V>) {
+        return validation::failure("unreached vertex " + std::to_string(v) +
+                                   " has a parent");
+      }
+      continue;
+    }
+    const V p = par[v];
+    if (p >= n) {
+      return validation::failure("vertex " + std::to_string(v) +
+                                 " has out-of-range parent");
+    }
+    // The edge (p, v) must exist and be tight.
+    bool tight = false;
+    g.for_each_out_edge(p, [&](V t, weight_t w) {
+      const dist_t step = unit_weights ? 1 : w;
+      if (t == v && dist[p] + step == dist[v]) tight = true;
+    });
+    if (!tight) {
+      return validation::failure("parent edge " + std::to_string(p) + "->" +
+                                 std::to_string(v) + " not tight");
+    }
+  }
+  return validation::success();
+}
+
+/// Validates component labels on an undirected (symmetric) graph.
+template <typename Graph>
+validation validate_components(
+    const Graph& g, const std::vector<typename Graph::vertex_id>& cc) {
+  using V = typename Graph::vertex_id;
+  const std::uint64_t n = g.num_vertices();
+  if (cc.size() != n) return validation::failure("cc size mismatch");
+
+  // Labels constant across edges.
+  for (V u = 0; u < n; ++u) {
+    validation bad = validation::success();
+    g.for_each_out_edge(u, [&](V v, weight_t) {
+      if (cc[u] != cc[v] && bad.ok) {
+        bad = validation::failure("edge " + std::to_string(u) + "-" +
+                                  std::to_string(v) +
+                                  " crosses component labels");
+      }
+    });
+    if (!bad.ok) return bad;
+  }
+
+  // Minimality: build a union-find reference and compare the minimum member.
+  std::vector<V> root(n);
+  std::iota(root.begin(), root.end(), V{0});
+  const auto find = [&](V x) {
+    while (root[x] != x) {
+      root[x] = root[root[x]];  // path halving
+      x = root[x];
+    }
+    return x;
+  };
+  for (V u = 0; u < n; ++u) {
+    g.for_each_out_edge(u, [&](V v, weight_t) {
+      const V ru = find(u), rv = find(v);
+      if (ru != rv) root[std::max(ru, rv)] = std::min(ru, rv);
+    });
+  }
+  // After full union, find(x) is the minimum id in x's component because
+  // unions always point the larger root at the smaller one.
+  for (V v = 0; v < n; ++v) {
+    if (cc[v] != find(v)) {
+      return validation::failure(
+          "vertex " + std::to_string(v) + " labelled " +
+          std::to_string(cc[v]) + ", expected component minimum " +
+          std::to_string(find(v)));
+    }
+  }
+  return validation::success();
+}
+
+}  // namespace asyncgt

@@ -1,0 +1,77 @@
+// Structured generators:
+//
+//  * grid_graph — a W×H 4-neighbour mesh, a road-network-like workload with
+//    large diameter. Used by the road_sssp example and by tests that need a
+//    graph with exactly known shortest paths.
+//  * chain_graph — the paper's Figure 2: a directed path 0→1→…→n-1, the
+//    worst case for traversal parallelism (every visit depends on the
+//    previous one, so the traversal serializes).
+//  * star_graph — one hub connected to n-1 leaves; the extreme load-imbalance
+//    case for hash-routed queues.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/types.hpp"
+
+namespace asyncgt {
+
+/// Undirected W×H grid; vertex (x, y) has id y*width + x.
+template <typename VertexId>
+csr_graph<VertexId> grid_graph(std::uint64_t width, std::uint64_t height) {
+  if (width == 0 || height == 0) {
+    throw std::invalid_argument("grid_graph: empty dimension");
+  }
+  std::vector<edge<VertexId>> edges;
+  edges.reserve(2 * width * height);
+  for (std::uint64_t y = 0; y < height; ++y) {
+    for (std::uint64_t x = 0; x < width; ++x) {
+      const std::uint64_t v = y * width + x;
+      if (x + 1 < width) {
+        edges.push_back({static_cast<VertexId>(v),
+                         static_cast<VertexId>(v + 1), 1});
+      }
+      if (y + 1 < height) {
+        edges.push_back({static_cast<VertexId>(v),
+                         static_cast<VertexId>(v + width), 1});
+      }
+    }
+  }
+  build_options opt;
+  opt.symmetrize = true;
+  return build_csr<VertexId>(width * height, std::move(edges), opt);
+}
+
+/// Directed chain 0→1→…→n-1 (paper Fig. 2: poor parallelism).
+template <typename VertexId>
+csr_graph<VertexId> chain_graph(std::uint64_t n, bool undirected = false) {
+  if (n == 0) throw std::invalid_argument("chain_graph: empty graph");
+  std::vector<edge<VertexId>> edges;
+  edges.reserve(n);
+  for (std::uint64_t v = 0; v + 1 < n; ++v) {
+    edges.push_back({static_cast<VertexId>(v), static_cast<VertexId>(v + 1),
+                     1});
+  }
+  build_options opt;
+  opt.symmetrize = undirected;
+  return build_csr<VertexId>(n, std::move(edges), opt);
+}
+
+/// Undirected star: vertex 0 adjacent to all others.
+template <typename VertexId>
+csr_graph<VertexId> star_graph(std::uint64_t n) {
+  if (n < 2) throw std::invalid_argument("star_graph: need n >= 2");
+  std::vector<edge<VertexId>> edges;
+  edges.reserve(n - 1);
+  for (std::uint64_t v = 1; v < n; ++v) {
+    edges.push_back({static_cast<VertexId>(0), static_cast<VertexId>(v), 1});
+  }
+  build_options opt;
+  opt.symmetrize = true;
+  return build_csr<VertexId>(n, std::move(edges), opt);
+}
+
+}  // namespace asyncgt

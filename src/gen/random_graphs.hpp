@@ -1,0 +1,135 @@
+// Classic random-graph generators beyond RMAT.
+//
+// The paper's introduction (§I-B) singles out three structural properties —
+// power-law degrees, small diameter, community structure — and its related
+// work notes that distributed approaches behave well on "regular or
+// uniformly random" graphs while degrading on power-law ones. These
+// generators produce the comparison points for that spectrum:
+//
+//   * erdos_renyi_graph  — G(n, m): uniformly random, near-regular degree
+//     distribution; the friendly case for synchronous/distributed methods.
+//   * watts_strogatz_graph — ring lattice with rewiring: high clustering
+//     (community structure) with small diameter, but no degree skew.
+//   * barabasi_albert_graph — preferential attachment: pure power-law with
+//     hubs, the adversarial case for barriers and block partitioning.
+//
+// All are deterministic in their seed and emit unique-edge CSRs through the
+// shared builder.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/types.hpp"
+#include "util/rng.hpp"
+
+namespace asyncgt {
+
+/// G(n, m): m distinct undirected edges sampled uniformly (by rejection;
+/// requires m comfortably below n*(n-1)/2).
+template <typename VertexId>
+csr_graph<VertexId> erdos_renyi_graph(std::uint64_t n, std::uint64_t m,
+                                      std::uint64_t seed = 1) {
+  if (n < 2) throw std::invalid_argument("erdos_renyi: need n >= 2");
+  const std::uint64_t max_edges = n * (n - 1) / 2;
+  if (m > max_edges / 2) {
+    throw std::invalid_argument(
+        "erdos_renyi: m too close to complete graph for rejection sampling");
+  }
+  xoshiro256ss rng(splitmix64(seed).next());
+  std::vector<edge<VertexId>> edges;
+  edges.reserve(m);
+  // Sample with replacement, let the builder dedup; oversample ~5% to land
+  // near m unique edges, then trim exactly.
+  while (edges.size() < m) {
+    const std::uint64_t u = rng.next_below(n);
+    const std::uint64_t v = rng.next_below(n);
+    if (u == v) continue;
+    edges.push_back({static_cast<VertexId>(u), static_cast<VertexId>(v), 1});
+  }
+  build_options opt;
+  opt.symmetrize = true;
+  return build_csr<VertexId>(n, std::move(edges), opt);
+}
+
+/// Watts–Strogatz small world: ring of n vertices each linked to k nearest
+/// neighbours (k even), each edge rewired with probability beta.
+template <typename VertexId>
+csr_graph<VertexId> watts_strogatz_graph(std::uint64_t n, std::uint32_t k,
+                                         double beta,
+                                         std::uint64_t seed = 1) {
+  if (n < 4) throw std::invalid_argument("watts_strogatz: need n >= 4");
+  if (k == 0 || k % 2 != 0 || k >= n) {
+    throw std::invalid_argument("watts_strogatz: k must be even, 0 < k < n");
+  }
+  if (beta < 0.0 || beta > 1.0) {
+    throw std::invalid_argument("watts_strogatz: beta in [0, 1]");
+  }
+  xoshiro256ss rng(splitmix64(seed ^ 0xABCDEF).next());
+  std::vector<edge<VertexId>> edges;
+  edges.reserve(n * k / 2);
+  for (std::uint64_t u = 0; u < n; ++u) {
+    for (std::uint32_t j = 1; j <= k / 2; ++j) {
+      std::uint64_t v = (u + j) % n;
+      if (rng.next_double() < beta) {
+        // Rewire the far endpoint to a uniform non-self target.
+        do {
+          v = rng.next_below(n);
+        } while (v == u);
+      }
+      edges.push_back({static_cast<VertexId>(u), static_cast<VertexId>(v),
+                       1});
+    }
+  }
+  build_options opt;
+  opt.symmetrize = true;
+  return build_csr<VertexId>(n, std::move(edges), opt);
+}
+
+/// Barabási–Albert preferential attachment: every new vertex attaches to
+/// `attach` existing vertices with probability proportional to degree
+/// (implemented with the repeated-endpoint trick: sample a uniform position
+/// in the running endpoint list).
+template <typename VertexId>
+csr_graph<VertexId> barabasi_albert_graph(std::uint64_t n,
+                                          std::uint32_t attach,
+                                          std::uint64_t seed = 1) {
+  if (attach == 0) throw std::invalid_argument("barabasi_albert: attach > 0");
+  if (n <= attach) {
+    throw std::invalid_argument("barabasi_albert: need n > attach");
+  }
+  xoshiro256ss rng(splitmix64(seed ^ 0x5151).next());
+  std::vector<edge<VertexId>> edges;
+  edges.reserve(n * attach);
+  // Endpoint multiset: each edge contributes both endpoints, so sampling a
+  // uniform element is degree-proportional sampling.
+  std::vector<VertexId> endpoints;
+  endpoints.reserve(2 * n * attach);
+  // Seed clique over the first attach+1 vertices.
+  for (std::uint64_t u = 0; u <= attach; ++u) {
+    for (std::uint64_t v = u + 1; v <= attach; ++v) {
+      edges.push_back({static_cast<VertexId>(u), static_cast<VertexId>(v),
+                       1});
+      endpoints.push_back(static_cast<VertexId>(u));
+      endpoints.push_back(static_cast<VertexId>(v));
+    }
+  }
+  for (std::uint64_t u = attach + 1; u < n; ++u) {
+    for (std::uint32_t j = 0; j < attach; ++j) {
+      VertexId target;
+      do {
+        target = endpoints[rng.next_below(endpoints.size())];
+      } while (target == static_cast<VertexId>(u));  // no self loops
+      edges.push_back({static_cast<VertexId>(u), target, 1});
+      endpoints.push_back(static_cast<VertexId>(u));
+      endpoints.push_back(target);
+    }
+  }
+  build_options opt;
+  opt.symmetrize = true;
+  return build_csr<VertexId>(n, std::move(edges), opt);
+}
+
+}  // namespace asyncgt

@@ -1,0 +1,159 @@
+// Synthetic web-graph generator — the stand-in for the paper's real crawls
+// (ClueWeb09, it-2004, sk-2005, uk-union, webbase-2001), which we cannot
+// redistribute.
+//
+// The CC experiments depend on three structural properties of those crawls:
+//   1. community structure: pages cluster into hosts with dense in-host
+//      linkage and sparse cross-host linkage,
+//   2. power-law host sizes and cross-link degrees (hub hosts),
+//   3. a giant connected component plus a long tail of small components
+//      (the paper reports e.g. 3,149,668 CCs for ClueWeb09 but only 126 for
+//      sk-2005).
+// The generator builds hosts with Zipf-distributed sizes, wires each host
+// internally as a sparse ring-plus-chords cluster (guaranteeing in-host
+// connectivity), then adds preferential cross-host links with probability
+// (1 - isolation). A configurable fraction of hosts receives no cross links
+// at all, producing the small-component tail.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/types.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace asyncgt {
+
+struct webgen_params {
+  std::uint64_t num_hosts = 1000;
+  /// Host sizes follow a truncated Zipf with this exponent over
+  /// [min_host_size, max_host_size].
+  double zipf_exponent = 1.8;
+  std::uint64_t min_host_size = 4;
+  std::uint64_t max_host_size = 4096;
+  /// In-host extra chords per page, beyond the connectivity ring.
+  double intra_chords_per_page = 6.0;
+  /// Cross-host links per page for connected hosts.
+  double cross_links_per_page = 1.5;
+  /// Fraction of hosts that receive no cross-host links (isolated
+  /// communities — these become the small-component tail).
+  double isolated_host_fraction = 0.15;
+  std::uint64_t seed = 7;
+};
+
+struct webgen_layout {
+  std::vector<std::uint64_t> host_begin;  // host h owns [host_begin[h], host_begin[h+1])
+  std::uint64_t num_vertices = 0;
+};
+
+/// Computes deterministic host boundaries for `p`.
+inline webgen_layout webgen_make_layout(const webgen_params& p) {
+  if (p.num_hosts == 0) throw std::invalid_argument("webgen: need hosts");
+  if (p.min_host_size < 2 || p.max_host_size < p.min_host_size) {
+    throw std::invalid_argument("webgen: bad host size range");
+  }
+  webgen_layout layout;
+  layout.host_begin.reserve(p.num_hosts + 1);
+  layout.host_begin.push_back(0);
+  xoshiro256ss rng(splitmix64(p.seed).next());
+  for (std::uint64_t h = 0; h < p.num_hosts; ++h) {
+    // Inverse-CDF sample of a bounded Pareto (continuous Zipf analogue).
+    const double u = rng.next_double();
+    const double alpha = p.zipf_exponent - 1.0;
+    const double lo = static_cast<double>(p.min_host_size);
+    const double hi = static_cast<double>(p.max_host_size);
+    double size_d;
+    if (alpha <= 0.0) {
+      size_d = lo + u * (hi - lo);
+    } else {
+      const double lo_a = std::pow(lo, -alpha);
+      const double hi_a = std::pow(hi, -alpha);
+      size_d = std::pow(lo_a - u * (lo_a - hi_a), -1.0 / alpha);
+    }
+    const auto size = static_cast<std::uint64_t>(size_d);
+    layout.host_begin.push_back(layout.host_begin.back() + size);
+  }
+  layout.num_vertices = layout.host_begin.back();
+  return layout;
+}
+
+/// Generates the undirected web-like graph as a symmetric CSR.
+template <typename VertexId>
+csr_graph<VertexId> webgen_graph(const webgen_params& p) {
+  const webgen_layout layout = webgen_make_layout(p);
+  const std::uint64_t n = layout.num_vertices;
+  std::vector<edge<VertexId>> edges;
+
+  xoshiro256ss rng(splitmix64(p.seed ^ 0x9E3779B97F4A7C15ULL).next());
+
+  for (std::uint64_t h = 0; h < p.num_hosts; ++h) {
+    const std::uint64_t begin = layout.host_begin[h];
+    const std::uint64_t end = layout.host_begin[h + 1];
+    const std::uint64_t size = end - begin;
+    // Connectivity ring: host is internally connected by construction.
+    for (std::uint64_t v = begin; v + 1 < end; ++v) {
+      edges.push_back({static_cast<VertexId>(v), static_cast<VertexId>(v + 1),
+                       1});
+    }
+    // Random chords inside the host (community density).
+    const auto chords = static_cast<std::uint64_t>(
+        p.intra_chords_per_page * static_cast<double>(size));
+    for (std::uint64_t c = 0; c < chords; ++c) {
+      const std::uint64_t a = begin + rng.next_below(size);
+      const std::uint64_t b = begin + rng.next_below(size);
+      if (a != b) {
+        edges.push_back({static_cast<VertexId>(a), static_cast<VertexId>(b),
+                         1});
+      }
+    }
+  }
+
+  // Cross-host links: preferential attachment by host size; hosts flagged
+  // isolated get none. Using size-weighted target selection (pick a uniform
+  // vertex id, look up its host) gives larger hosts more in-links, which is
+  // the hub-host behaviour of real crawls.
+  const auto isolated_cutoff = static_cast<std::uint64_t>(
+      p.isolated_host_fraction * static_cast<double>(p.num_hosts));
+  const auto host_is_isolated = [&](std::uint64_t h) {
+    // Deterministic pseudo-random subset of hosts, independent of h's size.
+    return mix64(h ^ p.seed) % p.num_hosts < isolated_cutoff;
+  };
+  for (std::uint64_t h = 0; h < p.num_hosts; ++h) {
+    if (host_is_isolated(h)) continue;
+    const std::uint64_t begin = layout.host_begin[h];
+    const std::uint64_t end = layout.host_begin[h + 1];
+    const std::uint64_t size = end - begin;
+    const auto cross = static_cast<std::uint64_t>(
+        p.cross_links_per_page * static_cast<double>(size));
+    for (std::uint64_t c = 0; c < cross; ++c) {
+      const std::uint64_t src = begin + rng.next_below(size);
+      // Rejection-sample a target whose host is not isolated and != h.
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        const std::uint64_t dst = rng.next_below(n);
+        const auto host_of = [&](std::uint64_t v) {
+          const auto it = std::upper_bound(layout.host_begin.begin(),
+                                           layout.host_begin.end(), v);
+          return static_cast<std::uint64_t>(it - layout.host_begin.begin()) -
+                 1;
+        };
+        const std::uint64_t th = host_of(dst);
+        if (th != h && !host_is_isolated(th)) {
+          edges.push_back({static_cast<VertexId>(src),
+                           static_cast<VertexId>(dst), 1});
+          break;
+        }
+      }
+    }
+  }
+
+  build_options opt;
+  opt.symmetrize = true;
+  return build_csr<VertexId>(n, std::move(edges), opt);
+}
+
+}  // namespace asyncgt

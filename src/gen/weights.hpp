@@ -1,0 +1,84 @@
+// Edge-weight assignment for the SSSP experiments (paper §V-A1):
+//
+//   UW  — uniform weights in [0, num_vertices)
+//   LUW — log-uniform weights in [0, 2^i) where i is drawn uniformly from
+//         [0, lg(num_vertices))
+//
+// Weights are a deterministic function of (seed, src, dst) so the same graph
+// gets the same weights regardless of edge order, and directed/undirected
+// versions of the same edge agree (the pair is hashed order-insensitively).
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/types.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace asyncgt {
+
+enum class weight_scheme {
+  uniform,      // UW
+  log_uniform,  // LUW
+};
+
+namespace detail {
+
+template <typename VertexId>
+std::uint64_t edge_key(VertexId src, VertexId dst, std::uint64_t seed) {
+  // Order-insensitive so that symmetrized graphs carry symmetric weights.
+  const std::uint64_t a = std::min<std::uint64_t>(src, dst);
+  const std::uint64_t b = std::max<std::uint64_t>(src, dst);
+  return mix64(a ^ mix64(b ^ seed));
+}
+
+}  // namespace detail
+
+/// Weight for a single edge under `scheme`. n = num_vertices. Weights are at
+/// least 1 (the algorithms assume non-negative weights; zero weights are
+/// legal for them but excluded here to match "BFS = SSSP with weight 1"
+/// sanity checks in tests).
+template <typename VertexId>
+weight_t make_weight(weight_scheme scheme, VertexId src, VertexId dst,
+                     std::uint64_t n, std::uint64_t seed) {
+  if (n < 2) throw std::invalid_argument("make_weight: need n >= 2");
+  xoshiro256ss rng(detail::edge_key(src, dst, seed));
+  switch (scheme) {
+    case weight_scheme::uniform: {
+      return static_cast<weight_t>(1 + rng.next_below(n - 1));
+    }
+    case weight_scheme::log_uniform: {
+      const auto lg_n = static_cast<std::uint64_t>(std::bit_width(n) - 1);
+      const std::uint64_t i = rng.next_below(std::max<std::uint64_t>(lg_n, 1));
+      const std::uint64_t bound = 1ULL << i;
+      return static_cast<weight_t>(1 + rng.next_below(std::max<std::uint64_t>(
+                                           bound, 1)));
+    }
+  }
+  throw std::logic_error("make_weight: unknown scheme");
+}
+
+/// Returns a weighted copy of `g` (same structure, weights per `scheme`).
+template <typename VertexId>
+csr_graph<VertexId> add_weights(const csr_graph<VertexId>& g,
+                                weight_scheme scheme, std::uint64_t seed) {
+  std::vector<std::uint64_t> offsets(g.offsets().begin(), g.offsets().end());
+  std::vector<VertexId> targets(g.targets().begin(), g.targets().end());
+  std::vector<weight_t> weights(g.num_edges());
+  std::uint64_t idx = 0;
+  const std::uint64_t n = g.num_vertices();
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId t : g.neighbors(v)) {
+      weights[idx++] = make_weight(scheme, v, t, n, seed);
+    }
+  }
+  return csr_graph<VertexId>(std::move(offsets), std::move(targets),
+                             std::move(weights));
+}
+
+}  // namespace asyncgt

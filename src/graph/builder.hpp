@@ -1,0 +1,113 @@
+// Edge-list → CSR construction.
+//
+// Handles the transformations the paper's experimental setup describes:
+// duplicate-edge removal ("graphs with unique edges"), self-loop removal,
+// and symmetrization by adding reverse edges ("undirected versions of these
+// graphs ... were created by adding reverse edges").
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/types.hpp"
+
+namespace asyncgt {
+
+struct build_options {
+  bool remove_self_loops = true;
+  bool remove_duplicates = true;
+  /// Add a (dst,src) edge for every (src,dst): turns the list undirected.
+  bool symmetrize = false;
+  /// Sort adjacency lists by target id (deterministic layout; also what a
+  /// CSR file format wants).
+  bool sort_adjacency = true;
+};
+
+/// Builds a CSR with `n` vertices from `edges`. Edges referencing vertices
+/// >= n are rejected. The input vector is consumed (sorted in place).
+template <typename VertexId>
+csr_graph<VertexId> build_csr(std::uint64_t n,
+                              std::vector<edge<VertexId>> edges,
+                              const build_options& opt = {}) {
+  if (n >= invalid_vertex<VertexId>) {
+    throw std::invalid_argument("build_csr: vertex count exceeds id space");
+  }
+  for (const auto& e : edges) {
+    if (e.src >= n || e.dst >= n) {
+      throw std::invalid_argument("build_csr: edge endpoint out of range");
+    }
+  }
+
+  if (opt.symmetrize) {
+    const std::size_t original = edges.size();
+    edges.reserve(original * 2);
+    for (std::size_t i = 0; i < original; ++i) {
+      edges.push_back({edges[i].dst, edges[i].src, edges[i].weight});
+    }
+  }
+
+  if (opt.remove_self_loops) {
+    std::erase_if(edges, [](const edge<VertexId>& e) { return e.src == e.dst; });
+  }
+
+  if (opt.remove_duplicates || opt.sort_adjacency) {
+    std::sort(edges.begin(), edges.end(),
+              [](const edge<VertexId>& a, const edge<VertexId>& b) {
+                if (a.src != b.src) return a.src < b.src;
+                if (a.dst != b.dst) return a.dst < b.dst;
+                return a.weight < b.weight;
+              });
+  }
+  if (opt.remove_duplicates) {
+    // Keep the first (lowest-weight) copy of each (src,dst) pair; the paper's
+    // generators emit unique edges, so which copy survives only matters for
+    // determinism.
+    edges.erase(std::unique(edges.begin(), edges.end(),
+                            [](const edge<VertexId>& a,
+                               const edge<VertexId>& b) {
+                              return a.src == b.src && a.dst == b.dst;
+                            }),
+                edges.end());
+  }
+
+  std::vector<std::uint64_t> offsets(n + 1, 0);
+  for (const auto& e : edges) ++offsets[e.src + 1];
+  for (std::uint64_t v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+
+  const bool weighted =
+      std::any_of(edges.begin(), edges.end(),
+                  [](const edge<VertexId>& e) { return e.weight != 1; });
+
+  std::vector<VertexId> targets(edges.size());
+  std::vector<weight_t> weights(weighted ? edges.size() : 0);
+  // Input is already grouped by src (sorted above, or caller-provided order
+  // when neither dedup nor sort requested — then we must use a cursor copy).
+  std::vector<std::uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const auto& e : edges) {
+    const std::uint64_t slot = cursor[e.src]++;
+    targets[slot] = e.dst;
+    if (weighted) weights[slot] = e.weight;
+  }
+
+  return csr_graph<VertexId>(std::move(offsets), std::move(targets),
+                             std::move(weights));
+}
+
+/// Extracts the edge list back out of a CSR (used by tests and by the SEM
+/// on-disk builder).
+template <typename VertexId>
+std::vector<edge<VertexId>> to_edge_list(const csr_graph<VertexId>& g) {
+  std::vector<edge<VertexId>> out;
+  out.reserve(g.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    g.for_each_out_edge(v, [&](VertexId t, weight_t w) {
+      out.push_back({v, t, w});
+    });
+  }
+  return out;
+}
+
+}  // namespace asyncgt

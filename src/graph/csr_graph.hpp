@@ -1,0 +1,102 @@
+// In-memory Compressed Sparse Row graph.
+//
+// This is the in-memory storage backend for all traversals (the paper used
+// Boost's CSR for the in-memory experiments). Adjacency of vertex v is the
+// slice targets[offsets[v] .. offsets[v+1]); weights, when present, are a
+// parallel array. The class models the GraphStorage concept consumed by the
+// algorithms in src/core and src/baselines:
+//
+//   num_vertices(), num_edges(), out_degree(v),
+//   for_each_out_edge(v, f)  with f(target, weight)
+//
+// so the same algorithm template instantiates over this class or over
+// sem::sem_csr (disk-backed).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace asyncgt {
+
+template <typename VertexId>
+class csr_graph {
+ public:
+  using vertex_id = VertexId;
+  using offset_type = std::uint64_t;
+
+  csr_graph() = default;
+
+  /// Assembles a CSR from prebuilt arrays. offsets must have size
+  /// num_vertices+1 with offsets.front()==0 and offsets.back()==targets.size;
+  /// weights must be empty (unweighted) or parallel to targets.
+  csr_graph(std::vector<offset_type> offsets, std::vector<VertexId> targets,
+            std::vector<weight_t> weights = {})
+      : offsets_(std::move(offsets)),
+        targets_(std::move(targets)),
+        weights_(std::move(weights)) {
+    if (offsets_.empty() || offsets_.front() != 0 ||
+        offsets_.back() != targets_.size()) {
+      throw std::invalid_argument("csr_graph: malformed offset array");
+    }
+    if (!weights_.empty() && weights_.size() != targets_.size()) {
+      throw std::invalid_argument(
+          "csr_graph: weights must parallel targets or be empty");
+    }
+  }
+
+  std::uint64_t num_vertices() const noexcept { return offsets_.size() - 1; }
+  std::uint64_t num_edges() const noexcept { return targets_.size(); }
+  bool is_weighted() const noexcept { return !weights_.empty(); }
+
+  std::uint64_t out_degree(VertexId v) const noexcept {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  std::span<const VertexId> neighbors(VertexId v) const noexcept {
+    return {targets_.data() + offsets_[v],
+            targets_.data() + offsets_[v + 1]};
+  }
+
+  std::span<const weight_t> edge_weights(VertexId v) const noexcept {
+    if (weights_.empty()) return {};
+    return {weights_.data() + offsets_[v], weights_.data() + offsets_[v + 1]};
+  }
+
+  /// Invokes f(target, weight) for every out-edge of v. Unweighted graphs
+  /// report weight 1, which is exactly the paper's BFS-as-SSSP convention.
+  template <typename F>
+  void for_each_out_edge(VertexId v, F&& f) const {
+    const offset_type begin = offsets_[v];
+    const offset_type end = offsets_[v + 1];
+    if (weights_.empty()) {
+      for (offset_type i = begin; i < end; ++i) f(targets_[i], weight_t{1});
+    } else {
+      for (offset_type i = begin; i < end; ++i) f(targets_[i], weights_[i]);
+    }
+  }
+
+  std::span<const offset_type> offsets() const noexcept { return offsets_; }
+  std::span<const VertexId> targets() const noexcept { return targets_; }
+  std::span<const weight_t> weights() const noexcept { return weights_; }
+
+  /// Approximate resident size, for memory-budget reporting in benches.
+  std::uint64_t memory_bytes() const noexcept {
+    return offsets_.size() * sizeof(offset_type) +
+           targets_.size() * sizeof(VertexId) +
+           weights_.size() * sizeof(weight_t);
+  }
+
+ private:
+  std::vector<offset_type> offsets_{0};
+  std::vector<VertexId> targets_;
+  std::vector<weight_t> weights_;
+};
+
+using csr32 = csr_graph<vertex32>;
+using csr64 = csr_graph<vertex64>;
+
+}  // namespace asyncgt

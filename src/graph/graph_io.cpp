@@ -1,0 +1,117 @@
+#include "graph/graph_io.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+namespace asyncgt {
+namespace {
+
+struct file_closer {
+  void operator()(std::FILE* f) const noexcept {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using file_ptr = std::unique_ptr<std::FILE, file_closer>;
+
+file_ptr open_or_throw(const std::string& path, const char* mode) {
+  file_ptr f(std::fopen(path.c_str(), mode));
+  if (!f) {
+    throw std::runtime_error("cannot open '" + path +
+                             "': " + std::strerror(errno));
+  }
+  return f;
+}
+
+void write_bytes(std::FILE* f, const void* data, std::size_t bytes,
+                 const std::string& path) {
+  if (bytes != 0 && std::fwrite(data, 1, bytes, f) != bytes) {
+    throw std::runtime_error("short write to '" + path + "'");
+  }
+}
+
+void read_bytes(std::FILE* f, void* data, std::size_t bytes,
+                const std::string& path) {
+  if (bytes != 0 && std::fread(data, 1, bytes, f) != bytes) {
+    throw std::runtime_error("short read from '" + path + "'");
+  }
+}
+
+template <typename VertexId>
+void write_graph_impl(const std::string& path, const csr_graph<VertexId>& g) {
+  auto f = open_or_throw(path, "wb");
+  agt_header h;
+  h.flags = (g.is_weighted() ? 1u : 0u) | (sizeof(VertexId) == 8 ? 2u : 0u);
+  h.num_vertices = g.num_vertices();
+  h.num_edges = g.num_edges();
+  write_bytes(f.get(), &h, sizeof(h), path);
+  write_bytes(f.get(), g.offsets().data(),
+              g.offsets().size() * sizeof(std::uint64_t), path);
+  write_bytes(f.get(), g.targets().data(),
+              g.targets().size() * sizeof(VertexId), path);
+  write_bytes(f.get(), g.weights().data(),
+              g.weights().size() * sizeof(weight_t), path);
+  if (std::fflush(f.get()) != 0) {
+    throw std::runtime_error("flush failed for '" + path + "'");
+  }
+}
+
+template <typename VertexId>
+csr_graph<VertexId> read_graph_impl(const std::string& path) {
+  auto f = open_or_throw(path, "rb");
+  agt_header h;
+  read_bytes(f.get(), &h, sizeof(h), path);
+  if (h.magic != agt_magic) {
+    throw std::runtime_error("'" + path + "' is not an AGT graph file");
+  }
+  if (h.wide_ids() != (sizeof(VertexId) == 8)) {
+    throw std::runtime_error("'" + path +
+                             "' vertex id width does not match reader");
+  }
+  std::vector<std::uint64_t> offsets(h.num_vertices + 1);
+  read_bytes(f.get(), offsets.data(), offsets.size() * sizeof(std::uint64_t),
+             path);
+  std::vector<VertexId> targets(h.num_edges);
+  read_bytes(f.get(), targets.data(), targets.size() * sizeof(VertexId), path);
+  std::vector<weight_t> weights;
+  if (h.weighted()) {
+    weights.resize(h.num_edges);
+    read_bytes(f.get(), weights.data(), weights.size() * sizeof(weight_t),
+               path);
+  }
+  return csr_graph<VertexId>(std::move(offsets), std::move(targets),
+                             std::move(weights));
+}
+
+}  // namespace
+
+void write_graph(const std::string& path, const csr_graph<vertex32>& g) {
+  write_graph_impl(path, g);
+}
+
+void write_graph(const std::string& path, const csr_graph<vertex64>& g) {
+  write_graph_impl(path, g);
+}
+
+agt_header read_graph_header(const std::string& path) {
+  auto f = open_or_throw(path, "rb");
+  agt_header h;
+  read_bytes(f.get(), &h, sizeof(h), path);
+  if (h.magic != agt_magic) {
+    throw std::runtime_error("'" + path + "' is not an AGT graph file");
+  }
+  return h;
+}
+
+csr_graph<vertex32> read_graph32(const std::string& path) {
+  return read_graph_impl<vertex32>(path);
+}
+
+csr_graph<vertex64> read_graph64(const std::string& path) {
+  return read_graph_impl<vertex64>(path);
+}
+
+}  // namespace asyncgt

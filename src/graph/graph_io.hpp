@@ -1,0 +1,60 @@
+// Binary CSR file format (".agt" files).
+//
+// Layout (little-endian):
+//   header      : magic "AGT1", u32 flags (bit0 = weighted, bit1 = 64-bit
+//                 ids), u64 num_vertices, u64 num_edges
+//   offsets     : (num_vertices+1) * u64
+//   targets     : num_edges * sizeof(VertexId)
+//   weights     : num_edges * u32 when weighted
+//
+// The same layout is what sem::sem_csr maps from disk — the offsets section
+// is loaded into memory and the targets/weights sections are pread() on
+// demand — so a graph written here can be traversed either fully in-memory
+// or semi-externally without conversion.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/csr_graph.hpp"
+
+namespace asyncgt {
+
+inline constexpr std::uint32_t agt_magic = 0x31544741;  // "AGT1"
+
+struct agt_header {
+  std::uint32_t magic = agt_magic;
+  std::uint32_t flags = 0;
+  std::uint64_t num_vertices = 0;
+  std::uint64_t num_edges = 0;
+
+  bool weighted() const noexcept { return (flags & 1u) != 0; }
+  bool wide_ids() const noexcept { return (flags & 2u) != 0; }
+};
+
+inline constexpr std::uint64_t agt_offsets_pos = sizeof(agt_header);
+
+template <typename VertexId>
+std::uint64_t agt_targets_pos(std::uint64_t num_vertices) {
+  return agt_offsets_pos + (num_vertices + 1) * sizeof(std::uint64_t);
+}
+
+template <typename VertexId>
+std::uint64_t agt_weights_pos(std::uint64_t num_vertices,
+                              std::uint64_t num_edges) {
+  return agt_targets_pos<VertexId>(num_vertices) +
+         num_edges * sizeof(VertexId);
+}
+
+/// Writes `g` to `path`. Throws std::runtime_error on I/O failure.
+void write_graph(const std::string& path, const csr_graph<vertex32>& g);
+void write_graph(const std::string& path, const csr_graph<vertex64>& g);
+
+/// Reads only the header (for format dispatch / validation).
+agt_header read_graph_header(const std::string& path);
+
+/// Loads a full in-memory CSR. Throws on bad magic or id-width mismatch.
+csr_graph<vertex32> read_graph32(const std::string& path);
+csr_graph<vertex64> read_graph64(const std::string& path);
+
+}  // namespace asyncgt

@@ -1,0 +1,69 @@
+// Structural statistics used to validate generated graphs against the
+// properties §I-B of the paper attributes to real-world graphs (power-law
+// degrees, hub vertices, giant component) and to report table columns like
+// "# levels" and "% visited".
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "util/stats.hpp"
+
+namespace asyncgt {
+
+struct degree_summary {
+  summary_stats stats;          // over out-degrees
+  log2_histogram histogram;     // log2 buckets of out-degree
+  std::uint64_t max_degree = 0;
+  std::uint64_t isolated = 0;   // vertices with out-degree 0
+
+  /// Fraction of all edges owned by the top `fraction` highest-degree
+  /// vertices. Skewed (RMAT-B-like) graphs concentrate most edges here.
+  double top_fraction_edge_share = 0.0;
+};
+
+template <typename VertexId>
+degree_summary compute_degree_summary(const csr_graph<VertexId>& g,
+                                      double top_fraction = 0.01) {
+  degree_summary out;
+  std::vector<std::uint64_t> degrees;
+  degrees.reserve(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const std::uint64_t d = g.out_degree(v);
+    degrees.push_back(d);
+    out.stats.add(static_cast<double>(d));
+    out.histogram.add(d);
+    if (d == 0) ++out.isolated;
+    if (d > out.max_degree) out.max_degree = d;
+  }
+  std::sort(degrees.begin(), degrees.end(), std::greater<>());
+  const auto top = static_cast<std::size_t>(
+      std::max<double>(1.0, top_fraction * static_cast<double>(degrees.size())));
+  std::uint64_t top_edges = 0;
+  for (std::size_t i = 0; i < top && i < degrees.size(); ++i) {
+    top_edges += degrees[i];
+  }
+  out.top_fraction_edge_share =
+      g.num_edges() == 0
+          ? 0.0
+          : static_cast<double>(top_edges) / static_cast<double>(g.num_edges());
+  return out;
+}
+
+/// True iff every (u,v) edge has a matching (v,u) edge — i.e. the CSR
+/// faithfully encodes an undirected graph. Precondition for CC.
+template <typename VertexId>
+bool is_symmetric(const csr_graph<VertexId>& g) {
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.neighbors(u)) {
+      const auto nb = g.neighbors(v);
+      if (!std::binary_search(nb.begin(), nb.end(), u)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace asyncgt

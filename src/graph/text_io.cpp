@@ -1,0 +1,105 @@
+#include "graph/text_io.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+namespace asyncgt {
+namespace {
+
+struct file_closer {
+  void operator()(std::FILE* f) const noexcept {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using file_ptr = std::unique_ptr<std::FILE, file_closer>;
+
+/// Parses one unsigned integer starting at *p (skipping leading spaces);
+/// advances *p past it. Returns false if no digits found.
+bool parse_u64(const char** p, const char* end, std::uint64_t& out) {
+  while (*p != end && (**p == ' ' || **p == '\t')) ++*p;
+  const auto [next, ec] = std::from_chars(*p, end, out);
+  if (ec != std::errc{} || next == *p) return false;
+  *p = next;
+  return true;
+}
+
+}  // namespace
+
+std::vector<edge<vertex32>> read_edge_list(const std::string& path,
+                                           text_io_stats* stats) {
+  file_ptr f(std::fopen(path.c_str(), "rb"));
+  if (!f) {
+    throw std::runtime_error("read_edge_list: cannot open '" + path +
+                             "': " + std::strerror(errno));
+  }
+  std::vector<edge<vertex32>> edges;
+  text_io_stats local;
+  char line[512];
+  std::uint64_t lineno = 0;
+  while (std::fgets(line, sizeof(line), f.get()) != nullptr) {
+    ++lineno;
+    ++local.lines;
+    const char* p = line;
+    const char* end = line + std::strlen(line);
+    while (p != end && (*p == ' ' || *p == '\t')) ++p;
+    if (p == end || *p == '\n' || *p == '\r') continue;  // blank
+    if (*p == '#' || *p == '%') {
+      ++local.comments;
+      continue;
+    }
+    std::uint64_t src = 0, dst = 0, weight = 1;
+    if (!parse_u64(&p, end, src) || !parse_u64(&p, end, dst)) {
+      throw std::runtime_error("read_edge_list: malformed line " +
+                               std::to_string(lineno) + " in '" + path + "'");
+    }
+    std::uint64_t w = 0;
+    if (parse_u64(&p, end, w)) {
+      weight = w;
+      local.any_weights = true;
+    }
+    if (src > invalid_vertex<vertex32> - 1 ||
+        dst > invalid_vertex<vertex32> - 1) {
+      throw std::runtime_error("read_edge_list: vertex id exceeds 32-bit "
+                               "space at line " +
+                               std::to_string(lineno));
+    }
+    edges.push_back({static_cast<vertex32>(src), static_cast<vertex32>(dst),
+                     static_cast<weight_t>(weight)});
+    ++local.edges;
+    local.max_vertex_id = std::max({local.max_vertex_id, src, dst});
+  }
+  if (stats != nullptr) *stats = local;
+  return edges;
+}
+
+void write_edge_list(const std::string& path, const csr_graph<vertex32>& g) {
+  file_ptr f(std::fopen(path.c_str(), "wb"));
+  if (!f) {
+    throw std::runtime_error("write_edge_list: cannot open '" + path +
+                             "': " + std::strerror(errno));
+  }
+  std::fprintf(f.get(), "# asyncgt edge list: %llu vertices, %llu edges%s\n",
+               static_cast<unsigned long long>(g.num_vertices()),
+               static_cast<unsigned long long>(g.num_edges()),
+               g.is_weighted() ? ", weighted" : "");
+  for (vertex32 v = 0; v < g.num_vertices(); ++v) {
+    g.for_each_out_edge(v, [&](vertex32 t, weight_t w) {
+      if (g.is_weighted()) {
+        std::fprintf(f.get(), "%u %u %u\n", v, t, w);
+      } else {
+        std::fprintf(f.get(), "%u %u\n", v, t);
+      }
+    });
+  }
+  if (std::fflush(f.get()) != 0) {
+    throw std::runtime_error("write_edge_list: flush failed for '" + path +
+                             "'");
+  }
+}
+
+}  // namespace asyncgt

@@ -1,0 +1,35 @@
+// Plain-text edge-list interchange.
+//
+// Reads/writes the de-facto standard "src dst [weight]" lines used by SNAP
+// datasets, the WebGraph toolchain's ASCII dumps, and most academic graph
+// collections — the formats the paper's real inputs circulate in. Lines
+// starting with '#' or '%' are comments. Vertices are zero-based ids.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/types.hpp"
+
+namespace asyncgt {
+
+struct text_io_stats {
+  std::uint64_t lines = 0;
+  std::uint64_t edges = 0;
+  std::uint64_t comments = 0;
+  std::uint64_t max_vertex_id = 0;
+  bool any_weights = false;
+};
+
+/// Parses an edge-list file. Throws std::runtime_error on unopenable files
+/// or malformed lines (with the line number).
+std::vector<edge<vertex32>> read_edge_list(const std::string& path,
+                                           text_io_stats* stats = nullptr);
+
+/// Writes "src dst" (or "src dst weight" when the graph is weighted), one
+/// edge per line, with a comment header.
+void write_edge_list(const std::string& path, const csr_graph<vertex32>& g);
+
+}  // namespace asyncgt

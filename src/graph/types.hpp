@@ -1,0 +1,37 @@
+// Fundamental graph types shared across the library.
+//
+// Vertex ids are a template parameter everywhere (the paper: "our
+// implementation can be configured to use 32 or 64-bit integers"); these
+// aliases name the two supported configurations.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace asyncgt {
+
+using vertex32 = std::uint32_t;
+using vertex64 = std::uint64_t;
+using weight_t = std::uint32_t;
+
+/// Sentinel for "no vertex" / "unvisited": the all-ones id, which the
+/// builders never assign (they reject graphs that large).
+template <typename VertexId>
+inline constexpr VertexId invalid_vertex = std::numeric_limits<VertexId>::max();
+
+/// Sentinel for an infinite distance / unset component id, matching the
+/// paper's arrays "initialized to infinity".
+template <typename Dist>
+inline constexpr Dist infinite_distance = std::numeric_limits<Dist>::max();
+
+/// A weighted directed edge used during construction.
+template <typename VertexId>
+struct edge {
+  VertexId src;
+  VertexId dst;
+  weight_t weight = 1;
+
+  friend bool operator==(const edge&, const edge&) = default;
+};
+
+}  // namespace asyncgt

@@ -1,0 +1,42 @@
+// Per-run statistics emitted by the visitor queue.
+//
+// These are the machine-independent metrics the benches report next to wall
+// time: total visitor executions (a proxy for work, including re-visits from
+// label correction), pushes, and the load-balance spread across queues.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace asyncgt {
+
+struct queue_run_stats {
+  std::uint64_t visits = 0;          // visitors executed (incl. no-op visits)
+  std::uint64_t pushes = 0;          // visitors enqueued
+  std::uint64_t wakeups = 0;         // worker sleep→wake transitions
+  std::uint64_t max_queue_length = 0;  // max over all per-thread queues
+  double elapsed_seconds = 0.0;
+
+  /// Per-queue visit counts, for load-balance analysis (hash ablation).
+  std::vector<std::uint64_t> visits_per_queue;
+
+  /// Coefficient of variation of visits across queues: 0 = perfectly even.
+  double load_imbalance_cv() const {
+    summary_stats s;
+    for (const auto v : visits_per_queue) s.add(static_cast<double>(v));
+    return s.cv();
+  }
+
+  std::string to_string() const {
+    return "visits=" + std::to_string(visits) +
+           " pushes=" + std::to_string(pushes) +
+           " wakeups=" + std::to_string(wakeups) +
+           " max_qlen=" + std::to_string(max_queue_length) +
+           " imbalance_cv=" + std::to_string(load_imbalance_cv());
+  }
+};
+
+}  // namespace asyncgt

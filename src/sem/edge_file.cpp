@@ -1,0 +1,75 @@
+#include "sem/edge_file.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace asyncgt::sem {
+
+edge_file::edge_file(const std::string& path) : path_(path) {
+  fd_ = ::open(path.c_str(), O_RDONLY);
+  if (fd_ < 0) {
+    throw std::runtime_error("edge_file: cannot open '" + path +
+                             "': " + std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("edge_file: fstat '" + path +
+                             "': " + std::strerror(err));
+  }
+  size_ = static_cast<std::uint64_t>(st.st_size);
+}
+
+edge_file::~edge_file() { close(); }
+
+edge_file::edge_file(edge_file&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      size_(std::exchange(other.size_, 0)),
+      path_(std::move(other.path_)) {}
+
+edge_file& edge_file::operator=(edge_file&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    size_ = std::exchange(other.size_, 0);
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
+
+void edge_file::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void edge_file::read_at(std::uint64_t offset, void* dst,
+                        std::uint64_t bytes) const {
+  auto* out = static_cast<char*>(dst);
+  std::uint64_t done = 0;
+  while (done < bytes) {
+    const ssize_t got =
+        ::pread(fd_, out + done, bytes - done,
+                static_cast<off_t>(offset + done));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("edge_file: pread '" + path_ +
+                               "': " + std::strerror(errno));
+    }
+    if (got == 0) {
+      throw std::runtime_error("edge_file: unexpected EOF in '" + path_ + "'");
+    }
+    done += static_cast<std::uint64_t>(got);
+  }
+}
+
+}  // namespace asyncgt::sem

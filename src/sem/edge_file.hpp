@@ -1,0 +1,42 @@
+// Positional (pread) file access for semi-external storage.
+//
+// The paper's SEM implementation uses "explicit POSIX standard I/O access";
+// this wrapper is the thread-safe primitive under sem_csr: pread has no file
+// cursor, so hundreds of oversubscribed threads can read adjacency lists
+// from one descriptor concurrently without locking.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace asyncgt::sem {
+
+class edge_file {
+ public:
+  edge_file() = default;
+  /// Opens `path` read-only. Throws std::runtime_error on failure.
+  explicit edge_file(const std::string& path);
+  ~edge_file();
+
+  edge_file(const edge_file&) = delete;
+  edge_file& operator=(const edge_file&) = delete;
+  edge_file(edge_file&& other) noexcept;
+  edge_file& operator=(edge_file&& other) noexcept;
+
+  bool is_open() const noexcept { return fd_ >= 0; }
+  std::uint64_t size() const noexcept { return size_; }
+  const std::string& path() const noexcept { return path_; }
+
+  /// Reads exactly `bytes` at `offset` into `dst` (loops over short reads).
+  /// Throws std::runtime_error on EOF-before-done or I/O error.
+  void read_at(std::uint64_t offset, void* dst, std::uint64_t bytes) const;
+
+ private:
+  void close() noexcept;
+
+  int fd_ = -1;
+  std::uint64_t size_ = 0;
+  std::string path_;
+};
+
+}  // namespace asyncgt::sem

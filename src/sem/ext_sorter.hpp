@@ -1,0 +1,196 @@
+// External-memory sorter: sort a record stream larger than RAM.
+//
+// This is the substrate the paper's semi-external pipeline presupposes but
+// never spells out: building the on-disk CSR for a 2^30-vertex graph on a
+// 16 GB machine requires sorting ~2^34 edge records without holding them in
+// memory. Classic two-phase external sort (see Vitter's EM survey, the
+// paper's [21]): buffer records up to a memory budget, sort and spill each
+// buffer as a sorted run file, then k-way merge all runs with a tournament
+// over the run heads.
+//
+// Records must be trivially copyable (they are written raw to the run
+// files). The sorter is deliberately single-purpose: add() until done, then
+// merge() exactly once, streaming results to a consumer in sorted order.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <functional>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace asyncgt::sem {
+
+struct ext_sorter_stats {
+  std::uint64_t records = 0;
+  std::uint64_t runs = 0;       // spilled run files (0 = fit in memory)
+  std::uint64_t spilled_bytes = 0;
+};
+
+template <typename Record, typename Less = std::less<Record>>
+class ext_sorter {
+  static_assert(std::is_trivially_copyable_v<Record>,
+                "ext_sorter records are written raw to run files");
+
+ public:
+  /// `memory_budget_bytes` caps the in-memory buffer; `scratch_dir` holds
+  /// the run files (removed on destruction).
+  ext_sorter(std::uint64_t memory_budget_bytes,
+             std::filesystem::path scratch_dir, Less less = Less{})
+      : capacity_(std::max<std::uint64_t>(memory_budget_bytes / sizeof(Record),
+                                          1)),
+        scratch_(std::move(scratch_dir)),
+        less_(std::move(less)) {
+    std::filesystem::create_directories(scratch_);
+    buffer_.reserve(capacity_);
+  }
+
+  ~ext_sorter() {
+    close_runs();
+    for (const auto& path : run_paths_) {
+      std::error_code ec;
+      std::filesystem::remove(path, ec);
+    }
+  }
+
+  ext_sorter(const ext_sorter&) = delete;
+  ext_sorter& operator=(const ext_sorter&) = delete;
+
+  void add(const Record& r) {
+    if (merged_) throw std::logic_error("ext_sorter: add after merge");
+    buffer_.push_back(r);
+    ++stats_.records;
+    if (buffer_.size() >= capacity_) spill();
+  }
+
+  /// Streams every record, in sorted order, to consume(const Record&).
+  /// Callable once.
+  template <typename Consumer>
+  void merge(Consumer&& consume) {
+    if (merged_) throw std::logic_error("ext_sorter: merge called twice");
+    merged_ = true;
+    std::sort(buffer_.begin(), buffer_.end(), less_);
+
+    if (run_paths_.empty()) {  // everything fit in memory
+      for (const Record& r : buffer_) consume(r);
+      return;
+    }
+
+    // K-way merge: the in-memory buffer acts as run K.
+    std::vector<run_reader> readers;
+    readers.reserve(run_paths_.size());
+    for (const auto& path : run_paths_) readers.emplace_back(path);
+
+    struct head {
+      Record record;
+      std::size_t source;  // readers.size() = the in-memory buffer
+    };
+    const auto head_greater = [&](const head& a, const head& b) {
+      return less_(b.record, a.record);
+    };
+    std::priority_queue<head, std::vector<head>, decltype(head_greater)> pq(
+        head_greater);
+
+    for (std::size_t i = 0; i < readers.size(); ++i) {
+      Record r;
+      if (readers[i].next(r)) pq.push({r, i});
+    }
+    std::size_t buffer_pos = 0;
+    if (buffer_pos < buffer_.size()) {
+      pq.push({buffer_[buffer_pos++], readers.size()});
+    }
+
+    while (!pq.empty()) {
+      head top = pq.top();
+      pq.pop();
+      consume(top.record);
+      if (top.source == readers.size()) {
+        if (buffer_pos < buffer_.size()) {
+          pq.push({buffer_[buffer_pos++], readers.size()});
+        }
+      } else {
+        Record r;
+        if (readers[top.source].next(r)) pq.push({r, top.source});
+      }
+    }
+  }
+
+  const ext_sorter_stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct file_closer {
+    void operator()(std::FILE* f) const noexcept {
+      if (f != nullptr) std::fclose(f);
+    }
+  };
+  using file_ptr = std::unique_ptr<std::FILE, file_closer>;
+
+  /// Buffered sequential reader over one spilled run.
+  class run_reader {
+   public:
+    explicit run_reader(const std::filesystem::path& path)
+        : file_(std::fopen(path.string().c_str(), "rb")) {
+      if (!file_) {
+        throw std::runtime_error("ext_sorter: cannot reopen run file " +
+                                 path.string());
+      }
+    }
+
+    bool next(Record& out) {
+      if (pos_ == filled_) {
+        filled_ = std::fread(chunk_.data(), sizeof(Record), chunk_.size(),
+                             file_.get());
+        pos_ = 0;
+        if (filled_ == 0) return false;
+      }
+      out = chunk_[pos_++];
+      return true;
+    }
+
+   private:
+    file_ptr file_;
+    std::array<Record, 1024> chunk_{};
+    std::size_t filled_ = 0;
+    std::size_t pos_ = 0;
+  };
+
+  void spill() {
+    std::sort(buffer_.begin(), buffer_.end(), less_);
+    const auto path =
+        scratch_ / ("run_" + std::to_string(run_paths_.size()) + ".bin");
+    file_ptr f(std::fopen(path.string().c_str(), "wb"));
+    if (!f) {
+      throw std::runtime_error("ext_sorter: cannot create run file " +
+                               path.string());
+    }
+    const std::size_t written =
+        std::fwrite(buffer_.data(), sizeof(Record), buffer_.size(), f.get());
+    if (written != buffer_.size()) {
+      throw std::runtime_error("ext_sorter: short write to run file");
+    }
+    stats_.spilled_bytes += written * sizeof(Record);
+    ++stats_.runs;
+    run_paths_.push_back(path);
+    buffer_.clear();
+  }
+
+  void close_runs() noexcept {}
+
+  const std::uint64_t capacity_;
+  std::filesystem::path scratch_;
+  Less less_;
+  std::vector<Record> buffer_;
+  std::vector<std::filesystem::path> run_paths_;
+  ext_sorter_stats stats_;
+  bool merged_ = false;
+};
+
+}  // namespace asyncgt::sem

@@ -1,0 +1,137 @@
+// Semi-external CSR graph storage (paper §IV-C).
+//
+// "We define a semi-external graph as having enough memory to store
+// algorithmic information about the vertices but not edges. The entire
+// graph structure is stored on the persistent storage device, and the
+// visitor queues and the output of the algorithm are stored in main memory."
+//
+// Concretely: the O(V) offset index is loaded into RAM at open time; every
+// adjacency access pread()s the O(E) target (and weight) sections of the
+// .agt file written by graph_io. Reads are charged to an attached ssd_model,
+// which blocks the calling thread for the simulated device latency — this is
+// where thread oversubscription converts into I/O concurrency.
+//
+// The class models the same GraphStorage concept as csr_graph, so async_bfs
+// / async_sssp / async_cc instantiate over it unchanged.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/graph_io.hpp"
+#include "graph/types.hpp"
+#include "sem/block_cache.hpp"
+#include "sem/edge_file.hpp"
+#include "sem/ssd_model.hpp"
+
+namespace asyncgt::sem {
+
+template <typename VertexId>
+class sem_csr {
+ public:
+  using vertex_id = VertexId;
+
+  /// Opens an .agt graph written by write_graph(). `device` may be null to
+  /// read at raw host speed; when set, every adjacency read blocks for the
+  /// simulated service time. `cache` (optional) simulates the OS page cache:
+  /// blocks that hit it are not charged to the device, which is how the
+  /// semi-sort locality optimization and the paper's partial-caching regime
+  /// become measurable. Both are borrowed, not owned, so graphs can share a
+  /// device/cache and benches can swap them per run.
+  explicit sem_csr(const std::string& path, ssd_model* device = nullptr,
+                   block_cache* cache = nullptr)
+      : file_(path), device_(device), cache_(cache) {
+    const agt_header h = read_graph_header(path);
+    if (h.wide_ids() != (sizeof(VertexId) == 8)) {
+      throw std::runtime_error("sem_csr: vertex id width mismatch in '" +
+                               path + "'");
+    }
+    header_ = h;
+    offsets_.resize(h.num_vertices + 1);
+    file_.read_at(agt_offsets_pos, offsets_.data(),
+                  offsets_.size() * sizeof(std::uint64_t));
+    targets_pos_ = agt_targets_pos<VertexId>(h.num_vertices);
+    weights_pos_ = agt_weights_pos<VertexId>(h.num_vertices, h.num_edges);
+  }
+
+  std::uint64_t num_vertices() const noexcept { return header_.num_vertices; }
+  std::uint64_t num_edges() const noexcept { return header_.num_edges; }
+  bool is_weighted() const noexcept { return header_.weighted(); }
+  ssd_model* device() const noexcept { return device_; }
+
+  std::uint64_t out_degree(VertexId v) const noexcept {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Reads the adjacency list of v from disk and invokes f(target, weight)
+  /// per edge. One random read for targets plus, on weighted graphs, one for
+  /// weights; the thread blocks for the simulated device time of each.
+  template <typename F>
+  void for_each_out_edge(VertexId v, F&& f) const {
+    const std::uint64_t begin = offsets_[v];
+    const std::uint64_t end = offsets_[v + 1];
+    const std::uint64_t degree = end - begin;
+    if (degree == 0) return;
+
+    thread_local std::vector<VertexId> targets;
+    thread_local std::vector<weight_t> weights;
+    targets.resize(degree);
+    const std::uint64_t tbytes = degree * sizeof(VertexId);
+    const std::uint64_t tpos = targets_pos_ + begin * sizeof(VertexId);
+    charge_device(tpos, tbytes);
+    file_.read_at(tpos, targets.data(), tbytes);
+    if (header_.weighted()) {
+      weights.resize(degree);
+      const std::uint64_t wbytes = degree * sizeof(weight_t);
+      const std::uint64_t wpos = weights_pos_ + begin * sizeof(weight_t);
+      charge_device(wpos, wbytes);
+      file_.read_at(wpos, weights.data(), wbytes);
+      for (std::uint64_t i = 0; i < degree; ++i) f(targets[i], weights[i]);
+    } else {
+      for (std::uint64_t i = 0; i < degree; ++i) f(targets[i], weight_t{1});
+    }
+  }
+
+  /// In-memory bytes held by this storage: the vertex index only — the
+  /// "semi" in semi-external.
+  std::uint64_t memory_bytes() const noexcept {
+    return offsets_.size() * sizeof(std::uint64_t);
+  }
+
+  /// On-device bytes (the paper's "Size on EM device" column).
+  std::uint64_t device_bytes() const noexcept { return file_.size(); }
+
+ private:
+  /// Charges the device for the blocks of [pos, pos+bytes) that miss the
+  /// simulated page cache (all of them when no cache is attached).
+  void charge_device(std::uint64_t pos, std::uint64_t bytes) const {
+    if (device_ == nullptr) return;
+    if (cache_ == nullptr) {
+      device_->read(bytes);
+      return;
+    }
+    const std::uint64_t bs = device_->params().block_bytes;
+    const std::uint64_t first = pos / bs;
+    const std::uint64_t last = (pos + bytes - 1) / bs;
+    std::uint64_t missing = 0;
+    for (std::uint64_t b = first; b <= last; ++b) {
+      missing += cache_->access(b) ? 0 : 1;
+    }
+    if (missing > 0) device_->read(missing * bs);
+  }
+
+  edge_file file_;
+  ssd_model* device_;
+  block_cache* cache_ = nullptr;
+  agt_header header_;
+  std::vector<std::uint64_t> offsets_;
+  std::uint64_t targets_pos_ = 0;
+  std::uint64_t weights_pos_ = 0;
+};
+
+using sem_csr32 = sem_csr<vertex32>;
+using sem_csr64 = sem_csr<vertex64>;
+
+}  // namespace asyncgt::sem

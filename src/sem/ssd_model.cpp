@@ -1,0 +1,76 @@
+#include "sem/ssd_model.hpp"
+
+#include <stdexcept>
+#include <thread>
+
+namespace asyncgt::sem {
+
+ssd_model::ssd_model(ssd_params params) : params_(std::move(params)) {
+  if (params_.channels == 0) {
+    throw std::invalid_argument("ssd_model: need at least one channel");
+  }
+  if (params_.read_latency_us <= 0 || params_.write_latency_us <= 0 ||
+      params_.time_scale <= 0) {
+    throw std::invalid_argument("ssd_model: latencies must be positive");
+  }
+  if (params_.block_bytes == 0) {
+    throw std::invalid_argument("ssd_model: block size must be positive");
+  }
+  channels_.reserve(params_.channels);
+  for (std::uint32_t i = 0; i < params_.channels; ++i) {
+    channels_.push_back(std::make_unique<channel>());
+  }
+}
+
+ssd_model::clock::time_point ssd_model::reserve(double service_us) {
+  const std::size_t idx =
+      next_channel_.fetch_add(1, std::memory_order_relaxed) % channels_.size();
+  channel& ch = *channels_[idx];
+  const auto service = std::chrono::duration_cast<clock::duration>(
+      std::chrono::duration<double, std::micro>(service_us *
+                                                params_.time_scale));
+  std::lock_guard lk(ch.mu);
+  const auto now = clock::now();
+  const auto start = ch.free_at > now ? ch.free_at : now;
+  ch.free_at = start + service;
+  return ch.free_at;
+}
+
+void ssd_model::read(std::uint64_t bytes) {
+  const std::uint64_t blocks =
+      bytes == 0 ? 1 : (bytes + params_.block_bytes - 1) / params_.block_bytes;
+  const double service_us =
+      params_.read_latency_us +
+      static_cast<double>(blocks - 1) * params_.seq_block_us;
+  const auto deadline = reserve(service_us);
+  std::this_thread::sleep_until(deadline);
+  std::lock_guard lk(counter_mu_);
+  ++counters_.reads;
+  counters_.read_bytes += bytes;
+  counters_.read_blocks += blocks;
+}
+
+void ssd_model::write(std::uint64_t bytes) {
+  const std::uint64_t blocks =
+      bytes == 0 ? 1 : (bytes + params_.block_bytes - 1) / params_.block_bytes;
+  const double service_us =
+      params_.write_latency_us +
+      static_cast<double>(blocks - 1) * params_.seq_block_us;
+  const auto deadline = reserve(service_us);
+  std::this_thread::sleep_until(deadline);
+  std::lock_guard lk(counter_mu_);
+  ++counters_.writes;
+  counters_.write_bytes += bytes;
+}
+
+ssd_counters ssd_model::counters() const {
+  std::lock_guard lk(counter_mu_);
+  return counters_;
+}
+
+void ssd_model::reset_counters() {
+  std::lock_guard lk(counter_mu_);
+  counters_ = ssd_counters{};
+}
+
+}  // namespace asyncgt::sem

@@ -1,0 +1,56 @@
+// Reusable thread barrier for the synchronous baselines (level-synchronous
+// BFS, label-propagation CC, BSP supersteps). The paper's thesis is that
+// these barriers are exactly what the asynchronous approach removes, so the
+// barrier also counts how many times it was crossed — the benches report
+// that count as a machine-independent "synchronization cost" metric.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace asyncgt {
+
+class thread_barrier {
+ public:
+  explicit thread_barrier(std::size_t parties) : parties_(parties) {}
+
+  thread_barrier(const thread_barrier&) = delete;
+  thread_barrier& operator=(const thread_barrier&) = delete;
+
+  /// Blocks until `parties` threads have arrived. Returns true on exactly one
+  /// thread per generation (the "serial" thread, by analogy with
+  /// pthread_barrier's PTHREAD_BARRIER_SERIAL_THREAD).
+  bool arrive_and_wait() {
+    std::unique_lock lk(mu_);
+    const std::uint64_t gen = generation_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++generation_;
+      ++crossings_;
+      lk.unlock();
+      cv_.notify_all();
+      return true;
+    }
+    cv_.wait(lk, [&] { return generation_ != gen; });
+    return false;
+  }
+
+  /// Number of completed barrier episodes (all-parties synchronizations).
+  std::uint64_t crossings() const {
+    std::lock_guard lk(mu_);
+    return crossings_;
+  }
+
+  std::size_t parties() const noexcept { return parties_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  const std::size_t parties_;
+  std::size_t arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  std::uint64_t crossings_ = 0;
+};
+
+}  // namespace asyncgt

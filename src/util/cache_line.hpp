@@ -1,0 +1,41 @@
+// Cache-line alignment helpers used to avoid false sharing between threads.
+//
+// Hot per-thread counters and locks in the visitor-queue framework live in
+// arrays indexed by thread id; without padding, neighbouring entries share a
+// cache line and every update by one thread invalidates the line for all
+// others. `padded<T>` gives each element its own line.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+#include <type_traits>
+
+namespace asyncgt {
+
+#ifdef __cpp_lib_hardware_interference_size
+inline constexpr std::size_t cache_line_size =
+    std::hardware_destructive_interference_size;
+#else
+inline constexpr std::size_t cache_line_size = 64;
+#endif
+
+/// A value of type T padded out to occupy (at least) a full cache line.
+/// T must be default-constructible; access the payload through `value`.
+template <typename T>
+struct alignas(cache_line_size) padded {
+  T value{};
+
+  padded() = default;
+  explicit padded(T v) : value(std::move(v)) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+};
+
+static_assert(alignof(padded<std::atomic<long>>) >= 64,
+              "padded must be cache-line aligned");
+
+}  // namespace asyncgt

@@ -1,0 +1,35 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace asyncgt {
+namespace {
+
+constexpr std::uint32_t kPoly = 0xEDB88320u;  // reflected 0x04C11DB7
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (kPoly ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+void crc32::update(const void* data, std::size_t bytes) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = state_;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    c = kTable[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  state_ = c;
+}
+
+}  // namespace asyncgt

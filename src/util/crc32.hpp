@@ -1,0 +1,32 @@
+// CRC-32 (ISO-HDLC / zlib polynomial, reflected), table-driven.
+//
+// Used by the checkpoint files to detect torn writes after a crash — the
+// exact scenario checkpoints exist for. Incremental interface so large
+// arrays can be folded in chunk by chunk.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace asyncgt {
+
+class crc32 {
+ public:
+  /// Folds `bytes` more bytes into the running checksum.
+  void update(const void* data, std::size_t bytes) noexcept;
+
+  /// Final CRC-32 value of everything updated so far.
+  std::uint32_t value() const noexcept { return ~state_; }
+
+  /// One-shot convenience.
+  static std::uint32_t of(const void* data, std::size_t bytes) noexcept {
+    crc32 c;
+    c.update(data, bytes);
+    return c.value();
+  }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+}  // namespace asyncgt

@@ -1,0 +1,56 @@
+// Vertex-id hashing for visitor-queue routing.
+//
+// The visitor queue selects the owning thread as hash(vertex) % num_queues
+// (paper §III-A). Sequential vertex ids modulo a queue count would put all
+// hub vertices of an RMAT graph — which cluster at low ids — on a few
+// queues, so we pass ids through an avalanching mixer first. The paper notes
+// that "a near-uniform hash function may improve load balance amongst the
+// visitor queues as high-cost vertices will be uniformly distributed".
+#pragma once
+
+#include <cstdint>
+
+namespace asyncgt {
+
+/// Finalizer from MurmurHash3: full avalanche on 64-bit inputs.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// 32-bit avalanche (Murmur3 fmix32) for u32 vertex ids.
+constexpr std::uint32_t mix32(std::uint32_t x) noexcept {
+  x ^= x >> 16;
+  x *= 0x85EBCA6BU;
+  x ^= x >> 13;
+  x *= 0xC2B2AE35U;
+  x ^= x >> 16;
+  return x;
+}
+
+/// Routing hash used by the visitor queue: maps a vertex id to a queue index
+/// in [0, num_queues). num_queues need not be a power of two.
+template <typename VertexId>
+constexpr std::size_t queue_of(VertexId v, std::size_t num_queues) noexcept {
+  if constexpr (sizeof(VertexId) <= 4) {
+    return static_cast<std::size_t>(mix32(static_cast<std::uint32_t>(v))) %
+           num_queues;
+  } else {
+    return static_cast<std::size_t>(mix64(static_cast<std::uint64_t>(v))) %
+           num_queues;
+  }
+}
+
+/// Identity routing (v % num_queues) — kept for the load-balance ablation,
+/// which demonstrates why the avalanching hash matters on RMAT graphs.
+template <typename VertexId>
+constexpr std::size_t queue_of_identity(VertexId v,
+                                        std::size_t num_queues) noexcept {
+  return static_cast<std::size_t>(v) % num_queues;
+}
+
+}  // namespace asyncgt

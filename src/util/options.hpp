@@ -1,0 +1,44 @@
+// Minimal command-line option parser for benches and examples.
+//
+// Supports "--key=value", "--key value", and boolean "--flag" forms; unknown
+// options raise an error listing the registered names so bench sweeps fail
+// loudly instead of silently ignoring a typo'd parameter.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace asyncgt {
+
+class options {
+ public:
+  /// Parses argv. Throws std::invalid_argument on a malformed token.
+  options(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Comma-separated integer list, e.g. --threads=1,2,4,8.
+  std::vector<std::int64_t> get_int_list(
+      const std::string& key, const std::vector<std::int64_t>& fallback) const;
+
+  /// Positional (non --key) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// All keys seen, for diagnostics.
+  std::vector<std::string> keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace asyncgt

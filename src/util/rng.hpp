@@ -1,0 +1,76 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// All generators in this repo (RMAT, weights, web-graph) must be reproducible
+// across runs and parallelizable across threads, so we use splitmix64 for
+// seeding and xoshiro256** for the streams; `jump()`-free parallelism is
+// obtained by giving each thread a splitmix-derived seed.
+#pragma once
+
+#include <cstdint>
+
+namespace asyncgt {
+
+/// splitmix64: tiny, high-quality mixer. Used to expand one user seed into
+/// many independent stream seeds.
+class splitmix64 {
+ public:
+  explicit constexpr splitmix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: the workhorse generator. Satisfies UniformRandomBitGenerator
+/// so it can be used with <random> distributions where convenient.
+class xoshiro256ss {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr xoshiro256ss(std::uint64_t seed) noexcept {
+    splitmix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    const unsigned __int128 product =
+        static_cast<unsigned __int128>((*this)()) * bound;
+    return static_cast<std::uint64_t>(product >> 64);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace asyncgt

@@ -1,0 +1,75 @@
+// Counting semaphore used by the simulated flash device to bound the number
+// of I/O requests in service concurrently (the device's internal parallelism
+// / NCQ depth). std::counting_semaphore has a compile-time ceiling and no
+// introspection, so we keep a small mutex+condvar implementation that also
+// reports the high-water mark of concurrent holders for the Fig. 1 bench.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace asyncgt {
+
+class bounded_semaphore {
+ public:
+  explicit bounded_semaphore(std::int64_t count) : count_(count) {}
+
+  bounded_semaphore(const bounded_semaphore&) = delete;
+  bounded_semaphore& operator=(const bounded_semaphore&) = delete;
+
+  void acquire() {
+    std::unique_lock lk(mu_);
+    cv_.wait(lk, [&] { return count_ > 0; });
+    --count_;
+    ++in_use_;
+    if (in_use_ > high_water_) high_water_ = in_use_;
+  }
+
+  bool try_acquire() {
+    std::lock_guard lk(mu_);
+    if (count_ <= 0) return false;
+    --count_;
+    ++in_use_;
+    if (in_use_ > high_water_) high_water_ = in_use_;
+    return true;
+  }
+
+  void release() {
+    {
+      std::lock_guard lk(mu_);
+      ++count_;
+      --in_use_;
+    }
+    cv_.notify_one();
+  }
+
+  /// Maximum number of simultaneous holders observed so far.
+  std::int64_t high_water_mark() const {
+    std::lock_guard lk(mu_);
+    return high_water_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::int64_t count_;
+  std::int64_t in_use_ = 0;
+  std::int64_t high_water_ = 0;
+};
+
+/// RAII guard for bounded_semaphore.
+class semaphore_guard {
+ public:
+  explicit semaphore_guard(bounded_semaphore& s) : sem_(&s) { sem_->acquire(); }
+  ~semaphore_guard() {
+    if (sem_ != nullptr) sem_->release();
+  }
+  semaphore_guard(const semaphore_guard&) = delete;
+  semaphore_guard& operator=(const semaphore_guard&) = delete;
+
+ private:
+  bounded_semaphore* sem_;
+};
+
+}  // namespace asyncgt

@@ -1,0 +1,73 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+namespace asyncgt {
+
+void summary_stats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double summary_stats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double summary_stats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double summary_stats::cv() const noexcept {
+  return mean_ != 0.0 ? stddev() / mean_ : 0.0;
+}
+
+std::string summary_stats::to_string() const {
+  std::ostringstream os;
+  os << "n=" << n_ << " min=" << min() << " max=" << max()
+     << " mean=" << mean() << " stddev=" << stddev();
+  return os.str();
+}
+
+void log2_histogram::add(std::uint64_t value) noexcept {
+  const std::size_t bucket =
+      value == 0 ? 0 : static_cast<std::size_t>(std::bit_width(value) - 1);
+  if (bucket >= buckets_.size()) buckets_.resize(bucket + 1, 0);
+  ++buckets_[bucket];
+  ++total_;
+}
+
+std::uint64_t log2_histogram::bucket_count(std::size_t i) const noexcept {
+  return i < buckets_.size() ? buckets_[i] : 0;
+}
+
+std::string log2_histogram::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    os << "[" << (1ULL << i) << ".." << ((1ULL << (i + 1)) - 1)
+       << "]: " << buckets_[i] << "\n";
+  }
+  return os.str();
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+}  // namespace asyncgt

@@ -1,0 +1,57 @@
+// Small statistics toolkit: running summaries and log2 histograms.
+//
+// Used for degree distributions (validating RMAT skew), queue-length and
+// visit-count distributions (load-balance ablations), and I/O latency
+// summaries in the SEM benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace asyncgt {
+
+/// Streaming min/max/mean/variance (Welford).
+class summary_stats {
+ public:
+  void add(double x) noexcept;
+
+  std::uint64_t count() const noexcept { return n_; }
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double sum() const noexcept { return sum_; }
+
+  /// Coefficient of variation (stddev / mean); 0 when mean is 0.
+  double cv() const noexcept;
+
+  std::string to_string() const;
+
+ private:
+  std::uint64_t n_ = 0;
+  double min_ = 0.0, max_ = 0.0, mean_ = 0.0, m2_ = 0.0, sum_ = 0.0;
+};
+
+/// Histogram with power-of-two buckets: bucket i counts values in
+/// [2^i, 2^(i+1)). Bucket 0 additionally absorbs the value 0.
+class log2_histogram {
+ public:
+  void add(std::uint64_t value) noexcept;
+  std::uint64_t bucket_count(std::size_t i) const noexcept;
+  std::size_t num_buckets() const noexcept { return buckets_.size(); }
+  std::uint64_t total() const noexcept { return total_; }
+
+  /// Render as "2^i..2^(i+1): count" lines, skipping empty tail buckets.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+};
+
+/// Exact percentile over a materialized sample (sorts a copy).
+double percentile(std::vector<double> values, double p);
+
+}  // namespace asyncgt

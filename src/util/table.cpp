@@ -1,0 +1,85 @@
+#include "util/table.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+
+namespace asyncgt {
+
+void text_table::header(std::vector<std::string> cells) {
+  if (columns_ != 0) throw std::logic_error("header already set");
+  columns_ = cells.size();
+  lines_.push_back({false, std::move(cells)});
+  lines_.push_back({true, {}});
+}
+
+void text_table::row(std::vector<std::string> cells) {
+  if (cells.size() != columns_) {
+    throw std::invalid_argument("row arity mismatch: expected " +
+                                std::to_string(columns_) + ", got " +
+                                std::to_string(cells.size()));
+  }
+  lines_.push_back({false, std::move(cells)});
+}
+
+void text_table::rule() { lines_.push_back({true, {}}); }
+
+std::string text_table::render() const {
+  std::vector<std::size_t> width(columns_, 0);
+  for (const auto& l : lines_) {
+    if (l.is_rule) continue;
+    for (std::size_t c = 0; c < columns_; ++c) {
+      width[c] = std::max(width[c], l.cells[c].size());
+    }
+  }
+  std::ostringstream os;
+  for (const auto& l : lines_) {
+    if (l.is_rule) {
+      for (std::size_t c = 0; c < columns_; ++c) {
+        os << '+' << std::string(width[c] + 2, '-');
+      }
+      os << "+\n";
+      continue;
+    }
+    for (std::size_t c = 0; c < columns_; ++c) {
+      os << "| " << l.cells[c]
+         << std::string(width[c] - l.cells[c].size() + 1, ' ');
+    }
+    os << "|\n";
+  }
+  return os.str();
+}
+
+std::string fmt_seconds(double s) {
+  if (s < 0) return "n/a";
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << s;
+  return os.str();
+}
+
+std::string fmt_ratio(double r) {
+  if (!std::isfinite(r)) return "n/a";
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(2);
+  os << r << "x";
+  return os.str();
+}
+
+std::string fmt_count(std::uint64_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  std::size_t rem = digits.size();
+  for (char d : digits) {
+    out.push_back(d);
+    --rem;
+    if (rem > 0 && rem % 3 == 0) out.push_back(',');
+  }
+  return out;
+}
+
+}  // namespace asyncgt

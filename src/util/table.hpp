@@ -1,0 +1,41 @@
+// Fixed-width text-table printer: the bench harnesses render paper tables
+// (Tables I–V) with it, so the output visually matches the paper's rows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace asyncgt {
+
+class text_table {
+ public:
+  /// Sets the header row; column count is fixed from here on.
+  void header(std::vector<std::string> cells);
+
+  /// Appends a data row. Must have the same arity as the header.
+  void row(std::vector<std::string> cells);
+
+  /// A horizontal separator line.
+  void rule();
+
+  std::string render() const;
+
+ private:
+  struct line {
+    bool is_rule = false;
+    std::vector<std::string> cells;
+  };
+  std::vector<line> lines_;
+  std::size_t columns_ = 0;
+};
+
+/// Formats seconds with 3 decimals, or "n/a" for negatives.
+std::string fmt_seconds(double s);
+
+/// Formats a ratio like "3.4x", or "n/a" for non-finite.
+std::string fmt_ratio(double r);
+
+/// Human-readable large integers: 12,345,678.
+std::string fmt_count(std::uint64_t n);
+
+}  // namespace asyncgt

@@ -1,0 +1,46 @@
+// Wall-clock timing helpers used by benches and experiment harnesses.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace asyncgt {
+
+class wall_timer {
+ public:
+  wall_timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  std::uint64_t elapsed_us() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(clock::now() -
+                                                              start_)
+            .count());
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates time across multiple start/stop episodes.
+class accumulating_timer {
+ public:
+  void start() { t_.reset(); }
+  void stop() { total_us_ += t_.elapsed_us(); }
+  std::uint64_t total_us() const noexcept { return total_us_; }
+  double total_seconds() const noexcept {
+    return static_cast<double>(total_us_) * 1e-6;
+  }
+
+ private:
+  wall_timer t_;
+  std::uint64_t total_us_ = 0;
+};
+
+}  // namespace asyncgt

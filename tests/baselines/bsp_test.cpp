@@ -1,0 +1,125 @@
+#include "baselines/bsp_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "baselines/bsp_bfs.hpp"
+#include "baselines/bsp_cc.hpp"
+#include "baselines/serial_bfs.hpp"
+#include "baselines/serial_cc.hpp"
+#include "gen/grid.hpp"
+#include "gen/rmat.hpp"
+#include "graph/builder.hpp"
+
+namespace asyncgt {
+namespace {
+
+TEST(BspDistribution, BlocksCoverRangeExactly) {
+  for (const std::uint64_t n : {1ULL, 7ULL, 100ULL, 1000ULL}) {
+    for (const std::size_t r : {1u, 2u, 3u, 7u, 16u}) {
+      const bsp_distribution d(n, r);
+      EXPECT_EQ(d.begin(0), 0u);
+      EXPECT_EQ(d.end(r - 1), n);
+      for (std::size_t i = 0; i + 1 < r; ++i) {
+        EXPECT_EQ(d.end(i), d.begin(i + 1));
+      }
+    }
+  }
+}
+
+TEST(BspDistribution, OwnerInverseOfBlocks) {
+  for (const std::uint64_t n : {1ULL, 10ULL, 97ULL, 1024ULL}) {
+    for (const std::size_t r : {1u, 3u, 8u}) {
+      const bsp_distribution d(n, r);
+      for (std::uint64_t v = 0; v < n; ++v) {
+        const std::size_t o = d.owner(v);
+        EXPECT_GE(v, d.begin(o));
+        EXPECT_LT(v, d.end(o));
+      }
+    }
+  }
+}
+
+TEST(BspDistribution, ZeroRanksRejected) {
+  EXPECT_THROW(bsp_distribution(10, 0), std::invalid_argument);
+}
+
+TEST(BspEngine, NoInitialMessagesTerminatesImmediately) {
+  const bsp_distribution d(10, 2);
+  struct msg {
+    int x;
+  };
+  const auto stats = bsp_run<msg>(d, {}, [](std::size_t, const msg&, auto&&) {
+    FAIL() << "no messages should be handled";
+  });
+  EXPECT_EQ(stats.total_messages, 0u);
+}
+
+TEST(BspEngine, MessagesRoutedToOwners) {
+  const bsp_distribution d(100, 4);
+  struct msg {
+    std::uint64_t v;
+  };
+  std::vector<std::atomic<std::uint64_t>> handled_by(4);
+  std::vector<bsp_initial<msg>> initial;
+  for (std::uint64_t v = 0; v < 100; ++v) initial.push_back({v, msg{v}});
+  bsp_run<msg>(d, initial, [&](std::size_t rank, const msg& m, auto&&) {
+    EXPECT_EQ(d.owner(m.v), rank);
+    handled_by[rank].fetch_add(1);
+  });
+  std::uint64_t total = 0;
+  for (const auto& h : handled_by) total += h.load();
+  EXPECT_EQ(total, 100u);
+}
+
+class BspBfsSweep
+    : public ::testing::TestWithParam<std::tuple<unsigned, bool, std::size_t>> {
+};
+
+TEST_P(BspBfsSweep, MatchesSerialBfs) {
+  const auto [scale, use_b, ranks] = GetParam();
+  const csr32 g =
+      rmat_graph<vertex32>(use_b ? rmat_b(scale) : rmat_a(scale));
+  const auto ref = serial_bfs(g, vertex32{0});
+  const auto r = bsp_bfs(g, vertex32{0}, ranks);
+  EXPECT_EQ(r.level, ref.level);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rmat, BspBfsSweep,
+    ::testing::Combine(::testing::Values(8u, 10u), ::testing::Bool(),
+                       ::testing::Values(std::size_t{1}, std::size_t{4},
+                                         std::size_t{8})));
+
+TEST(BspBfs, SuperstepsTrackLevels) {
+  const csr32 g = chain_graph<vertex32>(30);
+  bsp_stats stats;
+  const auto r = bsp_bfs(g, vertex32{0}, 4, &stats);
+  EXPECT_EQ(r.max_level(), 29u);
+  // One superstep per level plus the final empty exchange.
+  EXPECT_GE(stats.supersteps, 30u);
+}
+
+TEST(BspCc, MatchesSerialOnRmat) {
+  const csr32 g = rmat_graph_undirected<vertex32>(rmat_a(9));
+  EXPECT_EQ(bsp_cc(g, 4).component, serial_cc(g).component);
+}
+
+TEST(BspCc, MatchesSerialOnSkewedRmat) {
+  const csr32 g = rmat_graph_undirected<vertex32>(rmat_b(9));
+  EXPECT_EQ(bsp_cc(g, 8).component, serial_cc(g).component);
+}
+
+TEST(BspBfs, HubImbalanceVisibleOnStar) {
+  // The superstep that expands the hub floods one rank's inbox with all
+  // leaf messages while every other rank idles at the barrier — the
+  // distributed-memory failure mode on power-law graphs.
+  const csr32 g = star_graph<vertex32>(4096);
+  bsp_stats stats;
+  bsp_bfs(g, vertex32{1}, 8, &stats);  // start at a leaf
+  EXPECT_GE(stats.max_inbox, 4000u);
+}
+
+}  // namespace
+}  // namespace asyncgt

@@ -1,0 +1,66 @@
+#include "baselines/delta_stepping.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/serial_sssp.hpp"
+#include "core/validate.hpp"
+#include "gen/rmat.hpp"
+#include "gen/weights.hpp"
+#include "graph/builder.hpp"
+
+namespace asyncgt {
+namespace {
+
+TEST(DeltaStepping, TinyGraph) {
+  const csr32 g = build_csr<vertex32>(3, {{0, 1, 5}, {0, 2, 2}, {2, 1, 2}});
+  const auto r = delta_stepping_sssp(g, vertex32{0}, 3);
+  EXPECT_EQ(r.dist, (std::vector<dist_t>{0, 4, 2}));
+}
+
+TEST(DeltaStepping, InvalidArgsRejected) {
+  const csr32 g = build_csr<vertex32>(2, {{0, 1, 1}});
+  EXPECT_THROW(delta_stepping_sssp(g, vertex32{5}, 3), std::out_of_range);
+  EXPECT_THROW(delta_stepping_sssp(g, vertex32{0}, 0), std::invalid_argument);
+}
+
+class DeltaSweep : public ::testing::TestWithParam<
+                       std::tuple<bool, weight_scheme, dist_t>> {};
+
+TEST_P(DeltaSweep, MatchesDijkstra) {
+  const auto [use_b, scheme, delta] = GetParam();
+  const csr32 g = add_weights(
+      rmat_graph<vertex32>(use_b ? rmat_b(9) : rmat_a(9)), scheme, 21);
+  const auto ref = dijkstra_sssp(g, vertex32{0});
+  const auto r = delta_stepping_sssp(g, vertex32{0}, delta);
+  EXPECT_EQ(r.dist, ref.dist);
+  EXPECT_TRUE(validate_parents(g, vertex32{0}, r.dist, r.parent).ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Deltas, DeltaSweep,
+    ::testing::Combine(
+        ::testing::Bool(),
+        ::testing::Values(weight_scheme::uniform, weight_scheme::log_uniform),
+        ::testing::Values(dist_t{1}, dist_t{16}, dist_t{1024},
+                          dist_t{1} << 40)));
+
+TEST(DeltaStepping, DeltaOneBehavesLikeDijkstra) {
+  // With delta=1 every bucket holds a single distance value: pure
+  // priority-ordered settling, zero wasted relaxations on the settled path.
+  const csr32 g =
+      add_weights(rmat_graph<vertex32>(rmat_a(8)), weight_scheme::uniform, 4);
+  delta_stepping_extra extra;
+  const auto r = delta_stepping_sssp(g, vertex32{0}, 1, &extra);
+  EXPECT_EQ(r.dist, dijkstra_sssp(g, vertex32{0}).dist);
+}
+
+TEST(DeltaStepping, HugeDeltaBehavesLikeBellmanFord) {
+  // One bucket holds everything: many more bucket rounds of re-relaxation.
+  const csr32 g =
+      add_weights(rmat_graph<vertex32>(rmat_a(8)), weight_scheme::uniform, 4);
+  const auto r = delta_stepping_sssp(g, vertex32{0}, dist_t{1} << 60);
+  EXPECT_EQ(r.dist, dijkstra_sssp(g, vertex32{0}).dist);
+}
+
+}  // namespace
+}  // namespace asyncgt

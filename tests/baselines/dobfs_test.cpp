@@ -1,0 +1,79 @@
+#include "baselines/dobfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/serial_bfs.hpp"
+#include "gen/grid.hpp"
+#include "gen/rmat.hpp"
+#include "graph/builder.hpp"
+
+namespace asyncgt {
+namespace {
+
+TEST(Dobfs, MatchesSerialOnDiamond) {
+  build_options opt;
+  opt.symmetrize = true;
+  const csr32 g =
+      build_csr<vertex32>(4, {{0, 1, 1}, {0, 2, 1}, {1, 3, 1}, {2, 3, 1}},
+                          opt);
+  EXPECT_EQ(dobfs(g, vertex32{0}).level, serial_bfs(g, vertex32{0}).level);
+}
+
+TEST(Dobfs, InvalidStartRejected) {
+  const csr32 g = chain_graph<vertex32>(3, true);
+  EXPECT_THROW(dobfs(g, vertex32{9}), std::out_of_range);
+}
+
+class DobfsSweep : public ::testing::TestWithParam<std::tuple<unsigned, bool>> {
+};
+
+TEST_P(DobfsSweep, MatchesSerialBfsOnUndirectedRmat) {
+  const auto [scale, use_b] = GetParam();
+  const csr32 g =
+      rmat_graph_undirected<vertex32>(use_b ? rmat_b(scale) : rmat_a(scale));
+  dobfs_extra extra;
+  const auto r = dobfs(g, vertex32{0}, &extra);
+  EXPECT_EQ(r.level, serial_bfs(g, vertex32{0}).level);
+  EXPECT_GT(extra.edges_inspected, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rmat, DobfsSweep,
+                         ::testing::Combine(::testing::Values(8u, 10u),
+                                            ::testing::Bool()));
+
+TEST(Dobfs, UsesBottomUpOnSmallDiameterGraph) {
+  // RMAT's huge middle levels must trigger the direction switch.
+  const csr32 g = rmat_graph_undirected<vertex32>(rmat_a(10));
+  dobfs_extra extra;
+  dobfs(g, vertex32{0}, &extra);
+  EXPECT_GT(extra.bottom_up_levels, 0u);
+  EXPECT_GT(extra.top_down_levels, 0u);
+}
+
+TEST(Dobfs, StaysTopDownOnChain) {
+  // Frontier of size 1 never crosses the switch threshold.
+  const csr32 g = chain_graph<vertex32>(400, true);
+  dobfs_extra extra;
+  dobfs(g, vertex32{0}, &extra);
+  EXPECT_EQ(extra.bottom_up_levels, 0u);
+}
+
+TEST(Dobfs, SwitchFractionZeroForcesBottomUp) {
+  const csr32 g = grid_graph<vertex32>(6, 6);
+  dobfs_extra extra;
+  const auto r = dobfs(g, vertex32{0}, &extra, /*switch_fraction=*/0.0);
+  EXPECT_EQ(r.level, serial_bfs(g, vertex32{0}).level);
+  EXPECT_EQ(extra.top_down_levels, 0u);
+}
+
+TEST(Dobfs, ParentsFormTightTree) {
+  const csr32 g = rmat_graph_undirected<vertex32>(rmat_a(9));
+  const auto r = dobfs(g, vertex32{0});
+  for (vertex32 v = 0; v < g.num_vertices(); ++v) {
+    if (r.level[v] == infinite_distance<dist_t> || v == 0) continue;
+    EXPECT_EQ(r.level[r.parent[v]] + 1, r.level[v]);
+  }
+}
+
+}  // namespace
+}  // namespace asyncgt

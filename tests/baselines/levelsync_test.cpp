@@ -1,0 +1,71 @@
+#include "baselines/levelsync_bfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/serial_bfs.hpp"
+#include "core/validate.hpp"
+#include "gen/grid.hpp"
+#include "gen/rmat.hpp"
+#include "graph/builder.hpp"
+
+namespace asyncgt {
+namespace {
+
+TEST(LevelsyncBfs, MatchesSerialOnDiamond) {
+  const csr32 g =
+      build_csr<vertex32>(4, {{0, 1, 1}, {0, 2, 1}, {1, 3, 1}, {2, 3, 1}});
+  const auto r = levelsync_bfs(g, vertex32{0}, 4);
+  EXPECT_EQ(r.level, serial_bfs(g, vertex32{0}).level);
+}
+
+TEST(LevelsyncBfs, InvalidArgsRejected) {
+  const csr32 g = build_csr<vertex32>(2, {{0, 1, 1}});
+  EXPECT_THROW(levelsync_bfs(g, vertex32{7}, 2), std::out_of_range);
+  EXPECT_THROW(levelsync_bfs(g, vertex32{0}, 0), std::invalid_argument);
+}
+
+class LevelsyncSweep
+    : public ::testing::TestWithParam<std::tuple<unsigned, bool, std::size_t>> {
+};
+
+TEST_P(LevelsyncSweep, MatchesSerialBfs) {
+  const auto [scale, use_b, nthreads] = GetParam();
+  const csr32 g =
+      rmat_graph<vertex32>(use_b ? rmat_b(scale) : rmat_a(scale));
+  const auto ref = serial_bfs(g, vertex32{0});
+  const auto r = levelsync_bfs(g, vertex32{0}, nthreads);
+  EXPECT_EQ(r.level, ref.level);
+  EXPECT_TRUE(validate_parents(g, vertex32{0}, r.level, r.parent, true).ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rmat, LevelsyncSweep,
+    ::testing::Combine(::testing::Values(8u, 10u), ::testing::Bool(),
+                       ::testing::Values(std::size_t{1}, std::size_t{4},
+                                         std::size_t{16})));
+
+TEST(LevelsyncBfs, ReportsBarriersProportionalToLevels) {
+  const csr32 g = chain_graph<vertex32>(50);
+  levelsync_result_extra extra;
+  const auto r = levelsync_bfs(g, vertex32{0}, 4, &extra);
+  EXPECT_EQ(r.max_level(), 49u);
+  EXPECT_EQ(extra.levels, 49u);
+  // Two barriers per level: the synchronization cost async removes.
+  EXPECT_EQ(extra.barrier_crossings, 2 * (extra.levels + 1));
+}
+
+TEST(LevelsyncBfs, SingleVertex) {
+  const csr32 g = build_csr<vertex32>(1, {});
+  const auto r = levelsync_bfs(g, vertex32{0}, 2);
+  EXPECT_EQ(r.level[0], 0u);
+  EXPECT_EQ(r.visited_count(), 1u);
+}
+
+TEST(LevelsyncBfs, UpdatesEqualReachedCount) {
+  const csr32 g = rmat_graph<vertex32>(rmat_a(10));
+  const auto r = levelsync_bfs(g, vertex32{0}, 8);
+  EXPECT_EQ(r.updates, r.visited_count());  // CAS claims each vertex once
+}
+
+}  // namespace
+}  // namespace asyncgt

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "baselines/serial_bfs.hpp"
+#include "baselines/serial_cc.hpp"
+#include "baselines/serial_sssp.hpp"
+#include "core/validate.hpp"
+#include "gen/grid.hpp"
+#include "gen/rmat.hpp"
+#include "gen/weights.hpp"
+#include "graph/builder.hpp"
+
+namespace asyncgt {
+namespace {
+
+TEST(SerialBfs, LevelsOnDiamond) {
+  const csr32 g =
+      build_csr<vertex32>(4, {{0, 1, 1}, {0, 2, 1}, {1, 3, 1}, {2, 3, 1}});
+  const auto r = serial_bfs(g, vertex32{0});
+  EXPECT_EQ(r.level, (std::vector<dist_t>{0, 1, 1, 2}));
+  EXPECT_EQ(r.max_level(), 2u);
+}
+
+TEST(SerialBfs, DisconnectedUnreached) {
+  const csr32 g = build_csr<vertex32>(3, {{0, 1, 1}});
+  const auto r = serial_bfs(g, vertex32{0});
+  EXPECT_EQ(r.level[2], infinite_distance<dist_t>);
+  EXPECT_EQ(r.visited_count(), 2u);
+}
+
+TEST(SerialBfs, StartOutOfRangeThrows) {
+  const csr32 g = build_csr<vertex32>(2, {{0, 1, 1}});
+  EXPECT_THROW(serial_bfs(g, vertex32{9}), std::out_of_range);
+}
+
+TEST(SerialBfs, ValidatedOnRmat) {
+  const csr32 g = rmat_graph<vertex32>(rmat_a(10));
+  const auto r = serial_bfs(g, vertex32{0});
+  EXPECT_TRUE(validate_distances(g, vertex32{0}, r.level, true).ok);
+  EXPECT_TRUE(validate_parents(g, vertex32{0}, r.level, r.parent, true).ok);
+}
+
+TEST(Dijkstra, ShortestViaLongerHopPath) {
+  const csr32 g = build_csr<vertex32>(3, {{0, 1, 10}, {0, 2, 1}, {2, 1, 2}});
+  const auto r = dijkstra_sssp(g, vertex32{0});
+  EXPECT_EQ(r.dist[1], 3u);
+  EXPECT_EQ(r.parent[1], 2u);
+}
+
+TEST(Dijkstra, ValidatedOnWeightedRmat) {
+  const csr32 g =
+      add_weights(rmat_graph<vertex32>(rmat_a(10)), weight_scheme::uniform, 1);
+  const auto r = dijkstra_sssp(g, vertex32{0});
+  EXPECT_TRUE(validate_distances(g, vertex32{0}, r.dist).ok);
+  EXPECT_TRUE(validate_parents(g, vertex32{0}, r.dist, r.parent).ok);
+}
+
+TEST(Dijkstra, VisitsEachReachedVertexOnce) {
+  const csr32 g =
+      add_weights(rmat_graph<vertex32>(rmat_a(8)), weight_scheme::uniform, 1);
+  const auto r = dijkstra_sssp(g, vertex32{0});
+  EXPECT_EQ(r.stats.visits, r.visited_count());
+}
+
+TEST(SerialCc, LabelsAreComponentMinima) {
+  build_options opt;
+  opt.symmetrize = true;
+  const csr32 g = build_csr<vertex32>(5, {{4, 3, 1}, {1, 2, 1}}, opt);
+  const auto r = serial_cc(g);
+  EXPECT_EQ(r.component, (std::vector<vertex32>{0, 1, 1, 3, 3}));
+  EXPECT_EQ(r.num_components(), 3u);
+}
+
+TEST(SerialCc, ValidatedOnRmat) {
+  const csr32 g = rmat_graph_undirected<vertex32>(rmat_a(10));
+  const auto r = serial_cc(g);
+  EXPECT_TRUE(validate_components(g, r.component).ok);
+}
+
+TEST(SerialCc, GridIsOneComponent) {
+  const auto r = serial_cc(grid_graph<vertex32>(9, 7));
+  EXPECT_EQ(r.num_components(), 1u);
+}
+
+}  // namespace
+}  // namespace asyncgt

@@ -1,0 +1,81 @@
+#include "baselines/syncprop_cc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/serial_cc.hpp"
+#include "core/validate.hpp"
+#include "gen/grid.hpp"
+#include "gen/rmat.hpp"
+#include "gen/webgen.hpp"
+#include "graph/builder.hpp"
+
+namespace asyncgt {
+namespace {
+
+TEST(SyncpropCc, TwoComponents) {
+  build_options opt;
+  opt.symmetrize = true;
+  const csr32 g =
+      build_csr<vertex32>(5, {{0, 1, 1}, {1, 2, 1}, {3, 4, 1}}, opt);
+  const auto r = syncprop_cc(g, 2);
+  EXPECT_EQ(r.component, (std::vector<vertex32>{0, 0, 0, 3, 3}));
+}
+
+TEST(SyncpropCc, ZeroThreadsRejected) {
+  const csr32 g = build_csr<vertex32>(1, {});
+  EXPECT_THROW(syncprop_cc(g, 0), std::invalid_argument);
+}
+
+TEST(SyncpropCc, EmptyGraph) {
+  const csr32 g = build_csr<vertex32>(0, {});
+  const auto r = syncprop_cc(g, 2);
+  EXPECT_EQ(r.num_components(), 0u);
+}
+
+class SyncpropSweep
+    : public ::testing::TestWithParam<std::tuple<unsigned, bool, std::size_t>> {
+};
+
+TEST_P(SyncpropSweep, MatchesSerialCc) {
+  const auto [scale, use_b, nthreads] = GetParam();
+  const csr32 g =
+      rmat_graph_undirected<vertex32>(use_b ? rmat_b(scale) : rmat_a(scale));
+  const auto ref = serial_cc(g);
+  const auto r = syncprop_cc(g, nthreads);
+  EXPECT_EQ(r.component, ref.component);
+  EXPECT_TRUE(validate_components(g, r.component).ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rmat, SyncpropSweep,
+    ::testing::Combine(::testing::Values(8u, 10u), ::testing::Bool(),
+                       ::testing::Values(std::size_t{1}, std::size_t{4},
+                                         std::size_t{16})));
+
+TEST(SyncpropCc, WebGraphMatchesSerial) {
+  webgen_params p;
+  p.num_hosts = 80;
+  const csr32 g = webgen_graph<vertex32>(p);
+  EXPECT_EQ(syncprop_cc(g, 8).component, serial_cc(g).component);
+}
+
+TEST(SyncpropCc, IterationsTrackPropagationDepth) {
+  // On an undirected chain the min label must walk the whole chain:
+  // iteration count ~ chain length — the synchronous worst case.
+  const csr32 g = chain_graph<vertex32>(64, /*undirected=*/true);
+  syncprop_result_extra extra;
+  const auto r = syncprop_cc(g, 4, &extra);
+  EXPECT_EQ(r.num_components(), 1u);
+  EXPECT_GE(extra.iterations, 63u);
+  EXPECT_GT(extra.barrier_crossings, 2 * 62u);
+}
+
+TEST(SyncpropCc, FewIterationsOnSmallDiameterGraph) {
+  const csr32 g = rmat_graph_undirected<vertex32>(rmat_a(10));
+  syncprop_result_extra extra;
+  syncprop_cc(g, 8, &extra);
+  EXPECT_LT(extra.iterations, 30u);  // small-diameter graph converges fast
+}
+
+}  // namespace
+}  // namespace asyncgt

@@ -1,0 +1,93 @@
+#include "core/traversal_result.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace asyncgt {
+namespace {
+
+TEST(ShardedCounter, SumsAcrossShards) {
+  sharded_counter c(4);
+  c.add(0);
+  c.add(1, 10);
+  c.add(3, 5);
+  EXPECT_EQ(c.total(), 16u);
+}
+
+TEST(ShardedCounter, ConcurrentShardsDoNotInterfere) {
+  constexpr std::size_t kThreads = 8;
+  sharded_counter c(kThreads);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c, t] {
+      for (int i = 0; i < 100000; ++i) c.add(t);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.total(), kThreads * 100000u);
+}
+
+TEST(BfsResult, VisitedCountAndMaxLevel) {
+  bfs_result<vertex32> r;
+  r.level = {0, 1, 2, infinite_distance<dist_t>, 2};
+  EXPECT_EQ(r.visited_count(), 4u);
+  EXPECT_EQ(r.max_level(), 2u);
+}
+
+TEST(BfsResult, EmptyResult) {
+  bfs_result<vertex32> r;
+  EXPECT_EQ(r.visited_count(), 0u);
+  EXPECT_EQ(r.max_level(), 0u);
+}
+
+TEST(SsspResult, VisitedCount) {
+  sssp_result<vertex32> r;
+  r.dist = {0, 7, infinite_distance<dist_t>};
+  EXPECT_EQ(r.visited_count(), 2u);
+}
+
+TEST(CcResult, ComponentCounting) {
+  cc_result<vertex32> r;
+  r.component = {0, 0, 2, 2, 2, 5};
+  EXPECT_EQ(r.num_components(), 3u);
+  EXPECT_EQ(r.largest_component_size(), 3u);
+}
+
+TEST(CcResult, SingletonComponents) {
+  cc_result<vertex32> r;
+  r.component = {0, 1, 2};
+  EXPECT_EQ(r.num_components(), 3u);
+  EXPECT_EQ(r.largest_component_size(), 1u);
+}
+
+TEST(CcResult, EmptyGraph) {
+  cc_result<vertex32> r;
+  EXPECT_EQ(r.num_components(), 0u);
+  EXPECT_EQ(r.largest_component_size(), 0u);
+}
+
+TEST(QueueRunStats, ImbalanceCvOfEvenSpread) {
+  queue_run_stats s;
+  s.visits_per_queue = {100, 100, 100, 100};
+  EXPECT_DOUBLE_EQ(s.load_imbalance_cv(), 0.0);
+}
+
+TEST(QueueRunStats, ImbalanceCvOfSkewedSpread) {
+  queue_run_stats s;
+  s.visits_per_queue = {400, 0, 0, 0};
+  EXPECT_GT(s.load_imbalance_cv(), 1.5);
+}
+
+TEST(QueueRunStats, ToStringMentionsCounters) {
+  queue_run_stats s;
+  s.visits = 42;
+  s.pushes = 99;
+  const std::string str = s.to_string();
+  EXPECT_NE(str.find("42"), std::string::npos);
+  EXPECT_NE(str.find("99"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace asyncgt

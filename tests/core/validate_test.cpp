@@ -1,0 +1,115 @@
+#include "core/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+
+namespace asyncgt {
+namespace {
+
+csr32 weighted_diamond() {
+  // 0 -(1)-> 1 -(1)-> 3, 0 -(3)-> 2 -(1)-> 3
+  return build_csr<vertex32>(4, {{0, 1, 1}, {1, 3, 1}, {0, 2, 3}, {2, 3, 1}});
+}
+
+TEST(ValidateDistances, AcceptsCorrectLabels) {
+  const csr32 g = weighted_diamond();
+  const std::vector<dist_t> dist{0, 1, 3, 2};
+  EXPECT_TRUE(validate_distances(g, vertex32{0}, dist).ok);
+}
+
+TEST(ValidateDistances, RejectsRelaxableEdge) {
+  const csr32 g = weighted_diamond();
+  const std::vector<dist_t> dist{0, 1, 3, 5};  // 3 is relaxable via 1
+  const auto v = validate_distances(g, vertex32{0}, dist);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("relaxable"), std::string::npos);
+}
+
+TEST(ValidateDistances, RejectsUnattainableLabel) {
+  const csr32 g = weighted_diamond();
+  const std::vector<dist_t> dist{0, 1, 2, 2};  // 2 claims dist 2, no witness
+  EXPECT_FALSE(validate_distances(g, vertex32{0}, dist).ok);
+}
+
+TEST(ValidateDistances, RejectsNonZeroSource) {
+  const csr32 g = weighted_diamond();
+  std::vector<dist_t> dist{1, 2, 4, 3};
+  EXPECT_FALSE(validate_distances(g, vertex32{0}, dist).ok);
+}
+
+TEST(ValidateDistances, RejectsSizeMismatch) {
+  const csr32 g = weighted_diamond();
+  EXPECT_FALSE(validate_distances(g, vertex32{0}, {0, 1}).ok);
+}
+
+TEST(ValidateDistances, AcceptsUnreachableInfinity) {
+  const csr32 g = build_csr<vertex32>(3, {{0, 1, 2}});
+  const std::vector<dist_t> dist{0, 2, infinite_distance<dist_t>};
+  EXPECT_TRUE(validate_distances(g, vertex32{0}, dist).ok);
+}
+
+TEST(ValidateDistances, UnitWeightModeIgnoresWeights) {
+  const csr32 g = build_csr<vertex32>(2, {{0, 1, 100}});
+  EXPECT_TRUE(validate_distances(g, vertex32{0}, {0, 1}, true).ok);
+  EXPECT_FALSE(validate_distances(g, vertex32{0}, {0, 100}, true).ok);
+}
+
+TEST(ValidateParents, AcceptsTightTree) {
+  const csr32 g = weighted_diamond();
+  const std::vector<dist_t> dist{0, 1, 3, 2};
+  const std::vector<vertex32> par{0, 0, 0, 1};
+  EXPECT_TRUE(validate_parents(g, vertex32{0}, dist, par).ok);
+}
+
+TEST(ValidateParents, RejectsLooseParentEdge) {
+  const csr32 g = weighted_diamond();
+  const std::vector<dist_t> dist{0, 1, 3, 2};
+  const std::vector<vertex32> par{0, 0, 0, 2};  // dist[2]+1 = 4 != 2
+  EXPECT_FALSE(validate_parents(g, vertex32{0}, dist, par).ok);
+}
+
+TEST(ValidateParents, RejectsParentOnUnreachedVertex) {
+  const csr32 g = build_csr<vertex32>(3, {{0, 1, 1}});
+  const std::vector<dist_t> dist{0, 1, infinite_distance<dist_t>};
+  const std::vector<vertex32> par{0, 0, 0};  // vertex 2 unreached but parented
+  EXPECT_FALSE(validate_parents(g, vertex32{0}, dist, par).ok);
+}
+
+TEST(ValidateParents, RejectsWrongSourceParent) {
+  const csr32 g = build_csr<vertex32>(2, {{0, 1, 1}});
+  const std::vector<dist_t> dist{0, 1};
+  const std::vector<vertex32> par{1, 0};
+  EXPECT_FALSE(validate_parents(g, vertex32{0}, dist, par).ok);
+}
+
+csr32 undirected_pair_plus_isolated() {
+  build_options opt;
+  opt.symmetrize = true;
+  return build_csr<vertex32>(3, {{0, 1, 1}}, opt);
+}
+
+TEST(ValidateComponents, AcceptsMinimumLabels) {
+  const csr32 g = undirected_pair_plus_isolated();
+  EXPECT_TRUE(validate_components(g, {0, 0, 2}).ok);
+}
+
+TEST(ValidateComponents, RejectsCrossEdgeLabels) {
+  const csr32 g = undirected_pair_plus_isolated();
+  const auto v = validate_components(g, {0, 1, 2});
+  EXPECT_FALSE(v.ok);
+}
+
+TEST(ValidateComponents, RejectsNonMinimumLabel) {
+  const csr32 g = undirected_pair_plus_isolated();
+  // Consistent across edges but label 1 is not the component minimum.
+  EXPECT_FALSE(validate_components(g, {1, 1, 2}).ok);
+}
+
+TEST(ValidateComponents, RejectsSizeMismatch) {
+  const csr32 g = undirected_pair_plus_isolated();
+  EXPECT_FALSE(validate_components(g, {0, 0}).ok);
+}
+
+}  // namespace
+}  // namespace asyncgt

@@ -1,0 +1,69 @@
+#include "gen/grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_stats.hpp"
+
+namespace asyncgt {
+namespace {
+
+TEST(GridGraph, SizesAndSymmetry) {
+  const csr32 g = grid_graph<vertex32>(4, 3);
+  EXPECT_EQ(g.num_vertices(), 12u);
+  // 2*W*H - W - H undirected edges, doubled in the symmetric CSR.
+  EXPECT_EQ(g.num_edges(), 2u * (2 * 4 * 3 - 4 - 3));
+  EXPECT_TRUE(is_symmetric(g));
+}
+
+TEST(GridGraph, CornerAndInteriorDegrees) {
+  const csr32 g = grid_graph<vertex32>(5, 5);
+  EXPECT_EQ(g.out_degree(0), 2u);       // corner
+  EXPECT_EQ(g.out_degree(2), 3u);       // edge
+  EXPECT_EQ(g.out_degree(12), 4u);      // interior (2,2)
+}
+
+TEST(GridGraph, SingleRowIsPath) {
+  const csr32 g = grid_graph<vertex32>(6, 1);
+  EXPECT_EQ(g.out_degree(0), 1u);
+  EXPECT_EQ(g.out_degree(3), 2u);
+  EXPECT_EQ(g.out_degree(5), 1u);
+}
+
+TEST(GridGraph, EmptyDimensionRejected) {
+  EXPECT_THROW(grid_graph<vertex32>(0, 3), std::invalid_argument);
+  EXPECT_THROW(grid_graph<vertex32>(3, 0), std::invalid_argument);
+}
+
+TEST(ChainGraph, DirectedStructure) {
+  const csr32 g = chain_graph<vertex32>(5);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.out_degree(0), 1u);
+  EXPECT_EQ(g.out_degree(4), 0u);  // sink
+  EXPECT_FALSE(is_symmetric(g));
+}
+
+TEST(ChainGraph, UndirectedVariant) {
+  const csr32 g = chain_graph<vertex32>(5, /*undirected=*/true);
+  EXPECT_EQ(g.num_edges(), 8u);
+  EXPECT_TRUE(is_symmetric(g));
+}
+
+TEST(ChainGraph, SingleVertex) {
+  const csr32 g = chain_graph<vertex32>(1);
+  EXPECT_EQ(g.num_vertices(), 1u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(StarGraph, HubDegree) {
+  const csr32 g = star_graph<vertex32>(10);
+  EXPECT_EQ(g.out_degree(0), 9u);
+  for (vertex32 v = 1; v < 10; ++v) EXPECT_EQ(g.out_degree(v), 1u);
+  EXPECT_TRUE(is_symmetric(g));
+}
+
+TEST(StarGraph, TooSmallRejected) {
+  EXPECT_THROW(star_graph<vertex32>(1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace asyncgt

@@ -1,0 +1,91 @@
+#include "gen/random_graphs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/serial_cc.hpp"
+#include "graph/graph_stats.hpp"
+
+namespace asyncgt {
+namespace {
+
+TEST(ErdosRenyi, SizesAndSymmetry) {
+  const csr32 g = erdos_renyi_graph<vertex32>(500, 2000, 3);
+  EXPECT_EQ(g.num_vertices(), 500u);
+  // Sampling with replacement + dedup: close to but at most 2*m edges.
+  EXPECT_LE(g.num_edges(), 2 * 2000u);
+  EXPECT_GE(g.num_edges(), 2 * 1800u);
+  EXPECT_TRUE(is_symmetric(g));
+}
+
+TEST(ErdosRenyi, NearRegularDegrees) {
+  const csr32 g = erdos_renyi_graph<vertex32>(2000, 16000, 5);
+  const auto s = compute_degree_summary(g);
+  // Poisson-like degrees: tiny skew relative to a scale-free graph.
+  EXPECT_LT(s.stats.cv(), 0.5);
+  EXPECT_LT(static_cast<double>(s.max_degree), 4.0 * s.stats.mean());
+}
+
+TEST(ErdosRenyi, Deterministic) {
+  const csr32 a = erdos_renyi_graph<vertex32>(300, 1000, 9);
+  const csr32 b = erdos_renyi_graph<vertex32>(300, 1000, 9);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+}
+
+TEST(ErdosRenyi, InvalidParamsRejected) {
+  EXPECT_THROW(erdos_renyi_graph<vertex32>(1, 1), std::invalid_argument);
+  EXPECT_THROW(erdos_renyi_graph<vertex32>(10, 40), std::invalid_argument);
+}
+
+TEST(WattsStrogatz, ZeroBetaIsRingLattice) {
+  const csr32 g = watts_strogatz_graph<vertex32>(100, 4, 0.0, 1);
+  EXPECT_TRUE(is_symmetric(g));
+  for (vertex32 v = 0; v < 100; ++v) EXPECT_EQ(g.out_degree(v), 4u);
+  EXPECT_EQ(serial_cc(g).num_components(), 1u);
+}
+
+TEST(WattsStrogatz, RewiringKeepsEdgeBudget) {
+  const csr32 g = watts_strogatz_graph<vertex32>(200, 6, 0.3, 2);
+  // n*k/2 undirected edges before dedup; symmetrized, minus collisions.
+  EXPECT_LE(g.num_edges(), 200u * 6);
+  EXPECT_GE(g.num_edges(), 200u * 5);
+}
+
+TEST(WattsStrogatz, InvalidParamsRejected) {
+  EXPECT_THROW(watts_strogatz_graph<vertex32>(3, 2, 0.1),
+               std::invalid_argument);
+  EXPECT_THROW(watts_strogatz_graph<vertex32>(100, 3, 0.1),
+               std::invalid_argument);  // odd k
+  EXPECT_THROW(watts_strogatz_graph<vertex32>(100, 4, 1.5),
+               std::invalid_argument);
+}
+
+TEST(BarabasiAlbert, SizesAndConnectivity) {
+  const csr32 g = barabasi_albert_graph<vertex32>(1000, 3, 4);
+  EXPECT_EQ(g.num_vertices(), 1000u);
+  EXPECT_TRUE(is_symmetric(g));
+  // Preferential attachment grows one connected component.
+  EXPECT_EQ(serial_cc(g).num_components(), 1u);
+}
+
+TEST(BarabasiAlbert, PowerLawHubs) {
+  const csr32 g = barabasi_albert_graph<vertex32>(4000, 4, 11);
+  const auto s = compute_degree_summary(g);
+  EXPECT_GT(static_cast<double>(s.max_degree), 10.0 * s.stats.mean());
+  EXPECT_GT(s.stats.cv(), 0.8);
+}
+
+TEST(BarabasiAlbert, MoreSkewedThanErdosRenyi) {
+  const csr32 ba = barabasi_albert_graph<vertex32>(2000, 4, 1);
+  const csr32 er =
+      erdos_renyi_graph<vertex32>(2000, ba.num_edges() / 2, 1);
+  EXPECT_GT(compute_degree_summary(ba).stats.cv(),
+            2.0 * compute_degree_summary(er).stats.cv());
+}
+
+TEST(BarabasiAlbert, InvalidParamsRejected) {
+  EXPECT_THROW(barabasi_albert_graph<vertex32>(5, 0), std::invalid_argument);
+  EXPECT_THROW(barabasi_albert_graph<vertex32>(3, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace asyncgt

@@ -1,0 +1,133 @@
+#include "gen/rmat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/graph_stats.hpp"
+
+namespace asyncgt {
+namespace {
+
+TEST(RmatParams, PresetsSumToOne) {
+  rmat_a(10).validate();
+  rmat_b(10).validate();
+}
+
+TEST(RmatParams, InvalidProbabilitiesRejected) {
+  rmat_params p;
+  p.a = 0.9;
+  p.b = 0.9;  // sums to > 1 with c, d
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(RmatParams, SizesFollowScaleAndEdgeFactor) {
+  const rmat_params p = rmat_a(12);
+  EXPECT_EQ(p.num_vertices(), 1ULL << 12);
+  EXPECT_EQ(p.num_edges(), (1ULL << 12) * 16);
+}
+
+TEST(RmatScramble, IsBijectiveOverScaleBits) {
+  constexpr unsigned kScale = 12;
+  std::set<vertex32> outs;
+  for (std::uint64_t v = 0; v < (1ULL << kScale); ++v) {
+    const vertex32 s = rmat_scramble<vertex32>(v, kScale, 42);
+    EXPECT_LT(s, 1u << kScale);
+    outs.insert(s);
+  }
+  EXPECT_EQ(outs.size(), 1ULL << kScale);  // permutation
+}
+
+TEST(RmatEdges, DeterministicForSeed) {
+  const rmat_params p = rmat_a(10, 7);
+  const auto e1 = rmat_edges<vertex32>(p);
+  const auto e2 = rmat_edges<vertex32>(p);
+  ASSERT_EQ(e1.size(), e2.size());
+  for (std::size_t i = 0; i < e1.size(); ++i) EXPECT_EQ(e1[i], e2[i]);
+}
+
+TEST(RmatEdges, DifferentSeedsDiffer) {
+  const auto e1 = rmat_edges<vertex32>(rmat_a(10, 1));
+  const auto e2 = rmat_edges<vertex32>(rmat_a(10, 2));
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < e1.size(); ++i) same += (e1[i] == e2[i]);
+  EXPECT_LT(same, e1.size() / 100);
+}
+
+TEST(RmatEdges, EndpointsInRange) {
+  const rmat_params p = rmat_b(10);
+  for (const auto& e : rmat_edges<vertex32>(p)) {
+    EXPECT_LT(e.src, p.num_vertices());
+    EXPECT_LT(e.dst, p.num_vertices());
+  }
+}
+
+TEST(RmatGraph, UniqueEdgesNoSelfLoops) {
+  const csr32 g = rmat_graph<vertex32>(rmat_a(10));
+  for (vertex32 v = 0; v < g.num_vertices(); ++v) {
+    const auto nb = g.neighbors(v);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      EXPECT_NE(nb[i], v);                       // no self loop
+      if (i > 0) EXPECT_LT(nb[i - 1], nb[i]);    // sorted & unique
+    }
+  }
+}
+
+TEST(RmatGraph, UndirectedVersionIsSymmetric) {
+  const csr32 g = rmat_graph_undirected<vertex32>(rmat_a(9));
+  EXPECT_TRUE(is_symmetric(g));
+}
+
+TEST(RmatGraph, RmatBMoreSkewedThanRmatA) {
+  // The defining property of the two presets (paper §V-A1): RMAT-B has
+  // "heavy out-degree skewness" vs RMAT-A's "moderate".
+  const auto sa = compute_degree_summary(rmat_graph<vertex32>(rmat_a(13)));
+  const auto sb = compute_degree_summary(rmat_graph<vertex32>(rmat_b(13)));
+  EXPECT_GT(sb.max_degree, sa.max_degree);
+  EXPECT_GT(sb.top_fraction_edge_share, sa.top_fraction_edge_share);
+  EXPECT_GT(sb.stats.cv(), sa.stats.cv());
+}
+
+TEST(RmatGraph, PowerLawTail) {
+  // A scale-free graph has hubs orders of magnitude above the mean degree.
+  const auto s = compute_degree_summary(rmat_graph<vertex32>(rmat_b(13)));
+  EXPECT_GT(static_cast<double>(s.max_degree), 20.0 * s.stats.mean());
+}
+
+TEST(RmatEdges, ParallelGenerationBitIdenticalToSerial) {
+  const rmat_params p = rmat_b(11, 5);
+  const auto serial = rmat_edges<vertex32>(p);
+  for (const std::size_t t : {1u, 2u, 3u, 7u, 16u}) {
+    const auto parallel = rmat_edges_parallel<vertex32>(p, t);
+    ASSERT_EQ(parallel.size(), serial.size()) << "threads=" << t;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      ASSERT_EQ(parallel[i], serial[i]) << "threads=" << t << " i=" << i;
+    }
+  }
+}
+
+TEST(RmatEdges, ParallelZeroThreadsRejected) {
+  EXPECT_THROW(rmat_edges_parallel<vertex32>(rmat_a(8), 0),
+               std::invalid_argument);
+}
+
+TEST(RmatGraph, ScrambleSpreadsHubs) {
+  // Without scrambling, RMAT hubs concentrate at low ids; with it the top
+  // 1% of ids should not hold most edges.
+  rmat_params p = rmat_b(12);
+  p.scramble_ids = false;
+  const csr32 raw = rmat_graph<vertex32>(p);
+  std::uint64_t low_id_edges_raw = 0;
+  const vertex32 cut = static_cast<vertex32>(raw.num_vertices() / 100);
+  for (vertex32 v = 0; v < cut; ++v) low_id_edges_raw += raw.out_degree(v);
+
+  p.scramble_ids = true;
+  const csr32 mixed = rmat_graph<vertex32>(p);
+  std::uint64_t low_id_edges_mixed = 0;
+  for (vertex32 v = 0; v < cut; ++v) low_id_edges_mixed += mixed.out_degree(v);
+
+  EXPECT_GT(low_id_edges_raw, 2 * low_id_edges_mixed);
+}
+
+}  // namespace
+}  // namespace asyncgt

@@ -1,0 +1,114 @@
+#include "gen/webgen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/serial_cc.hpp"
+#include "graph/graph_stats.hpp"
+
+namespace asyncgt {
+namespace {
+
+webgen_params small_params() {
+  webgen_params p;
+  p.num_hosts = 60;
+  p.min_host_size = 4;
+  p.max_host_size = 256;
+  p.seed = 5;
+  return p;
+}
+
+TEST(Webgen, LayoutDeterministic) {
+  const auto a = webgen_make_layout(small_params());
+  const auto b = webgen_make_layout(small_params());
+  EXPECT_EQ(a.num_vertices, b.num_vertices);
+  EXPECT_EQ(a.host_begin, b.host_begin);
+}
+
+TEST(Webgen, HostSizesWithinBounds) {
+  const auto p = small_params();
+  const auto layout = webgen_make_layout(p);
+  ASSERT_EQ(layout.host_begin.size(), p.num_hosts + 1);
+  for (std::size_t h = 0; h < p.num_hosts; ++h) {
+    const auto size = layout.host_begin[h + 1] - layout.host_begin[h];
+    EXPECT_GE(size, p.min_host_size);
+    EXPECT_LE(size, p.max_host_size);
+  }
+}
+
+TEST(Webgen, GraphIsSymmetric) {
+  const csr32 g = webgen_graph<vertex32>(small_params());
+  EXPECT_TRUE(is_symmetric(g));
+}
+
+TEST(Webgen, Deterministic) {
+  const csr32 a = webgen_graph<vertex32>(small_params());
+  const csr32 b = webgen_graph<vertex32>(small_params());
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(a.num_vertices(), b.num_vertices());
+}
+
+TEST(Webgen, GiantComponentPlusTail) {
+  // The structural contract that replaces the paper's real web crawls: one
+  // giant component holding most vertices plus a tail of small (isolated-
+  // host) components.
+  webgen_params p = small_params();
+  p.num_hosts = 200;
+  p.isolated_host_fraction = 0.2;
+  const csr32 g = webgen_graph<vertex32>(p);
+  const auto cc = serial_cc(g);
+  const std::uint64_t ncc = cc.num_components();
+  EXPECT_GT(ncc, 10u);  // tail of small components exists
+  EXPECT_GT(cc.largest_component_size(), g.num_vertices() / 2);  // giant
+}
+
+TEST(Webgen, NoIsolationMeansFewComponents) {
+  webgen_params p = small_params();
+  p.isolated_host_fraction = 0.0;
+  p.cross_links_per_page = 3.0;
+  const csr32 g = webgen_graph<vertex32>(p);
+  const auto cc = serial_cc(g);
+  // All hosts cross-linked: expect a single giant component (or near).
+  EXPECT_LE(cc.num_components(), 3u);
+}
+
+TEST(Webgen, IsolationFractionGrowsComponentCount) {
+  webgen_params lo = small_params();
+  lo.num_hosts = 150;
+  lo.isolated_host_fraction = 0.05;
+  webgen_params hi = lo;
+  hi.isolated_host_fraction = 0.4;
+  EXPECT_LT(serial_cc(webgen_graph<vertex32>(lo)).num_components(),
+            serial_cc(webgen_graph<vertex32>(hi)).num_components());
+}
+
+TEST(Webgen, CommunityStructure) {
+  // In-host edges should dominate cross-host edges (paper §I-B: "in a
+  // cluster, there are more interconnected edges than outgoing edges").
+  const auto p = small_params();
+  const auto layout = webgen_make_layout(p);
+  const csr32 g = webgen_graph<vertex32>(p);
+  const auto host_of = [&](vertex32 v) {
+    const auto it = std::upper_bound(layout.host_begin.begin(),
+                                     layout.host_begin.end(), v);
+    return static_cast<std::size_t>(it - layout.host_begin.begin()) - 1;
+  };
+  std::uint64_t intra = 0, cross = 0;
+  for (vertex32 u = 0; u < g.num_vertices(); ++u) {
+    for (const vertex32 v : g.neighbors(u)) {
+      (host_of(u) == host_of(v) ? intra : cross) += 1;
+    }
+  }
+  EXPECT_GT(intra, 2 * cross);
+}
+
+TEST(Webgen, InvalidParamsRejected) {
+  webgen_params p;
+  p.num_hosts = 0;
+  EXPECT_THROW(webgen_make_layout(p), std::invalid_argument);
+  p = webgen_params{};
+  p.min_host_size = 1;  // need >= 2 for the ring
+  EXPECT_THROW(webgen_make_layout(p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace asyncgt

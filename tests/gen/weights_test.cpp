@@ -1,0 +1,123 @@
+#include "gen/weights.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/rmat.hpp"
+#include "graph/builder.hpp"
+
+namespace asyncgt {
+namespace {
+
+TEST(Weights, DeterministicPerEdge) {
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(make_weight(weight_scheme::uniform, vertex32{3}, vertex32{9},
+                          1024, 42),
+              make_weight(weight_scheme::uniform, vertex32{3}, vertex32{9},
+                          1024, 42));
+  }
+}
+
+TEST(Weights, OrderInsensitive) {
+  // (u,v) and (v,u) must agree so symmetrized graphs are well-defined.
+  for (vertex32 u = 0; u < 20; ++u) {
+    for (vertex32 v = u + 1; v < 20; ++v) {
+      EXPECT_EQ(make_weight(weight_scheme::uniform, u, v, 4096, 1),
+                make_weight(weight_scheme::uniform, v, u, 4096, 1));
+      EXPECT_EQ(make_weight(weight_scheme::log_uniform, u, v, 4096, 1),
+                make_weight(weight_scheme::log_uniform, v, u, 4096, 1));
+    }
+  }
+}
+
+TEST(Weights, UniformInRange) {
+  const std::uint64_t n = 1 << 16;
+  for (int i = 0; i < 5000; ++i) {
+    const weight_t w = make_weight(weight_scheme::uniform,
+                                   static_cast<vertex32>(i),
+                                   static_cast<vertex32>(i + 1), n, 3);
+    EXPECT_GE(w, 1u);
+    EXPECT_LT(w, n);
+  }
+}
+
+TEST(Weights, LogUniformInRange) {
+  const std::uint64_t n = 1 << 16;
+  for (int i = 0; i < 5000; ++i) {
+    const weight_t w = make_weight(weight_scheme::log_uniform,
+                                   static_cast<vertex32>(i),
+                                   static_cast<vertex32>(i + 1), n, 3);
+    EXPECT_GE(w, 1u);
+    EXPECT_LE(w, n);  // 1 + below(2^i), i < lg n
+  }
+}
+
+TEST(Weights, LogUniformSkewedSmall) {
+  // LUW concentrates mass at small weights: its median should be far below
+  // the uniform scheme's median.
+  const std::uint64_t n = 1 << 20;
+  std::vector<weight_t> uw, luw;
+  for (int i = 0; i < 20000; ++i) {
+    uw.push_back(make_weight(weight_scheme::uniform,
+                             static_cast<vertex32>(i),
+                             static_cast<vertex32>(i + 1), n, 9));
+    luw.push_back(make_weight(weight_scheme::log_uniform,
+                              static_cast<vertex32>(i),
+                              static_cast<vertex32>(i + 1), n, 9));
+  }
+  std::sort(uw.begin(), uw.end());
+  std::sort(luw.begin(), luw.end());
+  EXPECT_LT(luw[luw.size() / 2] * 100, uw[uw.size() / 2]);
+}
+
+TEST(Weights, SeedChangesWeights) {
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) {
+    same += (make_weight(weight_scheme::uniform, static_cast<vertex32>(i),
+                         static_cast<vertex32>(i + 1), 1 << 20, 1) ==
+             make_weight(weight_scheme::uniform, static_cast<vertex32>(i),
+                         static_cast<vertex32>(i + 1), 1 << 20, 2));
+  }
+  EXPECT_LT(same, 10);
+}
+
+TEST(Weights, TinyGraphRejected) {
+  EXPECT_THROW(make_weight(weight_scheme::uniform, vertex32{0}, vertex32{1},
+                           1, 0),
+               std::invalid_argument);
+}
+
+TEST(AddWeights, PreservesStructure) {
+  const csr32 g = rmat_graph<vertex32>(rmat_a(8));
+  const csr32 w = add_weights(g, weight_scheme::uniform, 5);
+  ASSERT_TRUE(w.is_weighted());
+  EXPECT_EQ(w.num_vertices(), g.num_vertices());
+  EXPECT_EQ(w.num_edges(), g.num_edges());
+  for (vertex32 v = 0; v < g.num_vertices(); ++v) {
+    const auto a = g.neighbors(v), b = w.neighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(AddWeights, SymmetricGraphGetsSymmetricWeights) {
+  const csr32 g = rmat_graph_undirected<vertex32>(rmat_a(8));
+  const csr32 w = add_weights(g, weight_scheme::uniform, 11);
+  for (vertex32 u = 0; u < w.num_vertices(); ++u) {
+    const auto nb = w.neighbors(u);
+    const auto ws = w.edge_weights(u);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      const vertex32 v = nb[i];
+      if (v < u) continue;  // check each undirected edge once
+      // Find the reverse edge's weight.
+      const auto rnb = w.neighbors(v);
+      const auto rws = w.edge_weights(v);
+      const auto it = std::lower_bound(rnb.begin(), rnb.end(), u);
+      ASSERT_NE(it, rnb.end());
+      ASSERT_EQ(*it, u);
+      EXPECT_EQ(ws[i], rws[static_cast<std::size_t>(it - rnb.begin())]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace asyncgt

@@ -1,0 +1,100 @@
+#include "graph/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_stats.hpp"
+
+namespace asyncgt {
+namespace {
+
+TEST(Builder, RemovesSelfLoops) {
+  const csr32 g = build_csr<vertex32>(3, {{0, 0, 1}, {0, 1, 1}, {2, 2, 1}});
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.neighbors(0)[0], 1u);
+}
+
+TEST(Builder, KeepsSelfLoopsWhenAsked) {
+  build_options opt;
+  opt.remove_self_loops = false;
+  const csr32 g = build_csr<vertex32>(2, {{0, 0, 1}, {0, 1, 1}}, opt);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Builder, RemovesDuplicateEdges) {
+  const csr32 g = build_csr<vertex32>(
+      3, {{0, 1, 1}, {0, 1, 1}, {0, 1, 1}, {1, 2, 1}});
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Builder, DuplicateRemovalKeepsLowestWeight) {
+  const csr32 g = build_csr<vertex32>(2, {{0, 1, 9}, {0, 1, 3}});
+  EXPECT_EQ(g.num_edges(), 1u);
+  g.for_each_out_edge(0, [](vertex32, weight_t w) { EXPECT_EQ(w, 3u); });
+}
+
+TEST(Builder, SymmetrizeAddsReverseEdges) {
+  build_options opt;
+  opt.symmetrize = true;
+  const csr32 g = build_csr<vertex32>(3, {{0, 1, 1}, {1, 2, 1}}, opt);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_TRUE(is_symmetric(g));
+}
+
+TEST(Builder, SymmetrizeDedupsMutualEdges) {
+  // (0,1) and (1,0) both present: symmetrization must not double them.
+  build_options opt;
+  opt.symmetrize = true;
+  const csr32 g = build_csr<vertex32>(2, {{0, 1, 1}, {1, 0, 1}}, opt);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Builder, AdjacencySorted) {
+  const csr32 g = build_csr<vertex32>(
+      4, {{0, 3, 1}, {0, 1, 1}, {0, 2, 1}});
+  const auto nb = g.neighbors(0);
+  ASSERT_EQ(nb.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+}
+
+TEST(Builder, OutOfRangeEndpointRejected) {
+  EXPECT_THROW(build_csr<vertex32>(2, {{0, 2, 1}}), std::invalid_argument);
+  EXPECT_THROW(build_csr<vertex32>(2, {{5, 0, 1}}), std::invalid_argument);
+}
+
+TEST(Builder, EmptyEdgeList) {
+  const csr32 g = build_csr<vertex32>(5, {});
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Builder, ZeroVertices) {
+  const csr32 g = build_csr<vertex32>(0, {});
+  EXPECT_EQ(g.num_vertices(), 0u);
+}
+
+TEST(Builder, UnweightedWhenAllWeightsOne) {
+  const csr32 g = build_csr<vertex32>(2, {{0, 1, 1}});
+  EXPECT_FALSE(g.is_weighted());
+}
+
+TEST(Builder, WeightedWhenAnyWeightDiffers) {
+  const csr32 g = build_csr<vertex32>(3, {{0, 1, 1}, {1, 2, 4}});
+  EXPECT_TRUE(g.is_weighted());
+}
+
+TEST(Builder, RoundTripThroughEdgeList) {
+  const csr32 g = build_csr<vertex32>(
+      4, {{0, 1, 2}, {0, 2, 3}, {2, 3, 4}, {3, 0, 5}});
+  const auto edges = to_edge_list(g);
+  const csr32 h = build_csr<vertex32>(4, edges);
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  for (vertex32 v = 0; v < 4; ++v) {
+    const auto a = g.neighbors(v);
+    const auto b = h.neighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+}  // namespace
+}  // namespace asyncgt

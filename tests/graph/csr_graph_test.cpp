@@ -1,0 +1,89 @@
+#include "graph/csr_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+
+namespace asyncgt {
+namespace {
+
+csr32 triangle() {
+  // 0->1, 1->2, 2->0
+  return build_csr<vertex32>(3, {{0, 1, 1}, {1, 2, 1}, {2, 0, 1}});
+}
+
+TEST(CsrGraph, EmptyGraph) {
+  csr32 g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_FALSE(g.is_weighted());
+}
+
+TEST(CsrGraph, SizesAndDegrees) {
+  const csr32 g = triangle();
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  for (vertex32 v = 0; v < 3; ++v) EXPECT_EQ(g.out_degree(v), 1u);
+}
+
+TEST(CsrGraph, NeighborsSpan) {
+  const csr32 g = triangle();
+  ASSERT_EQ(g.neighbors(0).size(), 1u);
+  EXPECT_EQ(g.neighbors(0)[0], 1u);
+  EXPECT_EQ(g.neighbors(2)[0], 0u);
+}
+
+TEST(CsrGraph, ForEachOutEdgeUnweightedReportsWeightOne) {
+  const csr32 g = triangle();
+  g.for_each_out_edge(0, [](vertex32 t, weight_t w) {
+    EXPECT_EQ(t, 1u);
+    EXPECT_EQ(w, 1u);
+  });
+}
+
+TEST(CsrGraph, ForEachOutEdgeWeighted) {
+  const csr32 g =
+      build_csr<vertex32>(3, {{0, 1, 5}, {0, 2, 7}});
+  ASSERT_TRUE(g.is_weighted());
+  std::vector<std::pair<vertex32, weight_t>> seen;
+  g.for_each_out_edge(0, [&](vertex32 t, weight_t w) {
+    seen.emplace_back(t, w);
+  });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], (std::pair<vertex32, weight_t>{1, 5}));
+  EXPECT_EQ(seen[1], (std::pair<vertex32, weight_t>{2, 7}));
+}
+
+TEST(CsrGraph, MalformedOffsetsRejected) {
+  EXPECT_THROW(csr32({}, {}), std::invalid_argument);          // empty offsets
+  EXPECT_THROW(csr32({0, 2}, {1}), std::invalid_argument);     // back mismatch
+  EXPECT_THROW(csr32({1, 1}, {}), std::invalid_argument);      // front != 0
+}
+
+TEST(CsrGraph, MismatchedWeightsRejected) {
+  EXPECT_THROW(csr32({0, 1}, {0}, {1, 2}), std::invalid_argument);
+}
+
+TEST(CsrGraph, IsolatedVertexHasEmptyAdjacency) {
+  const csr32 g = build_csr<vertex32>(4, {{0, 1, 1}});
+  EXPECT_EQ(g.out_degree(3), 0u);
+  EXPECT_TRUE(g.neighbors(3).empty());
+  bool called = false;
+  g.for_each_out_edge(3, [&](vertex32, weight_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(CsrGraph, MemoryBytesAccounting) {
+  const csr32 g = triangle();
+  // 4 offsets * 8 + 3 targets * 4 = 44 bytes, unweighted.
+  EXPECT_EQ(g.memory_bytes(), 4 * 8 + 3 * 4u);
+}
+
+TEST(CsrGraph, Wide64BitIds) {
+  const csr64 g = build_csr<vertex64>(3, {{0, 1, 1}, {1, 2, 1}});
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.neighbors(0)[0], 1u);
+}
+
+}  // namespace
+}  // namespace asyncgt

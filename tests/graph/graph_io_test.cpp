@@ -1,0 +1,115 @@
+#include "graph/graph_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <unistd.h>
+#include <filesystem>
+
+#include "graph/builder.hpp"
+
+namespace asyncgt {
+namespace {
+
+class GraphIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("agt_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(GraphIoTest, RoundTripUnweighted32) {
+  const csr32 g = build_csr<vertex32>(4, {{0, 1, 1}, {1, 2, 1}, {3, 0, 1}});
+  write_graph(path("g.agt"), g);
+  const csr32 h = read_graph32(path("g.agt"));
+  EXPECT_EQ(h.num_vertices(), g.num_vertices());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  EXPECT_FALSE(h.is_weighted());
+  for (vertex32 v = 0; v < 4; ++v) {
+    const auto a = g.neighbors(v), b = h.neighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST_F(GraphIoTest, RoundTripWeighted32) {
+  const csr32 g = build_csr<vertex32>(3, {{0, 1, 7}, {1, 2, 9}});
+  write_graph(path("w.agt"), g);
+  const csr32 h = read_graph32(path("w.agt"));
+  ASSERT_TRUE(h.is_weighted());
+  h.for_each_out_edge(0, [](vertex32 t, weight_t w) {
+    EXPECT_EQ(t, 1u);
+    EXPECT_EQ(w, 7u);
+  });
+}
+
+TEST_F(GraphIoTest, RoundTrip64BitIds) {
+  const csr64 g = build_csr<vertex64>(3, {{0, 2, 1}, {2, 1, 1}});
+  write_graph(path("g64.agt"), g);
+  const csr64 h = read_graph64(path("g64.agt"));
+  EXPECT_EQ(h.num_edges(), 2u);
+  EXPECT_EQ(h.neighbors(0)[0], 2u);
+}
+
+TEST_F(GraphIoTest, HeaderReflectsContents) {
+  const csr32 g = build_csr<vertex32>(5, {{0, 1, 3}});
+  write_graph(path("h.agt"), g);
+  const agt_header h = read_graph_header(path("h.agt"));
+  EXPECT_EQ(h.num_vertices, 5u);
+  EXPECT_EQ(h.num_edges, 1u);
+  EXPECT_TRUE(h.weighted());
+  EXPECT_FALSE(h.wide_ids());
+}
+
+TEST_F(GraphIoTest, IdWidthMismatchRejected) {
+  const csr32 g = build_csr<vertex32>(2, {{0, 1, 1}});
+  write_graph(path("m.agt"), g);
+  EXPECT_THROW(read_graph64(path("m.agt")), std::runtime_error);
+}
+
+TEST_F(GraphIoTest, BadMagicRejected) {
+  const std::string p = path("junk.agt");
+  std::FILE* f = std::fopen(p.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char junk[64] = "this is not a graph";
+  std::fwrite(junk, 1, sizeof(junk), f);
+  std::fclose(f);
+  EXPECT_THROW(read_graph32(p), std::runtime_error);
+  EXPECT_THROW(read_graph_header(p), std::runtime_error);
+}
+
+TEST_F(GraphIoTest, MissingFileRejected) {
+  EXPECT_THROW(read_graph32(path("nope.agt")), std::runtime_error);
+}
+
+TEST_F(GraphIoTest, TruncatedFileRejected) {
+  const csr32 g = build_csr<vertex32>(64, [] {
+    std::vector<edge<vertex32>> e;
+    for (vertex32 v = 0; v + 1 < 64; ++v) e.push_back({v, v + 1, 1});
+    return e;
+  }());
+  const std::string p = path("t.agt");
+  write_graph(p, g);
+  std::filesystem::resize_file(p, std::filesystem::file_size(p) / 2);
+  EXPECT_THROW(read_graph32(p), std::runtime_error);
+}
+
+TEST_F(GraphIoTest, EmptyGraphRoundTrips) {
+  const csr32 g = build_csr<vertex32>(3, {});
+  write_graph(path("e.agt"), g);
+  const csr32 h = read_graph32(path("e.agt"));
+  EXPECT_EQ(h.num_vertices(), 3u);
+  EXPECT_EQ(h.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace asyncgt

@@ -1,0 +1,45 @@
+#include "graph/graph_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/grid.hpp"
+#include "graph/builder.hpp"
+
+namespace asyncgt {
+namespace {
+
+TEST(GraphStats, DegreeSummaryOnStar) {
+  const csr32 g = star_graph<vertex32>(101);  // hub degree 100, leaves 1
+  const degree_summary s = compute_degree_summary(g);
+  EXPECT_EQ(s.max_degree, 100u);
+  EXPECT_EQ(s.isolated, 0u);
+  EXPECT_EQ(s.stats.count(), 101u);
+  // Top 1% (the hub) owns half the directed edge endpoints.
+  EXPECT_NEAR(s.top_fraction_edge_share, 0.5, 0.01);
+}
+
+TEST(GraphStats, IsolatedVerticesCounted) {
+  const csr32 g = build_csr<vertex32>(5, {{0, 1, 1}});
+  const degree_summary s = compute_degree_summary(g);
+  EXPECT_EQ(s.isolated, 4u);
+}
+
+TEST(GraphStats, SymmetricDetectsUndirected) {
+  build_options opt;
+  opt.symmetrize = true;
+  const csr32 u = build_csr<vertex32>(3, {{0, 1, 1}, {1, 2, 1}}, opt);
+  EXPECT_TRUE(is_symmetric(u));
+}
+
+TEST(GraphStats, AsymmetricDetectsDirected) {
+  const csr32 d = build_csr<vertex32>(3, {{0, 1, 1}, {1, 2, 1}});
+  EXPECT_FALSE(is_symmetric(d));
+}
+
+TEST(GraphStats, EmptyGraphIsSymmetric) {
+  const csr32 g = build_csr<vertex32>(4, {});
+  EXPECT_TRUE(is_symmetric(g));
+}
+
+}  // namespace
+}  // namespace asyncgt

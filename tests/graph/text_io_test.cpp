@@ -1,0 +1,119 @@
+#include "graph/text_io.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "gen/rmat.hpp"
+#include "gen/weights.hpp"
+#include "graph/builder.hpp"
+
+namespace asyncgt {
+namespace {
+
+class TextIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("agt_txt_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  void write_file(const std::string& name, const std::string& content) {
+    std::ofstream f(path(name));
+    f << content;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(TextIoTest, ParsesPlainEdges) {
+  write_file("a.txt", "0 1\n1 2\n2 0\n");
+  text_io_stats stats;
+  const auto edges = read_edge_list(path("a.txt"), &stats);
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], (edge<vertex32>{0, 1, 1}));
+  EXPECT_EQ(edges[2], (edge<vertex32>{2, 0, 1}));
+  EXPECT_EQ(stats.max_vertex_id, 2u);
+  EXPECT_FALSE(stats.any_weights);
+}
+
+TEST_F(TextIoTest, ParsesWeights) {
+  write_file("w.txt", "0 1 7\n1 0 9\n");
+  text_io_stats stats;
+  const auto edges = read_edge_list(path("w.txt"), &stats);
+  EXPECT_EQ(edges[0].weight, 7u);
+  EXPECT_EQ(edges[1].weight, 9u);
+  EXPECT_TRUE(stats.any_weights);
+}
+
+TEST_F(TextIoTest, SkipsCommentsAndBlankLines) {
+  write_file("c.txt", "# header\n% matrix-market style\n\n0 1\n\n# mid\n1 2\n");
+  text_io_stats stats;
+  const auto edges = read_edge_list(path("c.txt"), &stats);
+  EXPECT_EQ(edges.size(), 2u);
+  EXPECT_EQ(stats.comments, 3u);
+}
+
+TEST_F(TextIoTest, HandlesTabsAndExtraSpaces) {
+  write_file("t.txt", "  0\t1\n 1   2 \n");
+  EXPECT_EQ(read_edge_list(path("t.txt")).size(), 2u);
+}
+
+TEST_F(TextIoTest, MalformedLineThrowsWithLineNumber) {
+  write_file("m.txt", "0 1\nhello world\n");
+  try {
+    read_edge_list(path("m.txt"));
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST_F(TextIoTest, MissingDestinationThrows) {
+  write_file("half.txt", "42\n");
+  EXPECT_THROW(read_edge_list(path("half.txt")), std::runtime_error);
+}
+
+TEST_F(TextIoTest, MissingFileThrows) {
+  EXPECT_THROW(read_edge_list(path("nope.txt")), std::runtime_error);
+}
+
+TEST_F(TextIoTest, RoundTripUnweighted) {
+  const csr32 g = rmat_graph<vertex32>(rmat_a(7));
+  write_edge_list(path("rt.txt"), g);
+  const auto edges = read_edge_list(path("rt.txt"));
+  const csr32 h = build_csr<vertex32>(g.num_vertices(), edges);
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  for (vertex32 v = 0; v < g.num_vertices(); ++v) {
+    const auto a = g.neighbors(v), b = h.neighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST_F(TextIoTest, RoundTripWeighted) {
+  const csr32 g =
+      add_weights(rmat_graph<vertex32>(rmat_a(6)), weight_scheme::uniform, 1);
+  write_edge_list(path("rtw.txt"), g);
+  text_io_stats stats;
+  const auto edges = read_edge_list(path("rtw.txt"), &stats);
+  EXPECT_TRUE(stats.any_weights);
+  const csr32 h = build_csr<vertex32>(g.num_vertices(), edges);
+  ASSERT_TRUE(h.is_weighted());
+  for (vertex32 v = 0; v < g.num_vertices(); ++v) {
+    const auto wa = g.edge_weights(v), wb = h.edge_weights(v);
+    ASSERT_EQ(wa.size(), wb.size());
+    for (std::size_t i = 0; i < wa.size(); ++i) EXPECT_EQ(wa[i], wb[i]);
+  }
+}
+
+}  // namespace
+}  // namespace asyncgt

@@ -1,0 +1,139 @@
+#include "queue/dary_heap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <random>
+#include <vector>
+
+namespace asyncgt {
+namespace {
+
+using int_heap = dary_heap<int, std::less<int>>;
+
+TEST(DaryHeap, EmptyInitially) {
+  int_heap h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.size(), 0u);
+}
+
+TEST(DaryHeap, PushPopSingle) {
+  int_heap h;
+  h.push(42);
+  EXPECT_FALSE(h.empty());
+  EXPECT_EQ(h.top(), 42);
+  EXPECT_EQ(h.pop(), 42);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(DaryHeap, PopsInSortedOrder) {
+  int_heap h;
+  for (const int x : {5, 1, 9, 3, 7, 2, 8, 4, 6, 0}) h.push(x);
+  for (int expect = 0; expect < 10; ++expect) EXPECT_EQ(h.pop(), expect);
+}
+
+TEST(DaryHeap, HandlesDuplicates) {
+  int_heap h;
+  for (const int x : {3, 1, 3, 1, 2}) h.push(x);
+  EXPECT_EQ(h.pop(), 1);
+  EXPECT_EQ(h.pop(), 1);
+  EXPECT_EQ(h.pop(), 2);
+  EXPECT_EQ(h.pop(), 3);
+  EXPECT_EQ(h.pop(), 3);
+}
+
+TEST(DaryHeap, RandomizedAgainstSort) {
+  std::mt19937 rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    int_heap h;
+    std::vector<int> ref;
+    const int n = 1 + static_cast<int>(rng() % 500);
+    for (int i = 0; i < n; ++i) {
+      const int x = static_cast<int>(rng() % 1000);
+      h.push(x);
+      ref.push_back(x);
+    }
+    std::sort(ref.begin(), ref.end());
+    for (const int expect : ref) EXPECT_EQ(h.pop(), expect);
+    EXPECT_TRUE(h.empty());
+  }
+}
+
+TEST(DaryHeap, InterleavedPushPop) {
+  int_heap h;
+  h.push(5);
+  h.push(2);
+  EXPECT_EQ(h.pop(), 2);
+  h.push(1);
+  h.push(9);
+  EXPECT_EQ(h.pop(), 1);
+  EXPECT_EQ(h.pop(), 5);
+  h.push(0);
+  EXPECT_EQ(h.pop(), 0);
+  EXPECT_EQ(h.pop(), 9);
+}
+
+TEST(DaryHeap, AssignHeapifies) {
+  const std::vector<int> vals{9, 4, 7, 1, 8, 2, 6, 3, 5, 0};
+  int_heap h;
+  h.assign(vals.begin(), vals.end());
+  EXPECT_TRUE(h.is_valid_heap());
+  for (int expect = 0; expect < 10; ++expect) EXPECT_EQ(h.pop(), expect);
+}
+
+TEST(DaryHeap, AssignEmptyAndSingle) {
+  int_heap h;
+  const std::vector<int> none;
+  h.assign(none.begin(), none.end());
+  EXPECT_TRUE(h.empty());
+  const std::vector<int> one{7};
+  h.assign(one.begin(), one.end());
+  EXPECT_EQ(h.pop(), 7);
+}
+
+TEST(DaryHeap, ValidAfterEveryOperation) {
+  std::mt19937 rng(3);
+  int_heap h;
+  for (int i = 0; i < 2000; ++i) {
+    if (h.empty() || rng() % 3 != 0) {
+      h.push(static_cast<int>(rng() % 100));
+    } else {
+      h.pop();
+    }
+    ASSERT_TRUE(h.is_valid_heap());
+  }
+}
+
+TEST(DaryHeap, CustomComparatorMaxHeap) {
+  dary_heap<int, std::greater<int>> h;
+  for (const int x : {3, 9, 1}) h.push(x);
+  EXPECT_EQ(h.pop(), 9);
+  EXPECT_EQ(h.pop(), 3);
+  EXPECT_EQ(h.pop(), 1);
+}
+
+TEST(DaryHeap, BinaryArityWorksToo) {
+  dary_heap<int, std::less<int>, 2> h;
+  for (const int x : {4, 2, 8, 6}) h.push(x);
+  EXPECT_EQ(h.pop(), 2);
+  EXPECT_EQ(h.pop(), 4);
+  EXPECT_EQ(h.pop(), 6);
+  EXPECT_EQ(h.pop(), 8);
+}
+
+TEST(DaryHeap, StatefulReferenceComparator) {
+  struct flip_compare {
+    bool reversed = false;
+    bool operator()(int a, int b) const { return reversed ? b < a : a < b; }
+  };
+  flip_compare cmp;
+  dary_heap<int, flip_compare&> h(cmp);
+  h.push(1);
+  h.push(2);
+  EXPECT_EQ(h.pop(), 1);
+  EXPECT_EQ(h.pop(), 2);
+}
+
+}  // namespace
+}  // namespace asyncgt

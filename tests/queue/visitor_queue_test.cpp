@@ -1,0 +1,282 @@
+#include "queue/visitor_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "util/cache_line.hpp"
+
+namespace asyncgt {
+namespace {
+
+// A counting visitor: visiting vertex v spawns visitors for v's "children"
+// in an implicit binary tree over [0, n), counting every visit. This drives
+// the queue without any graph dependency.
+struct tree_state {
+  std::uint64_t n = 0;
+  std::vector<padded<std::uint64_t>> visits_per_thread;
+  explicit tree_state(std::uint64_t size, std::size_t threads)
+      : n(size), visits_per_thread(threads) {}
+};
+
+struct tree_visitor {
+  std::uint32_t vtx{};
+  std::uint32_t depth{};
+
+  std::uint32_t vertex() const noexcept { return vtx; }
+  std::uint32_t priority() const noexcept { return depth; }
+
+  template <typename State, typename Queue>
+  void visit(State& s, Queue& q, std::size_t tid) const {
+    ++s.visits_per_thread[tid].value;
+    const std::uint64_t left = 2ULL * vtx + 1;
+    const std::uint64_t right = 2ULL * vtx + 2;
+    if (left < s.n) {
+      q.push(tree_visitor{static_cast<std::uint32_t>(left), depth + 1});
+    }
+    if (right < s.n) {
+      q.push(tree_visitor{static_cast<std::uint32_t>(right), depth + 1});
+    }
+  }
+};
+
+// Visitor that records per-thread visit counts and spawns nothing.
+struct leaf_state {
+  std::vector<padded<std::uint64_t>> visits;
+  explicit leaf_state(std::size_t threads) : visits(threads) {}
+};
+
+struct leaf_visitor {
+  std::uint32_t vtx{};
+  std::uint32_t vertex() const noexcept { return vtx; }
+  std::uint32_t priority() const noexcept { return 0; }
+  template <typename State, typename Queue>
+  void visit(State& s, Queue&, std::size_t tid) const {
+    ++s.visits[tid].value;
+  }
+};
+
+// Visitor that records the order of observed priorities / vertices.
+struct order_state {
+  std::vector<std::uint32_t> order;
+};
+
+struct order_visitor {
+  std::uint32_t vtx{};
+  std::uint32_t prio{};
+  std::uint32_t vertex() const noexcept { return vtx; }
+  std::uint32_t priority() const noexcept { return prio; }
+  template <typename State, typename Queue>
+  void visit(State& s, Queue&, std::size_t) const {
+    s.order.push_back(prio);
+  }
+};
+
+struct vertex_order_visitor {
+  std::uint32_t vtx{};
+  std::uint32_t prio{};
+  std::uint32_t vertex() const noexcept { return vtx; }
+  std::uint32_t priority() const noexcept { return prio; }
+  template <typename State, typename Queue>
+  void visit(State& s, Queue&, std::size_t) const {
+    s.order.push_back(vtx);
+  }
+};
+
+std::uint64_t total_visits(const tree_state& s) {
+  std::uint64_t sum = 0;
+  for (const auto& v : s.visits_per_thread) sum += v.value;
+  return sum;
+}
+
+visitor_queue_config cfg_with(std::size_t threads,
+                              queue_order order = queue_order::priority) {
+  visitor_queue_config cfg;
+  cfg.num_threads = threads;
+  cfg.order = order;
+  return cfg;
+}
+
+TEST(VisitorQueue, VisitsEveryTreeNodeOnce) {
+  constexpr std::uint64_t kN = 4096;
+  for (const std::size_t threads : {1u, 2u, 8u, 64u}) {
+    tree_state state(kN, threads);
+    visitor_queue<tree_visitor, tree_state> q(cfg_with(threads));
+    q.push(tree_visitor{0, 0});
+    const auto stats = q.run(state);
+    EXPECT_EQ(total_visits(state), kN) << "threads=" << threads;
+    EXPECT_EQ(stats.visits, kN);
+    EXPECT_EQ(stats.pushes, kN);  // every node pushed exactly once
+  }
+}
+
+TEST(VisitorQueue, EmptyRunReturnsImmediately) {
+  tree_state state(0, 4);
+  visitor_queue<tree_visitor, tree_state> q(cfg_with(4));
+  const auto stats = q.run(state);
+  EXPECT_EQ(stats.visits, 0u);
+}
+
+TEST(VisitorQueue, ReusableAcrossRuns) {
+  constexpr std::uint64_t kN = 256;
+  tree_state state(kN, 4);
+  visitor_queue<tree_visitor, tree_state> q(cfg_with(4));
+  q.push(tree_visitor{0, 0});
+  EXPECT_EQ(q.run(state).visits, kN);
+  q.push(tree_visitor{0, 0});
+  EXPECT_EQ(q.run(state).visits, kN);  // stats reset between runs
+  EXPECT_EQ(total_visits(state), 2 * kN);
+}
+
+TEST(VisitorQueue, ZeroThreadsRejected) {
+  EXPECT_THROW((visitor_queue<tree_visitor, tree_state>(cfg_with(0))),
+               std::invalid_argument);
+}
+
+TEST(VisitorQueue, OversubscriptionManyMoreThreadsThanCores) {
+  constexpr std::uint64_t kN = 2048;
+  tree_state state(kN, 256);
+  visitor_queue<tree_visitor, tree_state> q(cfg_with(256));
+  q.push(tree_visitor{0, 0});
+  EXPECT_EQ(q.run(state).visits, kN);
+}
+
+TEST(VisitorQueue, FifoAndLifoOrdersAlsoComplete) {
+  constexpr std::uint64_t kN = 1024;
+  for (const queue_order ord : {queue_order::fifo, queue_order::lifo}) {
+    tree_state state(kN, 8);
+    visitor_queue<tree_visitor, tree_state> q(cfg_with(8, ord));
+    q.push(tree_visitor{0, 0});
+    EXPECT_EQ(q.run(state).visits, kN);
+  }
+}
+
+TEST(VisitorQueue, RunSeededVisitsAllSeeds) {
+  constexpr std::uint64_t kN = 10000;
+  for (const std::size_t threads : {1u, 3u, 16u}) {
+    leaf_state state(threads);
+    visitor_queue<leaf_visitor, leaf_state> q(cfg_with(threads));
+    const auto stats = q.run_seeded(state, kN, [](std::uint32_t v) {
+      return leaf_visitor{v};
+    });
+    std::uint64_t sum = 0;
+    for (const auto& v : state.visits) sum += v.value;
+    EXPECT_EQ(sum, kN) << "threads=" << threads;
+    EXPECT_EQ(stats.visits, kN);
+  }
+}
+
+TEST(VisitorQueue, RunSeededEmptyRange) {
+  tree_state state(0, 4);
+  visitor_queue<tree_visitor, tree_state> q(cfg_with(4));
+  const auto stats = q.run_seeded(state, 0, [](std::uint32_t v) {
+    return tree_visitor{v, 0};
+  });
+  EXPECT_EQ(stats.visits, 0u);
+}
+
+TEST(VisitorQueue, SingleThreadPopsInPriorityOrder) {
+  order_state state;
+  visitor_queue<order_visitor, order_state> q(cfg_with(1));
+  for (const std::uint32_t p : {5u, 1u, 4u, 2u, 3u}) {
+    q.push(order_visitor{p, p});
+  }
+  q.run(state);
+  const std::vector<std::uint32_t> expect{1, 2, 3, 4, 5};
+  EXPECT_EQ(state.order, expect);
+}
+
+TEST(VisitorQueue, FifoPopsInPushOrder) {
+  order_state state;
+  visitor_queue<order_visitor, order_state> q(cfg_with(1, queue_order::fifo));
+  for (const std::uint32_t p : {5u, 1u, 4u}) q.push(order_visitor{p, p});
+  q.run(state);
+  const std::vector<std::uint32_t> expect{5, 1, 4};
+  EXPECT_EQ(state.order, expect);
+}
+
+TEST(VisitorQueue, LifoPopsInReversePushOrder) {
+  order_state state;
+  visitor_queue<order_visitor, order_state> q(cfg_with(1, queue_order::lifo));
+  for (const std::uint32_t p : {5u, 1u, 4u}) q.push(order_visitor{p, p});
+  q.run(state);
+  const std::vector<std::uint32_t> expect{4, 1, 5};
+  EXPECT_EQ(state.order, expect);
+}
+
+TEST(VisitorQueue, SecondarySortBreaksTiesByVertex) {
+  visitor_queue_config cfg = cfg_with(1);
+  cfg.secondary_vertex_sort = true;
+  order_state vs;
+  visitor_queue<vertex_order_visitor, order_state> q(cfg);
+  q.push(vertex_order_visitor{30, 7});
+  q.push(vertex_order_visitor{10, 7});
+  q.push(vertex_order_visitor{20, 7});
+  q.run(vs);
+  const std::vector<std::uint32_t> expect{10, 20, 30};
+  EXPECT_EQ(vs.order, expect);
+}
+
+TEST(VisitorQueue, PrimaryPriorityStillWinsWithSecondarySort) {
+  visitor_queue_config cfg = cfg_with(1);
+  cfg.secondary_vertex_sort = true;
+  order_state vs;
+  visitor_queue<vertex_order_visitor, order_state> q(cfg);
+  q.push(vertex_order_visitor{10, 9});  // high vertex priority loses to prio
+  q.push(vertex_order_visitor{99, 1});
+  q.run(vs);
+  const std::vector<std::uint32_t> expect{99, 10};
+  EXPECT_EQ(vs.order, expect);
+}
+
+TEST(VisitorQueue, LoadBalanceAcrossQueues) {
+  // With the avalanche hash, seeded uniform vertices spread evenly.
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kN = 80000;
+  leaf_state state(kThreads);
+  visitor_queue<leaf_visitor, leaf_state> q(cfg_with(kThreads));
+  const auto stats = q.run_seeded(state, kN, [](std::uint32_t v) {
+    return leaf_visitor{v};
+  });
+  EXPECT_LT(stats.load_imbalance_cv(), 0.05);
+}
+
+TEST(VisitorQueue, IdentityHashRouting) {
+  // Identity routing assigns v % threads; a stream of ids all congruent to
+  // 0 mod threads must land on a single queue (the load-imbalance hazard
+  // the avalanche hash avoids).
+  visitor_queue_config cfg = cfg_with(4);
+  cfg.identity_hash = true;
+  leaf_state state(4);
+  visitor_queue<leaf_visitor, leaf_state> q(cfg);
+  for (std::uint32_t v = 0; v < 400; v += 4) {
+    q.push(leaf_visitor{v});
+  }
+  const auto stats = q.run(state);
+  EXPECT_EQ(stats.visits, 100u);
+  EXPECT_GT(stats.load_imbalance_cv(), 1.5);  // all work on one queue
+}
+
+TEST(VisitorQueue, StatsTrackMaxQueueLength) {
+  tree_state state(512, 1);
+  visitor_queue<tree_visitor, tree_state> q(cfg_with(1));
+  q.push(tree_visitor{0, 0});
+  const auto stats = q.run(state);
+  EXPECT_GE(stats.max_queue_length, 2u);  // tree fan-out must queue up
+  EXPECT_LE(stats.max_queue_length, 512u);
+}
+
+TEST(VisitorQueue, StressManyRunsNoDeadlock) {
+  // Repeated small runs shake out termination races.
+  for (int round = 0; round < 50; ++round) {
+    tree_state state(64, 16);
+    visitor_queue<tree_visitor, tree_state> q(cfg_with(16));
+    q.push(tree_visitor{0, 0});
+    EXPECT_EQ(q.run(state).visits, 64u);
+  }
+}
+
+}  // namespace
+}  // namespace asyncgt

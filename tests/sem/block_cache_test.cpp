@@ -1,0 +1,88 @@
+#include "sem/block_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace asyncgt::sem {
+namespace {
+
+TEST(BlockCache, ZeroCapacityRejected) {
+  EXPECT_THROW(block_cache{0}, std::invalid_argument);
+}
+
+TEST(BlockCache, FirstAccessMissesSecondHits) {
+  block_cache c(4);
+  EXPECT_FALSE(c.access(7));
+  EXPECT_TRUE(c.access(7));
+  EXPECT_EQ(c.counters().hits, 1u);
+  EXPECT_EQ(c.counters().misses, 1u);
+}
+
+TEST(BlockCache, EvictsLeastRecentlyUsed) {
+  block_cache c(2);
+  c.access(1);
+  c.access(2);
+  c.access(1);      // refresh 1; LRU is now 2
+  c.access(3);      // evicts 2
+  EXPECT_TRUE(c.access(1));
+  EXPECT_TRUE(c.access(3));
+  EXPECT_FALSE(c.access(2));  // was evicted
+  EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(BlockCache, SizeNeverExceedsCapacity) {
+  block_cache c(8);
+  for (std::uint64_t b = 0; b < 100; ++b) c.access(b);
+  EXPECT_EQ(c.size(), 8u);
+}
+
+TEST(BlockCache, HitRateComputation) {
+  block_cache c(16);
+  EXPECT_EQ(c.counters().hit_rate(), 0.0);
+  c.access(1);       // miss
+  c.access(1);       // hit
+  c.access(1);       // hit
+  c.access(2);       // miss
+  EXPECT_DOUBLE_EQ(c.counters().hit_rate(), 0.5);
+}
+
+TEST(BlockCache, ResetAndClear) {
+  block_cache c(4);
+  c.access(1);
+  c.access(1);
+  c.reset_counters();
+  EXPECT_EQ(c.counters().hits, 0u);
+  EXPECT_TRUE(c.access(1));  // contents survived reset_counters
+  c.clear();
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_FALSE(c.access(1));  // contents gone after clear
+}
+
+TEST(BlockCache, SequentialScanWithCapacityHasHighHitRateOnSecondPass) {
+  block_cache c(64);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint64_t b = 0; b < 64; ++b) c.access(b);
+  }
+  EXPECT_DOUBLE_EQ(c.counters().hit_rate(), 0.5);  // 64 misses, 64 hits
+}
+
+TEST(BlockCache, ThreadSafetyUnderConcurrentAccess) {
+  block_cache c(128);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < 5000; ++i) {
+        c.access((i + static_cast<std::uint64_t>(t) * 13) % 256);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto counters = c.counters();
+  EXPECT_EQ(counters.hits + counters.misses, 8u * 5000u);
+  EXPECT_LE(c.size(), 128u);
+}
+
+}  // namespace
+}  // namespace asyncgt::sem

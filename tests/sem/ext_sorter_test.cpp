@@ -1,0 +1,139 @@
+#include "sem/ext_sorter.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <random>
+#include <vector>
+
+namespace asyncgt::sem {
+namespace {
+
+class ExtSorterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("agt_sort_" + std::to_string(::getpid()));
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(ExtSorterTest, EmptyInput) {
+  ext_sorter<int> s(1024, dir_);
+  int count = 0;
+  s.merge([&](const int&) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST_F(ExtSorterTest, InMemoryPathWhenUnderBudget) {
+  ext_sorter<int> s(1 << 20, dir_);
+  for (const int x : {5, 3, 9, 1}) s.add(x);
+  EXPECT_EQ(s.stats().runs, 0u);  // no spill
+  std::vector<int> out;
+  s.merge([&](const int& x) { out.push_back(x); });
+  EXPECT_EQ(out, (std::vector<int>{1, 3, 5, 9}));
+}
+
+TEST_F(ExtSorterTest, SpillsAndMergesManyRuns) {
+  // Budget of 16 ints forces ~60 runs over 1000 records.
+  ext_sorter<int> s(16 * sizeof(int), dir_);
+  std::mt19937 rng(7);
+  std::vector<int> ref;
+  for (int i = 0; i < 1000; ++i) {
+    const int x = static_cast<int>(rng() % 10000);
+    s.add(x);
+    ref.push_back(x);
+  }
+  EXPECT_GT(s.stats().runs, 10u);
+  std::sort(ref.begin(), ref.end());
+  std::vector<int> out;
+  s.merge([&](const int& x) { out.push_back(x); });
+  EXPECT_EQ(out, ref);
+}
+
+TEST_F(ExtSorterTest, DuplicatesSurviveSorting) {
+  ext_sorter<int> s(8 * sizeof(int), dir_);
+  for (int i = 0; i < 100; ++i) s.add(42);
+  int count = 0;
+  s.merge([&](const int& x) {
+    EXPECT_EQ(x, 42);
+    ++count;
+  });
+  EXPECT_EQ(count, 100);
+}
+
+TEST_F(ExtSorterTest, CustomComparatorDescending) {
+  ext_sorter<int, std::greater<int>> s(4 * sizeof(int), dir_);
+  for (const int x : {1, 9, 5, 3, 7, 2, 8}) s.add(x);
+  std::vector<int> out;
+  s.merge([&](const int& x) { out.push_back(x); });
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end(), std::greater<int>()));
+  EXPECT_EQ(out.size(), 7u);
+}
+
+TEST_F(ExtSorterTest, StructRecordsSortedByCompositeKey) {
+  struct rec {
+    std::uint32_t a;
+    std::uint32_t b;
+    bool operator<(const rec& y) const {
+      return a != y.a ? a < y.a : b < y.b;
+    }
+  };
+  ext_sorter<rec> s(8 * sizeof(rec), dir_);
+  std::mt19937 rng(3);
+  for (int i = 0; i < 500; ++i) {
+    s.add({static_cast<std::uint32_t>(rng() % 50),
+           static_cast<std::uint32_t>(rng() % 50)});
+  }
+  rec prev{0, 0};
+  bool first = true;
+  s.merge([&](const rec& r) {
+    if (!first) EXPECT_FALSE(r < prev);
+    prev = r;
+    first = false;
+  });
+}
+
+TEST_F(ExtSorterTest, MergeTwiceRejected) {
+  ext_sorter<int> s(1024, dir_);
+  s.add(1);
+  s.merge([](const int&) {});
+  EXPECT_THROW(s.merge([](const int&) {}), std::logic_error);
+}
+
+TEST_F(ExtSorterTest, AddAfterMergeRejected) {
+  ext_sorter<int> s(1024, dir_);
+  s.merge([](const int&) {});
+  EXPECT_THROW(s.add(1), std::logic_error);
+}
+
+TEST_F(ExtSorterTest, StatsTrackSpills) {
+  ext_sorter<std::uint64_t> s(4 * sizeof(std::uint64_t), dir_);
+  for (std::uint64_t i = 0; i < 20; ++i) s.add(i);
+  EXPECT_EQ(s.stats().records, 20u);
+  EXPECT_EQ(s.stats().runs, 5u);
+  EXPECT_EQ(s.stats().spilled_bytes, 20u * sizeof(std::uint64_t));
+}
+
+TEST_F(ExtSorterTest, RunFilesCleanedUpOnDestruction) {
+  {
+    ext_sorter<int> s(4 * sizeof(int), dir_);
+    for (int i = 0; i < 64; ++i) s.add(i);
+    EXPECT_FALSE(std::filesystem::is_empty(dir_));
+  }
+  // All run files removed by the destructor.
+  std::size_t remaining = 0;
+  if (std::filesystem::exists(dir_)) {
+    for ([[maybe_unused]] const auto& e :
+         std::filesystem::directory_iterator(dir_)) {
+      ++remaining;
+    }
+  }
+  EXPECT_EQ(remaining, 0u);
+}
+
+}  // namespace
+}  // namespace asyncgt::sem

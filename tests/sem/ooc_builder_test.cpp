@@ -1,0 +1,164 @@
+#include "sem/ooc_builder.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "gen/rmat.hpp"
+#include "gen/weights.hpp"
+#include "graph/builder.hpp"
+#include "graph/graph_io.hpp"
+#include "sem/sem_csr.hpp"
+
+namespace asyncgt::sem {
+namespace {
+
+class OocBuilderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("agt_ooc_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  ooc_build_options tiny_budget() const {
+    ooc_build_options opt;
+    opt.memory_budget_bytes = 256;  // force many spill runs
+    opt.scratch_dir = dir_ / "scratch";
+    return opt;
+  }
+
+  std::string out(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  static bool files_identical(const std::string& a, const std::string& b) {
+    std::ifstream fa(a, std::ios::binary), fb(b, std::ios::binary);
+    const std::string ca((std::istreambuf_iterator<char>(fa)),
+                         std::istreambuf_iterator<char>());
+    const std::string cb((std::istreambuf_iterator<char>(fb)),
+                         std::istreambuf_iterator<char>());
+    return !ca.empty() && ca == cb;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(OocBuilderTest, ByteIdenticalToInMemoryBuilderUnweighted) {
+  const rmat_params p = rmat_a(9, 13);
+  const auto edges = rmat_edges<vertex32>(p);
+
+  const csr32 im = build_csr<vertex32>(p.num_vertices(), edges);
+  write_graph(out("im.agt"), im);
+
+  ooc_graph_builder<vertex32> b(p.num_vertices(), out("ooc.agt"),
+                                tiny_budget());
+  for (const auto& e : edges) b.add_edge(e.src, e.dst, e.weight);
+  const auto stats = b.finalize();
+
+  EXPECT_GT(stats.sort_runs, 2u);  // the tiny budget really spilled
+  EXPECT_EQ(stats.output_edges, im.num_edges());
+  EXPECT_TRUE(files_identical(out("im.agt"), out("ooc.agt")));
+}
+
+TEST_F(OocBuilderTest, ByteIdenticalToInMemoryBuilderWeighted) {
+  const rmat_params p = rmat_a(8, 21);
+  auto edges = rmat_edges<vertex32>(p);
+  for (auto& e : edges) {
+    e.weight = make_weight(weight_scheme::uniform, e.src, e.dst,
+                           p.num_vertices(), 5);
+  }
+  const csr32 im = build_csr<vertex32>(p.num_vertices(), edges);
+  write_graph(out("imw.agt"), im);
+
+  ooc_graph_builder<vertex32> b(p.num_vertices(), out("oocw.agt"),
+                                tiny_budget());
+  for (const auto& e : edges) b.add_edge(e.src, e.dst, e.weight);
+  b.finalize();
+  EXPECT_TRUE(files_identical(out("imw.agt"), out("oocw.agt")));
+}
+
+TEST_F(OocBuilderTest, SymmetrizeMatchesInMemory) {
+  const rmat_params p = rmat_b(8, 3);
+  const auto edges = rmat_edges<vertex32>(p);
+  build_options im_opt;
+  im_opt.symmetrize = true;
+  const csr32 im = build_csr<vertex32>(p.num_vertices(), edges, im_opt);
+  write_graph(out("ims.agt"), im);
+
+  ooc_build_options opt = tiny_budget();
+  opt.symmetrize = true;
+  ooc_graph_builder<vertex32> b(p.num_vertices(), out("oocs.agt"), opt);
+  for (const auto& e : edges) b.add_edge(e.src, e.dst, e.weight);
+  b.finalize();
+  EXPECT_TRUE(files_identical(out("ims.agt"), out("oocs.agt")));
+}
+
+TEST_F(OocBuilderTest, RemovesSelfLoopsAndDuplicates) {
+  ooc_graph_builder<vertex32> b(3, out("d.agt"), tiny_budget());
+  b.add_edge(0, 0);  // self loop
+  b.add_edge(0, 1);
+  b.add_edge(0, 1);  // duplicate
+  b.add_edge(1, 2);
+  const auto stats = b.finalize();
+  EXPECT_EQ(stats.input_edges, 4u);
+  EXPECT_EQ(stats.output_edges, 2u);
+  const csr32 g = read_graph32(out("d.agt"));
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST_F(OocBuilderTest, DuplicateKeepsLowestWeight) {
+  ooc_graph_builder<vertex32> b(2, out("w.agt"), tiny_budget());
+  b.add_edge(0, 1, 9);
+  b.add_edge(0, 1, 3);
+  b.finalize();
+  const csr32 g = read_graph32(out("w.agt"));
+  g.for_each_out_edge(0, [](vertex32, weight_t w) { EXPECT_EQ(w, 3u); });
+}
+
+TEST_F(OocBuilderTest, OutOfRangeEdgeRejected) {
+  ooc_graph_builder<vertex32> b(2, out("x.agt"), tiny_budget());
+  EXPECT_THROW(b.add_edge(0, 5), std::invalid_argument);
+}
+
+TEST_F(OocBuilderTest, DoubleFinalizeRejected) {
+  ooc_graph_builder<vertex32> b(2, out("y.agt"), tiny_budget());
+  b.add_edge(0, 1);
+  b.finalize();
+  EXPECT_THROW(b.finalize(), std::logic_error);
+}
+
+TEST_F(OocBuilderTest, OutputTraversableSemiExternally) {
+  const rmat_params p = rmat_a(8, 99);
+  ooc_graph_builder<vertex32> b(p.num_vertices(), out("t.agt"),
+                                tiny_budget());
+  for (const auto& e : rmat_edges<vertex32>(p)) {
+    b.add_edge(e.src, e.dst, e.weight);
+  }
+  b.finalize();
+  sem_csr32 sg(out("t.agt"));
+  EXPECT_EQ(sg.num_vertices(), p.num_vertices());
+  std::uint64_t edges_seen = 0;
+  for (vertex32 v = 0; v < sg.num_vertices(); ++v) {
+    sg.for_each_out_edge(v, [&](vertex32 t, weight_t) {
+      EXPECT_LT(t, sg.num_vertices());
+      ++edges_seen;
+    });
+  }
+  EXPECT_EQ(edges_seen, sg.num_edges());
+}
+
+TEST_F(OocBuilderTest, EmptyGraph) {
+  ooc_graph_builder<vertex32> b(4, out("e.agt"), tiny_budget());
+  const auto stats = b.finalize();
+  EXPECT_EQ(stats.output_edges, 0u);
+  const csr32 g = read_graph32(out("e.agt"));
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace asyncgt::sem

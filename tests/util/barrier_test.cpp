@@ -1,0 +1,68 @@
+#include "util/barrier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace asyncgt {
+namespace {
+
+TEST(ThreadBarrier, SingleParticipantNeverBlocks) {
+  thread_barrier b(1);
+  EXPECT_TRUE(b.arrive_and_wait());
+  EXPECT_TRUE(b.arrive_and_wait());
+  EXPECT_EQ(b.crossings(), 2u);
+}
+
+TEST(ThreadBarrier, ExactlyOneSerialThreadPerGeneration) {
+  constexpr std::size_t kThreads = 8;
+  constexpr int kRounds = 50;
+  thread_barrier b(kThreads);
+  std::atomic<int> serial_count{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        if (b.arrive_and_wait()) serial_count.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(serial_count.load(), kRounds);
+  EXPECT_EQ(b.crossings(), static_cast<std::uint64_t>(kRounds));
+}
+
+TEST(ThreadBarrier, SynchronizesPhases) {
+  // No thread may enter phase p+1 before all threads finished phase p.
+  constexpr std::size_t kThreads = 6;
+  constexpr int kRounds = 30;
+  thread_barrier b(kThreads);
+  std::atomic<int> in_phase{0};
+  std::atomic<bool> violation{false};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        in_phase.fetch_add(1);
+        b.arrive_and_wait();
+        // All kThreads must have incremented before anyone proceeds.
+        if (in_phase.load() < static_cast<int>(kThreads) * (r + 1)) {
+          violation.store(true);
+        }
+        b.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(violation.load());
+}
+
+TEST(ThreadBarrier, ReportsParties) {
+  thread_barrier b(5);
+  EXPECT_EQ(b.parties(), 5u);
+}
+
+}  // namespace
+}  // namespace asyncgt

@@ -1,0 +1,75 @@
+#include "util/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace asyncgt {
+namespace {
+
+TEST(Mix64, BijectiveOnSamples) {
+  // mix64 is invertible; distinct inputs must map to distinct outputs.
+  std::vector<std::uint64_t> outs;
+  for (std::uint64_t i = 0; i < 10000; ++i) outs.push_back(mix64(i));
+  std::sort(outs.begin(), outs.end());
+  EXPECT_EQ(std::adjacent_find(outs.begin(), outs.end()), outs.end());
+}
+
+TEST(Mix64, AvalanchesLowBits) {
+  // Flipping one input bit should flip roughly half the output bits.
+  int total_flips = 0;
+  constexpr int kTrials = 256;
+  for (std::uint64_t i = 0; i < kTrials; ++i) {
+    const std::uint64_t a = mix64(i);
+    const std::uint64_t b = mix64(i ^ 1);
+    total_flips += __builtin_popcountll(a ^ b);
+  }
+  const double mean_flips = static_cast<double>(total_flips) / kTrials;
+  EXPECT_GT(mean_flips, 24.0);
+  EXPECT_LT(mean_flips, 40.0);
+}
+
+TEST(Mix32, BijectiveOnSamples) {
+  std::vector<std::uint32_t> outs;
+  for (std::uint32_t i = 0; i < 10000; ++i) outs.push_back(mix32(i));
+  std::sort(outs.begin(), outs.end());
+  EXPECT_EQ(std::adjacent_find(outs.begin(), outs.end()), outs.end());
+}
+
+TEST(QueueOf, InRange) {
+  for (std::size_t q : {1, 2, 3, 7, 16, 512}) {
+    for (std::uint32_t v = 0; v < 1000; ++v) {
+      EXPECT_LT(queue_of(v, q), q);
+      EXPECT_LT((queue_of<std::uint64_t>(v, q)), q);
+    }
+  }
+}
+
+TEST(QueueOf, Deterministic) {
+  for (std::uint32_t v = 0; v < 100; ++v) {
+    EXPECT_EQ(queue_of(v, 16), queue_of(v, 16));
+  }
+}
+
+TEST(QueueOf, SequentialIdsSpreadAcrossQueues) {
+  // Sequential ids — the layout where hubs cluster — must not all land on
+  // the same few queues. Expect every queue hit and a near-uniform spread.
+  constexpr std::size_t kQueues = 16;
+  std::vector<int> counts(kQueues, 0);
+  constexpr int kIds = 16000;
+  for (std::uint32_t v = 0; v < kIds; ++v) ++counts[queue_of(v, kQueues)];
+  const double expected = static_cast<double>(kIds) / kQueues;
+  for (const int c : counts) {
+    EXPECT_GT(c, expected * 0.8);
+    EXPECT_LT(c, expected * 1.2);
+  }
+}
+
+TEST(QueueOfIdentity, IsModulo) {
+  EXPECT_EQ(queue_of_identity(std::uint32_t{17}, 16), 1u);
+  EXPECT_EQ(queue_of_identity(std::uint64_t{32}, 16), 0u);
+}
+
+}  // namespace
+}  // namespace asyncgt

@@ -1,0 +1,80 @@
+#include "util/semaphore.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace asyncgt {
+namespace {
+
+TEST(BoundedSemaphore, TryAcquireRespectsCount) {
+  bounded_semaphore sem(2);
+  EXPECT_TRUE(sem.try_acquire());
+  EXPECT_TRUE(sem.try_acquire());
+  EXPECT_FALSE(sem.try_acquire());
+  sem.release();
+  EXPECT_TRUE(sem.try_acquire());
+  sem.release();
+  sem.release();
+}
+
+TEST(BoundedSemaphore, AcquireBlocksUntilRelease) {
+  bounded_semaphore sem(1);
+  sem.acquire();
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    sem.acquire();
+    acquired.store(true);
+    sem.release();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(acquired.load());
+  sem.release();
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+}
+
+TEST(BoundedSemaphore, BoundsConcurrentHolders) {
+  constexpr std::int64_t kLimit = 4;
+  bounded_semaphore sem(kLimit);
+  std::atomic<std::int64_t> inside{0};
+  std::atomic<std::int64_t> max_inside{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 16; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        semaphore_guard guard(sem);
+        const std::int64_t now = inside.fetch_add(1) + 1;
+        std::int64_t seen = max_inside.load();
+        while (now > seen && !max_inside.compare_exchange_weak(seen, now)) {
+        }
+        inside.fetch_sub(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_LE(max_inside.load(), kLimit);
+  EXPECT_LE(sem.high_water_mark(), kLimit);
+  EXPECT_GE(sem.high_water_mark(), 1);
+}
+
+TEST(BoundedSemaphore, HighWaterMarkTracksPeak) {
+  bounded_semaphore sem(3);
+  sem.acquire();
+  sem.acquire();
+  EXPECT_EQ(sem.high_water_mark(), 2);
+  sem.release();
+  sem.acquire();  // back to 2 concurrent, peak unchanged
+  EXPECT_EQ(sem.high_water_mark(), 2);
+  sem.acquire();
+  EXPECT_EQ(sem.high_water_mark(), 3);
+  sem.release();
+  sem.release();
+  sem.release();
+}
+
+}  // namespace
+}  // namespace asyncgt

@@ -1,0 +1,97 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace asyncgt {
+namespace {
+
+TEST(SummaryStats, EmptyIsZero) {
+  summary_stats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(SummaryStats, SingleValue) {
+  summary_stats s;
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 42.0);
+  EXPECT_EQ(s.min(), 42.0);
+  EXPECT_EQ(s.max(), 42.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(SummaryStats, KnownSequence) {
+  summary_stats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  // Sample variance of the sequence is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(SummaryStats, NegativeValues) {
+  summary_stats s;
+  s.add(-3.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), -3.0);
+  EXPECT_EQ(s.max(), 3.0);
+  EXPECT_EQ(s.cv(), 0.0);  // mean 0 -> defined as 0
+}
+
+TEST(SummaryStats, CvOfConstantIsZero) {
+  summary_stats s;
+  for (int i = 0; i < 10; ++i) s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.cv(), 0.0);
+}
+
+TEST(Log2Histogram, BucketsByPowerOfTwo) {
+  log2_histogram h;
+  h.add(0);
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  h.add(4);
+  h.add(1023);
+  h.add(1024);
+  EXPECT_EQ(h.bucket_count(0), 2u);  // 0 and 1
+  EXPECT_EQ(h.bucket_count(1), 2u);  // 2, 3
+  EXPECT_EQ(h.bucket_count(2), 1u);  // 4
+  EXPECT_EQ(h.bucket_count(9), 1u);  // 512..1023
+  EXPECT_EQ(h.bucket_count(10), 1u); // 1024..2047
+  EXPECT_EQ(h.total(), 7u);
+}
+
+TEST(Log2Histogram, OutOfRangeBucketIsZero) {
+  log2_histogram h;
+  h.add(5);
+  EXPECT_EQ(h.bucket_count(50), 0u);
+}
+
+TEST(Percentile, MedianAndExtremes) {
+  std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks) {
+  std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.5);
+}
+
+TEST(Percentile, EmptyReturnsZero) {
+  EXPECT_EQ(percentile({}, 50), 0.0);
+}
+
+}  // namespace
+}  // namespace asyncgt

@@ -1,0 +1,66 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace asyncgt {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  text_table t;
+  t.header({"graph", "time (s)"});
+  t.row({"rmat-a", "1.234"});
+  t.row({"rmat-b", "0.5"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("graph"), std::string::npos);
+  EXPECT_NE(out.find("rmat-a"), std::string::npos);
+  EXPECT_NE(out.find("1.234"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAligned) {
+  text_table t;
+  t.header({"a", "b"});
+  t.row({"xxxxxx", "y"});
+  const std::string out = t.render();
+  // Every line should have the same length (fixed-width rendering).
+  std::size_t first_len = std::string::npos;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t nl = out.find('\n', pos);
+    const std::size_t len = nl - pos;
+    if (first_len == std::string::npos) first_len = len;
+    EXPECT_EQ(len, first_len);
+    pos = nl + 1;
+  }
+}
+
+TEST(TextTable, RowArityMismatchThrows) {
+  text_table t;
+  t.header({"a", "b"});
+  EXPECT_THROW(t.row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, DoubleHeaderThrows) {
+  text_table t;
+  t.header({"a"});
+  EXPECT_THROW(t.header({"b"}), std::logic_error);
+}
+
+TEST(FmtHelpers, Seconds) {
+  EXPECT_EQ(fmt_seconds(1.2345), "1.234");
+  EXPECT_EQ(fmt_seconds(-1.0), "n/a");
+}
+
+TEST(FmtHelpers, Ratio) {
+  EXPECT_EQ(fmt_ratio(2.5), "2.50x");
+  EXPECT_EQ(fmt_ratio(std::numeric_limits<double>::infinity()), "n/a");
+}
+
+TEST(FmtHelpers, CountGrouping) {
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(1000), "1,000");
+  EXPECT_EQ(fmt_count(1234567), "1,234,567");
+}
+
+}  // namespace
+}  // namespace asyncgt

@@ -1,0 +1,357 @@
+// agt — command-line utility for .agt graph files.
+//
+// Subcommands:
+//   generate  --type=rmat-a|rmat-b|web|grid|chain --out=FILE [...]
+//             synthesize a graph and write it to disk
+//   info      FILE                 print header, sizes, degree statistics
+//   validate  FILE                 structural integrity check (offsets,
+//                                  target ranges, symmetry probe)
+//   bfs       FILE [--start=N] [--threads=16] [--sem] [--device=NAME]
+//   sssp      FILE [--start=N] [--threads=16] [--sem] [--device=NAME]
+//   cc        FILE [--threads=16] [--sem] [--device=NAME]
+//   pagerank  FILE [--threads=16] [--alpha=0.85] [--top=10] [--sem] [...]
+//   kcore     FILE [--threads=16] [--sem] [...]
+//   metrics   FILE [--sweeps=2] [--samples=3]   diameter/path-length stats
+//   import    EDGELIST.txt --out=FILE [--vertices=N] [--undirected]
+//   export    FILE --out=EDGELIST.txt
+//
+// `generate --out-of-core` builds the file through the external sorter with
+// a bounded memory budget (--memory-mb), the workflow needed when the edge
+// set exceeds RAM. The traversal subcommands run either in-memory or
+// (--sem) semi-externally over a simulated device, printing the same
+// summary either way — a handy smoke test that the two storage paths agree.
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <string>
+
+#include "asyncgt.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace asyncgt;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: agt_tool <generate|info|validate|bfs|sssp|cc> ...\n"
+               "  generate --type=rmat-a|rmat-b|web|grid|chain --out=FILE\n"
+               "           [--scale=16] [--edge-factor=16] [--seed=42]\n"
+               "           [--undirected] [--weights=none|uw|luw]\n"
+               "           [--hosts=500] [--width=256] [--height=256]\n"
+               "  info FILE\n"
+               "  validate FILE\n"
+               "  bfs|sssp FILE [--start=0] [--threads=16] [--sem]\n"
+               "           [--device=fusionio|intel|corsair] "
+               "[--time-scale=1]\n"
+               "  cc FILE [--threads=16] [--sem] [--device=...]\n");
+  return 2;
+}
+
+csr32 generate_graph(const options& opt) {
+  const std::string type = opt.get_string("type", "rmat-a");
+  const auto scale = static_cast<unsigned>(opt.get_int("scale", 16));
+  const auto seed = static_cast<std::uint64_t>(opt.get_int("seed", 42));
+  const bool undirected = opt.get_bool("undirected", false);
+
+  csr32 g;
+  if (type == "rmat-a" || type == "rmat-b") {
+    rmat_params p = type == "rmat-a" ? rmat_a(scale, seed) : rmat_b(scale, seed);
+    p.edge_factor = static_cast<unsigned>(opt.get_int("edge-factor", 16));
+    g = undirected ? rmat_graph_undirected<vertex32>(p)
+                   : rmat_graph<vertex32>(p);
+  } else if (type == "web") {
+    webgen_params p;
+    p.num_hosts = static_cast<std::uint64_t>(opt.get_int("hosts", 500));
+    p.seed = seed;
+    g = webgen_graph<vertex32>(p);  // always symmetric
+  } else if (type == "grid") {
+    g = grid_graph<vertex32>(
+        static_cast<std::uint64_t>(opt.get_int("width", 256)),
+        static_cast<std::uint64_t>(opt.get_int("height", 256)));
+  } else if (type == "chain") {
+    g = chain_graph<vertex32>(
+        static_cast<std::uint64_t>(opt.get_int("length", 1 << 16)),
+        undirected);
+  } else {
+    throw std::invalid_argument("unknown --type '" + type + "'");
+  }
+
+  const std::string weights = opt.get_string("weights", "none");
+  if (weights == "uw") {
+    g = add_weights(g, weight_scheme::uniform, seed);
+  } else if (weights == "luw") {
+    g = add_weights(g, weight_scheme::log_uniform, seed);
+  } else if (weights != "none") {
+    throw std::invalid_argument("unknown --weights '" + weights + "'");
+  }
+  return g;
+}
+
+int cmd_generate(const options& opt) {
+  const std::string out = opt.get_string("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "generate: --out=FILE is required\n");
+    return 2;
+  }
+  wall_timer t;
+  if (opt.get_bool("out-of-core", false)) {
+    // Stream RMAT edges straight through the external sorter: never holds
+    // the edge set in memory (O(V) degree array only).
+    const std::string type = opt.get_string("type", "rmat-a");
+    if (type != "rmat-a" && type != "rmat-b") {
+      std::fprintf(stderr, "generate: --out-of-core supports rmat types\n");
+      return 2;
+    }
+    const auto scale = static_cast<unsigned>(opt.get_int("scale", 16));
+    const auto seed = static_cast<std::uint64_t>(opt.get_int("seed", 42));
+    rmat_params p = type == "rmat-a" ? rmat_a(scale, seed) : rmat_b(scale, seed);
+    p.edge_factor = static_cast<unsigned>(opt.get_int("edge-factor", 16));
+    sem::ooc_build_options bopt;
+    bopt.memory_budget_bytes =
+        static_cast<std::uint64_t>(opt.get_int("memory-mb", 64)) << 20;
+    bopt.symmetrize = opt.get_bool("undirected", false);
+    sem::ooc_graph_builder<vertex32> builder(p.num_vertices(), out, bopt);
+    for (std::uint64_t i = 0; i < p.num_edges(); ++i) {
+      const auto e = rmat_edge<vertex32>(p, i);
+      builder.add_edge(e.src, e.dst, e.weight);
+    }
+    const auto stats = builder.finalize();
+    std::printf("wrote %s out-of-core: %llu edges in, %llu out, %llu sort "
+                "runs, %llu MiB spilled (%.2fs)\n",
+                out.c_str(),
+                static_cast<unsigned long long>(stats.input_edges),
+                static_cast<unsigned long long>(stats.output_edges),
+                static_cast<unsigned long long>(stats.sort_runs),
+                static_cast<unsigned long long>(stats.spilled_bytes >> 20),
+                t.elapsed_seconds());
+    return 0;
+  }
+  const csr32 g = generate_graph(opt);
+  write_graph(out, g);
+  std::printf("wrote %s: %llu vertices, %llu edges%s (%.2fs)\n", out.c_str(),
+              static_cast<unsigned long long>(g.num_vertices()),
+              static_cast<unsigned long long>(g.num_edges()),
+              g.is_weighted() ? ", weighted" : "", t.elapsed_seconds());
+  return 0;
+}
+
+int cmd_import(const options& opt) {
+  if (opt.positional().size() < 2) return usage();
+  const std::string out = opt.get_string("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "import: --out=FILE is required\n");
+    return 2;
+  }
+  text_io_stats stats;
+  auto edges = read_edge_list(opt.positional()[1], &stats);
+  const std::uint64_t n = std::max<std::uint64_t>(
+      static_cast<std::uint64_t>(opt.get_int("vertices", 0)),
+      stats.edges > 0 ? stats.max_vertex_id + 1 : 0);
+  build_options bopt;
+  bopt.symmetrize = opt.get_bool("undirected", false);
+  const csr32 g = build_csr<vertex32>(n, std::move(edges), bopt);
+  write_graph(out, g);
+  std::printf("imported %s: %llu vertices, %llu edges%s -> %s\n",
+              opt.positional()[1].c_str(),
+              static_cast<unsigned long long>(g.num_vertices()),
+              static_cast<unsigned long long>(g.num_edges()),
+              g.is_weighted() ? " (weighted)" : "", out.c_str());
+  return 0;
+}
+
+int cmd_export(const options& opt) {
+  if (opt.positional().size() < 2) return usage();
+  const std::string out = opt.get_string("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "export: --out=FILE is required\n");
+    return 2;
+  }
+  const csr32 g = read_graph32(opt.positional()[1]);
+  write_edge_list(out, g);
+  std::printf("exported %llu edges to %s\n",
+              static_cast<unsigned long long>(g.num_edges()), out.c_str());
+  return 0;
+}
+
+int cmd_info(const options& opt) {
+  if (opt.positional().size() < 2) return usage();
+  const std::string path = opt.positional()[1];
+  const agt_header h = read_graph_header(path);
+  std::printf("file        : %s\n", path.c_str());
+  std::printf("vertices    : %s\n", fmt_count(h.num_vertices).c_str());
+  std::printf("edges       : %s\n", fmt_count(h.num_edges).c_str());
+  std::printf("weighted    : %s\n", h.weighted() ? "yes" : "no");
+  std::printf("id width    : %s-bit\n", h.wide_ids() ? "64" : "32");
+  const csr32 g = read_graph32(path);
+  const degree_summary s = compute_degree_summary(g);
+  std::printf("degree      : %s\n", s.stats.to_string().c_str());
+  std::printf("max degree  : %s\n", fmt_count(s.max_degree).c_str());
+  std::printf("isolated    : %s\n", fmt_count(s.isolated).c_str());
+  std::printf("top-1%% edge share: %.1f%%\n",
+              100.0 * s.top_fraction_edge_share);
+  std::printf("symmetric   : %s\n", is_symmetric(g) ? "yes" : "no");
+  std::printf("degree histogram:\n%s", s.histogram.to_string().c_str());
+  return 0;
+}
+
+int cmd_validate(const options& opt) {
+  if (opt.positional().size() < 2) return usage();
+  const std::string path = opt.positional()[1];
+  const agt_header h = read_graph_header(path);
+  const csr32 g = read_graph32(path);  // throws on truncation/corruption
+  if (g.num_vertices() != h.num_vertices ||
+      g.num_edges() != h.num_edges) {
+    std::printf("FAIL: header/content mismatch\n");
+    return 1;
+  }
+  for (vertex32 v = 0; v < g.num_vertices(); ++v) {
+    for (const vertex32 t : g.neighbors(v)) {
+      if (t >= g.num_vertices()) {
+        std::printf("FAIL: edge %u->%u out of range\n", v, t);
+        return 1;
+      }
+    }
+  }
+  std::printf("ok: %s is a valid .agt graph\n", path.c_str());
+  return 0;
+}
+
+template <typename F>
+int run_traversal(const options& opt, F&& run) {
+  if (opt.positional().size() < 2) return usage();
+  const std::string path = opt.positional()[1];
+  visitor_queue_config cfg;
+  cfg.num_threads = static_cast<std::size_t>(opt.get_int("threads", 16));
+
+  if (opt.get_bool("sem", false)) {
+    sem::ssd_model dev(sem::device_preset_by_name(
+        opt.get_string("device", "intel"),
+        opt.get_double("time-scale", 1.0)));
+    cfg.secondary_vertex_sort = true;
+    sem::sem_csr32 g(path, &dev);
+    const int rc = run(g, cfg);
+    const auto c = dev.counters();
+    std::printf("device: %s reads (%s MiB)\n", fmt_count(c.reads).c_str(),
+                fmt_count(c.read_bytes >> 20).c_str());
+    return rc;
+  }
+  const csr32 g = read_graph32(path);
+  return run(g, cfg);
+}
+
+int cmd_bfs(const options& opt) {
+  return run_traversal(opt, [&](const auto& g, const auto& cfg) {
+    const auto start = static_cast<vertex32>(opt.get_int("start", 0));
+    const auto r = async_bfs(g, start, cfg);
+    std::printf("BFS from %u: reached %s vertices, %s levels, %.3fs\n",
+                start, fmt_count(r.visited_count()).c_str(),
+                fmt_count(r.max_level()).c_str(), r.stats.elapsed_seconds);
+    return 0;
+  });
+}
+
+int cmd_sssp(const options& opt) {
+  return run_traversal(opt, [&](const auto& g, const auto& cfg) {
+    const auto start = static_cast<vertex32>(opt.get_int("start", 0));
+    const auto r = async_sssp(g, start, cfg);
+    std::printf("SSSP from %u: reached %s vertices, %s corrections, %.3fs\n",
+                start, fmt_count(r.visited_count()).c_str(),
+                fmt_count(r.updates).c_str(), r.stats.elapsed_seconds);
+    return 0;
+  });
+}
+
+int cmd_cc(const options& opt) {
+  return run_traversal(opt, [&](const auto& g, const auto& cfg) {
+    const auto r = async_cc(g, cfg);
+    std::printf("CC: %s components, largest %s vertices, %.3fs\n",
+                fmt_count(r.num_components()).c_str(),
+                fmt_count(r.largest_component_size()).c_str(),
+                r.stats.elapsed_seconds);
+    return 0;
+  });
+}
+
+int cmd_pagerank(const options& opt) {
+  return run_traversal(opt, [&](const auto& g, const auto& cfg) {
+    pagerank_options popt;
+    popt.alpha = opt.get_double("alpha", 0.85);
+    popt.tolerance = opt.get_double("tolerance", 1e-6);
+    const auto r = async_pagerank(g, popt, cfg);
+    std::printf("PageRank: total %.6f, %s flushes, %.3fs\n", r.total_rank(),
+                fmt_count(r.flushes).c_str(), r.stats.elapsed_seconds);
+    std::vector<std::size_t> order(r.rank.size());
+    std::iota(order.begin(), order.end(), 0);
+    const auto top = std::min<std::size_t>(
+        static_cast<std::size_t>(opt.get_int("top", 10)), order.size());
+    std::partial_sort(order.begin(), order.begin() + top, order.end(),
+                      [&](std::size_t a, std::size_t b) {
+                        return r.rank[a] > r.rank[b];
+                      });
+    for (std::size_t i = 0; i < top; ++i) {
+      std::printf("  #%zu vertex %zu rank %.6g\n", i + 1, order[i],
+                  r.rank[order[i]]);
+    }
+    return 0;
+  });
+}
+
+int cmd_metrics(const options& opt) {
+  if (opt.positional().size() < 2) return usage();
+  const csr32 g = read_graph32(opt.positional()[1]);
+  visitor_queue_config cfg;
+  cfg.num_threads = static_cast<std::size_t>(opt.get_int("threads", 16));
+  const degree_summary s = compute_degree_summary(g);
+  std::printf("degree          : %s\n", s.stats.to_string().c_str());
+  std::printf("top-1%% edges    : %.1f%%\n",
+              100.0 * s.top_fraction_edge_share);
+  const auto diam = estimate_diameter(
+      g, static_cast<unsigned>(opt.get_int("sweeps", 2)),
+      static_cast<std::uint64_t>(opt.get_int("seed", 1)), cfg);
+  std::printf("diameter        : >= %llu (%llu double sweeps)\n",
+              static_cast<unsigned long long>(diam.lower_bound),
+              static_cast<unsigned long long>(diam.sweeps));
+  const double apl = average_path_length_sampled(
+      g, static_cast<unsigned>(opt.get_int("samples", 3)), 7, cfg);
+  std::printf("avg path length : %.2f (sampled)\n", apl);
+  std::printf("symmetric       : %s\n", is_symmetric(g) ? "yes" : "no");
+  return 0;
+}
+
+int cmd_kcore(const options& opt) {
+  return run_traversal(opt, [&](const auto& g, const auto& cfg) {
+    const auto r = async_kcore(g, cfg);
+    std::printf("k-core: max coreness %u, %s bound updates, %.3fs\n",
+                r.max_core(), fmt_count(r.updates).c_str(),
+                r.stats.elapsed_seconds);
+    return 0;
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const asyncgt::options opt(argc, argv);
+  if (opt.positional().empty()) return usage();
+  const std::string& cmd = opt.positional()[0];
+  try {
+    if (cmd == "generate") return cmd_generate(opt);
+    if (cmd == "info") return cmd_info(opt);
+    if (cmd == "validate") return cmd_validate(opt);
+    if (cmd == "bfs") return cmd_bfs(opt);
+    if (cmd == "sssp") return cmd_sssp(opt);
+    if (cmd == "cc") return cmd_cc(opt);
+    if (cmd == "pagerank") return cmd_pagerank(opt);
+    if (cmd == "kcore") return cmd_kcore(opt);
+    if (cmd == "metrics") return cmd_metrics(opt);
+    if (cmd == "import") return cmd_import(opt);
+    if (cmd == "export") return cmd_export(opt);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "agt_tool %s: %s\n", cmd.c_str(), e.what());
+    return 1;
+  }
+  return usage();
+}
