@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "bench_report.hpp"
 #include "core/async_bfs.hpp"
 #include "graph/graph_io.hpp"
 #include "sem/device_presets.hpp"
@@ -32,6 +33,8 @@ int main(int argc, char** argv) {
   const double time_scale = opt.get_double("time-scale", 1.0);
 
   banner("Thread oversubscription ablation", "paper section IV-A");
+
+  bench_report rep(opt, "ablation_oversubscription");
 
   const csr32 g = rmat_graph<vertex32>(rmat_a(scale));
   const csr32 sem_g = rmat_graph<vertex32>(rmat_a(sem_scale));
@@ -81,5 +84,8 @@ int main(int argc, char** argv) {
   ok &= shape_check(sem_times.back() < sem_times.front(),
                     "SEM BFS at the highest thread count still beats one "
                     "thread (paper: '512 threads outperform 16 threads')");
+  rep.add_table(table);
+  if (rep.json_enabled()) rep.section("result").set("ok", ok);
+  rep.finish();
   return ok ? 0 : 1;
 }

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "bench_common.hpp"
+#include "bench_report.hpp"
 #include "core/async_bfs.hpp"
 #include "gen/grid.hpp"
 #include "gen/rmat.hpp"
@@ -31,6 +32,8 @@ int main(int argc, char** argv) {
 
   banner("Graph-structure parallelism ablation (chain vs scale-free)",
          "paper Figure 2 / section III-B1");
+
+  bench_report rep(opt, "ablation_parallelism");
 
   struct workload {
     std::string name;
@@ -83,5 +86,8 @@ int main(int argc, char** argv) {
                     "queued work than the chain (paper: 'a significant "
                     "amount of path parallelism exists in these real-world "
                     "graphs')");
+  rep.add_table(table);
+  if (rep.json_enabled()) rep.section("result").set("ok", ok);
+  rep.finish();
   return ok ? 0 : 1;
 }

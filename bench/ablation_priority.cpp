@@ -15,6 +15,7 @@
 
 #include "baselines/serial_sssp.hpp"
 #include "bench_common.hpp"
+#include "bench_report.hpp"
 #include "core/async_sssp.hpp"
 #include "gen/weights.hpp"
 
@@ -57,6 +58,8 @@ int main(int argc, char** argv) {
 
   banner("Visitor-queue ordering ablation (priority vs FIFO vs LIFO)",
          "design choice behind paper Algorithms 1-4");
+
+  bench_report rep(opt, "ablation_priority");
 
   text_table table;
   table.header({"graph", "threads", "order", "time (s)", "visits",
@@ -113,5 +116,8 @@ int main(int argc, char** argv) {
   }
 
   std::printf("%s\n", table.render().c_str());
+  rep.add_table(table);
+  if (rep.json_enabled()) rep.section("result").set("ok", ok);
+  rep.finish();
   return ok ? 0 : 1;
 }

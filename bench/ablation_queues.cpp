@@ -14,6 +14,7 @@
 #include <string>
 
 #include "bench_common.hpp"
+#include "bench_report.hpp"
 #include "core/async_cc.hpp"
 #include "gen/rmat.hpp"
 
@@ -26,6 +27,8 @@ int main(int argc, char** argv) {
   const auto threads = static_cast<std::size_t>(opt.get_int("threads", 16));
 
   banner("Queue-routing hash ablation", "paper section III-A");
+
+  bench_report rep(opt, "ablation_queues");
 
   // Unscrambled RMAT-B: hub vertices cluster at low ids, the adversarial
   // layout for naive modulo routing.
@@ -60,5 +63,8 @@ int main(int argc, char** argv) {
       shape_check(cv[0] <= cv[1],
                   "avalanche-hash routing balances queues at least as well "
                   "as identity routing on hub-clustered ids");
+  rep.add_table(table);
+  if (rep.json_enabled()) rep.section("result").set("ok", ok);
+  rep.finish();
   return ok ? 0 : 1;
 }

@@ -14,6 +14,7 @@
 #include <filesystem>
 
 #include "bench_common.hpp"
+#include "bench_report.hpp"
 #include "core/async_bfs.hpp"
 #include "graph/graph_io.hpp"
 #include "sem/block_cache.hpp"
@@ -31,6 +32,8 @@ int main(int argc, char** argv) {
   const double time_scale = opt.get_double("time-scale", 1.0);
 
   banner("SEM semi-sort locality ablation", "paper section IV-C");
+
+  bench_report rep(opt, "ablation_semisort");
 
   // Unscrambled ids: RMAT locality in id space, which is what the on-disk
   // CSR layout (and the paper's web crawls, crawled host-by-host) look like.
@@ -77,5 +80,8 @@ int main(int argc, char** argv) {
       "(paper: semi-sorting 'increases access locality')");
   shape_check(device_reads[1] <= device_reads[0],
               "semi-sorted access issues no more device reads (advisory)");
+  rep.add_table(table);
+  if (rep.json_enabled()) rep.section("result").set("ok", ok);
+  rep.finish();
   return ok ? 0 : 1;
 }

@@ -1,0 +1,189 @@
+// Shared machine-readable reporting for the bench harnesses and agt_tool.
+//
+// Every bench binary keeps its human-facing text table and additionally
+// accepts:
+//   --json FILE               write a schema-1 report (telemetry::report)
+//   --trace FILE              write a Chrome trace (chrome://tracing /
+//                             ui.perfetto.dev)
+//   --sample-interval-us N    sampler period for frontier time-series
+//                             (default 2000; active only with --json/--trace)
+//
+// Usage pattern (3-5 lines per bench):
+//   bench_report rep(opt, "table4_bfs_sem");
+//   rep.attach(cfg);                   // wire telemetry sinks into the run
+//   rep.add_row(...); rep.section("sem").set(...);   // whatever fits
+//   rep.finish();                      // scrape, serialize, write files
+//
+// finish() automatically appends the scraped metrics registry as the
+// "metrics" section and the sampler series as "samples", so benches only
+// record what is specific to them. With neither --json nor --trace the
+// whole object is inert: no sampler thread, no trace buffers, and the
+// queue's telemetry pointers stay null.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "queue/queue_stats.hpp"
+#include "queue/visitor_queue.hpp"
+#include "sem/block_cache.hpp"
+#include "sem/ssd_model.hpp"
+#include "telemetry/io_recorder.hpp"
+#include "telemetry/metrics_json.hpp"
+#include "telemetry/sampler.hpp"
+#include "telemetry/trace_writer.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+namespace asyncgt::bench {
+
+using telemetry::json_value;
+
+/// Queue counters -> the "queue" metric block of the schema.
+inline json_value to_json(const queue_run_stats& s) {
+  json_value out = json_value::object();
+  out.set("visits", s.visits);
+  out.set("pushes", s.pushes);
+  out.set("wakeups", s.wakeups);
+  out.set("max_queue_length", s.max_queue_length);
+  out.set("elapsed_seconds", s.elapsed_seconds);
+  out.set("imbalance_cv", s.load_imbalance_cv());
+  out.set("queue_visits_min", s.min_queue_visits());
+  out.set("queue_visits_max", s.max_queue_visits());
+  out.set("num_queues", static_cast<std::uint64_t>(s.visits_per_queue.size()));
+  return out;
+}
+
+inline json_value to_json(const sem::cache_counters& c) {
+  json_value out = json_value::object();
+  out.set("hits", c.hits);
+  out.set("misses", c.misses);
+  out.set("evictions", c.evictions);
+  out.set("hit_rate", c.hit_rate());
+  return out;
+}
+
+inline json_value to_json(const sem::ssd_counters& c) {
+  json_value out = json_value::object();
+  out.set("reads", c.reads);
+  out.set("writes", c.writes);
+  out.set("read_bytes", c.read_bytes);
+  out.set("write_bytes", c.write_bytes);
+  out.set("read_blocks", c.read_blocks);
+  out.set("max_inflight", c.max_inflight);
+  return out;
+}
+
+class bench_report {
+ public:
+  bench_report(const options& opt, std::string name)
+      : report_(std::move(name)),
+        json_path_(opt.get_string("json", "")),
+        trace_path_(opt.get_string("trace", "")),
+        sample_interval_us_(
+            static_cast<std::uint64_t>(opt.get_int("sample-interval-us", 2000))) {
+    // Reproduce the full command line in the config block so a BENCH_*.json
+    // is self-describing.
+    for (const auto& key : opt.keys()) {
+      report_.config(key, opt.get_string(key, ""));
+    }
+    if (trace_enabled()) trace_ = std::make_unique<telemetry::trace_writer>();
+  }
+
+  ~bench_report() { sampler_.stop(); }
+
+  bool json_enabled() const noexcept { return !json_path_.empty(); }
+  bool trace_enabled() const noexcept { return !trace_path_.empty(); }
+  bool enabled() const noexcept { return json_enabled() || trace_enabled(); }
+
+  telemetry::metrics_registry& metrics() noexcept { return registry_; }
+  telemetry::sampler& sampler() noexcept { return sampler_; }
+  /// Null unless --trace was given.
+  telemetry::trace_writer* trace() noexcept { return trace_.get(); }
+
+  /// Wires the telemetry sinks into a queue config (and starts the sampler
+  /// on first use). No-op without --json/--trace, so benches can call this
+  /// unconditionally and keep the zero-overhead default.
+  void attach(visitor_queue_config& cfg) {
+    if (!enabled()) return;
+    cfg.metrics = &registry_;
+    cfg.trace = trace_.get();
+    cfg.sampler = &sampler_;
+    if (!sampler_.running()) {
+      sampler_.start(std::chrono::microseconds(sample_interval_us_));
+    }
+  }
+
+  /// Direct access to the underlying schema-1 document builder.
+  telemetry::report& json() noexcept { return report_; }
+  json_value& section(const std::string& name) {
+    return report_.section(name);
+  }
+  bench_report& config(const std::string& key, json_value v) {
+    report_.config(key, std::move(v));
+    return *this;
+  }
+  bench_report& add_row(json_value row) {
+    report_.add_row(std::move(row));
+    return *this;
+  }
+
+  /// Re-emits a rendered text_table as report rows, one object per data row
+  /// keyed by the header cells — the bench's human table and its JSON stay
+  /// in lockstep by construction.
+  bench_report& add_table(const text_table& table) {
+    if (!json_enabled()) return *this;
+    const auto header = table.header_cells();
+    for (const auto& cells : table.data_rows()) {
+      json_value row = json_value::object();
+      for (std::size_t c = 0; c < cells.size() && c < header.size(); ++c) {
+        row.set(header[c], cells[c]);
+      }
+      report_.add_row(std::move(row));
+    }
+    return *this;
+  }
+
+  /// Stops the sampler, folds registry + samples into the document, and
+  /// writes the requested files. Prints one line per artifact. Safe to call
+  /// when disabled (does nothing).
+  void finish() {
+    sampler_.stop();
+    if (!enabled()) return;
+    if (json_enabled()) {
+      const auto snap = registry_.scrape();
+      if (!snap.entries.empty()) {
+        section("metrics") = telemetry::to_json(snap);
+      }
+      const auto series = sampler_.snapshot();
+      if (!series.empty()) {
+        json_value& s = section("samples");
+        s = telemetry::to_json(series);
+        s.set("interval_us", sample_interval_us_);
+      }
+      report_.write_file(json_path_);
+      std::printf("wrote JSON report: %s\n", json_path_.c_str());
+    }
+    if (trace_enabled()) {
+      sampler_.write_counters(*trace_);
+      trace_->write_file(trace_path_);
+      std::printf("wrote Chrome trace: %s (open in chrome://tracing or "
+                  "ui.perfetto.dev)\n",
+                  trace_path_.c_str());
+    }
+  }
+
+ private:
+  telemetry::report report_;
+  telemetry::metrics_registry registry_{64};
+  telemetry::sampler sampler_;
+  std::unique_ptr<telemetry::trace_writer> trace_;
+  std::string json_path_;
+  std::string trace_path_;
+  std::uint64_t sample_interval_us_;
+};
+
+}  // namespace asyncgt::bench

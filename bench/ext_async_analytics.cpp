@@ -11,6 +11,7 @@
 #include "baselines/power_iteration.hpp"
 #include "baselines/serial_kcore.hpp"
 #include "bench_common.hpp"
+#include "bench_report.hpp"
 #include "core/async_kcore.hpp"
 #include "core/async_pagerank.hpp"
 #include "gen/webgen.hpp"
@@ -26,6 +27,8 @@ int main(int argc, char** argv) {
 
   banner("Extension: asynchronous PageRank and k-core on the visitor queue",
          "generalization of the paper's framework (not a paper table)");
+
+  bench_report rep(opt, "ext_async_analytics");
 
   bool ok = true;
   text_table table;
@@ -93,5 +96,8 @@ int main(int argc, char** argv) {
   }
 
   std::printf("%s\n", table.render().c_str());
+  rep.add_table(table);
+  if (rep.json_enabled()) rep.section("result").set("ok", ok);
+  rep.finish();
   return ok ? 0 : 1;
 }

@@ -25,6 +25,7 @@
 #include "baselines/dobfs.hpp"
 #include "baselines/serial_bfs.hpp"
 #include "bench_common.hpp"
+#include "bench_report.hpp"
 #include "core/async_bfs.hpp"
 #include "core/async_cc.hpp"
 #include "gen/random_graphs.hpp"
@@ -40,6 +41,8 @@ int main(int argc, char** argv) {
 
   banner("Extension: graph-structure sweep (uniform -> power law)",
          "paper section VI-A's load-balance argument");
+
+  bench_report rep(opt, "ext_structure_sweep");
 
   struct family {
     std::string name;
@@ -124,5 +127,8 @@ int main(int argc, char** argv) {
   ok &= shape_check(async_cv.back() < degree_cv.back() / 2.0,
                     "queue-load CV stays well below the degree CV on "
                     "power-law graphs (the hash absorbs the skew)");
+  rep.add_table(table);
+  if (rep.json_enabled()) rep.section("result").set("ok", ok);
+  rep.finish();
   return ok ? 0 : 1;
 }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "bench_report.hpp"
 #include "sem/device_presets.hpp"
 #include "sem/ssd_model.hpp"
 #include "util/options.hpp"
@@ -101,5 +102,17 @@ int main(int argc, char** argv) {
       iops[0].back() > iops[1].back() && iops[1].back() > iops[2].back(),
       "device ordering at saturation: FusionIO > Intel > Corsair");
 
+  bench_report rep(opt, "fig1_ssd_iops");
+  rep.add_table(table);
+  if (rep.json_enabled()) {
+    json_value& s = rep.section("iops");
+    for (std::size_t d = 0; d < devices.size(); ++d) {
+      json_value series = json_value::array();
+      for (const double v : iops[d]) series.push(v);
+      s.set(devices[d].name, std::move(series));
+    }
+    rep.section("result").set("ok", ok);
+  }
+  rep.finish();
   return ok ? 0 : 1;
 }

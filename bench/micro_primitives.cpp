@@ -1,6 +1,8 @@
 // google-benchmark microbenchmarks for the hot primitives under the visitor
 // queue: the d-ary heap (vs std::priority_queue), the routing hash, the
-// spinlock (vs std::mutex), and the RNG pipeline feeding the generators.
+// spinlock (vs std::mutex), the RNG pipeline feeding the generators, and the
+// telemetry layer's overhead budget (BM_VisitorQueueTelemetry*: the
+// sinks-off run must stay within ~2% of the seed, see docs/observability.md).
 // These guard against regressions in the building blocks; the paper-level
 // experiments live in the table*/fig*/ablation* binaries.
 #include <benchmark/benchmark.h>
@@ -10,6 +12,9 @@
 #include <random>
 
 #include "queue/dary_heap.hpp"
+#include "queue/visitor_queue.hpp"
+#include "telemetry/metrics_registry.hpp"
+#include "telemetry/trace_writer.hpp"
 #include "util/hash.hpp"
 #include "util/rng.hpp"
 #include "util/spinlock.hpp"
@@ -105,6 +110,88 @@ void BM_Mt19937(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_Mt19937);
+
+// --- Telemetry overhead budget ---------------------------------------------
+// The queue is instrumented unconditionally (no compile-time switch), so the
+// null-sink cost — one pointer test per run plus the pre-existing counters —
+// must stay in the noise. BM_VisitorQueueTelemetryOff is the guarded number;
+// BM_VisitorQueueTelemetryOn shows what attached sinks add.
+
+struct tree_state {
+  std::uint64_t n = 0;
+  std::vector<std::uint8_t> seen;
+};
+
+// Spreads over an implicit binary tree: ~n visits, no shared-state races
+// (each vertex is visited only by its hash-owner thread).
+struct tree_visitor {
+  std::uint64_t vtx = 0;
+
+  std::uint64_t vertex() const noexcept { return vtx; }
+  std::uint64_t priority() const noexcept { return vtx; }
+
+  template <typename State, typename Queue>
+  void visit(State& s, Queue& q, std::size_t) const {
+    if (s.seen[vtx]) return;
+    s.seen[vtx] = 1;
+    const std::uint64_t left = 2 * vtx + 1;
+    if (left < s.n) q.push(tree_visitor{left});
+    if (left + 1 < s.n) q.push(tree_visitor{left + 1});
+  }
+};
+
+void run_tree(std::uint64_t n, asyncgt::visitor_queue_config cfg,
+              benchmark::State& state) {
+  for (auto _ : state) {
+    tree_state s;
+    s.n = n;
+    s.seen.assign(n, 0);
+    asyncgt::visitor_queue<tree_visitor, tree_state> q(cfg);
+    q.push(tree_visitor{0});
+    const auto stats = q.run(s);
+    benchmark::DoNotOptimize(stats.visits);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_VisitorQueueTelemetryOff(benchmark::State& state) {
+  asyncgt::visitor_queue_config cfg;
+  cfg.num_threads = 4;
+  run_tree(static_cast<std::uint64_t>(state.range(0)), cfg, state);
+}
+BENCHMARK(BM_VisitorQueueTelemetryOff)->Arg(1 << 16);
+
+void BM_VisitorQueueTelemetryOn(benchmark::State& state) {
+  asyncgt::telemetry::metrics_registry registry(8);
+  asyncgt::telemetry::trace_writer trace;
+  asyncgt::visitor_queue_config cfg;
+  cfg.num_threads = 4;
+  cfg.metrics = &registry;
+  cfg.trace = &trace;
+  run_tree(static_cast<std::uint64_t>(state.range(0)), cfg, state);
+}
+BENCHMARK(BM_VisitorQueueTelemetryOn)->Arg(1 << 16);
+
+void BM_RegistryCounterAdd(benchmark::State& state) {
+  asyncgt::telemetry::metrics_registry registry(8);
+  auto& counter = registry.get_counter("bench.counter");
+  for (auto _ : state) {
+    counter.add(0);
+  }
+  benchmark::DoNotOptimize(counter.total());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RegistryCounterAdd);
+
+void BM_ScopedSpanDisabled(benchmark::State& state) {
+  for (auto _ : state) {
+    asyncgt::telemetry::scoped_span span(nullptr, "noop");
+    benchmark::DoNotOptimize(&span);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ScopedSpanDisabled);
 
 }  // namespace
 

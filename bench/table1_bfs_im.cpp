@@ -25,6 +25,7 @@
 #include "baselines/levelsync_bfs.hpp"
 #include "baselines/serial_bfs.hpp"
 #include "bench_common.hpp"
+#include "bench_report.hpp"
 #include "core/async_bfs.hpp"
 #include "core/validate.hpp"
 
@@ -55,6 +56,7 @@ int main(int argc, char** argv) {
 
   banner("In-Memory Breadth First Search", "paper Table I");
 
+  bench_report rep(opt, "table1_bfs_im");
   text_table table;
   {
     std::vector<std::string> hdr{"graph",    "# verts",  "# edges",
@@ -99,6 +101,7 @@ int main(int argc, char** argv) {
       for (const auto t : threads) {
         visitor_queue_config cfg;
         cfg.num_threads = static_cast<std::size_t>(t);
+        rep.attach(cfg);
         bfs_result<vertex32> r;
         t_async.push_back(
             time_seconds([&] { r = async_bfs(g, start, cfg); }));
@@ -182,5 +185,8 @@ int main(int argc, char** argv) {
                       "RMAT-B reaches a much smaller fraction (paper: "
                       "~43-49% visited)");
   }
+  rep.add_table(table);
+  if (rep.json_enabled()) rep.section("result").set("ok", ok);
+  rep.finish();
   return ok ? 0 : 1;
 }

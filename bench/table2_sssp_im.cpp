@@ -17,6 +17,7 @@
 #include "baselines/delta_stepping.hpp"
 #include "baselines/serial_sssp.hpp"
 #include "bench_common.hpp"
+#include "bench_report.hpp"
 #include "core/async_sssp.hpp"
 #include "core/validate.hpp"
 #include "gen/weights.hpp"
@@ -46,6 +47,8 @@ int main(int argc, char** argv) {
   const auto threads = opt.get_int_list("threads", {1, 16, 512});
 
   banner("In-Memory Single Source Shortest Path", "paper Table II");
+
+  bench_report rep(opt, "table2_sssp_im");
 
   text_table table;
   {
@@ -148,5 +151,8 @@ int main(int argc, char** argv) {
   }
 
   std::printf("%s\n", table.render().c_str());
+  rep.add_table(table);
+  if (rep.json_enabled()) rep.section("result").set("ok", ok);
+  rep.finish();
   return ok ? 0 : 1;
 }

@@ -21,6 +21,7 @@
 #include "baselines/serial_cc.hpp"
 #include "baselines/syncprop_cc.hpp"
 #include "bench_common.hpp"
+#include "bench_report.hpp"
 #include "core/async_cc.hpp"
 #include "core/validate.hpp"
 #include "gen/webgen.hpp"
@@ -76,6 +77,8 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(opt.get_int("bsp-ranks", 16));
 
   banner("In-Memory Connected Components", "paper Table III");
+
+  bench_report rep(opt, "table3_cc_im");
 
   text_table table;
   {
@@ -165,5 +168,8 @@ int main(int argc, char** argv) {
   ok &= shape_check(fragmented_ccs > 5 * std::max<std::uint64_t>(dense_ccs, 1),
                     "fragmented web graph has far more components than the "
                     "dense one (paper: ClueWeb09 3.1M CCs vs sk-2005 126)");
+  rep.add_table(table);
+  if (rep.json_enabled()) rep.section("result").set("ok", ok);
+  rep.finish();
   return ok ? 0 : 1;
 }

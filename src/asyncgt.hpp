@@ -39,3 +39,8 @@
 #include "sem/ooc_builder.hpp"
 #include "sem/sem_csr.hpp"
 #include "sem/ssd_model.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/metrics_json.hpp"
+#include "telemetry/metrics_registry.hpp"
+#include "telemetry/sampler.hpp"
+#include "telemetry/trace_writer.hpp"

@@ -71,6 +71,7 @@ bfs_result<typename Graph::vertex_id> async_bfs(
   out.parent = std::move(state.parent);
   out.stats = std::move(stats);
   out.updates = state.updates.total();
+  if (cfg.metrics != nullptr) out.work().record(*cfg.metrics, "bfs");
   return out;
 }
 

@@ -70,6 +70,7 @@ cc_result<typename Graph::vertex_id> async_cc(const Graph& g,
   out.component = std::move(state.ccid);
   out.stats = std::move(stats);
   out.updates = state.updates.total();
+  if (cfg.metrics != nullptr) out.work().record(*cfg.metrics, "cc");
   return out;
 }
 

@@ -82,6 +82,7 @@ sssp_result<typename Graph::vertex_id> async_sssp(
   out.parent = std::move(state.parent);
   out.stats = std::move(stats);
   out.updates = state.updates.total();
+  if (cfg.metrics != nullptr) out.work().record(*cfg.metrics, "sssp");
   return out;
 }
 

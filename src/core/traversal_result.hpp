@@ -8,6 +8,7 @@
 
 #include "graph/types.hpp"
 #include "queue/queue_stats.hpp"
+#include "telemetry/metrics_registry.hpp"
 #include "util/cache_line.hpp"
 
 namespace asyncgt {
@@ -34,6 +35,34 @@ class sharded_counter {
   std::vector<padded<std::uint64_t>> shards_;
 };
 
+/// Work-proxy metrics shared by the label-correcting traversals. These are
+/// the paper's machine-independent cost measures, all derived from counters
+/// the runs maintain anyway:
+///   wasted_visits          visits whose candidate label lost the race — the
+///                          price of asynchrony ("possibly requiring
+///                          multiple visits per vertex");
+///   label_corrections      relaxations beyond each vertex's first — the
+///                          aggregate label-correction depth.
+struct traversal_work {
+  std::uint64_t visits = 0;
+  std::uint64_t pushes = 0;
+  std::uint64_t updates = 0;
+  std::uint64_t relaxed_vertices = 0;
+  std::uint64_t wasted_visits = 0;
+  std::uint64_t label_corrections = 0;
+
+  /// Records the work proxies as "<algo>.*" counters (shard 0; called once
+  /// per run from the driver, never from the hot path).
+  void record(telemetry::metrics_registry& reg, const char* algo) const {
+    const std::string p(algo);
+    reg.get_counter(p + ".visits").add(0, visits);
+    reg.get_counter(p + ".updates").add(0, updates);
+    reg.get_counter(p + ".relaxed_vertices").add(0, relaxed_vertices);
+    reg.get_counter(p + ".wasted_visits").add(0, wasted_visits);
+    reg.get_counter(p + ".label_corrections").add(0, label_corrections);
+  }
+};
+
 template <typename VertexId>
 struct bfs_result {
   std::vector<dist_t> level;     // infinite_distance<dist_t> = unreached
@@ -55,6 +84,17 @@ struct bfs_result {
     }
     return m;
   }
+
+  traversal_work work() const {
+    traversal_work w;
+    w.visits = stats.visits;
+    w.pushes = stats.pushes;
+    w.updates = updates;
+    w.relaxed_vertices = visited_count();
+    w.wasted_visits = stats.visits - updates;
+    w.label_corrections = updates - w.relaxed_vertices;
+    return w;
+  }
 };
 
 template <typename VertexId>
@@ -68,6 +108,17 @@ struct sssp_result {
     std::uint64_t n = 0;
     for (const auto d : dist) n += (d != infinite_distance<dist_t>);
     return n;
+  }
+
+  traversal_work work() const {
+    traversal_work w;
+    w.visits = stats.visits;
+    w.pushes = stats.pushes;
+    w.updates = updates;
+    w.relaxed_vertices = visited_count();
+    w.wasted_visits = stats.visits - updates;
+    w.label_corrections = updates - w.relaxed_vertices;
+    return w;
   }
 };
 
@@ -94,6 +145,19 @@ struct cc_result {
     std::uint64_t best = 0;
     for (const auto s : sizes) best = std::max(best, s);
     return best;
+  }
+
+  traversal_work work() const {
+    traversal_work w;
+    w.visits = stats.visits;
+    w.pushes = stats.pushes;
+    w.updates = updates;
+    // Every vertex is seeded with its own id against an invalid (maximal)
+    // initial label, so each one relaxes at least once.
+    w.relaxed_vertices = component.size();
+    w.wasted_visits = stats.visits - updates;
+    w.label_corrections = updates - w.relaxed_vertices;
+    return w;
   }
 };
 

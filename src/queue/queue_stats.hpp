@@ -5,7 +5,9 @@
 // label correction), pushes, and the load-balance spread across queues.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -24,17 +26,40 @@ struct queue_run_stats {
   std::vector<std::uint64_t> visits_per_queue;
 
   /// Coefficient of variation of visits across queues: 0 = perfectly even.
+  /// An empty or single-queue run has no spread to measure, so it reports
+  /// 0.0 rather than leaning on summary_stats' degenerate-input behaviour.
   double load_imbalance_cv() const {
+    if (visits_per_queue.size() <= 1) return 0.0;
     summary_stats s;
     for (const auto v : visits_per_queue) s.add(static_cast<double>(v));
     return s.cv();
   }
 
+  /// Smallest per-queue visit count (0 when no queues reported).
+  std::uint64_t min_queue_visits() const {
+    if (visits_per_queue.empty()) return 0;
+    std::uint64_t m = visits_per_queue.front();
+    for (const auto v : visits_per_queue) m = std::min(m, v);
+    return m;
+  }
+
+  /// Largest per-queue visit count (0 when no queues reported).
+  std::uint64_t max_queue_visits() const {
+    std::uint64_t m = 0;
+    for (const auto v : visits_per_queue) m = std::max(m, v);
+    return m;
+  }
+
   std::string to_string() const {
+    char elapsed[32];
+    std::snprintf(elapsed, sizeof elapsed, "%.6f", elapsed_seconds);
     return "visits=" + std::to_string(visits) +
            " pushes=" + std::to_string(pushes) +
            " wakeups=" + std::to_string(wakeups) +
            " max_qlen=" + std::to_string(max_queue_length) +
+           " elapsed_s=" + elapsed +
+           " queue_visits_min=" + std::to_string(min_queue_visits()) +
+           " queue_visits_max=" + std::to_string(max_queue_visits()) +
            " imbalance_cv=" + std::to_string(load_imbalance_cv());
   }
 };

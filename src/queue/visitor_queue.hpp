@@ -30,6 +30,14 @@
 // the semi-external setting, to keep enough concurrent reads in flight to
 // saturate a flash device.
 //
+// Observability. The config optionally carries telemetry sinks (see
+// docs/observability.md): a metrics_registry that run() flushes its counters
+// into, a trace_writer that receives per-visit spans sampled 1-in-N plus
+// worker sleep spans, and a sampler that gets queue-depth / pending probes
+// registered for the duration of the run. All sinks default to null and the
+// hot loop tests one cached bool per feature, keeping the disabled-sinks
+// overhead within the documented <2% budget (bench/micro_primitives).
+//
 // Visitor concept (see src/core for the three algorithm visitors):
 //   VertexId vertex() const;                  -- routing key
 //   Priority priority() const;                -- smaller visits earlier
@@ -50,6 +58,9 @@
 
 #include "queue/dary_heap.hpp"
 #include "queue/queue_stats.hpp"
+#include "telemetry/metrics_registry.hpp"
+#include "telemetry/sampler.hpp"
+#include "telemetry/trace_writer.hpp"
 #include "util/cache_line.hpp"
 #include "util/hash.hpp"
 #include "util/timer.hpp"
@@ -72,9 +83,23 @@ struct visitor_queue_config {
   /// Initial per-queue heap capacity reservation.
   std::size_t reserve_per_queue = 0;
 
+  /// Optional telemetry sinks (all borrowed, all nullable — null means the
+  /// corresponding instrumentation compiles to a predictable branch).
+  telemetry::metrics_registry* metrics = nullptr;  ///< flushed at end of run
+  telemetry::trace_writer* trace = nullptr;        ///< per-visit spans
+  telemetry::sampler* sampler = nullptr;           ///< depth/pending probes
+  /// Record a trace span for 1 visit in every `trace_sample_every` per
+  /// worker (1 = every visit; tracing every visit on large graphs produces
+  /// multi-GB traces).
+  std::uint32_t trace_sample_every = 64;
+
   void validate() const {
     if (num_threads == 0) {
       throw std::invalid_argument("visitor_queue: need at least one thread");
+    }
+    if (trace_sample_every == 0) {
+      throw std::invalid_argument(
+          "visitor_queue: trace_sample_every must be >= 1");
     }
   }
 };
@@ -96,6 +121,8 @@ class visitor_queue {
   visitor_queue(const visitor_queue&) = delete;
   visitor_queue& operator=(const visitor_queue&) = delete;
 
+  ~visitor_queue() { unregister_probes(); }
+
   /// Enqueues a visitor. Callable from the outside before/after run() and
   /// from inside visitors during run().
   void push(const Visitor& v) {
@@ -113,12 +140,14 @@ class visitor_queue {
       return finalize_stats(timer.elapsed_seconds());
     }
     done_.store(false, std::memory_order_release);
+    register_probes();
     std::vector<std::thread> threads;
     threads.reserve(cfg_.num_threads);
     for (std::size_t t = 0; t < cfg_.num_threads; ++t) {
       threads.emplace_back([this, &state, t] { worker_loop(state, t); });
     }
     for (auto& th : threads) th.join();
+    unregister_probes();
     return finalize_stats(timer.elapsed_seconds());
   }
 
@@ -136,6 +165,7 @@ class visitor_queue {
     pending_.fetch_add(static_cast<std::int64_t>(num_vertices),
                        std::memory_order_acq_rel);
     done_.store(false, std::memory_order_release);
+    register_probes();
     std::vector<std::thread> threads;
     threads.reserve(cfg_.num_threads);
     const std::size_t T = cfg_.num_threads;
@@ -151,10 +181,30 @@ class visitor_queue {
       });
     }
     for (auto& th : threads) th.join();
+    unregister_probes();
     return finalize_stats(timer.elapsed_seconds());
   }
 
   std::size_t num_threads() const noexcept { return cfg_.num_threads; }
+
+  /// In-flight visitor count (the termination counter). Exact at quiescence;
+  /// an instantaneous sample while workers run — this is what the telemetry
+  /// sampler plots as the frontier size.
+  std::int64_t pending() const noexcept {
+    return pending_.load(std::memory_order_acquire);
+  }
+
+  /// Snapshot of every per-thread queue length (locks each worker mutex
+  /// briefly). Intended for sampler probes and tests, not hot paths.
+  std::vector<std::size_t> queue_depths() {
+    std::vector<std::size_t> out;
+    out.reserve(workers_.size());
+    for (auto& w : workers_) {
+      std::lock_guard lk(w.mu);
+      out.push_back(w.queue_length());
+    }
+    return out;
+  }
 
  private:
   struct heap_compare {
@@ -235,10 +285,27 @@ class visitor_queue {
 
   void worker_loop(State& state, std::size_t tid) {
     worker& me = workers_[tid];
+    // Tracing state is resolved once per worker: the hot loop pays one
+    // pointer test per visit when tracing is off.
+    telemetry::trace_stream* ts = nullptr;
+    if (cfg_.trace != nullptr) {
+      ts = &cfg_.trace->stream(static_cast<std::uint32_t>(tid) + 1,
+                               "worker-" + std::to_string(tid));
+    }
+    const std::uint32_t sample_every = cfg_.trace_sample_every;
+    std::uint32_t until_sample = 1;  // trace the first visit of each worker
     Visitor v{};
     for (;;) {
       if (try_pop(me, v)) {
-        v.visit(state, *this, tid);
+        if (ts != nullptr && --until_sample == 0) {
+          until_sample = sample_every;
+          const std::uint64_t start = ts->now_us();
+          v.visit(state, *this, tid);
+          ts->complete("visit", start, ts->now_us() - start, "vertex",
+                       static_cast<std::uint64_t>(v.vertex()));
+        } else {
+          v.visit(state, *this, tid);
+        }
         ++me.visits;
         if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
           announce_done();
@@ -251,12 +318,19 @@ class visitor_queue {
       if (done_.load(std::memory_order_acquire)) return;
       if (me.queue_length() > 0) continue;  // raced with a push
       me.sleeping = true;
+      const std::uint64_t sleep_start = ts != nullptr ? ts->now_us() : 0;
       me.cv.wait(lk, [&] {
         return me.queue_length() > 0 || done_.load(std::memory_order_acquire);
       });
       me.sleeping = false;
-      ++me.wakeups;
+      if (ts != nullptr) {
+        ts->complete("sleep", sleep_start, ts->now_us() - sleep_start);
+      }
       if (done_.load(std::memory_order_acquire)) return;
+      // Counted only here — after the done_ check — so the final shutdown
+      // broadcast does not inflate the idle-transition metric by up to
+      // num_threads.
+      ++me.wakeups;
     }
   }
 
@@ -268,6 +342,29 @@ class visitor_queue {
       { std::lock_guard lk(w.mu); }
       w.cv.notify_all();
     }
+  }
+
+  void register_probes() {
+    if (cfg_.sampler == nullptr || !probe_ids_.empty()) return;
+    probe_ids_.push_back(cfg_.sampler->add_probe(
+        "queue.pending",
+        [this] { return static_cast<double>(pending()); }));
+    probe_ids_.push_back(cfg_.sampler->add_probe("queue.depth.total", [this] {
+      std::size_t sum = 0;
+      for (const std::size_t d : queue_depths()) sum += d;
+      return static_cast<double>(sum);
+    }));
+    probe_ids_.push_back(cfg_.sampler->add_probe("queue.depth.max", [this] {
+      std::size_t mx = 0;
+      for (const std::size_t d : queue_depths()) mx = std::max(mx, d);
+      return static_cast<double>(mx);
+    }));
+  }
+
+  void unregister_probes() {
+    if (cfg_.sampler == nullptr) return;
+    for (const auto id : probe_ids_) cfg_.sampler->remove_probe(id);
+    probe_ids_.clear();
   }
 
   queue_run_stats finalize_stats(double elapsed) {
@@ -282,11 +379,25 @@ class visitor_queue {
       s.visits_per_queue.push_back(w.visits);
       w.visits = w.pushes = w.wakeups = w.max_len = 0;
     }
+    if (cfg_.metrics != nullptr) record_metrics(s);
     return s;
+  }
+
+  void record_metrics(const queue_run_stats& s) {
+    telemetry::metrics_registry& reg = *cfg_.metrics;
+    reg.get_counter("queue.runs").add(0);
+    reg.get_counter("queue.visits").add(0, s.visits);
+    reg.get_counter("queue.pushes").add(0, s.pushes);
+    reg.get_counter("queue.wakeups").add(0, s.wakeups);
+    reg.get_gauge("queue.max_queue_length")
+        .record_max(static_cast<std::int64_t>(s.max_queue_length));
+    telemetry::histogram& h = reg.get_histogram("queue.visits_per_queue");
+    for (const auto visits : s.visits_per_queue) h.record(0, visits);
   }
 
   visitor_queue_config cfg_;
   std::vector<worker> workers_;
+  std::vector<telemetry::sampler::probe_id> probe_ids_;
   alignas(cache_line_size) std::atomic<std::int64_t> pending_{0};
   alignas(cache_line_size) std::atomic<bool> done_{false};
 };

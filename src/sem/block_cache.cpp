@@ -23,6 +23,7 @@ bool block_cache::access(std::uint64_t block) {
   if (map_.size() >= capacity_) {
     map_.erase(lru_.back());
     lru_.pop_back();
+    ++counters_.evictions;
   }
   lru_.push_front(block);
   map_[block] = lru_.begin();

@@ -25,6 +25,7 @@ namespace asyncgt::sem {
 struct cache_counters {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;  // misses that displaced a resident block
 
   double hit_rate() const {
     const std::uint64_t total = hits + misses;

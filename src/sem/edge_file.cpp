@@ -9,6 +9,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/timer.hpp"
+
 namespace asyncgt::sem {
 
 edge_file::edge_file(const std::string& path) : path_(path) {
@@ -33,7 +35,8 @@ edge_file::~edge_file() { close(); }
 edge_file::edge_file(edge_file&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
       size_(std::exchange(other.size_, 0)),
-      path_(std::move(other.path_)) {}
+      path_(std::move(other.path_)),
+      recorder_(std::exchange(other.recorder_, nullptr)) {}
 
 edge_file& edge_file::operator=(edge_file&& other) noexcept {
   if (this != &other) {
@@ -41,6 +44,7 @@ edge_file& edge_file::operator=(edge_file&& other) noexcept {
     fd_ = std::exchange(other.fd_, -1);
     size_ = std::exchange(other.size_, 0);
     path_ = std::move(other.path_);
+    recorder_ = std::exchange(other.recorder_, nullptr);
   }
   return *this;
 }
@@ -54,6 +58,17 @@ void edge_file::close() noexcept {
 
 void edge_file::read_at(std::uint64_t offset, void* dst,
                         std::uint64_t bytes) const {
+  if (recorder_ != nullptr) {
+    wall_timer t;
+    read_at_raw(offset, dst, bytes);
+    recorder_->record(bytes, t.elapsed_us());
+    return;
+  }
+  read_at_raw(offset, dst, bytes);
+}
+
+void edge_file::read_at_raw(std::uint64_t offset, void* dst,
+                            std::uint64_t bytes) const {
   auto* out = static_cast<char*>(dst);
   std::uint64_t done = 0;
   while (done < bytes) {

@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <string>
 
+#include "telemetry/io_recorder.hpp"
+
 namespace asyncgt::sem {
 
 class edge_file {
@@ -31,12 +33,23 @@ class edge_file {
   /// Throws std::runtime_error on EOF-before-done or I/O error.
   void read_at(std::uint64_t offset, void* dst, std::uint64_t bytes) const;
 
+  /// Attaches a telemetry recorder (borrowed, nullable): every read_at then
+  /// reports its byte count and host-side pread latency. With no recorder
+  /// attached, read_at does not even sample the clock.
+  void set_recorder(telemetry::io_recorder* recorder) noexcept {
+    recorder_ = recorder;
+  }
+  telemetry::io_recorder* recorder() const noexcept { return recorder_; }
+
  private:
   void close() noexcept;
+  void read_at_raw(std::uint64_t offset, void* dst,
+                   std::uint64_t bytes) const;
 
   int fd_ = -1;
   std::uint64_t size_ = 0;
   std::string path_;
+  telemetry::io_recorder* recorder_ = nullptr;
 };
 
 }  // namespace asyncgt::sem

@@ -60,6 +60,14 @@ class sem_csr {
   std::uint64_t num_edges() const noexcept { return header_.num_edges; }
   bool is_weighted() const noexcept { return header_.weighted(); }
   ssd_model* device() const noexcept { return device_; }
+  block_cache* cache() const noexcept { return cache_; }
+
+  /// Attaches a telemetry I/O recorder (borrowed, nullable) to the
+  /// underlying edge file: every adjacency pread then reports bytes and
+  /// host-side latency into its log2 histogram.
+  void set_io_recorder(telemetry::io_recorder* recorder) noexcept {
+    file_.set_recorder(recorder);
+  }
 
   std::uint64_t out_degree(VertexId v) const noexcept {
     return offsets_[v + 1] - offsets_[v];

@@ -1,5 +1,6 @@
 #include "sem/ssd_model.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <thread>
 
@@ -42,12 +43,16 @@ void ssd_model::read(std::uint64_t bytes) {
   const double service_us =
       params_.read_latency_us +
       static_cast<double>(blocks - 1) * params_.seq_block_us;
+  const std::uint64_t depth =
+      inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
   const auto deadline = reserve(service_us);
   std::this_thread::sleep_until(deadline);
+  inflight_.fetch_sub(1, std::memory_order_relaxed);
   std::lock_guard lk(counter_mu_);
   ++counters_.reads;
   counters_.read_bytes += bytes;
   counters_.read_blocks += blocks;
+  counters_.max_inflight = std::max(counters_.max_inflight, depth);
 }
 
 void ssd_model::write(std::uint64_t bytes) {
@@ -56,11 +61,15 @@ void ssd_model::write(std::uint64_t bytes) {
   const double service_us =
       params_.write_latency_us +
       static_cast<double>(blocks - 1) * params_.seq_block_us;
+  const std::uint64_t depth =
+      inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
   const auto deadline = reserve(service_us);
   std::this_thread::sleep_until(deadline);
+  inflight_.fetch_sub(1, std::memory_order_relaxed);
   std::lock_guard lk(counter_mu_);
   ++counters_.writes;
   counters_.write_bytes += bytes;
+  counters_.max_inflight = std::max(counters_.max_inflight, depth);
 }
 
 ssd_counters ssd_model::counters() const {

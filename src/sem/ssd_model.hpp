@@ -60,6 +60,7 @@ struct ssd_counters {
   std::uint64_t read_bytes = 0;
   std::uint64_t write_bytes = 0;
   std::uint64_t read_blocks = 0;  // device blocks transferred by reads
+  std::uint64_t max_inflight = 0; // peak simultaneous requests (queue depth)
 };
 
 class ssd_model {
@@ -80,6 +81,13 @@ class ssd_model {
   ssd_counters counters() const;
   void reset_counters();
 
+  /// Requests currently queued or in service — the simulated device queue
+  /// depth. The telemetry sampler plots this to show whether thread
+  /// oversubscription actually keeps the device saturated (paper Fig. 1).
+  std::uint64_t inflight() const noexcept {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+
  private:
   using clock = std::chrono::steady_clock;
 
@@ -93,6 +101,7 @@ class ssd_model {
   ssd_params params_;
   std::vector<std::unique_ptr<channel>> channels_;
   std::atomic<std::uint64_t> next_channel_{0};
+  alignas(cache_line_size) std::atomic<std::uint64_t> inflight_{0};
   mutable std::mutex counter_mu_;
   ssd_counters counters_;
 };

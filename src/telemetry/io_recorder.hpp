@@ -1,0 +1,78 @@
+// Lock-free I/O accounting attached to sem::edge_file.
+//
+// Hundreds of oversubscribed threads pread() from one descriptor
+// concurrently, so the recorder is all relaxed atomics: operation and byte
+// totals plus a log2 latency histogram (microsecond buckets). When no
+// recorder is attached, edge_file skips the timing entirely — the recorder
+// costs nothing unless observability is requested.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace asyncgt::telemetry {
+
+struct io_snapshot {
+  std::uint64_t ops = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t total_latency_us = 0;
+  std::uint64_t max_latency_us = 0;
+  std::vector<std::uint64_t> latency_buckets;  // log2 µs buckets
+
+  double mean_latency_us() const {
+    return ops == 0 ? 0.0
+                    : static_cast<double>(total_latency_us) /
+                          static_cast<double>(ops);
+  }
+};
+
+class io_recorder {
+ public:
+  static constexpr std::size_t num_buckets = 48;
+
+  void record(std::uint64_t bytes, std::uint64_t latency_us) noexcept {
+    ops_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    total_us_.fetch_add(latency_us, std::memory_order_relaxed);
+    std::size_t b = 0;
+    for (std::uint64_t v = latency_us; v >>= 1;) ++b;
+    buckets_[b < num_buckets ? b : num_buckets - 1].fetch_add(
+        1, std::memory_order_relaxed);
+    std::uint64_t cur = max_us_.load(std::memory_order_relaxed);
+    while (latency_us > cur && !max_us_.compare_exchange_weak(
+                                   cur, latency_us,
+                                   std::memory_order_relaxed)) {
+    }
+  }
+
+  io_snapshot snapshot() const {
+    io_snapshot s;
+    s.ops = ops_.load(std::memory_order_relaxed);
+    s.bytes = bytes_.load(std::memory_order_relaxed);
+    s.total_latency_us = total_us_.load(std::memory_order_relaxed);
+    s.max_latency_us = max_us_.load(std::memory_order_relaxed);
+    s.latency_buckets.reserve(num_buckets);
+    for (const auto& b : buckets_) {
+      s.latency_buckets.push_back(b.load(std::memory_order_relaxed));
+    }
+    return s;
+  }
+
+  void reset() noexcept {
+    ops_.store(0, std::memory_order_relaxed);
+    bytes_.store(0, std::memory_order_relaxed);
+    total_us_.store(0, std::memory_order_relaxed);
+    max_us_.store(0, std::memory_order_relaxed);
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> ops_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> total_us_{0};
+  std::atomic<std::uint64_t> max_us_{0};
+  std::atomic<std::uint64_t> buckets_[num_buckets] = {};
+};
+
+}  // namespace asyncgt::telemetry

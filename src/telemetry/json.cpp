@@ -1,0 +1,363 @@
+#include "telemetry/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace asyncgt::telemetry {
+
+std::int64_t json_value::as_int() const {
+  if (is_int()) return std::get<std::int64_t>(v_);
+  if (is_double()) return static_cast<std::int64_t>(std::get<double>(v_));
+  throw std::runtime_error("json_value: not a number");
+}
+
+double json_value::as_double() const {
+  if (is_double()) return std::get<double>(v_);
+  if (is_int()) return static_cast<double>(std::get<std::int64_t>(v_));
+  throw std::runtime_error("json_value: not a number");
+}
+
+const json_value* json_value::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  const object_t& obj = std::get<object_t>(v_);
+  const json_value* hit = nullptr;
+  for (const auto& [k, v] : obj) {
+    if (k == key) hit = &v;
+  }
+  return hit;
+}
+
+json_value& json_value::set(std::string key, json_value v) {
+  object_t& obj = std::get<object_t>(v_);
+  for (auto& [k, existing] : obj) {
+    if (k == key) {
+      existing = std::move(v);
+      return *this;
+    }
+  }
+  obj.emplace_back(std::move(key), std::move(v));
+  return *this;
+}
+
+json_value& json_value::push(json_value v) {
+  std::get<array_t>(v_).push_back(std::move(v));
+  return *this;
+}
+
+std::size_t json_value::size() const noexcept {
+  if (is_array()) return std::get<array_t>(v_).size();
+  if (is_object()) return std::get<object_t>(v_).size();
+  return 0;
+}
+
+namespace {
+
+void escape_to(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void number_to(std::string& out, double d) {
+  if (!std::isfinite(d)) {  // JSON has no inf/nan; emit null like browsers do
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  // Trim to the shortest representation that round-trips.
+  for (int prec = 1; prec < 17; ++prec) {
+    char probe[32];
+    std::snprintf(probe, sizeof probe, "%.*g", prec, d);
+    double back = 0;
+    std::sscanf(probe, "%lf", &back);
+    if (back == d) {
+      out += probe;
+      return;
+    }
+  }
+  out += buf;
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+  if (indent < 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+std::string json_value::dump(int indent) const {
+  std::string out;
+  // Iterative-enough for our depths; recursion via lambda.
+  auto emit = [&](auto&& self, const json_value& v, int depth) -> void {
+    if (v.is_null()) {
+      out += "null";
+    } else if (v.is_bool()) {
+      out += v.as_bool() ? "true" : "false";
+    } else if (v.is_int()) {
+      out += std::to_string(v.as_int());
+    } else if (v.is_double()) {
+      number_to(out, v.as_double());
+    } else if (v.is_string()) {
+      escape_to(out, v.as_string());
+    } else if (v.is_array()) {
+      const auto& arr = v.as_array();
+      out += '[';
+      for (std::size_t i = 0; i < arr.size(); ++i) {
+        if (i) out += ',';
+        newline_indent(out, indent, depth + 1);
+        self(self, arr[i], depth + 1);
+      }
+      if (!arr.empty()) newline_indent(out, indent, depth);
+      out += ']';
+    } else {
+      const auto& obj = v.as_object();
+      out += '{';
+      for (std::size_t i = 0; i < obj.size(); ++i) {
+        if (i) out += ',';
+        newline_indent(out, indent, depth + 1);
+        escape_to(out, obj[i].first);
+        out += indent < 0 ? ":" : ": ";
+        self(self, obj[i].second, depth + 1);
+      }
+      if (!obj.empty()) newline_indent(out, indent, depth);
+      out += '}';
+    }
+  };
+  emit(emit, *this, 0);
+  return out;
+}
+
+namespace {
+
+class parser {
+ public:
+  explicit parser(std::string_view text) : text_(text) {}
+
+  json_value parse_document() {
+    json_value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("json parse error at offset " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  json_value parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return json_value(parse_string());
+      case 't':
+        if (consume_literal("true")) return json_value(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return json_value(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return json_value(nullptr);
+        fail("invalid literal");
+      default: return parse_number();
+    }
+  }
+
+  json_value parse_object() {
+    expect('{');
+    json_value obj = json_value::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.as_object().emplace_back(std::move(key), parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return obj;
+      }
+      fail("expected ',' or '}' in object");
+    }
+  }
+
+  json_value parse_array() {
+    expect('[');
+    json_value arr = json_value::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    for (;;) {
+      arr.push(parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return arr;
+      }
+      fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("invalid hex digit in \\u escape");
+          }
+          // Encode the code point as UTF-8 (surrogate pairs are passed
+          // through as two separate 3-byte sequences; trace consumers only
+          // ever see ASCII names, so this is deliberately simple).
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default: fail("invalid escape character");
+      }
+    }
+  }
+
+  json_value parse_number() {
+    const std::size_t start = pos_;
+    bool is_double = false;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      fail("invalid number");
+    }
+    const std::string tok(text_.substr(start, pos_ - start));
+    try {
+      if (!is_double) {
+        std::size_t used = 0;
+        const std::int64_t v = std::stoll(tok, &used);
+        if (used == tok.size()) return json_value(v);
+      }
+      std::size_t used = 0;
+      const double d = std::stod(tok, &used);
+      if (used != tok.size()) fail("invalid number");
+      return json_value(d);
+    } catch (const std::exception&) {
+      fail("invalid number '" + tok + "'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+json_value json_value::parse(std::string_view text) {
+  return parser(text).parse_document();
+}
+
+}  // namespace asyncgt::telemetry

@@ -1,0 +1,86 @@
+// Minimal JSON document model: build, serialize, and parse.
+//
+// The telemetry layer emits two machine-readable artifacts — bench/metrics
+// JSON (bench_report) and Chrome trace files (trace_writer) — and the test
+// suite plus `agt_tool verify-json` must be able to read them back without
+// external dependencies. This is a small ordered-object DOM with a strict
+// recursive-descent parser; it is not a general-purpose JSON library (no
+// streaming, no >64-bit numbers, objects keep insertion order and allow
+// duplicate keys on parse with last-wins lookup).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace asyncgt::telemetry {
+
+class json_value {
+ public:
+  using array_t = std::vector<json_value>;
+  using member = std::pair<std::string, json_value>;
+  using object_t = std::vector<member>;
+
+  json_value() : v_(nullptr) {}
+  json_value(std::nullptr_t) : v_(nullptr) {}
+  json_value(bool b) : v_(b) {}
+  json_value(double d) : v_(d) {}
+  json_value(std::int64_t i) : v_(i) {}
+  json_value(std::uint64_t u) : v_(static_cast<std::int64_t>(u)) {}
+  json_value(int i) : v_(static_cast<std::int64_t>(i)) {}
+  json_value(unsigned u) : v_(static_cast<std::int64_t>(u)) {}
+  json_value(std::string s) : v_(std::move(s)) {}
+  json_value(const char* s) : v_(std::string(s)) {}
+  json_value(array_t a) : v_(std::move(a)) {}
+  json_value(object_t o) : v_(std::move(o)) {}
+
+  static json_value array() { return json_value(array_t{}); }
+  static json_value object() { return json_value(object_t{}); }
+
+  bool is_null() const noexcept { return std::holds_alternative<std::nullptr_t>(v_); }
+  bool is_bool() const noexcept { return std::holds_alternative<bool>(v_); }
+  bool is_int() const noexcept { return std::holds_alternative<std::int64_t>(v_); }
+  bool is_double() const noexcept { return std::holds_alternative<double>(v_); }
+  bool is_number() const noexcept { return is_int() || is_double(); }
+  bool is_string() const noexcept { return std::holds_alternative<std::string>(v_); }
+  bool is_array() const noexcept { return std::holds_alternative<array_t>(v_); }
+  bool is_object() const noexcept { return std::holds_alternative<object_t>(v_); }
+
+  bool as_bool() const { return std::get<bool>(v_); }
+  std::int64_t as_int() const;
+  double as_double() const;
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+  const array_t& as_array() const { return std::get<array_t>(v_); }
+  array_t& as_array() { return std::get<array_t>(v_); }
+  const object_t& as_object() const { return std::get<object_t>(v_); }
+  object_t& as_object() { return std::get<object_t>(v_); }
+
+  /// Object member lookup (last occurrence wins); nullptr if absent or if
+  /// this value is not an object.
+  const json_value* find(std::string_view key) const;
+
+  /// Appends/overwrites an object member. Value must be an object.
+  json_value& set(std::string key, json_value v);
+
+  /// Appends an array element. Value must be an array.
+  json_value& push(json_value v);
+
+  std::size_t size() const noexcept;
+
+  /// Serializes. indent < 0 means compact one-line output.
+  std::string dump(int indent = -1) const;
+
+  /// Strict parse of a complete JSON document. Throws std::runtime_error
+  /// with position information on malformed input.
+  static json_value parse(std::string_view text);
+
+ private:
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string,
+               array_t, object_t>
+      v_;
+};
+
+}  // namespace asyncgt::telemetry

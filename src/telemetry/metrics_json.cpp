@@ -1,0 +1,176 @@
+#include "telemetry/metrics_json.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace asyncgt::telemetry {
+
+namespace {
+
+json_value buckets_to_json(const std::vector<std::uint64_t>& buckets) {
+  // Sparse encoding: only non-empty buckets, as {"2^i": count}.
+  json_value out = json_value::object();
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] != 0) out.set("2^" + std::to_string(i), buckets[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+json_value to_json(const metrics_snapshot& snap) {
+  json_value out = json_value::object();
+  for (const auto& e : snap.entries) {
+    switch (e.kind) {
+      case metric_kind::counter:
+        out.set(e.name, e.total);
+        break;
+      case metric_kind::gauge:
+        out.set(e.name, e.value);
+        break;
+      case metric_kind::histogram: {
+        json_value h = json_value::object();
+        h.set("count", e.total);
+        h.set("sum", e.sum);
+        h.set("buckets", buckets_to_json(e.buckets));
+        out.set(e.name, std::move(h));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+json_value to_json(const io_snapshot& io) {
+  json_value out = json_value::object();
+  out.set("ops", io.ops);
+  out.set("bytes", io.bytes);
+  out.set("total_latency_us", io.total_latency_us);
+  out.set("mean_latency_us", io.mean_latency_us());
+  out.set("max_latency_us", io.max_latency_us);
+  out.set("latency_us_buckets", buckets_to_json(io.latency_buckets));
+  return out;
+}
+
+json_value to_json(const std::vector<sampler::series>& series) {
+  json_value out = json_value::object();
+  for (const auto& ser : series) {
+    json_value t = json_value::array();
+    json_value v = json_value::array();
+    for (const auto& pt : ser.points) {
+      t.push(pt.t_seconds);
+      v.push(pt.value);
+    }
+    json_value pair = json_value::object();
+    pair.set("t", std::move(t));
+    pair.set("v", std::move(v));
+    out.set(ser.name, std::move(pair));
+  }
+  return out;
+}
+
+report::report(std::string name) : doc_(json_value::object()) {
+  doc_.set("schema_version", 1);
+  doc_.set("name", std::move(name));
+  doc_.set("config", json_value::object());
+  doc_.set("sections", json_value::object());
+}
+
+report& report::config(const std::string& key, json_value value) {
+  // find() returns const; config is created in the constructor, so the
+  // lookup cannot fail.
+  for (auto& [k, v] : doc_.as_object()) {
+    if (k == "config") v.set(key, std::move(value));
+  }
+  return *this;
+}
+
+json_value& report::section(const std::string& name) {
+  for (auto& [k, v] : doc_.as_object()) {
+    if (k == "sections") {
+      for (auto& [sk, sv] : v.as_object()) {
+        if (sk == name) return sv;
+      }
+      v.set(name, json_value::object());
+      return v.as_object().back().second;
+    }
+  }
+  throw std::logic_error("report: document lost its sections object");
+}
+
+report& report::add_row(json_value row) {
+  json_value* rows = nullptr;
+  for (auto& [k, v] : doc_.as_object()) {
+    if (k == "rows") rows = &v;
+  }
+  if (rows == nullptr) {
+    doc_.set("rows", json_value::array());
+    rows = &doc_.as_object().back().second;
+  }
+  rows->push(std::move(row));
+  return *this;
+}
+
+void report::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("report: cannot open '" + path +
+                             "' for writing");
+  }
+  out << dump(1) << '\n';
+  if (!out) {
+    throw std::runtime_error("report: write to '" + path + "' failed");
+  }
+}
+
+namespace {
+
+bool fail(std::string* error, const std::string& why) {
+  if (error != nullptr) *error = why;
+  return false;
+}
+
+}  // namespace
+
+bool report::verify(const json_value& doc, std::string* error) {
+  if (!doc.is_object()) return fail(error, "document is not a JSON object");
+  const json_value* ver = doc.find("schema_version");
+  if (ver == nullptr || !ver->is_int() || ver->as_int() != 1) {
+    return fail(error, "schema_version must be the integer 1");
+  }
+  const json_value* name = doc.find("name");
+  if (name == nullptr || !name->is_string() || name->as_string().empty()) {
+    return fail(error, "name must be a non-empty string");
+  }
+  const json_value* config = doc.find("config");
+  if (config == nullptr || !config->is_object()) {
+    return fail(error, "config must be an object");
+  }
+  const json_value* sections = doc.find("sections");
+  if (sections == nullptr || !sections->is_object()) {
+    return fail(error, "sections must be an object");
+  }
+  for (const auto& [k, v] : sections->as_object()) {
+    if (!v.is_object()) {
+      return fail(error, "section '" + k + "' is not an object");
+    }
+  }
+  const json_value* rows = doc.find("rows");
+  if (rows != nullptr) {
+    if (!rows->is_array()) return fail(error, "rows must be an array");
+    for (const auto& r : rows->as_array()) {
+      if (!r.is_object()) return fail(error, "rows entries must be objects");
+    }
+  }
+  return true;
+}
+
+bool report::verify_text(const std::string& text, std::string* error) {
+  try {
+    return verify(json_value::parse(text), error);
+  } catch (const std::exception& e) {
+    return fail(error, e.what());
+  }
+}
+
+}  // namespace asyncgt::telemetry

@@ -1,0 +1,74 @@
+// JSON serialization for telemetry artifacts, plus the bench-report
+// document: a small schema shared by every bench binary and agt_tool so
+// emitted JSON stays machine-readable for BENCH_*.json trajectory tracking.
+//
+// Schema (version 1, checked by report::verify, `agt_tool verify-json`,
+// and tools/check_bench_json.py):
+//   {
+//     "schema_version": 1,
+//     "name": "<bench or subcommand name>",     non-empty string
+//     "config": { ... },                        object of scalars
+//     "sections": { "<name>": { ... }, ... },   object of objects
+//     "rows": [ { ... }, ... ]                  optional array of objects
+//   }
+// Sections hold the machine-independent metrics (queue counters, algorithm
+// work proxies, SEM cache/device telemetry, sampler series); rows hold the
+// per-configuration lines of a bench table. See docs/observability.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/io_recorder.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/metrics_registry.hpp"
+#include "telemetry/sampler.hpp"
+
+namespace asyncgt::telemetry {
+
+/// Registry snapshot -> {"<metric>": value|histogram-object, ...}.
+json_value to_json(const metrics_snapshot& snap);
+
+/// I/O recorder -> {"ops": n, "bytes": n, "mean_latency_us": x, ...}.
+json_value to_json(const io_snapshot& io);
+
+/// Sampler series -> {"<probe>": {"t": [...], "v": [...]}, ...}.
+json_value to_json(const std::vector<sampler::series>& series);
+
+/// Builder for the schema-1 report document above.
+class report {
+ public:
+  explicit report(std::string name);
+
+  /// Adds one scalar to the "config" object.
+  report& config(const std::string& key, json_value value);
+
+  /// Finds-or-creates a section object; returned reference is valid until
+  /// the next section() call (it points into the document).
+  json_value& section(const std::string& name);
+
+  /// Appends a row object to "rows".
+  report& add_row(json_value row);
+
+  const json_value& doc() const noexcept { return doc_; }
+  json_value& doc() noexcept { return doc_; }
+
+  std::string dump(int indent = 1) const { return doc_.dump(indent); }
+
+  /// Writes the document to `path`. Throws std::runtime_error on failure.
+  void write_file(const std::string& path) const;
+
+  /// Schema check. On failure returns false and, when `error` is non-null,
+  /// stores a human-readable reason.
+  static bool verify(const json_value& doc, std::string* error = nullptr);
+
+  /// Parses `text` and verifies; convenience for files read back from disk.
+  static bool verify_text(const std::string& text,
+                          std::string* error = nullptr);
+
+ private:
+  json_value doc_;
+};
+
+}  // namespace asyncgt::telemetry

@@ -1,0 +1,93 @@
+#include "telemetry/metrics_registry.hpp"
+
+#include <stdexcept>
+
+namespace asyncgt::telemetry {
+
+metrics_registry::metrics_registry(std::size_t shards)
+    : shards_(shards ? shards : 1) {}
+
+counter& metrics_registry::get_counter(const std::string& name) {
+  std::lock_guard lk(mu_);
+  const auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    if (it->second.kind != metric_kind::counter) {
+      throw std::logic_error("metrics_registry: '" + name +
+                             "' already registered as a different kind");
+    }
+    return counters_[it->second.index];
+  }
+  counters_.emplace_back(shards_);
+  by_name_[name] = {metric_kind::counter, counters_.size() - 1};
+  return counters_.back();
+}
+
+gauge& metrics_registry::get_gauge(const std::string& name) {
+  std::lock_guard lk(mu_);
+  const auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    if (it->second.kind != metric_kind::gauge) {
+      throw std::logic_error("metrics_registry: '" + name +
+                             "' already registered as a different kind");
+    }
+    return gauges_[it->second.index];
+  }
+  gauges_.emplace_back();
+  by_name_[name] = {metric_kind::gauge, gauges_.size() - 1};
+  return gauges_.back();
+}
+
+histogram& metrics_registry::get_histogram(const std::string& name) {
+  std::lock_guard lk(mu_);
+  const auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    if (it->second.kind != metric_kind::histogram) {
+      throw std::logic_error("metrics_registry: '" + name +
+                             "' already registered as a different kind");
+    }
+    return histograms_[it->second.index];
+  }
+  histograms_.emplace_back(shards_);
+  by_name_[name] = {metric_kind::histogram, histograms_.size() - 1};
+  return histograms_.back();
+}
+
+metrics_snapshot metrics_registry::scrape() const {
+  std::lock_guard lk(mu_);
+  metrics_snapshot snap;
+  snap.entries.reserve(by_name_.size());
+  for (const auto& [name, s] : by_name_) {
+    metrics_snapshot::entry e;
+    e.name = name;
+    e.kind = s.kind;
+    switch (s.kind) {
+      case metric_kind::counter: {
+        const counter& c = counters_[s.index];
+        e.total = c.total();
+        e.per_shard = c.per_shard();
+        break;
+      }
+      case metric_kind::gauge:
+        e.value = gauges_[s.index].get();
+        break;
+      case metric_kind::histogram: {
+        const histogram& h = histograms_[s.index];
+        e.total = h.total();
+        e.sum = h.sum();
+        e.buckets = h.merged();
+        break;
+      }
+    }
+    snap.entries.push_back(std::move(e));
+  }
+  return snap;
+}
+
+void metrics_registry::reset() {
+  std::lock_guard lk(mu_);
+  for (auto& c : counters_) c.reset();
+  for (auto& g : gauges_) g.reset();
+  for (auto& h : histograms_) h.reset();
+}
+
+}  // namespace asyncgt::telemetry

@@ -1,0 +1,229 @@
+// Named metric registry with per-thread sharded storage.
+//
+// The hot paths of the traversal engine (visitor queue pops/pushes, SEM
+// block-cache probes, algorithm relaxations) account their work into metrics
+// looked up once and then updated with a relaxed atomic add on a
+// cache-line-padded per-thread slot — no locks, no contended lines, and no
+// seq_cst fences on the fast path. Aggregation happens only at scrape()
+// time, which walks every shard under the registration mutex and returns an
+// immutable snapshot. This is the always-compiled substrate behind the
+// machine-independent counters the paper argues with (visits, wasted
+// relaxations, queue imbalance); see docs/observability.md for the catalog.
+//
+// Concurrency contract:
+//   * counter::add / gauge::set / histogram::record are safe from any
+//     thread; passing the worker's tid as `shard` avoids all sharing.
+//   * get_counter/get_gauge/get_histogram lock briefly; call them once at
+//     setup and keep the reference (stable for the registry's lifetime).
+//   * scrape() is safe concurrently with writers; it observes each shard
+//     with a relaxed load, so in-flight updates may or may not be included
+//     (exact totals are only guaranteed after the writing threads joined).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/cache_line.hpp"
+
+namespace asyncgt::telemetry {
+
+/// Monotone event count, sharded per thread.
+class counter {
+ public:
+  explicit counter(std::size_t shards) : slots_(shards ? shards : 1) {}
+
+  void add(std::size_t shard, std::uint64_t n = 1) noexcept {
+    slots_[shard % slots_.size()].value.fetch_add(n,
+                                                  std::memory_order_relaxed);
+  }
+
+  std::uint64_t total() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto& s : slots_) sum += s.value.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+  std::vector<std::uint64_t> per_shard() const {
+    std::vector<std::uint64_t> out;
+    out.reserve(slots_.size());
+    for (const auto& s : slots_) {
+      out.push_back(s.value.load(std::memory_order_relaxed));
+    }
+    return out;
+  }
+
+  void reset() noexcept {
+    for (auto& s : slots_) s.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<padded<std::atomic<std::uint64_t>>> slots_;
+};
+
+/// Last-write-wins instantaneous value (queue depth, bytes resident, ...).
+/// Single slot: gauges are set at low frequency (samplers, end-of-phase).
+class gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t d) noexcept {
+    v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  /// Raises the gauge to `v` if larger (high-water-mark semantics).
+  void record_max(std::int64_t v) noexcept {
+    std::int64_t cur = v_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t get() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Power-of-two-bucket histogram, sharded per thread: bucket i counts
+/// values in [2^i, 2^(i+1)), bucket 0 also absorbs 0 — the atomic sibling
+/// of util/stats.hpp's log2_histogram, merged across shards at scrape time.
+class histogram {
+ public:
+  static constexpr std::size_t num_buckets = 64;
+
+  explicit histogram(std::size_t shards) : shards_(shards ? shards : 1) {}
+
+  void record(std::size_t shard, std::uint64_t value) noexcept {
+    auto& sh = shards_[shard % shards_.size()].value;
+    sh.buckets[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+    sh.sum.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  static std::size_t bucket_of(std::uint64_t value) noexcept {
+    std::size_t b = 0;
+    while (value >>= 1) ++b;  // floor(log2), 0 for value 0
+    return b;
+  }
+
+  /// Merged bucket counts across all shards (index i = [2^i, 2^(i+1))).
+  std::vector<std::uint64_t> merged() const {
+    std::vector<std::uint64_t> out(num_buckets, 0);
+    for (const auto& sh : shards_) {
+      for (std::size_t i = 0; i < num_buckets; ++i) {
+        out[i] += sh.value.buckets[i].load(std::memory_order_relaxed);
+      }
+    }
+    return out;
+  }
+
+  std::uint64_t total() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& sh : shards_) {
+      for (const auto& b : sh.value.buckets) {
+        n += b.load(std::memory_order_relaxed);
+      }
+    }
+    return n;
+  }
+
+  std::uint64_t sum() const noexcept {
+    std::uint64_t s = 0;
+    for (const auto& sh : shards_) {
+      s += sh.value.sum.load(std::memory_order_relaxed);
+    }
+    return s;
+  }
+
+  void reset() noexcept {
+    for (auto& sh : shards_) {
+      for (auto& b : sh.value.buckets) b.store(0, std::memory_order_relaxed);
+      sh.value.sum.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct shard_data {
+    std::atomic<std::uint64_t> buckets[num_buckets] = {};
+    std::atomic<std::uint64_t> sum{0};
+  };
+  std::vector<padded<shard_data>> shards_;
+};
+
+enum class metric_kind { counter, gauge, histogram };
+
+/// Immutable aggregated view of every registered metric.
+struct metrics_snapshot {
+  struct entry {
+    std::string name;
+    metric_kind kind = metric_kind::counter;
+    std::uint64_t total = 0;                  // counter sum / histogram count
+    std::int64_t value = 0;                   // gauge reading
+    std::uint64_t sum = 0;                    // histogram value sum
+    std::vector<std::uint64_t> buckets;       // histogram only (log2 buckets)
+    std::vector<std::uint64_t> per_shard;     // counter only
+  };
+  std::vector<entry> entries;
+
+  const entry* find(const std::string& name) const {
+    for (const auto& e : entries) {
+      if (e.name == name) return &e;
+    }
+    return nullptr;
+  }
+
+  /// Counter total / gauge value by name; 0 if absent.
+  std::uint64_t value_of(const std::string& name) const {
+    const entry* e = find(name);
+    if (e == nullptr) return 0;
+    if (e->kind == metric_kind::gauge) {
+      return e->value < 0 ? 0 : static_cast<std::uint64_t>(e->value);
+    }
+    return e->total;
+  }
+};
+
+class metrics_registry {
+ public:
+  /// `shards` bounds the number of contention-free writer slots per metric;
+  /// size it to the worker thread count (shard indices wrap past it).
+  explicit metrics_registry(std::size_t shards = 16);
+
+  metrics_registry(const metrics_registry&) = delete;
+  metrics_registry& operator=(const metrics_registry&) = delete;
+
+  /// Finds or creates; the returned reference stays valid for the
+  /// registry's lifetime. A name registers exactly one kind — requesting an
+  /// existing name as a different kind throws std::logic_error.
+  counter& get_counter(const std::string& name);
+  gauge& get_gauge(const std::string& name);
+  histogram& get_histogram(const std::string& name);
+
+  std::size_t shards() const noexcept { return shards_; }
+
+  metrics_snapshot scrape() const;
+
+  /// Zeroes every metric (definitions stay registered).
+  void reset();
+
+ private:
+  const std::size_t shards_;
+  mutable std::mutex mu_;
+  // deques give stable element addresses across registration.
+  std::deque<counter> counters_;
+  std::deque<gauge> gauges_;
+  std::deque<histogram> histograms_;
+  struct slot {
+    metric_kind kind;
+    std::size_t index;
+  };
+  std::map<std::string, slot> by_name_;
+};
+
+}  // namespace asyncgt::telemetry

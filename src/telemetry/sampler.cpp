@@ -1,0 +1,125 @@
+#include "telemetry/sampler.hpp"
+
+#include "telemetry/trace_writer.hpp"
+
+namespace asyncgt::telemetry {
+
+sampler::sampler() : origin_(std::chrono::steady_clock::now()) {}
+
+sampler::~sampler() { stop(); }
+
+sampler::probe_id sampler::add_probe(std::string name, probe_fn fn) {
+  std::lock_guard lk(mu_);
+  probe p;
+  p.id = next_id_++;
+  p.live = true;
+  p.name = std::move(name);
+  p.fn = std::move(fn);
+  probes_.push_back(std::move(p));
+  return probes_.back().id;
+}
+
+void sampler::remove_probe(probe_id id) {
+  std::lock_guard lk(mu_);
+  for (auto& p : probes_) {
+    if (p.id == id && p.live) {
+      p.live = false;
+      p.fn = nullptr;  // release captured resources under the lock
+      return;
+    }
+  }
+}
+
+void sampler::start(std::chrono::microseconds interval) {
+  if (running_.load(std::memory_order_acquire)) return;
+  {
+    std::lock_guard lk(stop_mu_);
+    stop_requested_ = false;
+  }
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this, interval] {
+    // Take an immediate first sample so even sub-interval runs get points.
+    tick();
+    std::unique_lock lk(stop_mu_);
+    while (!stop_requested_) {
+      if (stop_cv_.wait_for(lk, interval, [this] { return stop_requested_; })) {
+        break;
+      }
+      lk.unlock();
+      tick();
+      lk.lock();
+    }
+  });
+}
+
+void sampler::stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  {
+    std::lock_guard lk(stop_mu_);
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+void sampler::tick() {
+  const double t = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - origin_)
+                       .count();
+  std::lock_guard lk(mu_);
+  for (auto& p : probes_) {
+    if (!p.live) continue;
+    p.points.push_back({t, p.fn()});
+    ++samples_;
+  }
+}
+
+std::uint64_t sampler::samples_taken() const {
+  std::lock_guard lk(mu_);
+  return samples_;
+}
+
+std::vector<sampler::series> sampler::snapshot() const {
+  std::lock_guard lk(mu_);
+  std::vector<series> out;
+  out.reserve(probes_.size());
+  for (const auto& p : probes_) {
+    if (p.points.empty() && !p.live) continue;
+    out.push_back({p.name, p.points});
+  }
+  return out;
+}
+
+void sampler::clear() {
+  std::lock_guard lk(mu_);
+  samples_ = 0;
+  std::vector<probe> kept;
+  for (auto& p : probes_) {
+    if (!p.live) continue;
+    p.points.clear();
+    kept.push_back(std::move(p));
+  }
+  probes_ = std::move(kept);
+}
+
+void sampler::write_counters(trace_writer& tw, std::uint32_t tid) const {
+  const auto all = snapshot();
+  trace_stream& s = tw.stream(tid, "sampler");
+  // Sampler time is relative to sampler construction; the trace timebase is
+  // the writer's. Shift by the origin difference so tracks align with spans.
+  const std::int64_t shift_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(origin_ -
+                                                            tw.origin())
+          .count();
+  for (const auto& ser : all) {
+    for (const auto& pt : ser.points) {
+      const std::int64_t ts =
+          static_cast<std::int64_t>(pt.t_seconds * 1e6) + shift_us;
+      s.counter(ser.name, ts < 0 ? 0 : static_cast<std::uint64_t>(ts),
+                pt.value);
+    }
+  }
+}
+
+}  // namespace asyncgt::telemetry

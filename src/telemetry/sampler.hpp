@@ -1,0 +1,108 @@
+// Background time-series sampler for traversal frontier dynamics.
+//
+// A single thread wakes every `interval` and evaluates a set of registered
+// probes (visitor-queue depths, the global pending counter, block-cache
+// occupancy, SSD in-flight requests...), appending (timestamp, value) points
+// per probe. The resulting series plot the frontier growing and draining —
+// the dynamics behind the paper's IOPS-vs-BFS-depth Figure 1 — and can be
+// replayed into a trace_writer as Chrome counter tracks.
+//
+// Probes run on the sampler thread and may take short internal locks (the
+// visitor queue's per-worker mutexes, the cache mutex); keep them O(threads)
+// cheap. Probe registration/removal is thread-safe and race-free against a
+// running sampler: the probe list and all series live behind one mutex, and
+// a removed probe's already-collected series survives until clear().
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace asyncgt::telemetry {
+
+class trace_writer;
+
+class sampler {
+ public:
+  using probe_fn = std::function<double()>;
+  using probe_id = std::uint64_t;
+
+  struct point {
+    double t_seconds = 0.0;  // since sampler construction
+    double value = 0.0;
+  };
+
+  struct series {
+    std::string name;
+    std::vector<point> points;
+  };
+
+  sampler();
+  ~sampler();  // stops the thread if still running
+
+  sampler(const sampler&) = delete;
+  sampler& operator=(const sampler&) = delete;
+
+  /// Registers a probe; safe while running. Returns an id for remove_probe.
+  probe_id add_probe(std::string name, probe_fn fn);
+
+  /// Unregisters; the probe function is destroyed before this returns, so
+  /// the caller may free whatever it captures. Collected points remain.
+  void remove_probe(probe_id id);
+
+  /// Starts the background thread. No-op if already running.
+  void start(std::chrono::microseconds interval);
+
+  /// Stops and joins. No-op if not running. Safe to call concurrently with
+  /// start from the owning thread (start/stop are not internally serialized
+  /// against *each other* — drive them from one controlling thread).
+  void stop();
+
+  bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  /// Total samples taken across all probes so far.
+  std::uint64_t samples_taken() const;
+
+  /// Copies of every series collected so far (including removed probes).
+  std::vector<series> snapshot() const;
+
+  /// Drops all collected points and retired series (live probes stay).
+  void clear();
+
+  /// Replays every series into `tw` as Chrome 'C' (counter) events on the
+  /// given tid, so traces show the sampled time-series as tracks.
+  void write_counters(trace_writer& tw, std::uint32_t tid = 999) const;
+
+ private:
+  void tick();
+
+  struct probe {
+    probe_id id = 0;
+    bool live = false;  // false = retired, kept for its collected points
+    std::string name;
+    probe_fn fn;
+    std::vector<point> points;
+  };
+
+  std::chrono::steady_clock::time_point origin_;
+  mutable std::mutex mu_;
+  std::vector<probe> probes_;
+  probe_id next_id_ = 1;
+  std::uint64_t samples_ = 0;
+
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+};
+
+}  // namespace asyncgt::telemetry

@@ -1,0 +1,208 @@
+// Chrome-trace event collection: per-thread span buffers plus a writer
+// that serializes them to the chrome://tracing / Perfetto JSON format.
+//
+// Events accumulate in per-stream vectors (one stream per worker thread, a
+// dedicated stream for phases, one for the sampler), so recording a span is
+// a vector push_back with no cross-thread synchronization; the writer only
+// locks when a stream is first acquired and when the file is serialized.
+// Timebase: microseconds since the trace_writer was constructed, on the
+// steady clock — every stream shares it, so spans from different threads
+// line up in the viewer.
+//
+// Intended use (see docs/observability.md):
+//   trace_writer tw;
+//   trace_stream& s = tw.stream(tid, "worker");
+//   { scoped_span span(&s, "visit"); ... }        // RAII complete event
+//   { phase_timer ph(&tw, "build-graph"); ... }   // top-level phase span
+//   tw.write_file("out.trace");                   // load in ui.perfetto.dev
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/json.hpp"
+
+namespace asyncgt::telemetry {
+
+class trace_writer;
+
+struct trace_event {
+  std::string name;
+  char phase = 'X';          // 'X' complete, 'i' instant, 'C' counter
+  std::uint64_t ts_us = 0;   // since writer construction
+  std::uint64_t dur_us = 0;  // complete events only
+  bool has_value = false;    // counter events carry a numeric payload
+  double value = 0.0;
+  bool has_arg = false;      // optional single numeric argument
+  std::string arg_name;
+  std::uint64_t arg = 0;
+};
+
+/// A single-writer event buffer; one per logical thread. All methods must be
+/// called from one thread at a time (each worker owns its stream).
+class trace_stream {
+ public:
+  /// Records a completed span [ts_us, ts_us + dur_us).
+  void complete(std::string name, std::uint64_t ts_us, std::uint64_t dur_us) {
+    events_.push_back({std::move(name), 'X', ts_us, dur_us,
+                       false, 0.0, false, {}, 0});
+  }
+
+  /// Completed span with one numeric argument (e.g. the visited vertex id).
+  void complete(std::string name, std::uint64_t ts_us, std::uint64_t dur_us,
+                std::string arg_name, std::uint64_t arg) {
+    events_.push_back({std::move(name), 'X', ts_us, dur_us,
+                       false, 0.0, true, std::move(arg_name), arg});
+  }
+
+  /// Zero-duration marker.
+  void instant(std::string name, std::uint64_t ts_us) {
+    events_.push_back({std::move(name), 'i', ts_us, 0,
+                       false, 0.0, false, {}, 0});
+  }
+
+  /// Counter sample: renders as a stacked time-series track in the viewer.
+  void counter(std::string name, std::uint64_t ts_us, double value) {
+    events_.push_back({std::move(name), 'C', ts_us, 0,
+                       true, value, false, {}, 0});
+  }
+
+  std::uint64_t now_us() const noexcept;
+
+  std::size_t size() const noexcept { return events_.size(); }
+
+ private:
+  friend class trace_writer;
+  trace_stream(const trace_writer* owner, std::uint32_t tid, std::string name)
+      : owner_(owner), tid_(tid), name_(std::move(name)) {}
+
+  const trace_writer* owner_;
+  std::uint32_t tid_;
+  std::string name_;
+  std::vector<trace_event> events_;
+};
+
+class trace_writer {
+ public:
+  explicit trace_writer(std::string process_name = "asyncgt");
+
+  trace_writer(const trace_writer&) = delete;
+  trace_writer& operator=(const trace_writer&) = delete;
+
+  /// Finds or creates the stream for Chrome tid `tid`. The reference stays
+  /// valid for the writer's lifetime. `name` labels the track on first
+  /// acquisition (thread_name metadata event).
+  trace_stream& stream(std::uint32_t tid, const std::string& name = "");
+
+  /// Microseconds since this writer was constructed.
+  std::uint64_t now_us() const noexcept {
+    return us_since_origin(std::chrono::steady_clock::now());
+  }
+
+  std::uint64_t us_since_origin(
+      std::chrono::steady_clock::time_point tp) const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(tp - origin_)
+            .count());
+  }
+
+  std::chrono::steady_clock::time_point origin() const noexcept {
+    return origin_;
+  }
+
+  /// Events recorded across all streams so far (streams must be quiescent
+  /// for an exact count).
+  std::size_t event_count() const;
+
+  /// Serializes to the Chrome trace object format
+  /// {"traceEvents": [...], ...}; parseable by chrome://tracing, Perfetto,
+  /// and json_value::parse.
+  json_value to_json() const;
+  std::string to_json_string() const { return to_json().dump(); }
+
+  /// Writes the JSON to `path`. Throws std::runtime_error on I/O failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  std::string process_name_;
+  std::chrono::steady_clock::time_point origin_;
+  mutable std::mutex mu_;
+  std::deque<trace_stream> streams_;  // stable addresses
+};
+
+inline std::uint64_t trace_stream::now_us() const noexcept {
+  return owner_->now_us();
+}
+
+/// RAII span: records a complete event on destruction. A default-constructed
+/// (or null-stream) span is a no-op, so call sites can be unconditional.
+class scoped_span {
+ public:
+  scoped_span() = default;
+  scoped_span(trace_stream* stream, std::string name)
+      : stream_(stream), name_(std::move(name)) {
+    if (stream_ != nullptr) start_us_ = stream_->now_us();
+  }
+
+  scoped_span(const scoped_span&) = delete;
+  scoped_span& operator=(const scoped_span&) = delete;
+
+  /// Attaches one numeric argument emitted with the span.
+  void set_arg(std::string name, std::uint64_t value) {
+    arg_name_ = std::move(name);
+    arg_ = value;
+    has_arg_ = true;
+  }
+
+  ~scoped_span() {
+    if (stream_ == nullptr) return;
+    const std::uint64_t end = stream_->now_us();
+    if (has_arg_) {
+      stream_->complete(std::move(name_), start_us_, end - start_us_,
+                        std::move(arg_name_), arg_);
+    } else {
+      stream_->complete(std::move(name_), start_us_, end - start_us_);
+    }
+  }
+
+ private:
+  trace_stream* stream_ = nullptr;
+  std::string name_;
+  std::uint64_t start_us_ = 0;
+  bool has_arg_ = false;
+  std::string arg_name_;
+  std::uint64_t arg_ = 0;
+};
+
+class metrics_registry;
+
+/// RAII top-level phase marker ("load graph", "traverse", "write output").
+/// Records a span on the writer's dedicated phase stream and, when a
+/// registry is attached, accumulates the duration into the counter
+/// "phase.<name>.us". Both sinks are optional; null pointers make this a
+/// cheap no-op so instrumented code paths need no #ifdefs.
+class phase_timer {
+ public:
+  phase_timer(trace_writer* writer, std::string name,
+              metrics_registry* registry = nullptr);
+  ~phase_timer();
+
+  phase_timer(const phase_timer&) = delete;
+  phase_timer& operator=(const phase_timer&) = delete;
+
+  static constexpr std::uint32_t phase_stream_tid = 0;
+
+ private:
+  trace_writer* writer_;
+  metrics_registry* registry_;
+  std::string name_;
+  std::uint64_t start_us_ = 0;
+  std::chrono::steady_clock::time_point start_tp_;
+};
+
+}  // namespace asyncgt::telemetry

@@ -25,6 +25,27 @@ void text_table::row(std::vector<std::string> cells) {
 
 void text_table::rule() { lines_.push_back({true, {}}); }
 
+std::vector<std::string> text_table::header_cells() const {
+  for (const auto& l : lines_) {
+    if (!l.is_rule) return l.cells;  // the header is the first data line
+  }
+  return {};
+}
+
+std::vector<std::vector<std::string>> text_table::data_rows() const {
+  std::vector<std::vector<std::string>> rows;
+  bool seen_header = false;
+  for (const auto& l : lines_) {
+    if (l.is_rule) continue;
+    if (!seen_header) {
+      seen_header = true;
+      continue;
+    }
+    rows.push_back(l.cells);
+  }
+  return rows;
+}
+
 std::string text_table::render() const {
   std::vector<std::size_t> width(columns_, 0);
   for (const auto& l : lines_) {

@@ -20,6 +20,12 @@ class text_table {
 
   std::string render() const;
 
+  /// The header cells (empty until header() is called) and the data rows in
+  /// insertion order, rules skipped — so bench reports can re-emit the same
+  /// table machine-readably.
+  std::vector<std::string> header_cells() const;
+  std::vector<std::vector<std::string>> data_rows() const;
+
  private:
   struct line {
     bool is_rule = false;

@@ -278,5 +278,60 @@ TEST(VisitorQueue, StressManyRunsNoDeadlock) {
   }
 }
 
+TEST(VisitorQueue, ShutdownWakeNotCountedAsWakeup) {
+  // A single-visitor run on many threads: the lone worker pops its visitor
+  // without ever sleeping, and the other workers go idle exactly once.
+  // Shutdown then wakes all of them — those final wakes are part of
+  // termination, not idle/work transitions, and must not count.
+  for (int round = 0; round < 20; ++round) {
+    leaf_state state(16);
+    visitor_queue<leaf_visitor, leaf_state> q(cfg_with(16));
+    q.push(leaf_visitor{0});
+    const auto stats = q.run(state);
+    EXPECT_EQ(stats.visits, 1u);
+    EXPECT_EQ(stats.wakeups, 0u) << "round=" << round;
+  }
+}
+
+TEST(VisitorQueue, PendingIsZeroAfterRunAndObservableDuring) {
+  tree_state state(1024, 4);
+  visitor_queue<tree_visitor, tree_state> q(cfg_with(4));
+  EXPECT_EQ(q.pending(), 0);
+  q.push(tree_visitor{0, 0});
+  EXPECT_EQ(q.pending(), 1);  // seeded but not yet run
+  q.run(state);
+  EXPECT_EQ(q.pending(), 0);  // termination means the counter drained
+}
+
+TEST(VisitorQueue, StatsToStringIncludesElapsedAndSpread) {
+  tree_state state(256, 2);
+  visitor_queue<tree_visitor, tree_state> q(cfg_with(2));
+  q.push(tree_visitor{0, 0});
+  const auto stats = q.run(state);
+  const std::string s = stats.to_string();
+  EXPECT_NE(s.find("elapsed_s="), std::string::npos) << s;
+  EXPECT_NE(s.find("queue_visits_min="), std::string::npos) << s;
+  EXPECT_NE(s.find("queue_visits_max="), std::string::npos) << s;
+  EXPECT_GE(stats.max_queue_visits(), stats.min_queue_visits());
+  EXPECT_GE(stats.elapsed_seconds, 0.0);
+}
+
+TEST(VisitorQueue, LoadImbalanceCvDegenerateCases) {
+  queue_run_stats empty;
+  EXPECT_EQ(empty.load_imbalance_cv(), 0.0);
+  EXPECT_EQ(empty.min_queue_visits(), 0u);
+  EXPECT_EQ(empty.max_queue_visits(), 0u);
+
+  queue_run_stats single;
+  single.visits_per_queue = {42};
+  EXPECT_EQ(single.load_imbalance_cv(), 0.0);
+  EXPECT_EQ(single.min_queue_visits(), 42u);
+  EXPECT_EQ(single.max_queue_visits(), 42u);
+
+  queue_run_stats all_zero;
+  all_zero.visits_per_queue = {0, 0, 0};
+  EXPECT_EQ(all_zero.load_imbalance_cv(), 0.0);
+}
+
 }  // namespace
 }  // namespace asyncgt

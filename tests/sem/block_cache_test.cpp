@@ -68,6 +68,29 @@ TEST(BlockCache, SequentialScanWithCapacityHasHighHitRateOnSecondPass) {
   EXPECT_DOUBLE_EQ(c.counters().hit_rate(), 0.5);  // 64 misses, 64 hits
 }
 
+TEST(BlockCache, CountsEvictions) {
+  block_cache c(2);
+  c.access(1);
+  c.access(2);
+  EXPECT_EQ(c.counters().evictions, 0u);  // fills, nothing displaced yet
+  c.access(3);  // evicts 1
+  c.access(4);  // evicts 2
+  EXPECT_EQ(c.counters().evictions, 2u);
+  c.access(4);  // hit — no eviction
+  EXPECT_EQ(c.counters().evictions, 2u);
+  c.reset_counters();
+  EXPECT_EQ(c.counters().evictions, 0u);
+}
+
+TEST(BlockCache, EvictionInvariantUnderChurn) {
+  block_cache c(8);
+  for (std::uint64_t b = 0; b < 100; ++b) c.access(b);
+  const auto counters = c.counters();
+  // Every miss either fills a free slot or evicts: misses == evictions +
+  // resident blocks.
+  EXPECT_EQ(counters.misses, counters.evictions + c.size());
+}
+
 TEST(BlockCache, ThreadSafetyUnderConcurrentAccess) {
   block_cache c(128);
   std::vector<std::thread> threads;

@@ -1,0 +1,80 @@
+#include "telemetry/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace asyncgt::telemetry {
+namespace {
+
+TEST(Json, BuildAndDumpCompact) {
+  json_value doc = json_value::object();
+  doc.set("name", "bfs");
+  doc.set("visits", std::uint64_t{42});
+  doc.set("ratio", 0.5);
+  doc.set("ok", true);
+  doc.set("missing", nullptr);
+  json_value arr = json_value::array();
+  arr.push(1);
+  arr.push(2);
+  doc.set("levels", std::move(arr));
+  EXPECT_EQ(doc.dump(),
+            "{\"name\":\"bfs\",\"visits\":42,\"ratio\":0.5,\"ok\":true,"
+            "\"missing\":null,\"levels\":[1,2]}");
+}
+
+TEST(Json, SetOverwritesExistingKey) {
+  json_value doc = json_value::object();
+  doc.set("k", 1);
+  doc.set("k", 2);
+  EXPECT_EQ(doc.size(), 1u);
+  EXPECT_EQ(doc.find("k")->as_int(), 2);
+}
+
+TEST(Json, RoundTripsThroughParse) {
+  json_value doc = json_value::object();
+  doc.set("text", "line1\nline2\t\"quoted\"");
+  doc.set("neg", -17);
+  doc.set("big", std::int64_t{1} << 53);
+  doc.set("tiny", 1.25e-9);
+  json_value nested = json_value::object();
+  nested.set("a", json_value::array());
+  doc.set("nested", std::move(nested));
+
+  const json_value back = json_value::parse(doc.dump(2));
+  EXPECT_EQ(back.dump(), doc.dump());
+  EXPECT_EQ(back.find("text")->as_string(), "line1\nline2\t\"quoted\"");
+  EXPECT_EQ(back.find("neg")->as_int(), -17);
+  EXPECT_EQ(back.find("big")->as_int(), std::int64_t{1} << 53);
+  EXPECT_DOUBLE_EQ(back.find("tiny")->as_double(), 1.25e-9);
+}
+
+TEST(Json, ParsesEscapesAndUnicode) {
+  const json_value v = json_value::parse(R"("aA\né☃")");
+  EXPECT_EQ(v.as_string(), "aA\n\xc3\xa9\xe2\x98\x83");
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  EXPECT_THROW(json_value::parse(""), std::runtime_error);
+  EXPECT_THROW(json_value::parse("{"), std::runtime_error);
+  EXPECT_THROW(json_value::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(json_value::parse("{\"a\":1} trailing"), std::runtime_error);
+  EXPECT_THROW(json_value::parse("'single'"), std::runtime_error);
+  EXPECT_THROW(json_value::parse("{\"a\" 1}"), std::runtime_error);
+  EXPECT_THROW(json_value::parse("nul"), std::runtime_error);
+}
+
+TEST(Json, FindOnNonObjectReturnsNull) {
+  const json_value v = 3;
+  EXPECT_EQ(v.find("k"), nullptr);
+}
+
+TEST(Json, NumbersParseToIntOrDouble) {
+  EXPECT_TRUE(json_value::parse("7").is_int());
+  EXPECT_TRUE(json_value::parse("-7").is_int());
+  EXPECT_TRUE(json_value::parse("7.0").is_double());
+  EXPECT_TRUE(json_value::parse("7e2").is_double());
+}
+
+}  // namespace
+}  // namespace asyncgt::telemetry

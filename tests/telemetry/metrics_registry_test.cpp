@@ -1,0 +1,139 @@
+#include "telemetry/metrics_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace asyncgt::telemetry {
+namespace {
+
+TEST(MetricsRegistry, CounterAggregatesAcrossThreads) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50'000;
+  metrics_registry reg(kThreads);
+  auto& c = reg.get_counter("test.visits");
+
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add(t);
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(c.total(), kThreads * kPerThread);
+  const auto shards = c.per_shard();
+  ASSERT_EQ(shards.size(), kThreads);
+  for (const auto v : shards) EXPECT_EQ(v, kPerThread);
+}
+
+TEST(MetricsRegistry, GetReturnsSameInstanceAndScrapeSeesIt) {
+  metrics_registry reg(2);
+  auto& a = reg.get_counter("queue.visits");
+  auto& b = reg.get_counter("queue.visits");
+  EXPECT_EQ(&a, &b);
+  a.add(0, 3);
+  b.add(1, 4);
+
+  const auto snap = reg.scrape();
+  EXPECT_EQ(snap.value_of("queue.visits"), 7u);
+  const auto* e = snap.find("queue.visits");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->kind, metric_kind::counter);
+}
+
+TEST(MetricsRegistry, KindMismatchThrows) {
+  metrics_registry reg(2);
+  reg.get_counter("m");
+  EXPECT_THROW(reg.get_gauge("m"), std::logic_error);
+  EXPECT_THROW(reg.get_histogram("m"), std::logic_error);
+}
+
+TEST(MetricsRegistry, GaugeRecordsMax) {
+  metrics_registry reg(2);
+  auto& g = reg.get_gauge("depth");
+  g.record_max(5);
+  g.record_max(3);
+  g.record_max(9);
+  EXPECT_EQ(g.get(), 9);
+  g.set(-2);
+  EXPECT_EQ(g.get(), -2);
+  g.add(7);
+  EXPECT_EQ(g.get(), 5);
+}
+
+TEST(MetricsRegistry, GaugeRecordMaxIsThreadSafe) {
+  metrics_registry reg(4);
+  auto& g = reg.get_gauge("max");
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&g, t] {
+      for (int i = 0; i < 10'000; ++i) g.record_max(t * 10'000 + i);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(g.get(), 3 * 10'000 + 9'999);
+}
+
+TEST(MetricsRegistry, HistogramBucketsByLog2) {
+  metrics_registry reg(2);
+  auto& h = reg.get_histogram("lat");
+  // Bucket i covers [2^i, 2^(i+1)); bucket 0 also absorbs the value 0.
+  h.record(0, 0);   // bucket 0
+  h.record(0, 1);   // bucket 0
+  h.record(1, 2);   // bucket 1
+  h.record(1, 3);   // bucket 1
+  h.record(0, 1024);  // bucket 10
+
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.sum(), 0u + 1 + 2 + 3 + 1024);
+  const auto buckets = h.merged();
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 2u);
+  EXPECT_EQ(buckets[10], 1u);
+  EXPECT_EQ(histogram::bucket_of(0), 0u);
+  EXPECT_EQ(histogram::bucket_of(1), 0u);
+  EXPECT_EQ(histogram::bucket_of(2), 1u);
+  EXPECT_EQ(histogram::bucket_of(1023), 9u);
+  EXPECT_EQ(histogram::bucket_of(1024), 10u);
+}
+
+TEST(MetricsRegistry, HistogramAggregatesAcrossThreads) {
+  constexpr std::size_t kThreads = 4;
+  metrics_registry reg(kThreads);
+  auto& h = reg.get_histogram("lat");
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h, t] {
+      for (std::uint64_t i = 0; i < 10'000; ++i) h.record(t, i % 64);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(h.total(), kThreads * 10'000);
+}
+
+TEST(MetricsRegistry, ResetClearsValues) {
+  metrics_registry reg(2);
+  reg.get_counter("c").add(0, 5);
+  reg.get_gauge("g").set(5);
+  reg.get_histogram("h").record(0, 5);
+  reg.reset();
+  const auto snap = reg.scrape();
+  EXPECT_EQ(snap.value_of("c"), 0u);
+  EXPECT_EQ(snap.find("g")->value, 0);
+  EXPECT_EQ(snap.find("h")->total, 0u);
+}
+
+TEST(MetricsRegistry, ShardIndexWrapsBeyondShardCount) {
+  // Callers pass raw thread ids; the registry must not require tid < shards.
+  metrics_registry reg(2);
+  auto& c = reg.get_counter("c");
+  c.add(5, 1);  // tid 5 with 2 shards
+  EXPECT_EQ(c.total(), 1u);
+}
+
+}  // namespace
+}  // namespace asyncgt::telemetry

@@ -1,0 +1,147 @@
+#include "telemetry/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "telemetry/json.hpp"
+#include "telemetry/trace_writer.hpp"
+
+namespace asyncgt::telemetry {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(Sampler, CollectsSamplesFromProbes) {
+  sampler s;
+  std::atomic<double> value{1.0};
+  s.add_probe("probe", [&value] { return value.load(); });
+  s.start(500us);
+  // The first tick is immediate; wait until a few more landed.
+  for (int i = 0; i < 200 && s.samples_taken() < 3; ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+  s.stop();
+
+  EXPECT_GE(s.samples_taken(), 3u);
+  const auto series = s.snapshot();
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_EQ(series[0].name, "probe");
+  ASSERT_GE(series[0].points.size(), 3u);
+  EXPECT_DOUBLE_EQ(series[0].points[0].value, 1.0);
+  // Timestamps are monotone non-decreasing.
+  for (std::size_t i = 1; i < series[0].points.size(); ++i) {
+    EXPECT_GE(series[0].points[i].t_seconds,
+              series[0].points[i - 1].t_seconds);
+  }
+}
+
+TEST(Sampler, StartStopIsIdempotentAndRepeatable) {
+  sampler s;
+  s.add_probe("p", [] { return 0.0; });
+  for (int round = 0; round < 5; ++round) {
+    s.start(200us);
+    s.start(200us);  // second start is a no-op
+    std::this_thread::sleep_for(1ms);
+    s.stop();
+    s.stop();  // second stop is a no-op
+  }
+  EXPECT_FALSE(s.running());
+  EXPECT_GE(s.samples_taken(), 5u);  // at least the immediate tick per round
+}
+
+TEST(Sampler, StopIsPromptForLongIntervals) {
+  sampler s;
+  s.add_probe("p", [] { return 0.0; });
+  s.start(10s);  // without prompt stop this test would hang for 10s
+  const auto t0 = std::chrono::steady_clock::now();
+  s.stop();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(elapsed, 2s);
+}
+
+TEST(Sampler, ProbeRegistrationRacesWithRunningSampler) {
+  sampler s;
+  s.start(100us);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&s, t] {
+      for (int i = 0; i < 50; ++i) {
+        const auto id = s.add_probe(
+            "p" + std::to_string(t), [] { return 1.0; });
+        std::this_thread::sleep_for(100us);
+        s.remove_probe(id);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  s.stop();
+  // Retired probes keep their collected points.
+  for (const auto& series : s.snapshot()) {
+    for (const auto& p : series.points) EXPECT_DOUBLE_EQ(p.value, 1.0);
+  }
+}
+
+TEST(Sampler, RemovedProbeStopsCollectingButKeepsPoints) {
+  sampler s;
+  const auto id = s.add_probe("p", [] { return 2.0; });
+  s.start(300us);
+  for (int i = 0; i < 200 && s.samples_taken() < 2; ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+  s.remove_probe(id);
+  const auto n = s.snapshot()[0].points.size();
+  std::this_thread::sleep_for(3ms);
+  s.stop();
+  EXPECT_EQ(s.snapshot()[0].points.size(), n);
+  EXPECT_GE(n, 2u);
+}
+
+TEST(Sampler, DestructorStopsRunningThread) {
+  sampler s;
+  s.add_probe("p", [] { return 0.0; });
+  s.start(1ms);
+  // Destructor runs at scope exit; must not hang or crash.
+}
+
+TEST(Sampler, WriteCountersEmitsChromeCounterEvents) {
+  sampler s;
+  s.add_probe("depth", [] { return 4.0; });
+  s.start(300us);
+  for (int i = 0; i < 200 && s.samples_taken() < 2; ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+  s.stop();
+
+  trace_writer tw;
+  s.write_counters(tw, 999);
+  const json_value doc = json_value::parse(tw.to_json_string());
+  std::size_t counters = 0;
+  for (const auto& e : doc.find("traceEvents")->as_array()) {
+    if (e.find("ph")->as_string() == "C") {
+      EXPECT_EQ(e.find("name")->as_string(), "depth");
+      EXPECT_EQ(e.find("tid")->as_int(), 999);
+      ++counters;
+    }
+  }
+  EXPECT_GE(counters, 2u);
+}
+
+TEST(Sampler, ClearDropsPoints) {
+  sampler s;
+  s.add_probe("p", [] { return 1.0; });
+  s.start(300us);
+  for (int i = 0; i < 200 && s.samples_taken() < 1; ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+  s.stop();
+  s.clear();
+  for (const auto& series : s.snapshot()) {
+    EXPECT_TRUE(series.points.empty());
+  }
+}
+
+}  // namespace
+}  // namespace asyncgt::telemetry

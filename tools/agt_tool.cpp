@@ -22,10 +22,15 @@
 // summary either way — a handy smoke test that the two storage paths agree.
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
 #include <numeric>
+#include <sstream>
 #include <string>
 
 #include "asyncgt.hpp"
+#include "bench_report.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -33,6 +38,7 @@
 namespace {
 
 using namespace asyncgt;
+using telemetry::json_value;
 
 int usage() {
   std::fprintf(stderr,
@@ -43,10 +49,19 @@ int usage() {
                "           [--hosts=500] [--width=256] [--height=256]\n"
                "  info FILE\n"
                "  validate FILE\n"
-               "  bfs|sssp FILE [--start=0] [--threads=16] [--sem]\n"
+               "  bfs|sssp [FILE] [--start=0] [--threads=16] [--sem]\n"
                "           [--device=fusionio|intel|corsair] "
                "[--time-scale=1]\n"
-               "  cc FILE [--threads=16] [--sem] [--device=...]\n");
+               "  cc [FILE] [--threads=16] [--sem] [--device=...]\n"
+               "  verify-json FILE       schema-check an emitted report\n"
+               "\n"
+               "traversals also accept telemetry flags:\n"
+               "  --json FILE            write a machine-readable report\n"
+               "  --trace FILE           write a chrome://tracing file\n"
+               "  --sample-interval-us N sampler period (default 2000)\n"
+               "  --cache-fraction F     SEM block cache, fraction of file\n"
+               "without FILE, traversals synthesize an RMAT graph\n"
+               "(--scale=14) and run it semi-externally as a demo.\n");
   return 2;
 }
 
@@ -220,63 +235,190 @@ int cmd_validate(const options& opt) {
 }
 
 template <typename F>
-int run_traversal(const options& opt, F&& run) {
-  if (opt.positional().size() < 2) return usage();
-  const std::string path = opt.positional()[1];
+int run_traversal(const options& opt, const char* name, F&& run) {
+  bench::bench_report rep(opt, std::string("agt_tool_") + name);
+
+  std::string path;
+  bool sem_mode = opt.get_bool("sem", false);
+  std::filesystem::path temp_file;
+  if (opt.positional().size() >= 2) {
+    path = opt.positional()[1];
+  } else {
+    // Demo mode: no graph file given. Synthesize an undirected weighted
+    // RMAT instance on disk and traverse it semi-externally, so a bare
+    // `agt_tool bfs --json out.json --trace out.trace` exercises and
+    // reports on every layer: queue, algorithm, and SEM device + cache.
+    const auto scale = static_cast<unsigned>(opt.get_int("scale", 14));
+    const auto seed = static_cast<std::uint64_t>(opt.get_int("seed", 42));
+    const csr32 g = add_weights(
+        rmat_graph_undirected<vertex32>(rmat_a(scale, seed)),
+        weight_scheme::uniform, seed);
+    temp_file = std::filesystem::temp_directory_path() /
+                ("agt_tool_demo_s" + std::to_string(scale) + ".agt");
+    write_graph(temp_file.string(), g);
+    path = temp_file.string();
+    sem_mode = true;
+    std::printf("no graph file given: synthesized RMAT-A scale %u "
+                "(%s vertices, %s edges), traversing semi-externally\n",
+                scale, fmt_count(g.num_vertices()).c_str(),
+                fmt_count(g.num_edges()).c_str());
+  }
+
+  // The demo graph must go away even when the run or report write throws
+  // (e.g. --json pointing at an unwritable path).
+  struct temp_cleanup {
+    const std::filesystem::path& p;
+    ~temp_cleanup() {
+      if (!p.empty()) {
+        std::error_code ec;
+        std::filesystem::remove(p, ec);
+      }
+    }
+  } cleanup{temp_file};
+
   visitor_queue_config cfg;
   cfg.num_threads = static_cast<std::size_t>(opt.get_int("threads", 16));
+  rep.attach(cfg);
 
-  if (opt.get_bool("sem", false)) {
-    sem::ssd_model dev(sem::device_preset_by_name(
+  int rc;
+  if (sem_mode) {
+    const auto params = sem::device_preset_by_name(
         opt.get_string("device", "intel"),
-        opt.get_double("time-scale", 1.0)));
+        opt.get_double("time-scale", 1.0));
+    sem::ssd_model dev(params);
     cfg.secondary_vertex_sort = true;
-    sem::sem_csr32 g(path, &dev);
-    const int rc = run(g, cfg);
+    // Optional block cache between the traversal and the device. Demo mode
+    // enables it (the SEM report should show hit/miss/eviction dynamics);
+    // explicit --sem keeps the seed default of no cache unless asked.
+    const double cache_fraction =
+        opt.get_double("cache-fraction", temp_file.empty() ? 0.0 : 0.5);
+    std::unique_ptr<sem::block_cache> cache;
+    if (cache_fraction > 0.0) {
+      const std::uint64_t file_blocks =
+          std::filesystem::file_size(path) / params.block_bytes + 1;
+      cache = std::make_unique<sem::block_cache>(std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(cache_fraction *
+                                        static_cast<double>(file_blocks))));
+    }
+    telemetry::io_recorder recorder;
+    std::unique_ptr<sem::sem_csr32> g;
+    {
+      telemetry::phase_timer ph(rep.trace(), "load-graph", &rep.metrics());
+      g = std::make_unique<sem::sem_csr32>(path, &dev, cache.get());
+      if (rep.enabled()) g->set_io_recorder(&recorder);
+    }
+    if (rep.enabled()) {
+      rep.sampler().add_probe("ssd.inflight", [&dev] {
+        return static_cast<double>(dev.inflight());
+      });
+    }
+    rc = run(*g, cfg, rep);
     const auto c = dev.counters();
     std::printf("device: %s reads (%s MiB)\n", fmt_count(c.reads).c_str(),
                 fmt_count(c.read_bytes >> 20).c_str());
-    return rc;
+    if (cache != nullptr) {
+      std::printf("cache: %.1f%% hit rate, %s evictions\n",
+                  100.0 * cache->counters().hit_rate(),
+                  fmt_count(cache->counters().evictions).c_str());
+    }
+    if (rep.json_enabled()) {
+      json_value& s = rep.section("sem");
+      s.set("device", params.name);
+      s.set("time_scale", params.time_scale);
+      s.set("ssd", bench::to_json(c));
+      if (cache != nullptr) {
+        s.set("cache", bench::to_json(cache->counters()));
+      }
+      s.set("io", telemetry::to_json(recorder.snapshot()));
+    }
+  } else {
+    std::unique_ptr<csr32> g;
+    {
+      telemetry::phase_timer ph(rep.trace(), "load-graph", &rep.metrics());
+      g = std::make_unique<csr32>(read_graph32(path));
+    }
+    rc = run(*g, cfg, rep);
   }
-  const csr32 g = read_graph32(path);
-  return run(g, cfg);
+  rep.finish();
+  return rc;
+}
+
+/// Fills the "queue" and "algorithm" report sections shared by every
+/// traversal subcommand; the caller appends algorithm-specific fields to
+/// the returned algorithm section.
+template <typename Result>
+telemetry::json_value* report_traversal(bench::bench_report& rep,
+                                        const char* algo, const Result& r) {
+  if (!rep.json_enabled()) return nullptr;
+  rep.section("queue") = bench::to_json(r.stats);
+  json_value& alg = rep.section("algorithm");
+  const auto w = r.work();
+  alg.set("name", algo);
+  alg.set("visits", w.visits);
+  alg.set("pushes", w.pushes);
+  alg.set("updates", w.updates);
+  alg.set("relaxed_vertices", w.relaxed_vertices);
+  alg.set("wasted_visits", w.wasted_visits);
+  alg.set("label_corrections", w.label_corrections);
+  return &alg;
 }
 
 int cmd_bfs(const options& opt) {
-  return run_traversal(opt, [&](const auto& g, const auto& cfg) {
+  return run_traversal(opt, "bfs", [&](const auto& g, const auto& cfg,
+                                       bench::bench_report& rep) {
     const auto start = static_cast<vertex32>(opt.get_int("start", 0));
+    telemetry::phase_timer ph(rep.trace(), "bfs", &rep.metrics());
     const auto r = async_bfs(g, start, cfg);
     std::printf("BFS from %u: reached %s vertices, %s levels, %.3fs\n",
                 start, fmt_count(r.visited_count()).c_str(),
                 fmt_count(r.max_level()).c_str(), r.stats.elapsed_seconds);
+    if (auto* alg = report_traversal(rep, "bfs", r)) {
+      alg->set("start", static_cast<std::uint64_t>(start));
+      alg->set("reached", r.visited_count());
+      alg->set("max_level", r.max_level());
+    }
     return 0;
   });
 }
 
 int cmd_sssp(const options& opt) {
-  return run_traversal(opt, [&](const auto& g, const auto& cfg) {
+  return run_traversal(opt, "sssp", [&](const auto& g, const auto& cfg,
+                                        bench::bench_report& rep) {
     const auto start = static_cast<vertex32>(opt.get_int("start", 0));
+    telemetry::phase_timer ph(rep.trace(), "sssp", &rep.metrics());
     const auto r = async_sssp(g, start, cfg);
     std::printf("SSSP from %u: reached %s vertices, %s corrections, %.3fs\n",
                 start, fmt_count(r.visited_count()).c_str(),
                 fmt_count(r.updates).c_str(), r.stats.elapsed_seconds);
+    if (auto* alg = report_traversal(rep, "sssp", r)) {
+      alg->set("start", static_cast<std::uint64_t>(start));
+      alg->set("reached", r.visited_count());
+    }
     return 0;
   });
 }
 
 int cmd_cc(const options& opt) {
-  return run_traversal(opt, [&](const auto& g, const auto& cfg) {
+  return run_traversal(opt, "cc", [&](const auto& g, const auto& cfg,
+                                      bench::bench_report& rep) {
+    telemetry::phase_timer ph(rep.trace(), "cc", &rep.metrics());
     const auto r = async_cc(g, cfg);
     std::printf("CC: %s components, largest %s vertices, %.3fs\n",
                 fmt_count(r.num_components()).c_str(),
                 fmt_count(r.largest_component_size()).c_str(),
                 r.stats.elapsed_seconds);
+    if (auto* alg = report_traversal(rep, "cc", r)) {
+      alg->set("components", r.num_components());
+      alg->set("largest_component", r.largest_component_size());
+    }
     return 0;
   });
 }
 
 int cmd_pagerank(const options& opt) {
-  return run_traversal(opt, [&](const auto& g, const auto& cfg) {
+  return run_traversal(opt, "pagerank", [&](const auto& g, const auto& cfg,
+                                            bench::bench_report& rep) {
+    telemetry::phase_timer ph(rep.trace(), "pagerank", &rep.metrics());
     pagerank_options popt;
     popt.alpha = opt.get_double("alpha", 0.85);
     popt.tolerance = opt.get_double("tolerance", 1e-6);
@@ -294,6 +436,13 @@ int cmd_pagerank(const options& opt) {
     for (std::size_t i = 0; i < top; ++i) {
       std::printf("  #%zu vertex %zu rank %.6g\n", i + 1, order[i],
                   r.rank[order[i]]);
+    }
+    if (rep.json_enabled()) {
+      rep.section("queue") = bench::to_json(r.stats);
+      json_value& alg = rep.section("algorithm");
+      alg.set("name", "pagerank");
+      alg.set("total_rank", r.total_rank());
+      alg.set("flushes", r.flushes);
     }
     return 0;
   });
@@ -322,13 +471,41 @@ int cmd_metrics(const options& opt) {
 }
 
 int cmd_kcore(const options& opt) {
-  return run_traversal(opt, [&](const auto& g, const auto& cfg) {
+  return run_traversal(opt, "kcore", [&](const auto& g, const auto& cfg,
+                                         bench::bench_report& rep) {
+    telemetry::phase_timer ph(rep.trace(), "kcore", &rep.metrics());
     const auto r = async_kcore(g, cfg);
     std::printf("k-core: max coreness %u, %s bound updates, %.3fs\n",
                 r.max_core(), fmt_count(r.updates).c_str(),
                 r.stats.elapsed_seconds);
+    if (rep.json_enabled()) {
+      rep.section("queue") = bench::to_json(r.stats);
+      json_value& alg = rep.section("algorithm");
+      alg.set("name", "kcore");
+      alg.set("max_core", static_cast<std::uint64_t>(r.max_core()));
+      alg.set("updates", r.updates);
+    }
     return 0;
   });
+}
+
+int cmd_verify_json(const options& opt) {
+  if (opt.positional().size() < 2) return usage();
+  const std::string path = opt.positional()[1];
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "verify-json: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string error;
+  if (!telemetry::report::verify_text(buf.str(), &error)) {
+    std::printf("FAIL: %s: %s\n", path.c_str(), error.c_str());
+    return 1;
+  }
+  std::printf("ok: %s conforms to bench-report schema v1\n", path.c_str());
+  return 0;
 }
 
 }  // namespace
@@ -349,6 +526,7 @@ int main(int argc, char** argv) {
     if (cmd == "metrics") return cmd_metrics(opt);
     if (cmd == "import") return cmd_import(opt);
     if (cmd == "export") return cmd_export(opt);
+    if (cmd == "verify-json") return cmd_verify_json(opt);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "agt_tool %s: %s\n", cmd.c_str(), e.what());
     return 1;

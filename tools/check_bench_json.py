@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Schema check for bench-report JSON emitted via --json (schema v1).
+
+Mirrors telemetry::report::verify (src/telemetry/metrics_json.cpp) so CI and
+ad-hoc tooling can validate BENCH_*.json artifacts without building the C++
+tree; `agt_tool verify-json FILE` is the in-tree equivalent. Python 3 stdlib
+only.
+
+Usage: check_bench_json.py FILE [FILE...]
+Exit status 0 if every file conforms, 1 otherwise.
+"""
+import json
+import sys
+
+
+def check(doc):
+    """Returns None if `doc` conforms to schema v1, else an error string."""
+    if not isinstance(doc, dict):
+        return "document is not a JSON object"
+    if doc.get("schema_version") != 1 or isinstance(
+        doc.get("schema_version"), bool
+    ):
+        return "schema_version must be the integer 1"
+    name = doc.get("name")
+    if not isinstance(name, str) or not name:
+        return "name must be a non-empty string"
+    if not isinstance(doc.get("config"), dict):
+        return "config must be an object"
+    sections = doc.get("sections")
+    if not isinstance(sections, dict):
+        return "sections must be an object"
+    for key, value in sections.items():
+        if not isinstance(value, dict):
+            return "section '%s' is not an object" % key
+    rows = doc.get("rows")
+    if rows is not None:
+        if not isinstance(rows, list):
+            return "rows must be an array"
+        for row in rows:
+            if not isinstance(row, dict):
+                return "rows entries must be objects"
+    return None
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    status = 0
+    for path in argv[1:]:
+        try:
+            with open(path, "rb") as f:
+                doc = json.load(f)
+        except (OSError, ValueError) as e:
+            print("FAIL: %s: %s" % (path, e))
+            status = 1
+            continue
+        error = check(doc)
+        if error is not None:
+            print("FAIL: %s: %s" % (path, error))
+            status = 1
+        else:
+            print("ok: %s conforms to bench-report schema v1" % path)
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
