@@ -47,6 +47,7 @@ inline json_value to_json(const queue_run_stats& s) {
   json_value out = json_value::object();
   out.set("visits", s.visits);
   out.set("pushes", s.pushes);
+  out.set("flushes", s.flushes);
   out.set("wakeups", s.wakeups);
   out.set("max_queue_length", s.max_queue_length);
   out.set("elapsed_seconds", s.elapsed_seconds);

@@ -173,6 +173,24 @@ void BM_VisitorQueueTelemetryOn(benchmark::State& state) {
 }
 BENCHMARK(BM_VisitorQueueTelemetryOn)->Arg(1 << 16);
 
+// --- Batched cross-thread delivery ------------------------------------------
+// Arg is the mailbox flush batch B: 1 reproduces the per-push delivery of the
+// pre-layered queue (one mailbox mutex acquisition and one termination-counter
+// reservation per visitor), larger B amortizes both over up to B visitors.
+// Per-visitor push cost should drop as B grows; the flushes/pushes ratio from
+// queue_run_stats tells the same story (~B× fewer mutex acquisitions).
+
+void BM_VisitorQueueFlushBatch(benchmark::State& state) {
+  asyncgt::visitor_queue_config cfg;
+  cfg.num_threads = 4;
+  cfg.flush_batch = static_cast<std::size_t>(state.range(1));
+  run_tree(static_cast<std::uint64_t>(state.range(0)), cfg, state);
+}
+BENCHMARK(BM_VisitorQueueFlushBatch)
+    ->Args({1 << 16, 1})
+    ->Args({1 << 16, 8})
+    ->Args({1 << 16, 64});
+
 void BM_RegistryCounterAdd(benchmark::State& state) {
   asyncgt::telemetry::metrics_registry registry(8);
   auto& counter = registry.get_counter("bench.counter");

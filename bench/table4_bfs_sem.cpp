@@ -26,6 +26,7 @@
 //
 //   ./table4_bfs_sem [--scales=15,16] [--threads=128] [--time-scale=16]
 //                    [--cache-fraction=0.65] [--bgl-edge-rate=7.4e6]
+//                    [--flush-batch=1]
 #include <filesystem>
 #include <string>
 #include <vector>
@@ -63,6 +64,12 @@ int main(int argc, char** argv) {
   const double time_scale = opt.get_double("time-scale", 16.0);
   const double cache_fraction = opt.get_double("cache-fraction", 0.65);
   const double bgl_edge_rate = opt.get_double("bgl-edge-rate", 7.4e6);
+  // Mailbox delivery batch. SEM defaults to per-push delivery: the regime
+  // is I/O-bound, so the mutex amortization batching buys is noise while
+  // the delivery delay fragments the semi-sorted visit order and costs
+  // block-cache hits (docs/tuning.md). Raise it to A/B the batching cost.
+  const auto flush_batch =
+      static_cast<std::size_t>(opt.get_int("flush-batch", 1));
 
   banner("Semi-External Memory Breadth First Search", "paper Table IV");
 
@@ -116,6 +123,7 @@ int main(int argc, char** argv) {
         visitor_queue_config cfg;
         cfg.num_threads = sem_threads;
         cfg.secondary_vertex_sort = true;  // the paper's SEM ordering
+        cfg.flush_batch = flush_batch;
         rep.attach(cfg);
         bfs_result<vertex32> sem_r;
         const double t_sem =

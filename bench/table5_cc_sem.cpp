@@ -100,6 +100,10 @@ int main(int argc, char** argv) {
       visitor_queue_config cfg;
       cfg.num_threads = sem_threads;
       cfg.secondary_vertex_sort = true;
+      // Per-push delivery by default: see the flush-batch note in
+      // table4_bfs_sem.cpp (SEM is I/O-bound; batching costs cache hits).
+      cfg.flush_batch =
+          static_cast<std::size_t>(opt.get_int("flush-batch", 1));
       rep.attach(cfg);
       cc_result<vertex32> sem_r;
       const double t_sem = time_seconds([&] { sem_r = async_cc(sg, cfg); });

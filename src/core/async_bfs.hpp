@@ -5,6 +5,13 @@
 // specialization: the priority is the BFS level and every push adds one.
 // Running it on a weighted graph deliberately ignores the weights, so the
 // same input graph serves both the BFS and SSSP benches.
+//
+// The `Queue` the visitor pushes into is the traversal engine's per-worker
+// handle: each push lands in a thread-local outbox buffer and is delivered
+// to the owner queue in batches of flush_batch (see queue/mailbox.hpp), so
+// the per-edge push here costs no lock and no atomic. Levels and parents
+// for v are only ever written on owner(v)'s thread (exclusivity), batched
+// or not.
 #pragma once
 
 #include <cstdint>

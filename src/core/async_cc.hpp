@@ -12,6 +12,12 @@
 // Precondition: the graph must be symmetric (undirected); otherwise labels
 // propagate only along edge direction and the result is not the undirected
 // CC. graph_stats.hpp's is_symmetric() checks this in tests.
+//
+// The per-vertex seeding goes through run_seeded(), whose make_visitor
+// lambda is invoked as const from every worker concurrently (it must be
+// const-callable and thread-safe — the engine enforces the former at
+// compile time). Seed pushes ride the same batched outbox delivery as
+// visitor pushes, pre-accounted in the termination counter.
 #pragma once
 
 #include <cstdint>

@@ -15,6 +15,10 @@
 // is std::atomic (relaxed loads/stores suffice: the sequence of values at
 // each vertex is monotone decreasing and any stale read only delays, never
 // breaks, convergence). Requires an undirected (symmetric) graph.
+//
+// Batched delivery (queue/mailbox.hpp) only adds latency between a bound
+// drop and the neighbour notification arriving — which, like a stale
+// atomic read, delays but cannot break the monotone fixed point.
 #pragma once
 
 #include <algorithm>

@@ -24,6 +24,10 @@
 // (same exclusivity argument as the traversals). Priority is the negated
 // delta — bigger contributions flush first, which empirically minimizes
 // total pushes, mirroring the shortest-first heuristic of the SSSP queue.
+// Because deltas accumulate additively at the owner, the engine's batched
+// cross-thread delivery changes only the order in which parcels arrive,
+// not the mass conserved; final ranks stay within the documented tolerance
+// for any flush_batch.
 #pragma once
 
 #include <algorithm>

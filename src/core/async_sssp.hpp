@@ -14,6 +14,10 @@
 //
 // Data-race freedom: dist/parent entries for v are read and written only by
 // the visitor for v, which always executes on the hash-owner thread of v.
+// The `Queue` parameter of visit() is the engine's per-worker handle: the
+// per-relaxation push below appends to a thread-local outbox buffer
+// (lock-free) and crosses threads in flush_batch-sized batches — delivery
+// order is a heuristic anyway, label correction absorbs any reordering.
 #pragma once
 
 #include <cstdint>

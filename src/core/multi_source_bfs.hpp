@@ -6,7 +6,9 @@
 // Implementation: exactly the paper's BFS visitor, seeded from every source
 // at level 0; label correction resolves overlaps so each vertex ends with
 // min over sources of the hop distance, and parent links form a forest
-// rooted at the sources.
+// rooted at the sources. The seeds are pushed externally (one termination
+// reservation each) before run(); everything after that flows through the
+// engine's batched per-worker delivery.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,113 @@
+// Mailbox layer of the traversal engine: batched cross-thread delivery and
+// the parking (sleep/wake) protocol.
+//
+// Each worker owns one mailbox: a mutex-protected *slab* (a plain vector of
+// visitors awaiting the owner) plus the condition variable the owner parks
+// on when it has no work. Senders never touch the owner's private ordering
+// structure — they append whole batches to the slab under the mutex and the
+// owner drains the slab into its ordering structure lock-free (only the
+// swap under the mutex is shared). This is the delivery amortization the
+// distributed-BFS literature gets from message coalescing (Buluç & Madduri)
+// and async out-of-core engines get from buffered message queues (ACGraph):
+// one mutex acquisition per batch of flush_batch visitors instead of one
+// per visitor.
+//
+// Parking protocol (unchanged from the seed, but now per-mailbox):
+//   - a sender that delivers into a sleeping owner's slab notifies its cv
+//     after releasing the mutex;
+//   - the owner re-checks `!slab.empty() || done` as the wait predicate, so
+//     a delivery between its last poll and the wait cannot be lost;
+//   - the done broadcast takes each mailbox's mutex briefly *before*
+//     notifying, so the flag write cannot slip between a worker's predicate
+//     check and its wait (the classic lost-wakeup).
+//
+// `has_mail` is a relaxed-atomic hint mirrored from slab emptiness (always
+// written under the mutex). Owners poll it once per pop so freshly
+// delivered batches merge into the private ordering structure at batch
+// granularity without paying a lock when nothing arrived; missing a `true`
+// is harmless because the idle path re-checks under the mutex.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "util/cache_line.hpp"
+
+namespace asyncgt {
+
+template <typename Visitor>
+struct alignas(cache_line_size) mailbox {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<Visitor> slab;  // delivered, not yet drained by the owner
+  bool sleeping = false;      // guarded by mu
+  std::atomic<bool> has_mail{false};
+  /// Owner's private queue length, mirrored for queue_depths() probes (the
+  /// ordering structure itself is owner-private and never locked).
+  std::atomic<std::size_t> local_len{0};
+
+  mailbox() = default;
+  mailbox(const mailbox&) = delete;
+  mailbox& operator=(const mailbox&) = delete;
+
+  /// Appends a batch (moving the visitors) under the mutex; wakes the owner
+  /// if it is parked. The caller has already reserved the batch in the
+  /// termination detector (reserve-then-deliver).
+  void deliver(std::vector<Visitor>& batch) {
+    bool wake = false;
+    {
+      std::lock_guard lk(mu);
+      slab.insert(slab.end(), std::make_move_iterator(batch.begin()),
+                  std::make_move_iterator(batch.end()));
+      has_mail.store(true, std::memory_order_relaxed);
+      wake = sleeping;
+    }
+    if (wake) cv.notify_one();
+  }
+
+  /// Single-visitor delivery (external pushes, flush_batch == 1 fast path).
+  void deliver_one(Visitor&& v) {
+    bool wake = false;
+    {
+      std::lock_guard lk(mu);
+      slab.push_back(std::move(v));
+      has_mail.store(true, std::memory_order_relaxed);
+      wake = sleeping;
+    }
+    if (wake) cv.notify_one();
+  }
+
+  /// Swaps the slab into `out` (which the caller presents empty) and clears
+  /// the hint. Returns false without touching `out` when nothing arrived.
+  bool drain(std::vector<Visitor>& out) {
+    std::lock_guard lk(mu);
+    if (slab.empty()) return false;
+    slab.swap(out);
+    has_mail.store(false, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Sampler/test snapshot: undelivered slab + owner's private length.
+  std::size_t depth() {
+    std::lock_guard lk(mu);
+    return slab.size() + local_len.load(std::memory_order_relaxed);
+  }
+};
+
+/// The done broadcast: raise-then-wake over every mailbox. Taking each mutex
+/// before notifying closes the lost-wakeup race described above. `set_done`
+/// must have been called by the caller (termination layer) beforehand.
+template <typename Visitor>
+void wake_all(std::vector<mailbox<Visitor>>& boxes) {
+  for (auto& box : boxes) {
+    { std::lock_guard lk(box.mu); }
+    box.cv.notify_all();
+  }
+}
+
+}  // namespace asyncgt

@@ -1,0 +1,71 @@
+// Configuration surface of the layered traversal engine.
+//
+// Kept in its own header so every layer (routing_policy, ordering_policy,
+// mailbox, termination, traversal_engine) can consume the config without
+// pulling in the visitor_queue facade. See docs/visitor_queue.md for the
+// four-layer architecture this configures.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+
+#include "telemetry/metrics_registry.hpp"
+#include "telemetry/sampler.hpp"
+#include "telemetry/trace_writer.hpp"
+
+namespace asyncgt {
+
+/// Visitor pop ordering. `priority` is the paper's design; `fifo` and `lifo`
+/// exist for the ablation bench that quantifies what the prioritization buys.
+/// The value selects one of three compile-time ordering policies
+/// (ordering_policy.hpp) once at queue construction — the hot pop loop runs
+/// inside the selected instantiation and pays no per-pop dispatch.
+enum class queue_order { priority, fifo, lifo };
+
+struct visitor_queue_config {
+  std::size_t num_threads = 4;
+  queue_order order = queue_order::priority;
+  /// Secondary sort by vertex id within equal priorities — the paper's
+  /// semi-external locality optimization (§IV-C). Harmless in-memory.
+  bool secondary_vertex_sort = false;
+  /// Route with the raw id (v % threads) instead of the avalanching hash;
+  /// used by the load-balance ablation.
+  bool identity_hash = false;
+  /// Initial per-queue heap capacity reservation.
+  std::size_t reserve_per_queue = 0;
+
+  /// Cross-thread delivery batch size B (mailbox layer). Pushes from inside
+  /// visitors append lock-free to a per-thread outbox buffer per destination
+  /// and are delivered — one destination-mutex acquisition plus one batched
+  /// termination-counter update — only when the buffer holds B visitors (or
+  /// at flush-on-idle / flush-before-sleep, which keep termination exact).
+  /// 1 reproduces the seed's per-push delivery; 64 amortizes both per-push
+  /// costs ~64x on fan-out-heavy traversals.
+  std::size_t flush_batch = 64;
+
+  /// Optional telemetry sinks (all borrowed, all nullable — null means the
+  /// corresponding instrumentation compiles to a predictable branch).
+  telemetry::metrics_registry* metrics = nullptr;  ///< flushed at end of run
+  telemetry::trace_writer* trace = nullptr;        ///< per-visit spans
+  telemetry::sampler* sampler = nullptr;           ///< depth/pending probes
+  /// Record a trace span for 1 visit in every `trace_sample_every` per
+  /// worker (1 = every visit; tracing every visit on large graphs produces
+  /// multi-GB traces).
+  std::uint32_t trace_sample_every = 64;
+
+  void validate() const {
+    if (num_threads == 0) {
+      throw std::invalid_argument("visitor_queue: need at least one thread");
+    }
+    if (flush_batch == 0) {
+      throw std::invalid_argument("visitor_queue: flush_batch must be >= 1");
+    }
+    if (trace_sample_every == 0) {
+      throw std::invalid_argument(
+          "visitor_queue: trace_sample_every must be >= 1");
+    }
+  }
+};
+
+}  // namespace asyncgt

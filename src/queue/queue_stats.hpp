@@ -18,6 +18,9 @@ namespace asyncgt {
 struct queue_run_stats {
   std::uint64_t visits = 0;          // visitors executed (incl. no-op visits)
   std::uint64_t pushes = 0;          // visitors enqueued
+  std::uint64_t flushes = 0;         // batched deliveries (mailbox-mutex
+                                     // acquisitions on the push side);
+                                     // pushes/flushes ≈ realized batch size
   std::uint64_t wakeups = 0;         // worker sleep→wake transitions
   std::uint64_t max_queue_length = 0;  // max over all per-thread queues
   double elapsed_seconds = 0.0;
@@ -55,6 +58,7 @@ struct queue_run_stats {
     std::snprintf(elapsed, sizeof elapsed, "%.6f", elapsed_seconds);
     return "visits=" + std::to_string(visits) +
            " pushes=" + std::to_string(pushes) +
+           " flushes=" + std::to_string(flushes) +
            " wakeups=" + std::to_string(wakeups) +
            " max_qlen=" + std::to_string(max_queue_length) +
            " elapsed_s=" + elapsed +

@@ -1,0 +1,66 @@
+// Routing layer of the traversal engine: vertex id -> owning queue index.
+//
+// The queue is a set of per-thread prioritized queues; a hash of the vertex
+// id selects the owning queue ("each thread 'owns' a queue and the queue is
+// selected based on a hash of the vertex identifier", paper §III-A). The
+// mapping is fixed for the lifetime of a run, which is what gives the engine
+// its exclusivity property: all visitors for vertex v execute on owner(v)'s
+// thread, so per-vertex algorithm state needs no locks or atomics.
+//
+// Two static policies, mirroring the hash ablation:
+//   avalanche_router — mix the id through a full-avalanche finalizer so hub
+//                      vertices (which cluster at low ids in RMAT graphs)
+//                      spread uniformly across queues. The default.
+//   identity_router  — raw v % num_queues; kept for bench/ablation_queues,
+//                      which demonstrates the load-imbalance hazard.
+// `vertex_router` is the runtime-selected wrapper the engine uses (the
+// choice is a single well-predicted bool, not worth a fourth template
+// parameter on the engine).
+#pragma once
+
+#include <cstddef>
+
+#include "queue/queue_config.hpp"
+#include "util/hash.hpp"
+
+namespace asyncgt {
+
+/// Avalanche-hash routing (default): mix32/mix64 then reduce.
+struct avalanche_router {
+  std::size_t num_queues = 1;
+
+  template <typename VertexId>
+  std::size_t operator()(VertexId v) const noexcept {
+    return queue_of(v, num_queues);
+  }
+};
+
+/// Identity routing: v % num_queues (load-balance ablation).
+struct identity_router {
+  std::size_t num_queues = 1;
+
+  template <typename VertexId>
+  std::size_t operator()(VertexId v) const noexcept {
+    return queue_of_identity(v, num_queues);
+  }
+};
+
+/// Runtime-selected router driven by visitor_queue_config::identity_hash.
+struct vertex_router {
+  std::size_t num_queues = 1;
+  bool identity = false;
+
+  vertex_router() = default;
+  vertex_router(std::size_t queues, bool use_identity) noexcept
+      : num_queues(queues), identity(use_identity) {}
+  explicit vertex_router(const visitor_queue_config& cfg) noexcept
+      : num_queues(cfg.num_threads), identity(cfg.identity_hash) {}
+
+  template <typename VertexId>
+  std::size_t operator()(VertexId v) const noexcept {
+    return identity ? identity_router{num_queues}(v)
+                    : avalanche_router{num_queues}(v);
+  }
+};
+
+}  // namespace asyncgt

@@ -1,0 +1,358 @@
+// The layered traversal engine: routing + ordering + mailbox + termination
+// composed into the worker loop and a single run driver.
+//
+// This is the machinery behind visitor_queue (the public facade keeps the
+// paper-facing documentation; see also docs/visitor_queue.md). The engine is
+// templated on the ordering policy so the hot loop is monomorphic — the
+// facade picks one of three instantiations at construction time from the
+// runtime `queue_order` config.
+//
+// Data flow per worker ("lane"):
+//
+//   visit() ── push ──▶ outbox[dest] (thread-local, lock-free append)
+//                          │ batch of flush_batch, or flush-on-idle
+//                          ▼ reserve(m) then mailbox[dest].deliver (mutex)
+//                       inbox slab ── drain (swap under mutex) ──▶
+//                       private ordering structure ── try_pop (no lock) ──▶
+//                       visit() ...
+//
+// Compared to the seed's monolith, a visitor crossing threads costs
+// 1/flush_batch mutex acquisitions and 1/flush_batch termination-counter
+// updates instead of one of each, and popping the local best visitor takes
+// no lock at all. Termination stays exact through the reserve-then-deliver
+// / flush-before-commit discipline proved in termination.hpp.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "queue/mailbox.hpp"
+#include "queue/ordering_policy.hpp"
+#include "queue/queue_config.hpp"
+#include "queue/queue_stats.hpp"
+#include "queue/routing_policy.hpp"
+#include "queue/termination.hpp"
+#include "telemetry/metrics_registry.hpp"
+#include "telemetry/trace_writer.hpp"
+#include "util/cache_line.hpp"
+#include "util/timer.hpp"
+
+namespace asyncgt::detail {
+
+template <typename Visitor, typename State, typename Ordering>
+class traversal_engine {
+ public:
+  using vertex_id = decltype(std::declval<const Visitor&>().vertex());
+
+  explicit traversal_engine(const visitor_queue_config& cfg)
+      : cfg_(cfg),
+        route_(cfg),
+        boxes_(cfg.num_threads),
+        lanes_(cfg.num_threads) {
+    for (auto& ln : lanes_) {
+      ln.local.configure(cfg);
+      ln.outbox.resize(cfg.num_threads);
+    }
+  }
+
+  traversal_engine(const traversal_engine&) = delete;
+  traversal_engine& operator=(const traversal_engine&) = delete;
+
+  /// External (non-worker) enqueue: callable before/after run(). Counts as
+  /// one push and one flush — there is no outbox to amortize through.
+  void push_external(Visitor&& v) {
+    term_.reserve(1);
+    ext_pushes_.fetch_add(1, std::memory_order_relaxed);
+    ext_flushes_.fetch_add(1, std::memory_order_relaxed);
+    boxes_[route_(v.vertex())].deliver_one(std::move(v));
+  }
+
+  /// Runs until quiescent over whatever was pushed externally.
+  queue_run_stats run(State& state) {
+    wall_timer timer;
+    if (term_.pending() == 0) {
+      return finalize_stats(timer.elapsed_seconds());
+    }
+    term_.reset_done();
+    launch(state, [](std::size_t) {});
+    return finalize_stats(timer.elapsed_seconds());
+  }
+
+  /// Seeded run: one visitor per vertex in [0, num_vertices) (CC, paper
+  /// Algorithm 3: "for all v in g.vertex_list() parallel do push"). All
+  /// num_vertices visitors are pre-accounted in the termination counter
+  /// before any worker starts, so a fast worker cannot drive the counter to
+  /// zero while another worker is still seeding its slice. Each worker
+  /// seeds the contiguous slice [t*n/T, (t+1)*n/T) — through its own outbox
+  /// buffers, so seeding enjoys the same batched delivery — and then joins
+  /// processing.
+  ///
+  /// `make_visitor` is invoked as const from all workers concurrently; it
+  /// must be const-callable and thread-safe (a mutable functor is rejected
+  /// at compile time rather than racing silently).
+  template <typename MakeVisitor>
+  queue_run_stats run_seeded(State& state, std::uint64_t num_vertices,
+                             MakeVisitor&& make_visitor) {
+    wall_timer timer;
+    if (num_vertices == 0) return finalize_stats(timer.elapsed_seconds());
+    const std::remove_reference_t<MakeVisitor>& make = make_visitor;
+    term_.reserve(static_cast<std::int64_t>(num_vertices));
+    term_.reset_done();
+    const std::size_t T = cfg_.num_threads;
+    launch(state, [this, &make, num_vertices, T](std::size_t t) {
+      lane& me = lanes_[t];
+      const std::uint64_t lo = num_vertices * t / T;
+      const std::uint64_t hi = num_vertices * (t + 1) / T;
+      me.seeding = true;  // seeds are pre-accounted: flushes must not reserve
+      for (std::uint64_t v = lo; v < hi; ++v) {
+        lane_push(me, make(static_cast<vertex_id>(v)));
+      }
+      flush_all(me);
+      me.seeding = false;
+    });
+    return finalize_stats(timer.elapsed_seconds());
+  }
+
+  std::size_t num_threads() const noexcept { return cfg_.num_threads; }
+
+  /// In-flight visitor count (termination counter); see
+  /// termination_detector::pending for the exactness caveat.
+  std::int64_t pending() const noexcept { return term_.pending(); }
+
+  /// Snapshot of every per-worker queue length (locks each mailbox
+  /// briefly). Intended for sampler probes and tests, not hot paths.
+  std::vector<std::size_t> queue_depths() {
+    std::vector<std::size_t> out;
+    out.reserve(boxes_.size());
+    for (auto& b : boxes_) out.push_back(b.depth());
+    return out;
+  }
+
+ private:
+  /// Per-worker private context: the ordering structure, the outbox buffers
+  /// (one per destination), the deferred-completion tally, and hot stats —
+  /// all touched only by the owning thread during a run.
+  struct alignas(cache_line_size) lane {
+    Ordering local;                            // private pop structure
+    std::vector<std::vector<Visitor>> outbox;  // per-destination buffers
+    std::vector<Visitor> scratch;              // drain target (recycled)
+    std::uint64_t completed = 0;  // visits not yet committed to the counter
+    bool seeding = false;         // outbox contents already pre-accounted
+    std::uint64_t visits = 0;
+    std::uint64_t pushes = 0;
+    std::uint64_t flushes = 0;
+    std::uint64_t wakeups = 0;
+    std::uint64_t max_len = 0;
+  };
+
+  /// The `Queue&` visitors see: pushes route into the owning lane's
+  /// outboxes, which is what makes the push path lock- and atomic-free.
+  struct lane_handle {
+    traversal_engine& eng;
+    lane& me;
+    void push(Visitor&& v) { eng.lane_push(me, std::move(v)); }
+    void push(const Visitor& v) { eng.lane_push(me, Visitor(v)); }
+    std::size_t num_threads() const noexcept { return eng.num_threads(); }
+  };
+
+  /// Single driver for both run flavours: spawn, per-thread seed hook,
+  /// worker loop, join. (The seed's run()/run_seeded() each hand-rolled
+  /// this.)
+  template <typename SeedSlice>
+  void launch(State& state, const SeedSlice& seed) {
+    std::vector<std::thread> threads;
+    threads.reserve(cfg_.num_threads);
+    for (std::size_t t = 0; t < cfg_.num_threads; ++t) {
+      threads.emplace_back([this, &state, &seed, t] {
+        seed(t);
+        worker_loop(state, t);
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+
+  void lane_push(lane& me, Visitor&& v) {
+    ++me.pushes;
+    const std::size_t dest = route_(v.vertex());
+    auto& buf = me.outbox[dest];
+    buf.push_back(std::move(v));
+    // Batch while the destination is busy (amortizes its mailbox mutex),
+    // ship immediately while it is starving. Without the starvation bypass,
+    // oversubscribed SEM runs lose their latency hiding: visitors sit in
+    // the origin's outbox while the origin blocks in I/O, so the threads
+    // that should be issuing concurrent preads sleep instead.
+    if (buf.size() >= cfg_.flush_batch || starving(dest)) flush_one(me, dest);
+  }
+
+  /// Relaxed hint that the destination worker has nothing to work on: no
+  /// undrained mail and an empty private structure. Stale reads only cost
+  /// an early (or missed-early) flush, never correctness.
+  bool starving(std::size_t dest) const noexcept {
+    const mailbox<Visitor>& box = boxes_[dest];
+    return !box.has_mail.load(std::memory_order_relaxed) &&
+           box.local_len.load(std::memory_order_relaxed) == 0;
+  }
+
+  /// Delivers one destination's buffered visitors: one batched counter
+  /// reservation (reserve-then-deliver; skipped while seeding, which
+  /// pre-accounted) and one mailbox mutex acquisition for the whole batch.
+  void flush_one(lane& me, std::size_t dest) {
+    auto& buf = me.outbox[dest];
+    if (buf.empty()) return;
+    if (!me.seeding) term_.reserve(static_cast<std::int64_t>(buf.size()));
+    boxes_[dest].deliver(buf);
+    buf.clear();
+    ++me.flushes;
+  }
+
+  void flush_all(lane& me) {
+    for (std::size_t d = 0; d < me.outbox.size(); ++d) flush_one(me, d);
+  }
+
+  /// Merges freshly delivered visitors into the private ordering structure.
+  bool drain(lane& me, mailbox<Visitor>& inbox) {
+    me.scratch.clear();
+    if (!inbox.drain(me.scratch)) return false;
+    for (auto& v : me.scratch) me.local.push(std::move(v));
+    me.scratch.clear();
+    const std::size_t len = me.local.size();
+    inbox.local_len.store(len, std::memory_order_relaxed);
+    me.max_len = std::max<std::uint64_t>(me.max_len, len);
+    return true;
+  }
+
+  /// Commits the deferred completion tally. Precondition: the lane's
+  /// outboxes were flushed (flush-before-commit, see termination.hpp).
+  /// Returns true iff this commit detected global quiescence.
+  bool commit(lane& me) {
+    const auto n = static_cast<std::int64_t>(me.completed);
+    me.completed = 0;
+    return term_.complete(n);
+  }
+
+  void worker_loop(State& state, std::size_t tid) {
+    lane& me = lanes_[tid];
+    mailbox<Visitor>& inbox = boxes_[tid];
+    // Tracing state is resolved once per worker: the hot loop pays one
+    // pointer test per visit when tracing is off.
+    telemetry::trace_stream* ts = nullptr;
+    if (cfg_.trace != nullptr) {
+      ts = &cfg_.trace->stream(static_cast<std::uint32_t>(tid) + 1,
+                               "worker-" + std::to_string(tid));
+    }
+    const std::uint32_t sample_every = cfg_.trace_sample_every;
+    std::uint32_t until_sample = 1;  // trace the first visit of each worker
+    lane_handle handle{*this, me};
+    Visitor v{};
+    for (;;) {
+      // Merge arrivals at batch granularity: one relaxed load per pop, a
+      // lock only when a sender actually delivered.
+      if (inbox.has_mail.load(std::memory_order_relaxed)) drain(me, inbox);
+      if (me.local.try_pop(v)) {
+        inbox.local_len.store(me.local.size(), std::memory_order_relaxed);
+        if (ts != nullptr && --until_sample == 0) {
+          until_sample = sample_every;
+          const std::uint64_t start = ts->now_us();
+          v.visit(state, handle, tid);
+          ts->complete("visit", start, ts->now_us() - start, "vertex",
+                       static_cast<std::uint64_t>(v.vertex()));
+        } else {
+          v.visit(state, handle, tid);
+        }
+        ++me.visits;
+        ++me.completed;  // decrement deferred to the next commit point
+        continue;
+      }
+      // Local structure empty: drain the inbox; failing that, flush our
+      // outboxes (flush-on-idle) and commit the completion tally — the only
+      // point where the termination counter can legitimately reach zero.
+      if (drain(me, inbox)) continue;
+      flush_all(me);
+      if (commit(me)) {
+        announce_done();
+        return;
+      }
+      if (drain(me, inbox)) continue;  // self-flush or a racing delivery
+      // Park until a sender delivers or the run ends. Outboxes are empty
+      // and the tally is committed (flush-before-sleep), so this worker
+      // holds no work hostage while asleep.
+      std::unique_lock lk(inbox.mu);
+      if (term_.done()) return;
+      if (!inbox.slab.empty()) continue;  // raced with a delivery
+      inbox.sleeping = true;
+      const std::uint64_t sleep_start = ts != nullptr ? ts->now_us() : 0;
+      inbox.cv.wait(lk, [&] {
+        return !inbox.slab.empty() || term_.done();
+      });
+      inbox.sleeping = false;
+      if (ts != nullptr) {
+        ts->complete("sleep", sleep_start, ts->now_us() - sleep_start);
+      }
+      if (term_.done()) return;
+      // Counted only here — after the done check — so the final shutdown
+      // broadcast does not inflate the idle-transition metric by up to
+      // num_threads.
+      ++me.wakeups;
+    }
+  }
+
+  void announce_done() {
+    term_.set_done();
+    // wake_all takes each mailbox's mutex so the flag write cannot slip
+    // between a worker's predicate check and its wait (no lost wakeups).
+    wake_all(boxes_);
+  }
+
+  queue_run_stats finalize_stats(double elapsed) {
+    queue_run_stats s;
+    s.elapsed_seconds = elapsed;
+    s.visits_per_queue.reserve(lanes_.size());
+    for (auto& ln : lanes_) {
+      s.visits += ln.visits;
+      s.pushes += ln.pushes;
+      s.flushes += ln.flushes;
+      s.wakeups += ln.wakeups;
+      s.max_queue_length = std::max(s.max_queue_length, ln.max_len);
+      s.visits_per_queue.push_back(ln.visits);
+      ln.visits = ln.pushes = ln.flushes = ln.wakeups = ln.max_len = 0;
+      ln.completed = 0;
+    }
+    s.pushes += ext_pushes_.exchange(0, std::memory_order_relaxed);
+    s.flushes += ext_flushes_.exchange(0, std::memory_order_relaxed);
+    if (cfg_.metrics != nullptr) record_metrics(s);
+    return s;
+  }
+
+  void record_metrics(const queue_run_stats& s) {
+    telemetry::metrics_registry& reg = *cfg_.metrics;
+    reg.get_counter("queue.runs").add(0);
+    reg.get_counter("queue.visits").add(0, s.visits);
+    reg.get_counter("queue.pushes").add(0, s.pushes);
+    reg.get_counter("queue.flushes").add(0, s.flushes);
+    reg.get_counter("queue.wakeups").add(0, s.wakeups);
+    reg.get_gauge("queue.max_queue_length")
+        .record_max(static_cast<std::int64_t>(s.max_queue_length));
+    telemetry::histogram& h = reg.get_histogram("queue.visits_per_queue");
+    for (const auto visits : s.visits_per_queue) h.record(0, visits);
+  }
+
+  visitor_queue_config cfg_;
+  vertex_router route_;
+  std::vector<mailbox<Visitor>> boxes_;
+  std::vector<lane> lanes_;
+  termination_detector term_;
+  // External pushes arrive outside any lane; relaxed atomics in case a
+  // caller pushes from several threads between runs.
+  std::atomic<std::uint64_t> ext_pushes_{0};
+  std::atomic<std::uint64_t> ext_flushes_{0};
+};
+
+}  // namespace asyncgt::detail

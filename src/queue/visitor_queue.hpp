@@ -1,5 +1,5 @@
 // The multithreaded asynchronous prioritized visitor queue — the paper's
-// core contribution (§III-A).
+// core contribution (§III-A), as the public facade over a layered engine.
 //
 // Structure. The queue is a set of per-thread prioritized queues; a hash of
 // the vertex id selects the owning queue ("each thread 'owns' a queue and
@@ -11,19 +11,24 @@
 //   3. statistical load balance: an avalanching hash spreads hub vertices
 //      uniformly across queues.
 //
+// Layers (docs/visitor_queue.md walks through each):
+//   routing_policy.hpp   — vertex id -> owning queue (avalanche / identity)
+//   ordering_policy.hpp  — per-worker pop discipline (priority/fifo/lifo),
+//                          selected once at construction; the hot loop is
+//                          monomorphic, with no per-pop order dispatch
+//   mailbox.hpp          — batched cross-thread delivery (per-thread outbox
+//                          buffers, flush_batch visitors per mutex
+//                          acquisition) and the sleep/wake protocol
+//   termination.hpp      — the in-flight counter and its batching-aware
+//                          quiescence proof
+//   traversal_engine.hpp — the worker loop and the single run driver
+//
 // Asynchrony. There are no barriers or level synchronizations anywhere;
 // every worker pops its locally-best visitor and runs it immediately.
 // Priority ordering is therefore a heuristic (the paper: "we cannot
 // guarantee that the absolute shortest-path vertex is visited at each
 // step, possibly requiring multiple visits per vertex") — correctness comes
 // from label correction in the visitors, not from visit order.
-//
-// Termination. A single global counter tracks in-flight visitors: push
-// increments it *before* enqueueing and a worker decrements it only *after*
-// the visit (and all pushes the visit performed) completed. The counter can
-// therefore only reach zero at global quiescence; the worker that drives it
-// to zero broadcasts completion ("the traversal is complete when the visitor
-// queue is empty, and all visitors have completed").
 //
 // Oversubscription. num_threads is independent of core count; the paper runs
 // up to 512 threads on 16 cores both to shrink per-queue contention and, in
@@ -38,71 +43,32 @@
 // hot loop tests one cached bool per feature, keeping the disabled-sinks
 // overhead within the documented <2% budget (bench/micro_primitives).
 //
-// Visitor concept (see src/core for the three algorithm visitors):
+// Visitor concept (see src/core for the algorithm visitors):
 //   VertexId vertex() const;                  -- routing key
 //   Priority priority() const;                -- smaller visits earlier
-//   void visit(State&, visitor_queue&, tid);  -- may push() more visitors
-// Visitors must be cheap to copy and default-constructible. `tid` is the
-// executing worker's index, usable to index per-thread counters in State
-// without contention.
+//   void visit(State&, Queue&, tid);          -- may push() more visitors
+// Visitors must be cheap to move and default-constructible. `Queue` is a
+// template parameter: inside a run it is the engine's per-worker handle
+// (whose push() appends to thread-local outbox buffers), so visitors must
+// not assume it is visitor_queue itself — only that it has push(). `tid` is
+// the executing worker's index, usable to index per-thread counters in
+// State without contention.
 #pragma once
 
-#include <atomic>
-#include <condition_variable>
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
-#include <deque>
-#include <mutex>
-#include <stdexcept>
-#include <thread>
+#include <utility>
+#include <variant>
 #include <vector>
 
-#include "queue/dary_heap.hpp"
+#include "queue/ordering_policy.hpp"
+#include "queue/queue_config.hpp"
 #include "queue/queue_stats.hpp"
-#include "telemetry/metrics_registry.hpp"
+#include "queue/traversal_engine.hpp"
 #include "telemetry/sampler.hpp"
-#include "telemetry/trace_writer.hpp"
-#include "util/cache_line.hpp"
-#include "util/hash.hpp"
-#include "util/timer.hpp"
 
 namespace asyncgt {
-
-/// Visitor pop ordering. `priority` is the paper's design; `fifo` and `lifo`
-/// exist for the ablation bench that quantifies what the prioritization buys.
-enum class queue_order { priority, fifo, lifo };
-
-struct visitor_queue_config {
-  std::size_t num_threads = 4;
-  queue_order order = queue_order::priority;
-  /// Secondary sort by vertex id within equal priorities — the paper's
-  /// semi-external locality optimization (§IV-C). Harmless in-memory.
-  bool secondary_vertex_sort = false;
-  /// Route with the raw id (v % threads) instead of the avalanching hash;
-  /// used by the load-balance ablation.
-  bool identity_hash = false;
-  /// Initial per-queue heap capacity reservation.
-  std::size_t reserve_per_queue = 0;
-
-  /// Optional telemetry sinks (all borrowed, all nullable — null means the
-  /// corresponding instrumentation compiles to a predictable branch).
-  telemetry::metrics_registry* metrics = nullptr;  ///< flushed at end of run
-  telemetry::trace_writer* trace = nullptr;        ///< per-visit spans
-  telemetry::sampler* sampler = nullptr;           ///< depth/pending probes
-  /// Record a trace span for 1 visit in every `trace_sample_every` per
-  /// worker (1 = every visit; tracing every visit on large graphs produces
-  /// multi-GB traces).
-  std::uint32_t trace_sample_every = 64;
-
-  void validate() const {
-    if (num_threads == 0) {
-      throw std::invalid_argument("visitor_queue: need at least one thread");
-    }
-    if (trace_sample_every == 0) {
-      throw std::invalid_argument(
-          "visitor_queue: trace_sample_every must be >= 1");
-    }
-  }
-};
 
 template <typename Visitor, typename State>
 class visitor_queue {
@@ -111,10 +77,18 @@ class visitor_queue {
 
   explicit visitor_queue(visitor_queue_config cfg) : cfg_(cfg) {
     cfg_.validate();
-    workers_ = std::vector<worker>(cfg_.num_threads);
-    for (auto& w : workers_) {
-      if (cfg_.reserve_per_queue > 0) w.heap.reserve(cfg_.reserve_per_queue);
-      w.heap_less.secondary = cfg_.secondary_vertex_sort;
+    // The ordering policy is chosen exactly once; every hot-path call from
+    // here on runs inside the matching engine instantiation.
+    switch (cfg_.order) {
+      case queue_order::priority:
+        engine_.template emplace<prio_engine>(cfg_);
+        break;
+      case queue_order::fifo:
+        engine_.template emplace<fifo_engine>(cfg_);
+        break;
+      case queue_order::lifo:
+        engine_.template emplace<lifo_engine>(cfg_);
+        break;
     }
   }
 
@@ -123,11 +97,15 @@ class visitor_queue {
 
   ~visitor_queue() { unregister_probes(); }
 
-  /// Enqueues a visitor. Callable from the outside before/after run() and
-  /// from inside visitors during run().
-  void push(const Visitor& v) {
-    pending_.fetch_add(1, std::memory_order_acq_rel);
-    push_preaccounted(v);
+  /// Enqueues a visitor. Callable from the outside before/after run();
+  /// visitors running inside run() push through the per-worker handle they
+  /// receive, not through this method.
+  void push(const Visitor& v) { push(Visitor(v)); }
+
+  /// Move overload: visitors constructed in place (the common case in the
+  /// algorithm headers) are forwarded without a copy.
+  void push(Visitor&& v) {
+    with_engine([&](auto& e) { e.push_external(std::move(v)); });
   }
 
   /// Runs until quiescent: spawns the worker threads, processes every queued
@@ -135,212 +113,67 @@ class visitor_queue {
   /// `state` is shared mutable algorithm state; per-vertex entries are only
   /// ever touched by their owner thread, which is what makes this safe.
   queue_run_stats run(State& state) {
-    wall_timer timer;
-    if (pending_.load(std::memory_order_acquire) == 0) {
-      return finalize_stats(timer.elapsed_seconds());
-    }
-    done_.store(false, std::memory_order_release);
     register_probes();
-    std::vector<std::thread> threads;
-    threads.reserve(cfg_.num_threads);
-    for (std::size_t t = 0; t < cfg_.num_threads; ++t) {
-      threads.emplace_back([this, &state, t] { worker_loop(state, t); });
-    }
-    for (auto& th : threads) th.join();
+    auto stats = with_engine([&](auto& e) { return e.run(state); });
     unregister_probes();
-    return finalize_stats(timer.elapsed_seconds());
+    return stats;
   }
 
   /// Seeded run for algorithms that start one visitor per vertex (CC,
-  /// Algorithm 3: "for all v in g.vertex_list() parallel do push").
-  /// All num_vertices visitors are pre-accounted in the termination counter
-  /// before any worker starts, so a fast worker cannot drive the counter to
-  /// zero while another worker is still seeding its slice. Each worker seeds
-  /// the contiguous slice [t*n/T, (t+1)*n/T) and then joins processing.
+  /// PageRank, k-core). `make_visitor` is invoked as const from all workers
+  /// concurrently — it must be const-callable (mutable functors are
+  /// rejected at compile time) and thread-safe; each worker seeds the
+  /// contiguous slice [t*n/T, (t+1)*n/T) and then joins processing. See
+  /// traversal_engine::run_seeded for the pre-accounting argument.
   template <typename MakeVisitor>
   queue_run_stats run_seeded(State& state, std::uint64_t num_vertices,
                              MakeVisitor&& make_visitor) {
-    wall_timer timer;
-    if (num_vertices == 0) return finalize_stats(timer.elapsed_seconds());
-    pending_.fetch_add(static_cast<std::int64_t>(num_vertices),
-                       std::memory_order_acq_rel);
-    done_.store(false, std::memory_order_release);
     register_probes();
-    std::vector<std::thread> threads;
-    threads.reserve(cfg_.num_threads);
-    const std::size_t T = cfg_.num_threads;
-    for (std::size_t t = 0; t < T; ++t) {
-      threads.emplace_back([this, &state, t, T, num_vertices,
-                            &make_visitor] {
-        const std::uint64_t lo = num_vertices * t / T;
-        const std::uint64_t hi = num_vertices * (t + 1) / T;
-        for (std::uint64_t v = lo; v < hi; ++v) {
-          push_preaccounted(make_visitor(static_cast<vertex_id>(v)));
-        }
-        worker_loop(state, t);
-      });
-    }
-    for (auto& th : threads) th.join();
+    auto stats = with_engine([&](auto& e) {
+      return e.run_seeded(state, num_vertices,
+                          std::forward<MakeVisitor>(make_visitor));
+    });
     unregister_probes();
-    return finalize_stats(timer.elapsed_seconds());
+    return stats;
   }
 
   std::size_t num_threads() const noexcept { return cfg_.num_threads; }
 
-  /// In-flight visitor count (the termination counter). Exact at quiescence;
-  /// an instantaneous sample while workers run — this is what the telemetry
-  /// sampler plots as the frontier size.
+  /// In-flight visitor count (the termination counter). Exact at
+  /// quiescence; a conservative instantaneous sample while workers run —
+  /// this is what the telemetry sampler plots as the frontier size.
   std::int64_t pending() const noexcept {
-    return pending_.load(std::memory_order_acquire);
+    return const_cast<visitor_queue*>(this)->with_engine(
+        [](auto& e) { return e.pending(); });
   }
 
-  /// Snapshot of every per-thread queue length (locks each worker mutex
+  /// Snapshot of every per-thread queue length (locks each mailbox
   /// briefly). Intended for sampler probes and tests, not hot paths.
   std::vector<std::size_t> queue_depths() {
-    std::vector<std::size_t> out;
-    out.reserve(workers_.size());
-    for (auto& w : workers_) {
-      std::lock_guard lk(w.mu);
-      out.push_back(w.queue_length());
-    }
-    return out;
+    return with_engine([](auto& e) { return e.queue_depths(); });
   }
 
  private:
-  struct heap_compare {
-    bool secondary = false;
-    bool operator()(const Visitor& a, const Visitor& b) const {
-      if (a.priority() != b.priority()) return a.priority() < b.priority();
-      if (secondary) return a.vertex() < b.vertex();
-      return false;
-    }
-  };
+  using prio_engine =
+      detail::traversal_engine<Visitor, State, priority_order<Visitor>>;
+  using fifo_engine =
+      detail::traversal_engine<Visitor, State, fifo_order<Visitor>>;
+  using lifo_engine =
+      detail::traversal_engine<Visitor, State, lifo_order<Visitor>>;
 
-  struct worker {
-    std::mutex mu;
-    std::condition_variable cv;
-    heap_compare heap_less;
-    dary_heap<Visitor, heap_compare&> heap{heap_less};
-    std::deque<Visitor> fifo;  // used in fifo / lifo order modes
-    bool sleeping = false;
-    // Hot counters, written only by the owning thread during the run (the
-    // queue length max is maintained under mu by pushers).
-    std::uint64_t visits = 0;
-    std::uint64_t pushes = 0;
-    std::uint64_t wakeups = 0;
-    std::uint64_t max_len = 0;
-
-    worker() = default;
-    std::size_t queue_length() const {
-      return fifo.empty() ? heap.size() : fifo.size();
-    }
-  };
-
-  std::size_t owner_of(vertex_id v) const noexcept {
-    return cfg_.identity_hash ? queue_of_identity(v, workers_.size())
-                              : queue_of(v, workers_.size());
-  }
-
-  void push_preaccounted(const Visitor& v) {
-    worker& w = workers_[owner_of(v.vertex())];
-    bool wake = false;
-    {
-      std::lock_guard lk(w.mu);
-      switch (cfg_.order) {
-        case queue_order::priority:
-          w.heap.push(v);
-          break;
-        case queue_order::fifo:
-        case queue_order::lifo:
-          w.fifo.push_back(v);
-          break;
-      }
-      ++w.pushes;
-      w.max_len = std::max<std::uint64_t>(w.max_len, w.queue_length());
-      wake = w.sleeping;
-    }
-    if (wake) w.cv.notify_one();
-  }
-
-  bool try_pop(worker& w, Visitor& out) {
-    std::lock_guard lk(w.mu);
-    switch (cfg_.order) {
-      case queue_order::priority:
-        if (w.heap.empty()) return false;
-        out = w.heap.pop();
-        return true;
-      case queue_order::fifo:
-        if (w.fifo.empty()) return false;
-        out = w.fifo.front();
-        w.fifo.pop_front();
-        return true;
-      case queue_order::lifo:
-        if (w.fifo.empty()) return false;
-        out = w.fifo.back();
-        w.fifo.pop_back();
-        return true;
-    }
-    return false;
-  }
-
-  void worker_loop(State& state, std::size_t tid) {
-    worker& me = workers_[tid];
-    // Tracing state is resolved once per worker: the hot loop pays one
-    // pointer test per visit when tracing is off.
-    telemetry::trace_stream* ts = nullptr;
-    if (cfg_.trace != nullptr) {
-      ts = &cfg_.trace->stream(static_cast<std::uint32_t>(tid) + 1,
-                               "worker-" + std::to_string(tid));
-    }
-    const std::uint32_t sample_every = cfg_.trace_sample_every;
-    std::uint32_t until_sample = 1;  // trace the first visit of each worker
-    Visitor v{};
-    for (;;) {
-      if (try_pop(me, v)) {
-        if (ts != nullptr && --until_sample == 0) {
-          until_sample = sample_every;
-          const std::uint64_t start = ts->now_us();
-          v.visit(state, *this, tid);
-          ts->complete("visit", start, ts->now_us() - start, "vertex",
-                       static_cast<std::uint64_t>(v.vertex()));
-        } else {
-          v.visit(state, *this, tid);
-        }
-        ++me.visits;
-        if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          announce_done();
-          return;
-        }
-        continue;
-      }
-      // Local queue empty: sleep until a pusher wakes us or the run ends.
-      std::unique_lock lk(me.mu);
-      if (done_.load(std::memory_order_acquire)) return;
-      if (me.queue_length() > 0) continue;  // raced with a push
-      me.sleeping = true;
-      const std::uint64_t sleep_start = ts != nullptr ? ts->now_us() : 0;
-      me.cv.wait(lk, [&] {
-        return me.queue_length() > 0 || done_.load(std::memory_order_acquire);
-      });
-      me.sleeping = false;
-      if (ts != nullptr) {
-        ts->complete("sleep", sleep_start, ts->now_us() - sleep_start);
-      }
-      if (done_.load(std::memory_order_acquire)) return;
-      // Counted only here — after the done_ check — so the final shutdown
-      // broadcast does not inflate the idle-transition metric by up to
-      // num_threads.
-      ++me.wakeups;
-    }
-  }
-
-  void announce_done() {
-    done_.store(true, std::memory_order_release);
-    // Take each worker's mutex so the flag write cannot slip between a
-    // worker's predicate check and its wait (no lost wakeups).
-    for (auto& w : workers_) {
-      { std::lock_guard lk(w.mu); }
-      w.cv.notify_all();
+  /// Single dispatch point from the runtime order to the monomorphic
+  /// engine. The monostate alternative only exists so the variant can be
+  /// default-constructed before the constructor emplaces the real engine
+  /// (the engines hold mutexes and are neither copyable nor movable).
+  template <typename F>
+  decltype(auto) with_engine(F&& f) {
+    switch (engine_.index()) {
+      case 1:
+        return f(std::get<1>(engine_));
+      case 2:
+        return f(std::get<2>(engine_));
+      default:
+        return f(std::get<3>(engine_));
     }
   }
 
@@ -367,39 +200,9 @@ class visitor_queue {
     probe_ids_.clear();
   }
 
-  queue_run_stats finalize_stats(double elapsed) {
-    queue_run_stats s;
-    s.elapsed_seconds = elapsed;
-    s.visits_per_queue.reserve(workers_.size());
-    for (auto& w : workers_) {
-      s.visits += w.visits;
-      s.pushes += w.pushes;
-      s.wakeups += w.wakeups;
-      s.max_queue_length = std::max(s.max_queue_length, w.max_len);
-      s.visits_per_queue.push_back(w.visits);
-      w.visits = w.pushes = w.wakeups = w.max_len = 0;
-    }
-    if (cfg_.metrics != nullptr) record_metrics(s);
-    return s;
-  }
-
-  void record_metrics(const queue_run_stats& s) {
-    telemetry::metrics_registry& reg = *cfg_.metrics;
-    reg.get_counter("queue.runs").add(0);
-    reg.get_counter("queue.visits").add(0, s.visits);
-    reg.get_counter("queue.pushes").add(0, s.pushes);
-    reg.get_counter("queue.wakeups").add(0, s.wakeups);
-    reg.get_gauge("queue.max_queue_length")
-        .record_max(static_cast<std::int64_t>(s.max_queue_length));
-    telemetry::histogram& h = reg.get_histogram("queue.visits_per_queue");
-    for (const auto visits : s.visits_per_queue) h.record(0, visits);
-  }
-
   visitor_queue_config cfg_;
-  std::vector<worker> workers_;
+  std::variant<std::monostate, prio_engine, fifo_engine, lifo_engine> engine_;
   std::vector<telemetry::sampler::probe_id> probe_ids_;
-  alignas(cache_line_size) std::atomic<std::int64_t> pending_{0};
-  alignas(cache_line_size) std::atomic<bool> done_{false};
 };
 
 }  // namespace asyncgt

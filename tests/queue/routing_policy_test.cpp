@@ -1,0 +1,81 @@
+// Routing-layer tests: vertex id -> owning queue index. The mapping must be
+// deterministic (it is what gives the engine per-vertex exclusivity) and the
+// two static policies must show the spread / clustering behaviour the hash
+// ablation relies on.
+#include "queue/routing_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace asyncgt {
+namespace {
+
+TEST(RoutingPolicy, IdentityRouterIsModulo) {
+  const identity_router r{5};
+  for (std::uint32_t v = 0; v < 100; ++v) {
+    EXPECT_EQ(r(v), v % 5);
+  }
+}
+
+TEST(RoutingPolicy, AvalancheRouterStaysInRange) {
+  const avalanche_router r{7};
+  for (std::uint64_t v = 0; v < 10000; ++v) {
+    EXPECT_LT(r(v), 7u);
+  }
+  // 64-bit ids route too (SEM graphs use vertex64).
+  EXPECT_LT(r((1ULL << 40) + 17), 7u);
+}
+
+TEST(RoutingPolicy, AvalancheRouterIsDeterministic) {
+  const avalanche_router a{16};
+  const avalanche_router b{16};
+  for (std::uint32_t v = 0; v < 1000; ++v) {
+    EXPECT_EQ(a(v), b(v));
+  }
+}
+
+TEST(RoutingPolicy, AvalancheSpreadsStridedIdsIdentityDoesNot) {
+  // Ids all congruent to 0 mod 4: identity routing collapses them onto one
+  // queue (the load-imbalance hazard), the avalanche hash spreads them.
+  constexpr std::size_t kQueues = 4;
+  const identity_router ident{kQueues};
+  const avalanche_router aval{kQueues};
+  std::set<std::size_t> ident_hit, aval_hit;
+  for (std::uint32_t v = 0; v < 400; v += 4) {
+    ident_hit.insert(ident(v));
+    aval_hit.insert(aval(v));
+  }
+  EXPECT_EQ(ident_hit.size(), 1u);
+  EXPECT_EQ(aval_hit.size(), kQueues);
+}
+
+TEST(RoutingPolicy, VertexRouterSelectsPolicyByFlag) {
+  const vertex_router ident(4, true);
+  const vertex_router aval(4, false);
+  for (std::uint32_t v = 0; v < 200; ++v) {
+    EXPECT_EQ(ident(v), identity_router{4}(v));
+    EXPECT_EQ(aval(v), avalanche_router{4}(v));
+  }
+}
+
+TEST(RoutingPolicy, VertexRouterFromConfig) {
+  visitor_queue_config cfg;
+  cfg.num_threads = 9;
+  cfg.identity_hash = true;
+  const vertex_router r(cfg);
+  EXPECT_EQ(r.num_queues, 9u);
+  EXPECT_EQ(r(std::uint32_t{13}), 13u % 9u);
+}
+
+TEST(RoutingPolicy, SingleQueueAlwaysZero) {
+  const vertex_router r(1, false);
+  for (std::uint64_t v = 0; v < 64; ++v) {
+    EXPECT_EQ(r(v), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace asyncgt

@@ -56,6 +56,12 @@ TEST(TelemetryIntegration, QueueInvariantsHoldAcrossAlgorithms) {
             bfs.stats.visits + sssp.stats.visits + cc.stats.visits);
   EXPECT_EQ(snap.value_of("queue.visits"), snap.value_of("queue.pushes"));
   EXPECT_EQ(snap.value_of("queue.runs"), 3u);
+  // Batched delivery: at least one mailbox flush per run, never more than
+  // one per push (flush_batch=1 would make them equal).
+  EXPECT_EQ(snap.value_of("queue.flushes"),
+            bfs.stats.flushes + sssp.stats.flushes + cc.stats.flushes);
+  EXPECT_GE(snap.value_of("queue.flushes"), 3u);
+  EXPECT_LE(snap.value_of("queue.flushes"), snap.value_of("queue.pushes"));
   // Histogram of per-queue visits: one record per worker per run.
   const auto* h = snap.find("queue.visits_per_queue");
   ASSERT_NE(h, nullptr);

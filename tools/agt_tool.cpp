@@ -50,6 +50,7 @@ int usage() {
                "  info FILE\n"
                "  validate FILE\n"
                "  bfs|sssp [FILE] [--start=0] [--threads=16] [--sem]\n"
+               "           [--flush-batch=N]  (default 64 in-memory, 1 SEM)\n"
                "           [--device=fusionio|intel|corsair] "
                "[--time-scale=1]\n"
                "  cc [FILE] [--threads=16] [--sem] [--device=...]\n"
@@ -278,6 +279,11 @@ int run_traversal(const options& opt, const char* name, F&& run) {
 
   visitor_queue_config cfg;
   cfg.num_threads = static_cast<std::size_t>(opt.get_int("threads", 16));
+  // Batched delivery pays in memory (mutex amortization); SEM mode defaults
+  // to per-push so delivery delay cannot fragment the semi-sorted visit
+  // order the block cache depends on (docs/tuning.md).
+  cfg.flush_batch = static_cast<std::size_t>(
+      opt.get_int("flush-batch", sem_mode ? 1 : 64));
   rep.attach(cfg);
 
   int rc;

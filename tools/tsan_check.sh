@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Builds the tree under ThreadSanitizer and runs the concurrency-sensitive
+# suites: the layered visitor-queue engine (routing / ordering / mailbox /
+# termination, including the flush-batch ablation) and the asynchronous
+# traversals driving it. Wraps the `tsan` presets in CMakePresets.json so CI
+# and humans run the identical configuration:
+#
+#   tools/tsan_check.sh [-jN]
+#
+# Exits non-zero on any data race (TSAN_OPTIONS=halt_on_error=1) or test
+# failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="${1:--j$(nproc)}"
+
+cmake --preset tsan
+cmake --build --preset tsan "${JOBS}" --target test_queue test_core
+ctest --preset tsan
