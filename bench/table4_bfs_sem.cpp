@@ -26,8 +26,14 @@
 //
 //   ./table4_bfs_sem [--scales=15,16] [--threads=128] [--time-scale=16]
 //                    [--cache-fraction=0.65] [--bgl-edge-rate=7.4e6]
-//                    [--flush-batch=1]
+//                    [--flush-batch=1] [--inject=eio=0.01,seed=7]
+//
+// --inject threads a deterministic fault injector through every SEM read
+// (docs/robustness.md): the correctness check then doubles as the
+// fault-tolerance acceptance test — injected transient faults must not
+// change a single BFS label, only add io.retries to the report.
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -39,7 +45,10 @@
 #include "graph/graph_io.hpp"
 #include "sem/block_cache.hpp"
 #include "sem/device_presets.hpp"
+#include "sem/fault_injector.hpp"
 #include "sem/sem_csr.hpp"
+#include "telemetry/io_recorder.hpp"
+#include "telemetry/metrics_json.hpp"
 
 using namespace asyncgt;
 using namespace asyncgt::bench;
@@ -70,6 +79,13 @@ int main(int argc, char** argv) {
   // block-cache hits (docs/tuning.md). Raise it to A/B the batching cost.
   const auto flush_batch =
       static_cast<std::size_t>(opt.get_int("flush-batch", 1));
+  const std::string inject_spec = opt.get_string("inject", "");
+  std::unique_ptr<sem::fault_injector> injector;
+  if (!inject_spec.empty()) {
+    injector = std::make_unique<sem::fault_injector>(
+        sem::parse_fault_config(inject_spec));
+  }
+  telemetry::io_recorder io_rec;  // accumulates across all SEM runs
 
   banner("Semi-External Memory Breadth First Search", "paper Table IV");
 
@@ -119,6 +135,10 @@ int main(int argc, char** argv) {
             1, static_cast<std::uint64_t>(cache_fraction *
                                           static_cast<double>(file_blocks))));
         sem::sem_csr32 sg(path, &dev, &cache);
+        if (injector != nullptr) {
+          sg.set_fault_injector(injector.get());
+          sg.set_io_recorder(&io_rec);
+        }
 
         visitor_queue_config cfg;
         cfg.num_threads = sem_threads;
@@ -202,6 +222,27 @@ int main(int argc, char** argv) {
   ok &= shape_check(corsair_min > 0.4,
                     "even the slowest SSD stays comparable to the "
                     "calibrated baseline (paper: 0.7-2.1)");
+  if (injector != nullptr) {
+    // Fault-tolerance acceptance: every per-run label check above already
+    // ran under injection, so here only the retry accounting remains.
+    const auto fc = injector->counters();
+    const auto io = io_rec.snapshot();
+    std::printf("fault injection: %llu injected errors over %llu reads, "
+                "%llu retries, %llu gave up\n",
+                static_cast<unsigned long long>(fc.errors),
+                static_cast<unsigned long long>(fc.ops),
+                static_cast<unsigned long long>(io.retries),
+                static_cast<unsigned long long>(io.gave_up));
+    ok &= shape_check(io.gave_up == 0,
+                      "retry policy absorbed every injected transient fault");
+    if (rep.json_enabled()) {
+      auto& fj = rep.section("faults");
+      fj.set("spec", inject_spec);
+      fj.set("ops", fc.ops);
+      fj.set("errors", fc.errors);
+      fj.set("io", telemetry::to_json(io));
+    }
+  }
   rep.add_table(table);
   if (rep.json_enabled()) rep.section("result").set("ok", ok);
   rep.finish();

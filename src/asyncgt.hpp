@@ -32,10 +32,13 @@
 #include "graph/graph_stats.hpp"
 #include "graph/text_io.hpp"
 #include "graph/types.hpp"
+#include "queue/traversal_abort.hpp"
 #include "queue/visitor_queue.hpp"
 #include "sem/device_presets.hpp"
 #include "sem/block_cache.hpp"
 #include "sem/ext_sorter.hpp"
+#include "sem/fault_injector.hpp"
+#include "sem/io_error.hpp"
 #include "sem/ooc_builder.hpp"
 #include "sem/sem_csr.hpp"
 #include "sem/ssd_model.hpp"

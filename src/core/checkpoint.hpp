@@ -28,6 +28,7 @@
 #include "core/async_sssp.hpp"
 #include "core/traversal_result.hpp"
 #include "graph/types.hpp"
+#include "queue/traversal_abort.hpp"
 #include "util/crc32.hpp"
 
 namespace asyncgt {
@@ -182,6 +183,78 @@ sssp_result<typename Graph::vertex_id> resume_sssp(
   out.parent = std::move(state.parent);
   out.stats = std::move(stats);
   out.updates = state.updates.total();
+  return out;
+}
+
+/// BFS with graceful degradation: like async_bfs, but if the run aborts
+/// (traversal_aborted — e.g. a fatal semi-external I/O error), the partial
+/// label state is saved to `checkpoint_path` as an emergency checkpoint
+/// before the exception propagates. The snapshot is sound at any abort
+/// point: the visitor writes its label BEFORE issuing the adjacency read,
+/// so the start vertex is labelled before the first possible I/O fault, and
+/// monotone label correction makes any partial array resume to the
+/// identical fixed point (resume_bfs above).
+template <typename Graph>
+bfs_result<typename Graph::vertex_id> async_bfs_checkpointed(
+    const Graph& g, typename Graph::vertex_id start,
+    const std::string& checkpoint_path, visitor_queue_config cfg = {}) {
+  using V = typename Graph::vertex_id;
+  if (start >= g.num_vertices()) {
+    throw std::out_of_range("async_bfs: start vertex out of range");
+  }
+  bfs_state<Graph> state(g, cfg.num_threads);
+  visitor_queue<bfs_visitor<V>, bfs_state<Graph>> q(cfg);
+  q.push(bfs_visitor<V>{start, start, 0});
+  queue_run_stats stats;
+  try {
+    stats = q.run(state);
+  } catch (const traversal_aborted&) {
+    traversal_checkpoint<V> cp;
+    cp.kind = checkpoint_kind::bfs;
+    cp.label = state.level;
+    cp.parent = state.parent;
+    save_checkpoint(checkpoint_path, cp);
+    throw;
+  }
+  bfs_result<V> out;
+  out.level = std::move(state.level);
+  out.parent = std::move(state.parent);
+  out.stats = std::move(stats);
+  out.updates = state.updates.total();
+  if (cfg.metrics != nullptr) out.work().record(*cfg.metrics, "bfs");
+  return out;
+}
+
+/// SSSP twin of async_bfs_checkpointed: emergency checkpoint on abort, same
+/// resume-to-identical-fixed-point argument (resume_sssp above).
+template <typename Graph>
+sssp_result<typename Graph::vertex_id> async_sssp_checkpointed(
+    const Graph& g, typename Graph::vertex_id start,
+    const std::string& checkpoint_path, visitor_queue_config cfg = {}) {
+  using V = typename Graph::vertex_id;
+  if (start >= g.num_vertices()) {
+    throw std::out_of_range("async_sssp: start vertex out of range");
+  }
+  sssp_state<Graph> state(g, cfg.num_threads);
+  visitor_queue<sssp_visitor<V>, sssp_state<Graph>> q(cfg);
+  q.push(sssp_visitor<V>{start, start, 0});
+  queue_run_stats stats;
+  try {
+    stats = q.run(state);
+  } catch (const traversal_aborted&) {
+    traversal_checkpoint<V> cp;
+    cp.kind = checkpoint_kind::sssp;
+    cp.label = state.dist;
+    cp.parent = state.parent;
+    save_checkpoint(checkpoint_path, cp);
+    throw;
+  }
+  sssp_result<V> out;
+  out.dist = std::move(state.dist);
+  out.parent = std::move(state.parent);
+  out.stats = std::move(stats);
+  out.updates = state.updates.total();
+  if (cfg.metrics != nullptr) out.work().record(*cfg.metrics, "sssp");
   return out;
 }
 

@@ -59,9 +59,21 @@ void write_graph_impl(const std::string& path, const csr_graph<VertexId>& g) {
   }
 }
 
+std::uint64_t file_size_of(std::FILE* f, const std::string& path) {
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    throw std::runtime_error("cannot seek in '" + path + "'");
+  }
+  const long size = std::ftell(f);
+  if (size < 0 || std::fseek(f, 0, SEEK_SET) != 0) {
+    throw std::runtime_error("cannot size '" + path + "'");
+  }
+  return static_cast<std::uint64_t>(size);
+}
+
 template <typename VertexId>
 csr_graph<VertexId> read_graph_impl(const std::string& path) {
   auto f = open_or_throw(path, "rb");
+  const std::uint64_t actual = file_size_of(f.get(), path);
   agt_header h;
   read_bytes(f.get(), &h, sizeof(h), path);
   if (h.magic != agt_magic) {
@@ -71,9 +83,56 @@ csr_graph<VertexId> read_graph_impl(const std::string& path) {
     throw std::runtime_error("'" + path +
                              "' vertex id width does not match reader");
   }
-  std::vector<std::uint64_t> offsets(h.num_vertices + 1);
+  // Budget the declared section sizes against the real file size BEFORE any
+  // allocation: a truncated or malformed header must fail cleanly here, not
+  // drive a multi-GB std::vector resize (or overflow num_vertices + 1 and
+  // allocate nothing). Dividing the remaining budget instead of multiplying
+  // the declared counts keeps every comparison overflow-free.
+  if (actual < sizeof(agt_header) || h.num_vertices == ~std::uint64_t{0}) {
+    throw std::runtime_error("'" + path + "' has a malformed AGT header");
+  }
+  std::uint64_t remaining = actual - sizeof(agt_header);
+  const std::uint64_t nv1 = h.num_vertices + 1;
+  if (nv1 > remaining / sizeof(std::uint64_t)) {
+    throw std::runtime_error("'" + path +
+                             "' is truncated: offset index exceeds file size");
+  }
+  remaining -= nv1 * sizeof(std::uint64_t);
+  if (h.num_edges > remaining / sizeof(VertexId)) {
+    throw std::runtime_error("'" + path +
+                             "' is truncated: edge section exceeds file size");
+  }
+  remaining -= h.num_edges * sizeof(VertexId);
+  if (h.weighted()) {
+    if (h.num_edges > remaining / sizeof(weight_t)) {
+      throw std::runtime_error(
+          "'" + path + "' is truncated: weight section exceeds file size");
+    }
+    remaining -= h.num_edges * sizeof(weight_t);
+  }
+  if (remaining != 0) {
+    throw std::runtime_error("'" + path + "' has " +
+                             std::to_string(remaining) +
+                             " trailing bytes beyond the declared sections");
+  }
+  if (std::fseek(f.get(), sizeof(agt_header), SEEK_SET) != 0) {
+    throw std::runtime_error("cannot seek in '" + path + "'");
+  }
+  std::vector<std::uint64_t> offsets(nv1);
   read_bytes(f.get(), offsets.data(), offsets.size() * sizeof(std::uint64_t),
              path);
+  if (offsets.front() != 0 || offsets.back() != h.num_edges) {
+    throw std::runtime_error("'" + path +
+                             "' has a corrupt offset index (bounds disagree "
+                             "with header)");
+  }
+  for (std::size_t v = 1; v < offsets.size(); ++v) {
+    if (offsets[v] < offsets[v - 1]) {
+      throw std::runtime_error("'" + path +
+                               "' has a corrupt offset index (offsets not "
+                               "monotone)");
+    }
+  }
   std::vector<VertexId> targets(h.num_edges);
   read_bytes(f.get(), targets.data(), targets.size() * sizeof(VertexId), path);
   std::vector<weight_t> weights;

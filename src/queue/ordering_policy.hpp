@@ -73,6 +73,9 @@ class priority_order {
     return true;
   }
 
+  /// Discards all queued visitors (post-abort engine reset).
+  void clear() noexcept { heap_.clear(); }
+
  private:
   visitor_priority_less<Visitor> less_;
   // Holds a reference to less_, so the policy is pinned in place (the
@@ -103,6 +106,9 @@ class fifo_order {
     return true;
   }
 
+  /// Discards all queued visitors (post-abort engine reset).
+  void clear() noexcept { q_.clear(); }
+
  private:
   std::deque<Visitor> q_;
 };
@@ -131,6 +137,9 @@ class lifo_order {
     q_.pop_back();
     return true;
   }
+
+  /// Discards all queued visitors (post-abort engine reset).
+  void clear() noexcept { q_.clear(); }
 
  private:
   std::vector<Visitor> q_;

@@ -88,15 +88,41 @@ class termination_detector {
   /// parked workers observe it (wake_all below the caller).
   void set_done() noexcept { done_.store(true, std::memory_order_release); }
 
+  /// Cooperative cancellation: raised by the first failing worker (after
+  /// latching its error in the engine) and observed by every worker loop
+  /// and parking predicate. Unlike `done`, an abort does NOT certify
+  /// quiescence — visitors may still be queued everywhere — it only orders
+  /// a prompt, clean unwind; the engine resets all queue state afterwards.
+  /// The same raise-then-wake_all broadcast discipline applies.
+  void request_abort() noexcept {
+    aborted_.store(true, std::memory_order_release);
+  }
+
+  bool abort_requested() const noexcept {
+    return aborted_.load(std::memory_order_acquire);
+  }
+
+  /// True when workers must exit their loop: normal completion or abort.
+  bool stopped() const noexcept { return done() || abort_requested(); }
+
   /// Re-arms the detector for the next run (counters survive across runs;
   /// pending_ is naturally zero after a completed run).
   void reset_done() noexcept {
     done_.store(false, std::memory_order_release);
+    aborted_.store(false, std::memory_order_release);
+  }
+
+  /// Discards the in-flight count. Only legitimate while no worker is
+  /// running — the engine calls this when tearing down after an abort left
+  /// reserved-but-never-completed visitors behind.
+  void reset_pending() noexcept {
+    pending_.store(0, std::memory_order_release);
   }
 
  private:
   alignas(cache_line_size) std::atomic<std::int64_t> pending_{0};
   alignas(cache_line_size) std::atomic<bool> done_{false};
+  alignas(cache_line_size) std::atomic<bool> aborted_{false};
 };
 
 }  // namespace asyncgt

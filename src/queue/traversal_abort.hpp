@@ -1,0 +1,58 @@
+// The engine's failure-containment contract, as seen by callers.
+//
+// Before this layer existed, an exception escaping a worker thread (one
+// transient EIO in the SEM read path, a bad_alloc in a drain) hit the
+// std::thread boundary and std::terminate'd the process — forfeiting a
+// traversal the paper budgets 10,000+ seconds for. Now every worker runs
+// under a catch-all: the first error is latched with its thread and vertex
+// context, a cancellation flag wakes and unwinds every other worker
+// (termination.hpp), the engine joins cleanly and resets its queue state,
+// and the error re-emerges on the *calling* thread as this exception — the
+// identical contract for in-memory and semi-external runs.
+//
+// The partially computed algorithm state survives the abort untouched: for
+// label-correcting traversals it is a valid intermediate state, which is
+// what makes the emergency-checkpoint / resume path in core/checkpoint.hpp
+// sound (docs/robustness.md).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <stdexcept>
+#include <string>
+
+namespace asyncgt {
+
+class traversal_aborted : public std::runtime_error {
+ public:
+  traversal_aborted(const std::string& what, std::size_t worker,
+                    bool has_vertex, std::uint64_t vertex,
+                    std::exception_ptr cause)
+      : std::runtime_error(what),
+        worker_(worker),
+        has_vertex_(has_vertex),
+        vertex_(vertex),
+        cause_(std::move(cause)) {}
+
+  /// Index of the worker whose exception aborted the run.
+  std::size_t worker() const noexcept { return worker_; }
+
+  /// True when the failure happened inside a visit (vertex() is then the
+  /// vertex being visited); false for failures outside any visit (seeding,
+  /// delivery, drain).
+  bool has_vertex() const noexcept { return has_vertex_; }
+  std::uint64_t vertex() const noexcept { return vertex_; }
+
+  /// The original exception (io_error, bad_alloc, ...), rethrowable via
+  /// std::rethrow_exception for callers that dispatch on the cause.
+  const std::exception_ptr& cause() const noexcept { return cause_; }
+
+ private:
+  std::size_t worker_ = 0;
+  bool has_vertex_ = false;
+  std::uint64_t vertex_ = 0;
+  std::exception_ptr cause_;
+};
+
+}  // namespace asyncgt

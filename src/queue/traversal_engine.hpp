@@ -21,12 +21,25 @@
 // updates instead of one of each, and popping the local best visitor takes
 // no lock at all. Termination stays exact through the reserve-then-deliver
 // / flush-before-commit discipline proved in termination.hpp.
+//
+// Failure containment. Every worker body runs under a catch-all: the first
+// exception (an io_error from a SEM read, a bad_alloc, a throwing visitor)
+// is latched with its thread/vertex context, the termination layer's abort
+// flag is raised and broadcast through the parking protocol (wake_all), so
+// every worker — including ones asleep on their mailbox — unwinds promptly.
+// After the join, the engine resets all queue state (mailbox slabs, private
+// ordering structures, outboxes, the in-flight counter) and rethrows the
+// latched error as traversal_aborted on the calling thread. The queue is
+// reusable afterwards, and the algorithm state the visitors were mutating
+// is quiescent and internally consistent (per-vertex entries are only ever
+// written by their owner, and all owners have joined).
 #pragma once
 
 #include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -40,6 +53,7 @@
 #include "queue/queue_stats.hpp"
 #include "queue/routing_policy.hpp"
 #include "queue/termination.hpp"
+#include "queue/traversal_abort.hpp"
 #include "telemetry/metrics_registry.hpp"
 #include "telemetry/trace_writer.hpp"
 #include "util/cache_line.hpp"
@@ -75,7 +89,9 @@ class traversal_engine {
     boxes_[route_(v.vertex())].deliver_one(std::move(v));
   }
 
-  /// Runs until quiescent over whatever was pushed externally.
+  /// Runs until quiescent over whatever was pushed externally. If any
+  /// worker's body throws, every worker is unwound, the queue state is
+  /// reset, and the first error rethrows here as traversal_aborted.
   queue_run_stats run(State& state) {
     wall_timer timer;
     if (term_.pending() == 0) {
@@ -83,6 +99,7 @@ class traversal_engine {
     }
     term_.reset_done();
     launch(state, [](std::size_t) {});
+    throw_if_aborted();
     return finalize_stats(timer.elapsed_seconds());
   }
 
@@ -113,11 +130,19 @@ class traversal_engine {
       const std::uint64_t hi = num_vertices * (t + 1) / T;
       me.seeding = true;  // seeds are pre-accounted: flushes must not reserve
       for (std::uint64_t v = lo; v < hi; ++v) {
+        // A failed worker cannot reach quiescence, so a long seeding slice
+        // must notice the abort itself (checked at outbox-batch granularity
+        // to keep the common path branch-cheap).
+        if ((v & 0x3FFu) == 0 && term_.abort_requested()) {
+          me.seeding = false;
+          return;
+        }
         lane_push(me, make(static_cast<vertex_id>(v)));
       }
       flush_all(me);
       me.seeding = false;
     });
+    throw_if_aborted();
     return finalize_stats(timer.elapsed_seconds());
   }
 
@@ -146,6 +171,11 @@ class traversal_engine {
     std::vector<Visitor> scratch;              // drain target (recycled)
     std::uint64_t completed = 0;  // visits not yet committed to the counter
     bool seeding = false;         // outbox contents already pre-accounted
+    // Failure context: maintained by the owning thread around each visit and
+    // read back by record_failure on that same thread (from the catch in
+    // launch), so no synchronization is needed.
+    std::uint64_t cur_vertex = 0;
+    bool visiting = false;
     std::uint64_t visits = 0;
     std::uint64_t pushes = 0;
     std::uint64_t flushes = 0;
@@ -172,8 +202,14 @@ class traversal_engine {
     threads.reserve(cfg_.num_threads);
     for (std::size_t t = 0; t < cfg_.num_threads; ++t) {
       threads.emplace_back([this, &state, &seed, t] {
-        seed(t);
-        worker_loop(state, t);
+        // Catch-all at the thread boundary: an escaping exception would
+        // std::terminate the process. Latch it and unwind everyone instead.
+        try {
+          seed(t);
+          worker_loop(state, t);
+        } catch (...) {
+          record_failure(t, std::current_exception());
+        }
       });
     }
     for (auto& th : threads) th.join();
@@ -253,11 +289,16 @@ class traversal_engine {
     lane_handle handle{*this, me};
     Visitor v{};
     for (;;) {
+      // A failed worker raised the abort flag: unwind without flushing or
+      // committing — the engine resets all queue state after the join.
+      if (term_.abort_requested()) return;
       // Merge arrivals at batch granularity: one relaxed load per pop, a
       // lock only when a sender actually delivered.
       if (inbox.has_mail.load(std::memory_order_relaxed)) drain(me, inbox);
       if (me.local.try_pop(v)) {
         inbox.local_len.store(me.local.size(), std::memory_order_relaxed);
+        me.cur_vertex = static_cast<std::uint64_t>(v.vertex());
+        me.visiting = true;
         if (ts != nullptr && --until_sample == 0) {
           until_sample = sample_every;
           const std::uint64_t start = ts->now_us();
@@ -267,6 +308,7 @@ class traversal_engine {
         } else {
           v.visit(state, handle, tid);
         }
+        me.visiting = false;
         ++me.visits;
         ++me.completed;  // decrement deferred to the next commit point
         continue;
@@ -285,18 +327,22 @@ class traversal_engine {
       // and the tally is committed (flush-before-sleep), so this worker
       // holds no work hostage while asleep.
       std::unique_lock lk(inbox.mu);
-      if (term_.done()) return;
+      if (term_.stopped()) return;
       if (!inbox.slab.empty()) continue;  // raced with a delivery
       inbox.sleeping = true;
       const std::uint64_t sleep_start = ts != nullptr ? ts->now_us() : 0;
+      // Stopping covers completion AND abort: record_failure raises the
+      // abort flag and then wake_all's, taking this mutex, so the flag
+      // cannot slip between this predicate check and the wait (the same
+      // lost-wakeup argument as the done broadcast).
       inbox.cv.wait(lk, [&] {
-        return !inbox.slab.empty() || term_.done();
+        return !inbox.slab.empty() || term_.stopped();
       });
       inbox.sleeping = false;
       if (ts != nullptr) {
         ts->complete("sleep", sleep_start, ts->now_us() - sleep_start);
       }
-      if (term_.done()) return;
+      if (term_.stopped()) return;
       // Counted only here — after the done check — so the final shutdown
       // broadcast does not inflate the idle-transition metric by up to
       // num_threads.
@@ -309,6 +355,80 @@ class traversal_engine {
     // wake_all takes each mailbox's mutex so the flag write cannot slip
     // between a worker's predicate check and its wait (no lost wakeups).
     wake_all(boxes_);
+  }
+
+  /// Called on the failing worker's own thread (from the catch in launch):
+  /// latches the FIRST error with its thread/vertex context, then raises
+  /// the abort flag and broadcasts it so parked workers wake and unwind.
+  void record_failure(std::size_t tid, std::exception_ptr ep) {
+    {
+      std::lock_guard lk(fail_mu_);
+      if (!fail_.error) {
+        fail_.error = std::move(ep);
+        fail_.thread = tid;
+        fail_.has_vertex = lanes_[tid].visiting;
+        fail_.vertex = lanes_[tid].cur_vertex;
+      }
+    }
+    term_.request_abort();
+    wake_all(boxes_);
+  }
+
+  /// After the join: if a worker failed, discard all queue state (every
+  /// structure a worker abandoned mid-run) and rethrow the latched error as
+  /// traversal_aborted on the calling thread. No-op on a clean run.
+  void throw_if_aborted() {
+    failure f;
+    {
+      std::lock_guard lk(fail_mu_);
+      if (!fail_.error) return;
+      f = std::move(fail_);
+      fail_ = failure{};
+    }
+    reset_after_abort();
+    std::string what = "traversal aborted: worker " +
+                       std::to_string(f.thread) + " failed";
+    if (f.has_vertex) {
+      what += " at vertex " + std::to_string(f.vertex);
+    }
+    try {
+      std::rethrow_exception(f.error);
+    } catch (const std::exception& e) {
+      what += ": ";
+      what += e.what();
+    } catch (...) {
+      what += ": non-standard exception";
+    }
+    throw traversal_aborted(what, f.thread, f.has_vertex, f.vertex,
+                            std::move(f.error));
+  }
+
+  /// Restores the engine to its post-construction state after an abort left
+  /// visitors stranded in mailboxes, outboxes, and private structures. Only
+  /// called after every worker joined, so plain writes suffice for lane
+  /// state; mailbox slabs are cleared under their own mutex for the atomics'
+  /// sake (external observers may still call queue_depths()).
+  void reset_after_abort() {
+    for (auto& ln : lanes_) {
+      ln.local.clear();
+      for (auto& buf : ln.outbox) buf.clear();
+      ln.scratch.clear();
+      ln.completed = 0;
+      ln.seeding = false;
+      ln.visiting = false;
+      ln.cur_vertex = 0;
+      ln.visits = ln.pushes = ln.flushes = ln.wakeups = ln.max_len = 0;
+    }
+    for (auto& box : boxes_) {
+      std::lock_guard lk(box.mu);
+      box.slab.clear();
+      box.has_mail.store(false, std::memory_order_relaxed);
+      box.local_len.store(0, std::memory_order_relaxed);
+    }
+    term_.reset_pending();
+    term_.reset_done();
+    ext_pushes_.store(0, std::memory_order_relaxed);
+    ext_flushes_.store(0, std::memory_order_relaxed);
   }
 
   queue_run_stats finalize_stats(double elapsed) {
@@ -344,11 +464,21 @@ class traversal_engine {
     for (const auto visits : s.visits_per_queue) h.record(0, visits);
   }
 
+  /// First-error latch, written once per aborted run under fail_mu_.
+  struct failure {
+    std::exception_ptr error;
+    std::size_t thread = 0;
+    bool has_vertex = false;
+    std::uint64_t vertex = 0;
+  };
+
   visitor_queue_config cfg_;
   vertex_router route_;
   std::vector<mailbox<Visitor>> boxes_;
   std::vector<lane> lanes_;
   termination_detector term_;
+  std::mutex fail_mu_;
+  failure fail_;
   // External pushes arrive outside any lane; relaxed atomics in case a
   // caller pushes from several threads between runs.
   std::atomic<std::uint64_t> ext_pushes_{0};

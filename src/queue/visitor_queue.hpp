@@ -112,11 +112,23 @@ class visitor_queue {
   /// visitor (and all transitively pushed ones), joins, and returns stats.
   /// `state` is shared mutable algorithm state; per-vertex entries are only
   /// ever touched by their owner thread, which is what makes this safe.
+  ///
+  /// If a worker's body throws (an io_error from a semi-external read, a
+  /// throwing visitor, an allocation failure), every worker is woken and
+  /// unwound, queue state is reset, and the first error rethrows here as
+  /// traversal_aborted — the queue remains usable for another run. The
+  /// sampler probes are unregistered on both paths, so a dangling probe
+  /// never outlives an aborted run.
   queue_run_stats run(State& state) {
     register_probes();
-    auto stats = with_engine([&](auto& e) { return e.run(state); });
-    unregister_probes();
-    return stats;
+    try {
+      auto stats = with_engine([&](auto& e) { return e.run(state); });
+      unregister_probes();
+      return stats;
+    } catch (...) {
+      unregister_probes();
+      throw;
+    }
   }
 
   /// Seeded run for algorithms that start one visitor per vertex (CC,
@@ -129,12 +141,17 @@ class visitor_queue {
   queue_run_stats run_seeded(State& state, std::uint64_t num_vertices,
                              MakeVisitor&& make_visitor) {
     register_probes();
-    auto stats = with_engine([&](auto& e) {
-      return e.run_seeded(state, num_vertices,
-                          std::forward<MakeVisitor>(make_visitor));
-    });
-    unregister_probes();
-    return stats;
+    try {
+      auto stats = with_engine([&](auto& e) {
+        return e.run_seeded(state, num_vertices,
+                            std::forward<MakeVisitor>(make_visitor));
+      });
+      unregister_probes();
+      return stats;
+    } catch (...) {
+      unregister_probes();
+      throw;
+    }
   }
 
   std::size_t num_threads() const noexcept { return cfg_.num_threads; }

@@ -1,0 +1,237 @@
+// Deterministic, seedable storage-fault injection for the SEM I/O layer.
+//
+// The paper's semi-external claim is only credible if a traversal survives
+// the failure modes a flash device under millions of concurrent random
+// reads actually exhibits: transient EIO/EAGAIN, short reads, and latency
+// spikes. This injector manufactures exactly those, in-process and
+// reproducibly, so the retry policy in edge_file and the failure
+// containment in the traversal engine can be exercised by tests and benches
+// (`--inject=...`) instead of waiting for real hardware to misbehave.
+//
+// Model. Each read operation draws one fault *plan* from a counter-indexed
+// random stream: operation k uses an xoshiro stream seeded by
+// splitmix(seed, k), so a given seed produces the identical fault sequence
+// for the identical operation sequence — single-threaded replays are
+// bit-reproducible, and multithreaded runs draw from the same deterministic
+// population (which faults land on which reads depends on scheduling, but
+// the fault rate and shape do not). Faults are injected by probability, or
+// deterministically by byte range ("bad sectors": every read overlapping
+// [bad_begin, bad_end) fails until the retry budget is exhausted).
+//
+// Transient faults are bounded per operation (`fail_attempts` consecutive
+// failures, then the read succeeds), so a retry policy with max_retries >=
+// fail_attempts always recovers and an injected-fault run must finish with
+// labels identical to the fault-free run. `fatal = true` marks injected
+// errors as non-retryable instead — the path used to drive the engine's
+// abort machinery. See docs/robustness.md.
+#pragma once
+
+#include <atomic>
+#include <cerrno>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace asyncgt::sem {
+
+struct fault_config {
+  std::uint64_t seed = 1;
+  double p_eio = 0.0;     ///< probability of a transient EIO burst per read
+  double p_eagain = 0.0;  ///< probability of a transient EAGAIN burst
+  double p_short = 0.0;   ///< probability the first pread returns short
+  double p_delay = 0.0;   ///< probability of a latency spike
+  std::uint32_t delay_us = 2000;      ///< latency spike duration
+  std::uint32_t fail_attempts = 2;    ///< consecutive failures per faulted op
+  bool fatal = false;                 ///< injected errors are non-retryable
+  /// "Bad sector" byte range: every read overlapping [bad_begin, bad_end)
+  /// fails with EIO on every attempt (persistent media error). Empty when
+  /// bad_begin >= bad_end.
+  std::uint64_t bad_begin = 0;
+  std::uint64_t bad_end = 0;
+
+  void validate() const {
+    for (const double p : {p_eio, p_eagain, p_short, p_delay}) {
+      if (p < 0.0 || p > 1.0) {
+        throw std::invalid_argument(
+            "fault_config: probabilities must be in [0,1]");
+      }
+    }
+    if (fail_attempts == 0) {
+      throw std::invalid_argument("fault_config: fail_attempts must be >= 1");
+    }
+  }
+};
+
+/// What one read operation should suffer. Attempts [0, fail_attempts) of
+/// the operation raise `err`; the first attempt past the failures is
+/// truncated to `short_len` bytes when nonzero; `delay_us` is slept before
+/// the first attempt. A zeroed plan is a clean read.
+struct fault_plan {
+  std::uint32_t fail_attempts = 0;
+  int err = 0;
+  bool fatal = false;
+  std::uint64_t short_len = 0;
+  std::uint32_t delay_us = 0;
+};
+
+class fault_injector {
+ public:
+  struct fault_counters {
+    std::uint64_t ops = 0;        ///< operations that drew a plan
+    std::uint64_t errors = 0;     ///< ops planned to raise an errno
+    std::uint64_t shorts = 0;     ///< ops planned to return short
+    std::uint64_t delays = 0;     ///< ops planned to stall
+    std::uint64_t range_hits = 0; ///< ops overlapping the bad byte range
+  };
+
+  explicit fault_injector(const fault_config& cfg) : cfg_(cfg) {
+    cfg_.validate();
+  }
+
+  fault_injector(const fault_injector&) = delete;
+  fault_injector& operator=(const fault_injector&) = delete;
+
+  const fault_config& config() const noexcept { return cfg_; }
+
+  /// Draws the plan for one read of `bytes` at `offset`. Thread-safe: the
+  /// operation index comes from one atomic counter and all randomness is a
+  /// pure function of (seed, index).
+  fault_plan plan(std::uint64_t offset, std::uint64_t bytes) noexcept {
+    const std::uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+    ops_.fetch_add(1, std::memory_order_relaxed);
+    fault_plan out;
+
+    // Persistent bad range dominates every probabilistic draw: real media
+    // defects do not go away because the dice said so.
+    if (cfg_.bad_begin < cfg_.bad_end && offset < cfg_.bad_end &&
+        offset + bytes > cfg_.bad_begin) {
+      range_hits_.fetch_add(1, std::memory_order_relaxed);
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      out.err = EIO;
+      out.fatal = cfg_.fatal;
+      // Bad sectors fail on every attempt; the retry policy's budget, not
+      // the injector, decides when the reader gives up.
+      out.fail_attempts = ~std::uint32_t{0};
+      return out;
+    }
+
+    splitmix64 mix(cfg_.seed ^ (seq * 0x9E3779B97F4A7C15ULL) ^ seq);
+    xoshiro256ss rng(mix.next());
+    const double e = rng.next_double();
+    if (e < cfg_.p_eio) {
+      out.err = EIO;
+    } else if (e < cfg_.p_eio + cfg_.p_eagain) {
+      out.err = EAGAIN;
+    }
+    if (out.err != 0) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      out.fatal = cfg_.fatal;
+      out.fail_attempts = cfg_.fail_attempts;
+    }
+    if (bytes > 1 && rng.next_double() < cfg_.p_short) {
+      shorts_.fetch_add(1, std::memory_order_relaxed);
+      out.short_len = 1 + rng.next_below(bytes - 1);  // in [1, bytes-1]
+    }
+    if (rng.next_double() < cfg_.p_delay) {
+      delays_.fetch_add(1, std::memory_order_relaxed);
+      out.delay_us = cfg_.delay_us;
+    }
+    return out;
+  }
+
+  fault_counters counters() const noexcept {
+    fault_counters c;
+    c.ops = ops_.load(std::memory_order_relaxed);
+    c.errors = errors_.load(std::memory_order_relaxed);
+    c.shorts = shorts_.load(std::memory_order_relaxed);
+    c.delays = delays_.load(std::memory_order_relaxed);
+    c.range_hits = range_hits_.load(std::memory_order_relaxed);
+    return c;
+  }
+
+  /// Re-arms for a fresh run: operation indices restart at zero, so the
+  /// next run replays the identical fault sequence.
+  void reset() noexcept {
+    seq_.store(0, std::memory_order_relaxed);
+    ops_.store(0, std::memory_order_relaxed);
+    errors_.store(0, std::memory_order_relaxed);
+    shorts_.store(0, std::memory_order_relaxed);
+    delays_.store(0, std::memory_order_relaxed);
+    range_hits_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  fault_config cfg_;
+  std::atomic<std::uint64_t> seq_{0};
+  std::atomic<std::uint64_t> ops_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> shorts_{0};
+  std::atomic<std::uint64_t> delays_{0};
+  std::atomic<std::uint64_t> range_hits_{0};
+};
+
+/// Parses the CLI fault spec accepted by benches and agt_tool:
+///   --inject=eio=0.01,eagain=0.005,short=0.02,delay=0.01,delay-us=500,
+///            attempts=2,seed=7,fatal,bad=4096-8192
+/// Unknown keys and malformed values throw std::invalid_argument.
+inline fault_config parse_fault_config(const std::string& spec) {
+  fault_config cfg;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string tok = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (tok.empty()) continue;
+    const std::size_t eq = tok.find('=');
+    const std::string key = tok.substr(0, eq);
+    const std::string val =
+        eq == std::string::npos ? std::string() : tok.substr(eq + 1);
+    const auto need = [&]() -> const std::string& {
+      if (val.empty()) {
+        throw std::invalid_argument("fault spec: '" + key +
+                                    "' needs a value");
+      }
+      return val;
+    };
+    try {
+      if (key == "eio") {
+        cfg.p_eio = std::stod(need());
+      } else if (key == "eagain") {
+        cfg.p_eagain = std::stod(need());
+      } else if (key == "short") {
+        cfg.p_short = std::stod(need());
+      } else if (key == "delay") {
+        cfg.p_delay = std::stod(need());
+      } else if (key == "delay-us") {
+        cfg.delay_us = static_cast<std::uint32_t>(std::stoul(need()));
+      } else if (key == "attempts") {
+        cfg.fail_attempts = static_cast<std::uint32_t>(std::stoul(need()));
+      } else if (key == "seed") {
+        cfg.seed = std::stoull(need());
+      } else if (key == "fatal") {
+        cfg.fatal = true;
+      } else if (key == "bad") {
+        const std::string& v = need();
+        const std::size_t dash = v.find('-');
+        if (dash == std::string::npos) {
+          throw std::invalid_argument("fault spec: bad=LO-HI");
+        }
+        cfg.bad_begin = std::stoull(v.substr(0, dash));
+        cfg.bad_end = std::stoull(v.substr(dash + 1));
+      } else {
+        throw std::invalid_argument("fault spec: unknown key '" + key + "'");
+      }
+    } catch (const std::invalid_argument&) {
+      throw;
+    } catch (const std::exception&) {
+      throw std::invalid_argument("fault spec: bad value in '" + tok + "'");
+    }
+  }
+  cfg.validate();
+  return cfg;
+}
+
+}  // namespace asyncgt::sem

@@ -48,10 +48,45 @@ class sem_csr {
       throw std::runtime_error("sem_csr: vertex id width mismatch in '" +
                                path + "'");
     }
+    // Validate the header against the actual file size BEFORE sizing the
+    // in-memory index: a truncated or malformed header must produce a clean
+    // error here, not a multi-GB allocation or out-of-range preads during
+    // the traversal. The budget walk mirrors graph_io's reader and cannot
+    // overflow (each section is bounded by what remains of the real file).
+    std::uint64_t remaining = file_.size();
+    if (remaining < sizeof(agt_header) || h.num_vertices == ~std::uint64_t{0}) {
+      throw std::runtime_error("sem_csr: malformed header in '" + path + "'");
+    }
+    remaining -= sizeof(agt_header);
+    const std::uint64_t nv1 = h.num_vertices + 1;
+    if (nv1 > remaining / sizeof(std::uint64_t)) {
+      throw std::runtime_error("sem_csr: '" + path +
+                               "' is truncated (offset index exceeds file)");
+    }
+    remaining -= nv1 * sizeof(std::uint64_t);
+    if (h.num_edges > remaining / sizeof(VertexId)) {
+      throw std::runtime_error("sem_csr: '" + path +
+                               "' is truncated (edge section exceeds file)");
+    }
+    remaining -= h.num_edges * sizeof(VertexId);
+    if (h.weighted() && h.num_edges > remaining / sizeof(weight_t)) {
+      throw std::runtime_error("sem_csr: '" + path +
+                               "' is truncated (weight section exceeds file)");
+    }
     header_ = h;
-    offsets_.resize(h.num_vertices + 1);
+    offsets_.resize(nv1);
     file_.read_at(agt_offsets_pos, offsets_.data(),
                   offsets_.size() * sizeof(std::uint64_t));
+    if (offsets_.front() != 0 || offsets_.back() != h.num_edges) {
+      throw std::runtime_error("sem_csr: corrupt offset index in '" + path +
+                               "' (bounds disagree with header)");
+    }
+    for (std::size_t v = 1; v < offsets_.size(); ++v) {
+      if (offsets_[v] < offsets_[v - 1]) {
+        throw std::runtime_error("sem_csr: corrupt offset index in '" + path +
+                                 "' (offsets not monotone)");
+      }
+    }
     targets_pos_ = agt_targets_pos<VertexId>(h.num_vertices);
     weights_pos_ = agt_weights_pos<VertexId>(h.num_vertices, h.num_edges);
   }
@@ -67,6 +102,18 @@ class sem_csr {
   /// host-side latency into its log2 histogram.
   void set_io_recorder(telemetry::io_recorder* recorder) noexcept {
     file_.set_recorder(recorder);
+  }
+
+  /// Attaches a fault injector (borrowed, nullable) to the underlying edge
+  /// file: every adjacency pread then draws a fault plan first. Used by the
+  /// fault-tolerance suite and the `--inject=` bench flag.
+  void set_fault_injector(fault_injector* injector) noexcept {
+    file_.set_fault_injector(injector);
+  }
+
+  /// Replaces the transient-failure retry policy of the underlying file.
+  void set_retry_policy(const io_retry_policy& policy) {
+    file_.set_retry_policy(policy);
   }
 
   std::uint64_t out_degree(VertexId v) const noexcept {

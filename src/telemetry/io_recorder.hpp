@@ -18,6 +18,8 @@ struct io_snapshot {
   std::uint64_t bytes = 0;
   std::uint64_t total_latency_us = 0;
   std::uint64_t max_latency_us = 0;
+  std::uint64_t retries = 0;   // transient failures re-attempted
+  std::uint64_t gave_up = 0;   // reads that failed permanently
   std::vector<std::uint64_t> latency_buckets;  // log2 µs buckets
 
   double mean_latency_us() const {
@@ -46,12 +48,24 @@ class io_recorder {
     }
   }
 
+  /// One transient failure was retried (edge_file retry policy).
+  void record_retry() noexcept {
+    retries_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// One read failed permanently (fatal errno or retry budget exhausted).
+  void record_gave_up() noexcept {
+    gave_up_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   io_snapshot snapshot() const {
     io_snapshot s;
     s.ops = ops_.load(std::memory_order_relaxed);
     s.bytes = bytes_.load(std::memory_order_relaxed);
     s.total_latency_us = total_us_.load(std::memory_order_relaxed);
     s.max_latency_us = max_us_.load(std::memory_order_relaxed);
+    s.retries = retries_.load(std::memory_order_relaxed);
+    s.gave_up = gave_up_.load(std::memory_order_relaxed);
     s.latency_buckets.reserve(num_buckets);
     for (const auto& b : buckets_) {
       s.latency_buckets.push_back(b.load(std::memory_order_relaxed));
@@ -64,6 +78,8 @@ class io_recorder {
     bytes_.store(0, std::memory_order_relaxed);
     total_us_.store(0, std::memory_order_relaxed);
     max_us_.store(0, std::memory_order_relaxed);
+    retries_.store(0, std::memory_order_relaxed);
+    gave_up_.store(0, std::memory_order_relaxed);
     for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   }
 
@@ -72,6 +88,8 @@ class io_recorder {
   std::atomic<std::uint64_t> bytes_{0};
   std::atomic<std::uint64_t> total_us_{0};
   std::atomic<std::uint64_t> max_us_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> gave_up_{0};
   std::atomic<std::uint64_t> buckets_[num_buckets] = {};
 };
 

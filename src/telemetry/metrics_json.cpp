@@ -48,6 +48,8 @@ json_value to_json(const io_snapshot& io) {
   out.set("total_latency_us", io.total_latency_us);
   out.set("mean_latency_us", io.mean_latency_us());
   out.set("max_latency_us", io.max_latency_us);
+  out.set("retries", io.retries);
+  out.set("gave_up", io.gave_up);
   out.set("latency_us_buckets", buckets_to_json(io.latency_buckets));
   return out;
 }

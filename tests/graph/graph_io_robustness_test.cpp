@@ -1,0 +1,127 @@
+// Hostile-input coverage for the .agt readers: a truncated, corrupted, or
+// malicious header must produce a clean error BEFORE any allocation sized
+// from it — never a multi-GB std::vector resize, a num_vertices+1 overflow,
+// or out-of-range preads mid-traversal. Exercises both the in-memory reader
+// (read_graph32) and the semi-external open path (sem::sem_csr32), which
+// validate against the real file size independently.
+#include "graph/graph_io.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "gen/rmat.hpp"
+#include "sem/sem_csr.hpp"
+
+namespace asyncgt {
+namespace {
+
+class GraphIoRobustness : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("agt_io_rob_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    path_ = (dir_ / "g.agt").string();
+    write_graph(path_, rmat_graph<vertex32>(rmat_a(7)));
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// Overwrites `bytes` at `offset` in the test file.
+  void patch(long offset, const void* data, std::size_t bytes) {
+    std::FILE* f = std::fopen(path_.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+    ASSERT_EQ(std::fwrite(data, 1, bytes, f), bytes);
+    std::fclose(f);
+  }
+
+  void patch_u64(long offset, std::uint64_t v) { patch(offset, &v, 8); }
+
+  void expect_both_readers_reject(const std::string& why) {
+    EXPECT_THROW(read_graph32(path_), std::runtime_error) << why;
+    EXPECT_THROW(sem::sem_csr32{path_}, std::runtime_error) << why;
+  }
+
+  // agt_header layout: u32 magic, u32 flags, u64 num_vertices @8,
+  // u64 num_edges @16; offsets section starts at 24.
+  static constexpr long kNumVerticesOff = 8;
+  static constexpr long kNumEdgesOff = 16;
+  static constexpr long kOffsetsOff = 24;
+
+  std::filesystem::path dir_;
+  std::string path_;
+};
+
+TEST_F(GraphIoRobustness, IntactFileRoundTrips) {
+  const auto g = read_graph32(path_);
+  EXPECT_EQ(g.num_vertices(), 128u);
+  sem::sem_csr32 sg(path_);
+  EXPECT_EQ(sg.num_vertices(), 128u);
+  EXPECT_EQ(sg.num_edges(), g.num_edges());
+}
+
+TEST_F(GraphIoRobustness, HugeVertexCountRejectedBeforeAllocating) {
+  // Declares ~2^40 vertices in a few-KB file: the reader must compare
+  // against the real size and bail, not attempt an 8 TiB offsets vector.
+  patch_u64(kNumVerticesOff, std::uint64_t{1} << 40);
+  expect_both_readers_reject("huge num_vertices");
+}
+
+TEST_F(GraphIoRobustness, MaxVertexCountDoesNotOverflowPlusOne) {
+  patch_u64(kNumVerticesOff, ~std::uint64_t{0});  // num_vertices + 1 == 0
+  expect_both_readers_reject("~0 num_vertices");
+}
+
+TEST_F(GraphIoRobustness, HugeEdgeCountRejected) {
+  patch_u64(kNumEdgesOff, std::uint64_t{1} << 60);
+  expect_both_readers_reject("huge num_edges");
+}
+
+TEST_F(GraphIoRobustness, TruncatedFileRejected) {
+  const auto size = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, size - 16);
+  expect_both_readers_reject("truncated tail");
+}
+
+TEST_F(GraphIoRobustness, FileSmallerThanHeaderRejected) {
+  std::filesystem::resize_file(path_, 10);
+  expect_both_readers_reject("sub-header file");
+}
+
+TEST_F(GraphIoRobustness, TrailingGarbageRejectedByInMemoryReader) {
+  // Extra bytes past the declared sections mean the header lies about the
+  // layout; the strict in-memory reader refuses.
+  std::FILE* f = std::fopen(path_.c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  const char junk[7] = {0};
+  ASSERT_EQ(std::fwrite(junk, 1, sizeof(junk), f), sizeof(junk));
+  std::fclose(f);
+  EXPECT_THROW(read_graph32(path_), std::runtime_error);
+}
+
+TEST_F(GraphIoRobustness, NonMonotoneOffsetsRejected) {
+  // Swap a middle offset with a larger value: degrees would go negative.
+  patch_u64(kOffsetsOff + 8 * 5, ~std::uint64_t{0} / 2);
+  expect_both_readers_reject("non-monotone offsets");
+}
+
+TEST_F(GraphIoRobustness, FirstOffsetMustBeZero) {
+  patch_u64(kOffsetsOff, 1);
+  expect_both_readers_reject("offsets[0] != 0");
+}
+
+TEST_F(GraphIoRobustness, LastOffsetMustEqualNumEdges) {
+  // Header and offsets index disagreeing on the edge count means one of
+  // them is corrupt; adjacency reads would run past the section.
+  const auto g = read_graph32(path_);
+  patch_u64(kOffsetsOff + 8 * static_cast<long>(g.num_vertices()),
+            g.num_edges() + 1);
+  expect_both_readers_reject("offsets.back() != num_edges");
+}
+
+}  // namespace
+}  // namespace asyncgt

@@ -1,0 +1,169 @@
+// Unit coverage for the deterministic fault injector: plan determinism
+// across seeds and resets, bad-range dominance over the probabilistic
+// draws, counter accounting, and the `--inject=` CLI spec parser that
+// benches and agt_tool share.
+#include "sem/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <vector>
+
+namespace asyncgt::sem {
+namespace {
+
+bool plans_equal(const fault_plan& a, const fault_plan& b) {
+  return a.fail_attempts == b.fail_attempts && a.err == b.err &&
+         a.fatal == b.fatal && a.short_len == b.short_len &&
+         a.delay_us == b.delay_us;
+}
+
+fault_config mixed_config(std::uint64_t seed) {
+  fault_config cfg;
+  cfg.seed = seed;
+  cfg.p_eio = 0.1;
+  cfg.p_eagain = 0.05;
+  cfg.p_short = 0.2;
+  cfg.p_delay = 0.1;
+  cfg.delay_us = 7;
+  cfg.fail_attempts = 3;
+  return cfg;
+}
+
+TEST(FaultInjector, CleanConfigInjectsNothing) {
+  fault_injector inj{fault_config{}};
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const fault_plan p = inj.plan(i * 64, 64);
+    EXPECT_EQ(p.err, 0);
+    EXPECT_EQ(p.fail_attempts, 0u);
+    EXPECT_EQ(p.short_len, 0u);
+    EXPECT_EQ(p.delay_us, 0u);
+  }
+  const auto c = inj.counters();
+  EXPECT_EQ(c.ops, 200u);
+  EXPECT_EQ(c.errors, 0u);
+  EXPECT_EQ(c.shorts, 0u);
+  EXPECT_EQ(c.delays, 0u);
+}
+
+TEST(FaultInjector, SameSeedSamePlanSequence) {
+  fault_injector a{mixed_config(42)};
+  fault_injector b{mixed_config(42)};
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(plans_equal(a.plan(i * 128, 128), b.plan(i * 128, 128)))
+        << "op " << i;
+  }
+}
+
+TEST(FaultInjector, ResetReplaysIdenticalSequence) {
+  fault_injector inj{mixed_config(9)};
+  std::vector<fault_plan> first;
+  for (std::uint64_t i = 0; i < 500; ++i) first.push_back(inj.plan(i, 64));
+  inj.reset();
+  EXPECT_EQ(inj.counters().ops, 0u);
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    EXPECT_TRUE(plans_equal(inj.plan(i, 64), first[i])) << "op " << i;
+  }
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge) {
+  fault_injector a{mixed_config(1)};
+  fault_injector b{mixed_config(2)};
+  bool diverged = false;
+  for (std::uint64_t i = 0; i < 1000 && !diverged; ++i) {
+    diverged = !plans_equal(a.plan(i, 64), b.plan(i, 64));
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(FaultInjector, RatesTrackConfiguredProbabilities) {
+  fault_config cfg;
+  cfg.seed = 3;
+  cfg.p_eio = 0.3;
+  fault_injector inj{cfg};
+  for (std::uint64_t i = 0; i < 4000; ++i) inj.plan(i * 64, 64);
+  const auto c = inj.counters();
+  // Deterministic given the seed; the bounds just document "roughly 30%".
+  EXPECT_GT(c.errors, 4000u * 2 / 10);
+  EXPECT_LT(c.errors, 4000u * 4 / 10);
+}
+
+TEST(FaultInjector, ErrorPlansCarryConfiguredShape) {
+  fault_config cfg;
+  cfg.seed = 5;
+  cfg.p_eio = 1.0;
+  cfg.fail_attempts = 4;
+  fault_injector inj{cfg};
+  const fault_plan p = inj.plan(0, 64);
+  EXPECT_EQ(p.err, EIO);
+  EXPECT_EQ(p.fail_attempts, 4u);
+  EXPECT_FALSE(p.fatal);
+  cfg.fatal = true;
+  fault_injector fatal_inj{cfg};
+  EXPECT_TRUE(fatal_inj.plan(0, 64).fatal);
+}
+
+TEST(FaultInjector, BadRangeFailsEveryOverlappingRead) {
+  fault_config cfg;
+  cfg.bad_begin = 4096;
+  cfg.bad_end = 8192;
+  fault_injector inj{cfg};
+  // Fully inside, straddling either edge, and engulfing all fail...
+  const std::pair<std::uint64_t, std::uint64_t> overlapping[] = {
+      {5000, 100}, {4000, 200}, {8191, 10}, {0, 100000}};
+  for (const auto& [off, len] : overlapping) {
+    const fault_plan p = inj.plan(off, len);
+    EXPECT_EQ(p.err, EIO) << off;
+    EXPECT_EQ(p.fail_attempts, ~std::uint32_t{0}) << off;
+  }
+  // ...while adjacent-but-disjoint reads never do.
+  EXPECT_EQ(inj.plan(0, 4096).err, 0);
+  EXPECT_EQ(inj.plan(8192, 64).err, 0);
+  EXPECT_EQ(inj.counters().range_hits, 4u);
+}
+
+TEST(FaultInjector, ValidatesConfig) {
+  fault_config bad_p;
+  bad_p.p_eio = 1.5;
+  EXPECT_THROW(fault_injector{bad_p}, std::invalid_argument);
+  fault_config neg_p;
+  neg_p.p_short = -0.1;
+  EXPECT_THROW(fault_injector{neg_p}, std::invalid_argument);
+  fault_config zero_attempts;
+  zero_attempts.fail_attempts = 0;
+  EXPECT_THROW(fault_injector{zero_attempts}, std::invalid_argument);
+}
+
+TEST(FaultSpecParser, ParsesFullSpec) {
+  const fault_config cfg = parse_fault_config(
+      "eio=0.01,eagain=0.005,short=0.02,delay=0.01,delay-us=500,attempts=3,"
+      "seed=7,fatal,bad=4096-8192");
+  EXPECT_DOUBLE_EQ(cfg.p_eio, 0.01);
+  EXPECT_DOUBLE_EQ(cfg.p_eagain, 0.005);
+  EXPECT_DOUBLE_EQ(cfg.p_short, 0.02);
+  EXPECT_DOUBLE_EQ(cfg.p_delay, 0.01);
+  EXPECT_EQ(cfg.delay_us, 500u);
+  EXPECT_EQ(cfg.fail_attempts, 3u);
+  EXPECT_EQ(cfg.seed, 7u);
+  EXPECT_TRUE(cfg.fatal);
+  EXPECT_EQ(cfg.bad_begin, 4096u);
+  EXPECT_EQ(cfg.bad_end, 8192u);
+}
+
+TEST(FaultSpecParser, EmptySpecIsClean) {
+  const fault_config cfg = parse_fault_config("");
+  EXPECT_DOUBLE_EQ(cfg.p_eio, 0.0);
+  EXPECT_FALSE(cfg.fatal);
+}
+
+TEST(FaultSpecParser, RejectsMalformedSpecs) {
+  EXPECT_THROW(parse_fault_config("bogus=1"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_config("eio"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_config("eio=notanumber"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_config("eio=2.0"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_config("bad=123"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_config("attempts=0"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace asyncgt::sem

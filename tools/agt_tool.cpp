@@ -61,6 +61,14 @@ int usage() {
                "  --trace FILE           write a chrome://tracing file\n"
                "  --sample-interval-us N sampler period (default 2000)\n"
                "  --cache-fraction F     SEM block cache, fraction of file\n"
+               "and fault-tolerance flags (docs/robustness.md):\n"
+               "  --inject SPEC          SEM fault injection, e.g.\n"
+               "                         eio=0.01,seed=7[,fatal][,bad=LO-HI]\n"
+               "  --io-retries N         transient-errno retry budget (4)\n"
+               "  --io-backoff-us N      initial retry backoff (50)\n"
+               "  --checkpoint-on-error F  bfs/sssp: save emergency\n"
+               "                         checkpoint to F on abort (exit 3)\n"
+               "  --resume F             bfs/sssp: resume from checkpoint F\n"
                "without FILE, traversals synthesize an RMAT graph\n"
                "(--scale=14) and run it semi-externally as a demo.\n");
   return 2;
@@ -307,11 +315,30 @@ int run_traversal(const options& opt, const char* name, F&& run) {
                                         static_cast<double>(file_blocks))));
     }
     telemetry::io_recorder recorder;
+    // Fault-tolerance knobs: a deterministic injector (--inject) plus the
+    // retry budget the edge file spends absorbing the transient faults.
+    std::unique_ptr<sem::fault_injector> injector;
+    const std::string inject_spec = opt.get_string("inject", "");
+    if (!inject_spec.empty()) {
+      injector = std::make_unique<sem::fault_injector>(
+          sem::parse_fault_config(inject_spec));
+    }
+    sem::io_retry_policy retry;
+    retry.max_retries = static_cast<std::uint32_t>(
+        opt.get_int("io-retries", static_cast<int>(retry.max_retries)));
+    retry.backoff_initial_us = static_cast<std::uint32_t>(opt.get_int(
+        "io-backoff-us", static_cast<int>(retry.backoff_initial_us)));
     std::unique_ptr<sem::sem_csr32> g;
     {
       telemetry::phase_timer ph(rep.trace(), "load-graph", &rep.metrics());
       g = std::make_unique<sem::sem_csr32>(path, &dev, cache.get());
-      if (rep.enabled()) g->set_io_recorder(&recorder);
+      g->set_retry_policy(retry);
+      // The recorder is what carries io.retries/io.gave_up into the report
+      // and the console summary, so injected runs always attach it.
+      if (rep.enabled() || injector != nullptr) g->set_io_recorder(&recorder);
+      // Attached after the offset index loaded: injection targets the
+      // traversal's adjacency reads, not the open-time index load.
+      if (injector != nullptr) g->set_fault_injector(injector.get());
     }
     if (rep.enabled()) {
       rep.sampler().add_probe("ssd.inflight", [&dev] {
@@ -327,6 +354,20 @@ int run_traversal(const options& opt, const char* name, F&& run) {
                   100.0 * cache->counters().hit_rate(),
                   fmt_count(cache->counters().evictions).c_str());
     }
+    const auto io = recorder.snapshot();
+    if (injector != nullptr) {
+      const auto fc = injector->counters();
+      std::printf("faults: %s injected over %s reads (%s short, %s "
+                  "delayed); %s retries, %s gave up\n",
+                  fmt_count(fc.errors).c_str(), fmt_count(fc.ops).c_str(),
+                  fmt_count(fc.shorts).c_str(), fmt_count(fc.delays).c_str(),
+                  fmt_count(io.retries).c_str(),
+                  fmt_count(io.gave_up).c_str());
+    }
+    if (rep.enabled()) {
+      rep.metrics().get_counter("io.retries").add(0, io.retries);
+      rep.metrics().get_counter("io.gave_up").add(0, io.gave_up);
+    }
     if (rep.json_enabled()) {
       json_value& s = rep.section("sem");
       s.set("device", params.name);
@@ -335,7 +376,18 @@ int run_traversal(const options& opt, const char* name, F&& run) {
       if (cache != nullptr) {
         s.set("cache", bench::to_json(cache->counters()));
       }
-      s.set("io", telemetry::to_json(recorder.snapshot()));
+      s.set("io", telemetry::to_json(io));
+      if (injector != nullptr) {
+        const auto fc = injector->counters();
+        json_value fj = json_value::object();
+        fj.set("spec", inject_spec);
+        fj.set("ops", fc.ops);
+        fj.set("errors", fc.errors);
+        fj.set("shorts", fc.shorts);
+        fj.set("delays", fc.delays);
+        fj.set("range_hits", fc.range_hits);
+        s.set("faults", std::move(fj));
+      }
     }
   } else {
     std::unique_ptr<csr32> g;
@@ -369,21 +421,50 @@ telemetry::json_value* report_traversal(bench::bench_report& rep,
   return &alg;
 }
 
+/// Prints an abort (exit code 3, distinct from usage errors and validation
+/// failures) and, when an emergency checkpoint was saved, the resume hint.
+int report_abort(const char* algo, const traversal_aborted& e,
+                 const std::string& checkpoint_path) {
+  std::fprintf(stderr, "agt_tool %s: %s\n", algo, e.what());
+  if (!checkpoint_path.empty()) {
+    std::fprintf(stderr,
+                 "emergency checkpoint saved to %s; rerun with "
+                 "--resume=%s to finish the traversal\n",
+                 checkpoint_path.c_str(), checkpoint_path.c_str());
+  }
+  return 3;
+}
+
 int cmd_bfs(const options& opt) {
   return run_traversal(opt, "bfs", [&](const auto& g, const auto& cfg,
                                        bench::bench_report& rep) {
     const auto start = static_cast<vertex32>(opt.get_int("start", 0));
+    const std::string ckpt = opt.get_string("checkpoint-on-error", "");
+    const std::string resume = opt.get_string("resume", "");
     telemetry::phase_timer ph(rep.trace(), "bfs", &rep.metrics());
-    const auto r = async_bfs(g, start, cfg);
-    std::printf("BFS from %u: reached %s vertices, %s levels, %.3fs\n",
-                start, fmt_count(r.visited_count()).c_str(),
-                fmt_count(r.max_level()).c_str(), r.stats.elapsed_seconds);
-    if (auto* alg = report_traversal(rep, "bfs", r)) {
-      alg->set("start", static_cast<std::uint64_t>(start));
-      alg->set("reached", r.visited_count());
-      alg->set("max_level", r.max_level());
+    try {
+      bfs_result<vertex32> r;
+      if (!resume.empty()) {
+        const auto cp = load_checkpoint<vertex32>(resume, checkpoint_kind::bfs);
+        r = resume_bfs(g, cp, cfg);
+        std::printf("resumed BFS from checkpoint %s\n", resume.c_str());
+      } else if (!ckpt.empty()) {
+        r = async_bfs_checkpointed(g, start, ckpt, cfg);
+      } else {
+        r = async_bfs(g, start, cfg);
+      }
+      std::printf("BFS from %u: reached %s vertices, %s levels, %.3fs\n",
+                  start, fmt_count(r.visited_count()).c_str(),
+                  fmt_count(r.max_level()).c_str(), r.stats.elapsed_seconds);
+      if (auto* alg = report_traversal(rep, "bfs", r)) {
+        alg->set("start", static_cast<std::uint64_t>(start));
+        alg->set("reached", r.visited_count());
+        alg->set("max_level", r.max_level());
+      }
+      return 0;
+    } catch (const traversal_aborted& e) {
+      return report_abort("bfs", e, ckpt);
     }
-    return 0;
   });
 }
 
@@ -391,16 +472,32 @@ int cmd_sssp(const options& opt) {
   return run_traversal(opt, "sssp", [&](const auto& g, const auto& cfg,
                                         bench::bench_report& rep) {
     const auto start = static_cast<vertex32>(opt.get_int("start", 0));
+    const std::string ckpt = opt.get_string("checkpoint-on-error", "");
+    const std::string resume = opt.get_string("resume", "");
     telemetry::phase_timer ph(rep.trace(), "sssp", &rep.metrics());
-    const auto r = async_sssp(g, start, cfg);
-    std::printf("SSSP from %u: reached %s vertices, %s corrections, %.3fs\n",
-                start, fmt_count(r.visited_count()).c_str(),
-                fmt_count(r.updates).c_str(), r.stats.elapsed_seconds);
-    if (auto* alg = report_traversal(rep, "sssp", r)) {
-      alg->set("start", static_cast<std::uint64_t>(start));
-      alg->set("reached", r.visited_count());
+    try {
+      sssp_result<vertex32> r;
+      if (!resume.empty()) {
+        const auto cp =
+            load_checkpoint<vertex32>(resume, checkpoint_kind::sssp);
+        r = resume_sssp(g, cp, cfg);
+        std::printf("resumed SSSP from checkpoint %s\n", resume.c_str());
+      } else if (!ckpt.empty()) {
+        r = async_sssp_checkpointed(g, start, ckpt, cfg);
+      } else {
+        r = async_sssp(g, start, cfg);
+      }
+      std::printf("SSSP from %u: reached %s vertices, %s corrections, %.3fs\n",
+                  start, fmt_count(r.visited_count()).c_str(),
+                  fmt_count(r.updates).c_str(), r.stats.elapsed_seconds);
+      if (auto* alg = report_traversal(rep, "sssp", r)) {
+        alg->set("start", static_cast<std::uint64_t>(start));
+        alg->set("reached", r.visited_count());
+      }
+      return 0;
+    } catch (const traversal_aborted& e) {
+      return report_abort("sssp", e, ckpt);
     }
-    return 0;
   });
 }
 
@@ -408,16 +505,20 @@ int cmd_cc(const options& opt) {
   return run_traversal(opt, "cc", [&](const auto& g, const auto& cfg,
                                       bench::bench_report& rep) {
     telemetry::phase_timer ph(rep.trace(), "cc", &rep.metrics());
-    const auto r = async_cc(g, cfg);
-    std::printf("CC: %s components, largest %s vertices, %.3fs\n",
-                fmt_count(r.num_components()).c_str(),
-                fmt_count(r.largest_component_size()).c_str(),
-                r.stats.elapsed_seconds);
-    if (auto* alg = report_traversal(rep, "cc", r)) {
-      alg->set("components", r.num_components());
-      alg->set("largest_component", r.largest_component_size());
+    try {
+      const auto r = async_cc(g, cfg);
+      std::printf("CC: %s components, largest %s vertices, %.3fs\n",
+                  fmt_count(r.num_components()).c_str(),
+                  fmt_count(r.largest_component_size()).c_str(),
+                  r.stats.elapsed_seconds);
+      if (auto* alg = report_traversal(rep, "cc", r)) {
+        alg->set("components", r.num_components());
+        alg->set("largest_component", r.largest_component_size());
+      }
+      return 0;
+    } catch (const traversal_aborted& e) {
+      return report_abort("cc", e, std::string());
     }
-    return 0;
   });
 }
 

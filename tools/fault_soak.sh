@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Builds the tree under AddressSanitizer + UBSan and runs the fault-
+# tolerance battery (ctest label `fault`): injector determinism, the
+# edge_file retry/backoff loop, engine-wide abort containment, hostile .agt
+# inputs, and the end-to-end injected-fault soak with checkpoint-on-error
+# resume (docs/robustness.md). Wraps the `asan` presets in CMakePresets.json
+# so CI and humans run the identical configuration:
+#
+#   tools/fault_soak.sh [-jN]
+#
+# Exits non-zero on any sanitizer report (halt_on_error=1) or test failure.
+# The concurrency-racy subset of the same battery also runs under TSan via
+# tools/tsan_check.sh.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="${1:--j$(nproc)}"
+
+cmake --preset asan
+cmake --build --preset asan "${JOBS}" --target test_fault
+ctest --preset asan

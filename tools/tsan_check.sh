@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Builds the tree under ThreadSanitizer and runs the concurrency-sensitive
 # suites: the layered visitor-queue engine (routing / ordering / mailbox /
-# termination, including the flush-batch ablation) and the asynchronous
-# traversals driving it. Wraps the `tsan` presets in CMakePresets.json so CI
-# and humans run the identical configuration:
+# termination, including the flush-batch ablation), the asynchronous
+# traversals driving it, and the failure-containment battery (abort
+# broadcast racing delivery/parking, injected-fault soak). Wraps the `tsan`
+# presets in CMakePresets.json so CI and humans run the identical
+# configuration:
 #
 #   tools/tsan_check.sh [-jN]
 #
@@ -16,5 +18,5 @@ cd "$(dirname "$0")/.."
 JOBS="${1:--j$(nproc)}"
 
 cmake --preset tsan
-cmake --build --preset tsan "${JOBS}" --target test_queue test_core
+cmake --build --preset tsan "${JOBS}" --target test_queue test_core test_fault
 ctest --preset tsan
