@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_oversubscription.dir/ablation_oversubscription.cpp.o"
+  "CMakeFiles/ablation_oversubscription.dir/ablation_oversubscription.cpp.o.d"
+  "ablation_oversubscription"
+  "ablation_oversubscription.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_oversubscription.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_parallelism.dir/ablation_parallelism.cpp.o"
+  "CMakeFiles/ablation_parallelism.dir/ablation_parallelism.cpp.o.d"
+  "ablation_parallelism"
+  "ablation_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

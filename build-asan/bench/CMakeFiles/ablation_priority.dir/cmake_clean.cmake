@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_priority.dir/ablation_priority.cpp.o"
+  "CMakeFiles/ablation_priority.dir/ablation_priority.cpp.o.d"
+  "ablation_priority"
+  "ablation_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_queues.cpp" "bench/CMakeFiles/ablation_queues.dir/ablation_queues.cpp.o" "gcc" "bench/CMakeFiles/ablation_queues.dir/ablation_queues.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/sem/CMakeFiles/asyncgt_sem.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/telemetry/CMakeFiles/asyncgt_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/asyncgt_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/graph/CMakeFiles/asyncgt_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

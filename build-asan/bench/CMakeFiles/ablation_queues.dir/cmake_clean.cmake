@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_queues.dir/ablation_queues.cpp.o"
+  "CMakeFiles/ablation_queues.dir/ablation_queues.cpp.o.d"
+  "ablation_queues"
+  "ablation_queues.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_queues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

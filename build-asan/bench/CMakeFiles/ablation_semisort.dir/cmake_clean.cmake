@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_semisort.dir/ablation_semisort.cpp.o"
+  "CMakeFiles/ablation_semisort.dir/ablation_semisort.cpp.o.d"
+  "ablation_semisort"
+  "ablation_semisort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_semisort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_async_analytics.dir/ext_async_analytics.cpp.o"
+  "CMakeFiles/ext_async_analytics.dir/ext_async_analytics.cpp.o.d"
+  "ext_async_analytics"
+  "ext_async_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_async_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

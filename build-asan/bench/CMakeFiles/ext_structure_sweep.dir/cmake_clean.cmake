@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_structure_sweep.dir/ext_structure_sweep.cpp.o"
+  "CMakeFiles/ext_structure_sweep.dir/ext_structure_sweep.cpp.o.d"
+  "ext_structure_sweep"
+  "ext_structure_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_structure_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_ssd_iops.dir/fig1_ssd_iops.cpp.o"
+  "CMakeFiles/fig1_ssd_iops.dir/fig1_ssd_iops.cpp.o.d"
+  "fig1_ssd_iops"
+  "fig1_ssd_iops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_ssd_iops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_primitives.dir/micro_primitives.cpp.o"
+  "CMakeFiles/micro_primitives.dir/micro_primitives.cpp.o.d"
+  "micro_primitives"
+  "micro_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_bfs_im.dir/table1_bfs_im.cpp.o"
+  "CMakeFiles/table1_bfs_im.dir/table1_bfs_im.cpp.o.d"
+  "table1_bfs_im"
+  "table1_bfs_im.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_bfs_im.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

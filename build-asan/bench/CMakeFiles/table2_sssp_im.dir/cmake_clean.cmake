@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_sssp_im.dir/table2_sssp_im.cpp.o"
+  "CMakeFiles/table2_sssp_im.dir/table2_sssp_im.cpp.o.d"
+  "table2_sssp_im"
+  "table2_sssp_im.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_sssp_im.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_cc_im.dir/table3_cc_im.cpp.o"
+  "CMakeFiles/table3_cc_im.dir/table3_cc_im.cpp.o.d"
+  "table3_cc_im"
+  "table3_cc_im.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_cc_im.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

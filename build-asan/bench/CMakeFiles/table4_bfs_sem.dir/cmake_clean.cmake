@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_bfs_sem.dir/table4_bfs_sem.cpp.o"
+  "CMakeFiles/table4_bfs_sem.dir/table4_bfs_sem.cpp.o.d"
+  "table4_bfs_sem"
+  "table4_bfs_sem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_bfs_sem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

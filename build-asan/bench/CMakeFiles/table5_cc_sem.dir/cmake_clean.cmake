@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_cc_sem.dir/table5_cc_sem.cpp.o"
+  "CMakeFiles/table5_cc_sem.dir/table5_cc_sem.cpp.o.d"
+  "table5_cc_sem"
+  "table5_cc_sem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_cc_sem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_resume.dir/checkpoint_resume.cpp.o"
+  "CMakeFiles/checkpoint_resume.dir/checkpoint_resume.cpp.o.d"
+  "checkpoint_resume"
+  "checkpoint_resume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_resume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for checkpoint_resume.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagerank_top.dir/pagerank_top.cpp.o"
+  "CMakeFiles/pagerank_top.dir/pagerank_top.cpp.o.d"
+  "pagerank_top"
+  "pagerank_top.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagerank_top.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

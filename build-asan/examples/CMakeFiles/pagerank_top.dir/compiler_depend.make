@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pagerank_top.
+# This may be replaced when dependencies are built.

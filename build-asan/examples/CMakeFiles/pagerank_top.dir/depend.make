@@ -1,0 +1,2 @@
+# Empty dependencies file for pagerank_top.
+# This may be replaced when dependencies are built.

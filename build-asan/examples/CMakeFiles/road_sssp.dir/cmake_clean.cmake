@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/road_sssp.dir/road_sssp.cpp.o"
+  "CMakeFiles/road_sssp.dir/road_sssp.cpp.o.d"
+  "road_sssp"
+  "road_sssp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/road_sssp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for road_sssp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sem_traversal.dir/sem_traversal.cpp.o"
+  "CMakeFiles/sem_traversal.dir/sem_traversal.cpp.o.d"
+  "sem_traversal"
+  "sem_traversal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sem_traversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sem_traversal.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webgraph_components.dir/webgraph_components.cpp.o"
+  "CMakeFiles/webgraph_components.dir/webgraph_components.cpp.o.d"
+  "webgraph_components"
+  "webgraph_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webgraph_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

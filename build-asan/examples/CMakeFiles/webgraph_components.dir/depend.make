@@ -1,0 +1,2 @@
+# Empty dependencies file for webgraph_components.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-asan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("telemetry")
+subdirs("graph")
+subdirs("gen")
+subdirs("queue")
+subdirs("core")
+subdirs("baselines")
+subdirs("sem")

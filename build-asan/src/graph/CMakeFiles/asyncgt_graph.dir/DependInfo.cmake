@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/graph_io.cpp" "src/graph/CMakeFiles/asyncgt_graph.dir/graph_io.cpp.o" "gcc" "src/graph/CMakeFiles/asyncgt_graph.dir/graph_io.cpp.o.d"
+  "/root/repo/src/graph/text_io.cpp" "src/graph/CMakeFiles/asyncgt_graph.dir/text_io.cpp.o" "gcc" "src/graph/CMakeFiles/asyncgt_graph.dir/text_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/asyncgt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

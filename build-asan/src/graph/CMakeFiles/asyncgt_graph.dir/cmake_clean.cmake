@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncgt_graph.dir/graph_io.cpp.o"
+  "CMakeFiles/asyncgt_graph.dir/graph_io.cpp.o.d"
+  "CMakeFiles/asyncgt_graph.dir/text_io.cpp.o"
+  "CMakeFiles/asyncgt_graph.dir/text_io.cpp.o.d"
+  "libasyncgt_graph.a"
+  "libasyncgt_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncgt_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sem/block_cache.cpp" "src/sem/CMakeFiles/asyncgt_sem.dir/block_cache.cpp.o" "gcc" "src/sem/CMakeFiles/asyncgt_sem.dir/block_cache.cpp.o.d"
+  "/root/repo/src/sem/edge_file.cpp" "src/sem/CMakeFiles/asyncgt_sem.dir/edge_file.cpp.o" "gcc" "src/sem/CMakeFiles/asyncgt_sem.dir/edge_file.cpp.o.d"
+  "/root/repo/src/sem/ssd_model.cpp" "src/sem/CMakeFiles/asyncgt_sem.dir/ssd_model.cpp.o" "gcc" "src/sem/CMakeFiles/asyncgt_sem.dir/ssd_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/graph/CMakeFiles/asyncgt_graph.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/telemetry/CMakeFiles/asyncgt_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/asyncgt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncgt_sem.dir/block_cache.cpp.o"
+  "CMakeFiles/asyncgt_sem.dir/block_cache.cpp.o.d"
+  "CMakeFiles/asyncgt_sem.dir/edge_file.cpp.o"
+  "CMakeFiles/asyncgt_sem.dir/edge_file.cpp.o.d"
+  "CMakeFiles/asyncgt_sem.dir/ssd_model.cpp.o"
+  "CMakeFiles/asyncgt_sem.dir/ssd_model.cpp.o.d"
+  "libasyncgt_sem.a"
+  "libasyncgt_sem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncgt_sem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

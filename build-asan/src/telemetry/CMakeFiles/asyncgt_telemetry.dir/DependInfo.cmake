@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/json.cpp" "src/telemetry/CMakeFiles/asyncgt_telemetry.dir/json.cpp.o" "gcc" "src/telemetry/CMakeFiles/asyncgt_telemetry.dir/json.cpp.o.d"
+  "/root/repo/src/telemetry/metrics_json.cpp" "src/telemetry/CMakeFiles/asyncgt_telemetry.dir/metrics_json.cpp.o" "gcc" "src/telemetry/CMakeFiles/asyncgt_telemetry.dir/metrics_json.cpp.o.d"
+  "/root/repo/src/telemetry/metrics_registry.cpp" "src/telemetry/CMakeFiles/asyncgt_telemetry.dir/metrics_registry.cpp.o" "gcc" "src/telemetry/CMakeFiles/asyncgt_telemetry.dir/metrics_registry.cpp.o.d"
+  "/root/repo/src/telemetry/sampler.cpp" "src/telemetry/CMakeFiles/asyncgt_telemetry.dir/sampler.cpp.o" "gcc" "src/telemetry/CMakeFiles/asyncgt_telemetry.dir/sampler.cpp.o.d"
+  "/root/repo/src/telemetry/trace_writer.cpp" "src/telemetry/CMakeFiles/asyncgt_telemetry.dir/trace_writer.cpp.o" "gcc" "src/telemetry/CMakeFiles/asyncgt_telemetry.dir/trace_writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/asyncgt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

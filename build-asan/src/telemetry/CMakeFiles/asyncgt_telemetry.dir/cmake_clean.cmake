@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncgt_telemetry.dir/json.cpp.o"
+  "CMakeFiles/asyncgt_telemetry.dir/json.cpp.o.d"
+  "CMakeFiles/asyncgt_telemetry.dir/metrics_json.cpp.o"
+  "CMakeFiles/asyncgt_telemetry.dir/metrics_json.cpp.o.d"
+  "CMakeFiles/asyncgt_telemetry.dir/metrics_registry.cpp.o"
+  "CMakeFiles/asyncgt_telemetry.dir/metrics_registry.cpp.o.d"
+  "CMakeFiles/asyncgt_telemetry.dir/sampler.cpp.o"
+  "CMakeFiles/asyncgt_telemetry.dir/sampler.cpp.o.d"
+  "CMakeFiles/asyncgt_telemetry.dir/trace_writer.cpp.o"
+  "CMakeFiles/asyncgt_telemetry.dir/trace_writer.cpp.o.d"
+  "libasyncgt_telemetry.a"
+  "libasyncgt_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncgt_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/crc32.cpp" "src/util/CMakeFiles/asyncgt_util.dir/crc32.cpp.o" "gcc" "src/util/CMakeFiles/asyncgt_util.dir/crc32.cpp.o.d"
+  "/root/repo/src/util/options.cpp" "src/util/CMakeFiles/asyncgt_util.dir/options.cpp.o" "gcc" "src/util/CMakeFiles/asyncgt_util.dir/options.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/util/CMakeFiles/asyncgt_util.dir/stats.cpp.o" "gcc" "src/util/CMakeFiles/asyncgt_util.dir/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/util/CMakeFiles/asyncgt_util.dir/table.cpp.o" "gcc" "src/util/CMakeFiles/asyncgt_util.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

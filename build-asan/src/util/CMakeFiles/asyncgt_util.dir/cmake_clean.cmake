@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncgt_util.dir/crc32.cpp.o"
+  "CMakeFiles/asyncgt_util.dir/crc32.cpp.o.d"
+  "CMakeFiles/asyncgt_util.dir/options.cpp.o"
+  "CMakeFiles/asyncgt_util.dir/options.cpp.o.d"
+  "CMakeFiles/asyncgt_util.dir/stats.cpp.o"
+  "CMakeFiles/asyncgt_util.dir/stats.cpp.o.d"
+  "CMakeFiles/asyncgt_util.dir/table.cpp.o"
+  "CMakeFiles/asyncgt_util.dir/table.cpp.o.d"
+  "libasyncgt_util.a"
+  "libasyncgt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncgt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baselines.dir/baselines/bsp_test.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/bsp_test.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/delta_stepping_test.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/delta_stepping_test.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/dobfs_test.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/dobfs_test.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/levelsync_test.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/levelsync_test.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/serial_test.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/serial_test.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/syncprop_test.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/syncprop_test.cpp.o.d"
+  "test_baselines"
+  "test_baselines.pdb"
+  "test_baselines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

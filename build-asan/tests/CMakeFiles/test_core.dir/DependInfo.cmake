@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/async_bfs_test.cpp" "tests/CMakeFiles/test_core.dir/core/async_bfs_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/async_bfs_test.cpp.o.d"
+  "/root/repo/tests/core/async_cc_test.cpp" "tests/CMakeFiles/test_core.dir/core/async_cc_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/async_cc_test.cpp.o.d"
+  "/root/repo/tests/core/async_kcore_test.cpp" "tests/CMakeFiles/test_core.dir/core/async_kcore_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/async_kcore_test.cpp.o.d"
+  "/root/repo/tests/core/async_pagerank_test.cpp" "tests/CMakeFiles/test_core.dir/core/async_pagerank_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/async_pagerank_test.cpp.o.d"
+  "/root/repo/tests/core/async_sssp_test.cpp" "tests/CMakeFiles/test_core.dir/core/async_sssp_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/async_sssp_test.cpp.o.d"
+  "/root/repo/tests/core/batch_ablation_test.cpp" "tests/CMakeFiles/test_core.dir/core/batch_ablation_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/batch_ablation_test.cpp.o.d"
+  "/root/repo/tests/core/checkpoint_test.cpp" "tests/CMakeFiles/test_core.dir/core/checkpoint_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/checkpoint_test.cpp.o.d"
+  "/root/repo/tests/core/graph_metrics_test.cpp" "tests/CMakeFiles/test_core.dir/core/graph_metrics_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/graph_metrics_test.cpp.o.d"
+  "/root/repo/tests/core/traversal_result_test.cpp" "tests/CMakeFiles/test_core.dir/core/traversal_result_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/traversal_result_test.cpp.o.d"
+  "/root/repo/tests/core/validate_test.cpp" "tests/CMakeFiles/test_core.dir/core/validate_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/validate_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/sem/CMakeFiles/asyncgt_sem.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/telemetry/CMakeFiles/asyncgt_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/asyncgt_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/graph/CMakeFiles/asyncgt_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

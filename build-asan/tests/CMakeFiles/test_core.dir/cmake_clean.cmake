@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/async_bfs_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/async_bfs_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/async_cc_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/async_cc_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/async_kcore_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/async_kcore_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/async_pagerank_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/async_pagerank_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/async_sssp_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/async_sssp_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/batch_ablation_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/batch_ablation_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/checkpoint_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/checkpoint_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/graph_metrics_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/graph_metrics_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/traversal_result_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/traversal_result_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/validate_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/validate_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fault.dir/graph/graph_io_robustness_test.cpp.o"
+  "CMakeFiles/test_fault.dir/graph/graph_io_robustness_test.cpp.o.d"
+  "CMakeFiles/test_fault.dir/integration/fault_soak_test.cpp.o"
+  "CMakeFiles/test_fault.dir/integration/fault_soak_test.cpp.o.d"
+  "CMakeFiles/test_fault.dir/queue/traversal_abort_test.cpp.o"
+  "CMakeFiles/test_fault.dir/queue/traversal_abort_test.cpp.o.d"
+  "CMakeFiles/test_fault.dir/sem/edge_file_fault_test.cpp.o"
+  "CMakeFiles/test_fault.dir/sem/edge_file_fault_test.cpp.o.d"
+  "CMakeFiles/test_fault.dir/sem/fault_injector_test.cpp.o"
+  "CMakeFiles/test_fault.dir/sem/fault_injector_test.cpp.o.d"
+  "test_fault"
+  "test_fault.pdb"
+  "test_fault[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

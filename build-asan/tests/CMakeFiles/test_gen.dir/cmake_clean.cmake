@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gen.dir/gen/grid_test.cpp.o"
+  "CMakeFiles/test_gen.dir/gen/grid_test.cpp.o.d"
+  "CMakeFiles/test_gen.dir/gen/random_graphs_test.cpp.o"
+  "CMakeFiles/test_gen.dir/gen/random_graphs_test.cpp.o.d"
+  "CMakeFiles/test_gen.dir/gen/rmat_test.cpp.o"
+  "CMakeFiles/test_gen.dir/gen/rmat_test.cpp.o.d"
+  "CMakeFiles/test_gen.dir/gen/webgen_test.cpp.o"
+  "CMakeFiles/test_gen.dir/gen/webgen_test.cpp.o.d"
+  "CMakeFiles/test_gen.dir/gen/weights_test.cpp.o"
+  "CMakeFiles/test_gen.dir/gen/weights_test.cpp.o.d"
+  "test_gen"
+  "test_gen.pdb"
+  "test_gen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph.dir/graph/builder_test.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/builder_test.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/csr_graph_test.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/csr_graph_test.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/graph_io_test.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/graph_io_test.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/graph_stats_test.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/graph_stats_test.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/text_io_test.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/text_io_test.cpp.o.d"
+  "test_graph"
+  "test_graph.pdb"
+  "test_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

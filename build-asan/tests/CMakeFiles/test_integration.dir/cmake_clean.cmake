@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/end_to_end_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/end_to_end_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/random_fuzz_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/random_fuzz_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/sem_equivalence_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/sem_equivalence_test.cpp.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_queue.dir/queue/dary_heap_test.cpp.o"
+  "CMakeFiles/test_queue.dir/queue/dary_heap_test.cpp.o.d"
+  "CMakeFiles/test_queue.dir/queue/flush_batch_test.cpp.o"
+  "CMakeFiles/test_queue.dir/queue/flush_batch_test.cpp.o.d"
+  "CMakeFiles/test_queue.dir/queue/ordering_policy_test.cpp.o"
+  "CMakeFiles/test_queue.dir/queue/ordering_policy_test.cpp.o.d"
+  "CMakeFiles/test_queue.dir/queue/queue_config_test.cpp.o"
+  "CMakeFiles/test_queue.dir/queue/queue_config_test.cpp.o.d"
+  "CMakeFiles/test_queue.dir/queue/routing_policy_test.cpp.o"
+  "CMakeFiles/test_queue.dir/queue/routing_policy_test.cpp.o.d"
+  "CMakeFiles/test_queue.dir/queue/visitor_queue_test.cpp.o"
+  "CMakeFiles/test_queue.dir/queue/visitor_queue_test.cpp.o.d"
+  "test_queue"
+  "test_queue.pdb"
+  "test_queue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

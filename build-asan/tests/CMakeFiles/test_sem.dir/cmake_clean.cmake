@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sem.dir/sem/block_cache_test.cpp.o"
+  "CMakeFiles/test_sem.dir/sem/block_cache_test.cpp.o.d"
+  "CMakeFiles/test_sem.dir/sem/ext_sorter_test.cpp.o"
+  "CMakeFiles/test_sem.dir/sem/ext_sorter_test.cpp.o.d"
+  "CMakeFiles/test_sem.dir/sem/ooc_builder_test.cpp.o"
+  "CMakeFiles/test_sem.dir/sem/ooc_builder_test.cpp.o.d"
+  "CMakeFiles/test_sem.dir/sem/sem_block_test.cpp.o"
+  "CMakeFiles/test_sem.dir/sem/sem_block_test.cpp.o.d"
+  "CMakeFiles/test_sem.dir/sem/sem_csr_test.cpp.o"
+  "CMakeFiles/test_sem.dir/sem/sem_csr_test.cpp.o.d"
+  "CMakeFiles/test_sem.dir/sem/ssd_model_test.cpp.o"
+  "CMakeFiles/test_sem.dir/sem/ssd_model_test.cpp.o.d"
+  "test_sem"
+  "test_sem.pdb"
+  "test_sem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_sem.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_telemetry.dir/telemetry/json_test.cpp.o"
+  "CMakeFiles/test_telemetry.dir/telemetry/json_test.cpp.o.d"
+  "CMakeFiles/test_telemetry.dir/telemetry/metrics_registry_test.cpp.o"
+  "CMakeFiles/test_telemetry.dir/telemetry/metrics_registry_test.cpp.o.d"
+  "CMakeFiles/test_telemetry.dir/telemetry/sampler_test.cpp.o"
+  "CMakeFiles/test_telemetry.dir/telemetry/sampler_test.cpp.o.d"
+  "CMakeFiles/test_telemetry.dir/telemetry/telemetry_integration_test.cpp.o"
+  "CMakeFiles/test_telemetry.dir/telemetry/telemetry_integration_test.cpp.o.d"
+  "CMakeFiles/test_telemetry.dir/telemetry/trace_writer_test.cpp.o"
+  "CMakeFiles/test_telemetry.dir/telemetry/trace_writer_test.cpp.o.d"
+  "test_telemetry"
+  "test_telemetry.pdb"
+  "test_telemetry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/barrier_test.cpp" "tests/CMakeFiles/test_util.dir/util/barrier_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/barrier_test.cpp.o.d"
+  "/root/repo/tests/util/hash_test.cpp" "tests/CMakeFiles/test_util.dir/util/hash_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/hash_test.cpp.o.d"
+  "/root/repo/tests/util/options_test.cpp" "tests/CMakeFiles/test_util.dir/util/options_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/options_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/test_util.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/rng_test.cpp.o.d"
+  "/root/repo/tests/util/semaphore_test.cpp" "tests/CMakeFiles/test_util.dir/util/semaphore_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/semaphore_test.cpp.o.d"
+  "/root/repo/tests/util/spinlock_test.cpp" "tests/CMakeFiles/test_util.dir/util/spinlock_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/spinlock_test.cpp.o.d"
+  "/root/repo/tests/util/stats_test.cpp" "tests/CMakeFiles/test_util.dir/util/stats_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/stats_test.cpp.o.d"
+  "/root/repo/tests/util/table_test.cpp" "tests/CMakeFiles/test_util.dir/util/table_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/table_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/sem/CMakeFiles/asyncgt_sem.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/telemetry/CMakeFiles/asyncgt_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/asyncgt_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/graph/CMakeFiles/asyncgt_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

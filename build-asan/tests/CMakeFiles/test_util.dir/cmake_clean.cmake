@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util.dir/util/barrier_test.cpp.o"
+  "CMakeFiles/test_util.dir/util/barrier_test.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/hash_test.cpp.o"
+  "CMakeFiles/test_util.dir/util/hash_test.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/options_test.cpp.o"
+  "CMakeFiles/test_util.dir/util/options_test.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/rng_test.cpp.o"
+  "CMakeFiles/test_util.dir/util/rng_test.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/semaphore_test.cpp.o"
+  "CMakeFiles/test_util.dir/util/semaphore_test.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/spinlock_test.cpp.o"
+  "CMakeFiles/test_util.dir/util/spinlock_test.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/stats_test.cpp.o"
+  "CMakeFiles/test_util.dir/util/stats_test.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/table_test.cpp.o"
+  "CMakeFiles/test_util.dir/util/table_test.cpp.o.d"
+  "test_util"
+  "test_util.pdb"
+  "test_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

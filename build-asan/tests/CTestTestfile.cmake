@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/test_util[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_graph[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_gen[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_queue[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_core[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_sem[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_telemetry[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_integration[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_fault[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agt_tool.dir/agt_tool.cpp.o"
+  "CMakeFiles/agt_tool.dir/agt_tool.cpp.o.d"
+  "agt_tool"
+  "agt_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agt_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
