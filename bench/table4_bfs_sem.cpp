@@ -68,17 +68,16 @@ vertex32 pick_start(const csr32& g) {
 int main(int argc, char** argv) {
   const options opt(argc, argv);
   const auto scales = opt.get_int_list("scales", {15, 16});
-  const auto sem_threads =
-      static_cast<std::size_t>(opt.get_int("threads", 128));
+  // Shared traversal flag parser (threads / flush-batch / retries /
+  // backoff, SEM defaults: per-push delivery + secondary vertex sort — see
+  // service/traversal_options.hpp and docs/tuning.md); this bench
+  // oversubscribes harder than the parser's default thread count.
+  traversal_options topt = traversal_options::from_flags(opt, true);
+  if (!opt.has("threads")) topt.queue.num_threads = 128;
+  const std::size_t sem_threads = topt.queue.num_threads;
   const double time_scale = opt.get_double("time-scale", 16.0);
   const double cache_fraction = opt.get_double("cache-fraction", 0.65);
   const double bgl_edge_rate = opt.get_double("bgl-edge-rate", 7.4e6);
-  // Mailbox delivery batch. SEM defaults to per-push delivery: the regime
-  // is I/O-bound, so the mutex amortization batching buys is noise while
-  // the delivery delay fragments the semi-sorted visit order and costs
-  // block-cache hits (docs/tuning.md). Raise it to A/B the batching cost.
-  const auto flush_batch =
-      static_cast<std::size_t>(opt.get_int("flush-batch", 1));
   const std::string inject_spec = opt.get_string("inject", "");
   std::unique_ptr<sem::fault_injector> injector;
   if (!inject_spec.empty()) {
@@ -140,10 +139,7 @@ int main(int argc, char** argv) {
           sg.set_io_recorder(&io_rec);
         }
 
-        visitor_queue_config cfg;
-        cfg.num_threads = sem_threads;
-        cfg.secondary_vertex_sort = true;  // the paper's SEM ordering
-        cfg.flush_batch = flush_batch;
+        visitor_queue_config cfg = topt.queue;
         rep.attach(cfg);
         bfs_result<vertex32> sem_r;
         const double t_sem =

@@ -38,8 +38,10 @@ using namespace asyncgt::bench;
 int main(int argc, char** argv) {
   const options opt(argc, argv);
   const auto scales = opt.get_int_list("scales", {15, 16});
-  const auto sem_threads =
-      static_cast<std::size_t>(opt.get_int("threads", 128));
+  // Shared traversal flag parser (SEM defaults: per-push delivery +
+  // secondary vertex sort; see the flush-batch note in table4_bfs_sem.cpp).
+  traversal_options topt = traversal_options::from_flags(opt, true);
+  if (!opt.has("threads")) topt.queue.num_threads = 128;
   const double time_scale = opt.get_double("time-scale", 16.0);
   const double cache_fraction = opt.get_double("cache-fraction", 0.65);
   const double bgl_edge_rate = opt.get_double("bgl-edge-rate", 7.4e6);
@@ -116,13 +118,7 @@ int main(int argc, char** argv) {
         sg.set_io_recorder(&io_rec);
       }
 
-      visitor_queue_config cfg;
-      cfg.num_threads = sem_threads;
-      cfg.secondary_vertex_sort = true;
-      // Per-push delivery by default: see the flush-batch note in
-      // table4_bfs_sem.cpp (SEM is I/O-bound; batching costs cache hits).
-      cfg.flush_batch =
-          static_cast<std::size_t>(opt.get_int("flush-batch", 1));
+      visitor_queue_config cfg = topt.queue;
       rep.attach(cfg);
       cc_result<vertex32> sem_r;
       const double t_sem = time_seconds([&] { sem_r = async_cc(sg, cfg); });

@@ -1,12 +1,31 @@
-// Umbrella header: the public API of the AsyncGT library.
+// Umbrella header: THE public API of the AsyncGT library.
 //
-// Core entry points:
-//   async_bfs(graph, start, cfg)   -> bfs_result   (levels + parents)
-//   async_sssp(graph, start, cfg)  -> sssp_result  (distances + parents)
-//   async_cc(graph, cfg)           -> cc_result    (min-id component labels)
+// This is the only header user code is supposed to include. Everything
+// under src/ other than this file is an internal header: include paths,
+// layering, and contents of queue/, service/, core/, sem/, telemetry/ etc.
+// may change without notice between versions — code that includes them
+// directly (e.g. "queue/visitor_queue.hpp") is unsupported.
+//
+// Session API (docs/service_api.md) — the persistent traversal service:
+//   asyncgt::engine eng({.pool_threads = 16});
+//   auto j1 = eng.submit_bfs(g, 0);          // returns immediately
+//   auto j2 = eng.submit_sssp(g, 42);        // concurrent with j1
+//   auto bfs = j1.get();                     // bfs_result, or throws
+// An engine owns a long-lived worker pool (threads parked between jobs,
+// never re-spawned) and admits multiple concurrent traversals over one
+// shared in-memory or semi-external graph. Job handles carry per-job stats,
+// cooperative cancellation (j.cancel() -> traversal_aborted), and a live
+// pending() frontier probe. Per-job options and telemetry sinks travel in
+// one traversal_options struct.
+//
+// One-shot compatibility API — the original free functions, now thin
+// submit-and-wait wrappers over a shared process-local engine:
+//   async_bfs(graph, start, opts)   -> bfs_result   (levels + parents)
+//   async_sssp(graph, start, opts)  -> sssp_result  (distances + parents)
+//   async_cc(graph, opts)           -> cc_result    (min-id component labels)
 // where `graph` is an in-memory csr_graph<V> or a disk-backed
-// sem::sem_csr<V>, and cfg is a visitor_queue_config (thread count,
-// ordering, secondary sort).
+// sem::sem_csr<V>, and opts is a traversal_options (a visitor_queue_config
+// converts implicitly, so pre-service call sites compile unchanged).
 //
 // See README.md for a walkthrough and examples/ for runnable programs.
 #pragma once
@@ -42,6 +61,9 @@
 #include "sem/ooc_builder.hpp"
 #include "sem/sem_csr.hpp"
 #include "sem/ssd_model.hpp"
+#include "service/engine.hpp"
+#include "service/traversal_options.hpp"
+#include "service/worker_pool.hpp"
 #include "telemetry/json.hpp"
 #include "telemetry/metrics_json.hpp"
 #include "telemetry/metrics_registry.hpp"

@@ -16,10 +16,12 @@
 
 #include <cstdint>
 #include <stdexcept>
+#include <utility>
 
 #include "core/traversal_result.hpp"
 #include "graph/types.hpp"
 #include "queue/visitor_queue.hpp"
+#include "service/engine.hpp"
 
 namespace asyncgt {
 
@@ -60,26 +62,42 @@ struct bfs_visitor {
   }
 };
 
+/// Session API: submits a BFS job to this engine and returns its handle
+/// immediately; the job runs on the engine's pooled workers, concurrently
+/// with any other active jobs. See docs/service_api.md.
 template <typename Graph>
-bfs_result<typename Graph::vertex_id> async_bfs(
+job<bfs_result<typename Graph::vertex_id>> engine::submit_bfs(
     const Graph& g, typename Graph::vertex_id start,
-    visitor_queue_config cfg = {}) {
+    std::optional<traversal_options> opts) {
   using V = typename Graph::vertex_id;
   if (start >= g.num_vertices()) {
     throw std::out_of_range("async_bfs: start vertex out of range");
   }
-  bfs_state<Graph> state(g, cfg.num_threads);
-  visitor_queue<bfs_visitor<V>, bfs_state<Graph>> q(cfg);
-  q.push(bfs_visitor<V>{start, start, 0});
-  auto stats = q.run(state);
+  telemetry::metrics_registry* metrics = resolve_metrics(opts);
+  return submit_traversal<bfs_visitor<V>>(
+      opts, bfs_state<Graph>(g, resolve_threads(opts)),
+      [start](auto& q, bfs_state<Graph>&) {
+        q.push(bfs_visitor<V>{start, start, 0});
+      },
+      [metrics](bfs_state<Graph>& s, queue_run_stats stats) {
+        bfs_result<V> out;
+        out.level = std::move(s.level);
+        out.parent = std::move(s.parent);
+        out.stats = std::move(stats);
+        out.updates = s.updates.total();
+        if (metrics != nullptr) out.work().record(*metrics, "bfs");
+        return out;
+      });
+}
 
-  bfs_result<V> out;
-  out.level = std::move(state.level);
-  out.parent = std::move(state.parent);
-  out.stats = std::move(stats);
-  out.updates = state.updates.total();
-  if (cfg.metrics != nullptr) out.work().record(*cfg.metrics, "bfs");
-  return out;
+/// One-shot compatibility wrapper: submit to the process-local engine and
+/// block for the result — the seed library's exact contract (including
+/// traversal_aborted propagation), now served by warm pooled workers.
+template <typename Graph>
+bfs_result<typename Graph::vertex_id> async_bfs(
+    const Graph& g, typename Graph::vertex_id start,
+    traversal_options opts = {}) {
+  return engine::process_default().submit_bfs(g, start, std::move(opts)).get();
 }
 
 }  // namespace asyncgt

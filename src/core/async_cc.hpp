@@ -21,10 +21,12 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 
 #include "core/traversal_result.hpp"
 #include "graph/types.hpp"
 #include "queue/visitor_queue.hpp"
+#include "service/engine.hpp"
 
 namespace asyncgt {
 
@@ -61,23 +63,32 @@ struct cc_visitor {
   }
 };
 
+/// Session API: submits a CC job to this engine; see submit_bfs. Seeding
+/// (Algorithm 3: one visitor per vertex, the vertex's own descriptor as the
+/// starting component id) happens on the job's pooled workers.
+template <typename Graph>
+job<cc_result<typename Graph::vertex_id>> engine::submit_cc(
+    const Graph& g, std::optional<traversal_options> opts) {
+  using V = typename Graph::vertex_id;
+  telemetry::metrics_registry* metrics = resolve_metrics(opts);
+  return submit_seeded<cc_visitor<V>>(
+      opts, cc_state<Graph>(g, resolve_threads(opts)), g.num_vertices(),
+      [](V v) { return cc_visitor<V>{v, v}; },
+      [metrics](cc_state<Graph>& s, queue_run_stats stats) {
+        cc_result<V> out;
+        out.component = std::move(s.ccid);
+        out.stats = std::move(stats);
+        out.updates = s.updates.total();
+        if (metrics != nullptr) out.work().record(*metrics, "cc");
+        return out;
+      });
+}
+
+/// One-shot compatibility wrapper over the process-local engine.
 template <typename Graph>
 cc_result<typename Graph::vertex_id> async_cc(const Graph& g,
-                                              visitor_queue_config cfg = {}) {
-  using V = typename Graph::vertex_id;
-  cc_state<Graph> state(g, cfg.num_threads);
-  visitor_queue<cc_visitor<V>, cc_state<Graph>> q(cfg);
-  // Algorithm 3: queue a visitor for every vertex, in parallel, with the
-  // vertex's own descriptor as the starting component id.
-  auto stats = q.run_seeded(state, g.num_vertices(),
-                            [](V v) { return cc_visitor<V>{v, v}; });
-
-  cc_result<V> out;
-  out.component = std::move(state.ccid);
-  out.stats = std::move(stats);
-  out.updates = state.updates.total();
-  if (cfg.metrics != nullptr) out.work().record(*cfg.metrics, "cc");
-  return out;
+                                              traversal_options opts = {}) {
+  return engine::process_default().submit_cc(g, std::move(opts)).get();
 }
 
 }  // namespace asyncgt

@@ -24,11 +24,13 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "core/traversal_result.hpp"
 #include "graph/types.hpp"
 #include "queue/visitor_queue.hpp"
+#include "service/engine.hpp"
 
 namespace asyncgt {
 
@@ -105,26 +107,35 @@ struct kcore_visitor {
   }
 };
 
+/// Session API: submits a k-core job to this engine; see submit_bfs.
+template <typename Graph>
+job<kcore_result<typename Graph::vertex_id>> engine::submit_kcore(
+    const Graph& g, std::optional<traversal_options> opts) {
+  using V = typename Graph::vertex_id;
+  return submit_seeded<kcore_visitor<V>>(
+      opts, kcore_state<Graph>(g, resolve_threads(opts)), g.num_vertices(),
+      [&g](V v) {
+        return kcore_visitor<V>{v,
+                                static_cast<std::uint32_t>(g.out_degree(v))};
+      },
+      [&g](kcore_state<Graph>& s, queue_run_stats stats) {
+        kcore_result<V> out;
+        out.core.resize(g.num_vertices());
+        for (V v = 0; v < g.num_vertices(); ++v) {
+          out.core[v] = s.bound[v].load(std::memory_order_relaxed);
+        }
+        out.stats = std::move(stats);
+        out.updates = s.updates.total();
+        return out;
+      });
+}
+
 /// Computes the coreness of every vertex of a symmetric (undirected) graph.
+/// One-shot compatibility wrapper over the process-local engine.
 template <typename Graph>
 kcore_result<typename Graph::vertex_id> async_kcore(
-    const Graph& g, visitor_queue_config cfg = {}) {
-  using V = typename Graph::vertex_id;
-  kcore_state<Graph> state(g, cfg.num_threads);
-  visitor_queue<kcore_visitor<V>, kcore_state<Graph>> q(cfg);
-  auto stats = q.run_seeded(state, g.num_vertices(), [&g](V v) {
-    return kcore_visitor<V>{
-        v, static_cast<std::uint32_t>(g.out_degree(v))};
-  });
-
-  kcore_result<V> out;
-  out.core.resize(g.num_vertices());
-  for (V v = 0; v < g.num_vertices(); ++v) {
-    out.core[v] = state.bound[v].load(std::memory_order_relaxed);
-  }
-  out.stats = std::move(stats);
-  out.updates = state.updates.total();
-  return out;
+    const Graph& g, traversal_options opts = {}) {
+  return engine::process_default().submit_kcore(g, std::move(opts)).get();
 }
 
 }  // namespace asyncgt

@@ -33,11 +33,13 @@
 #include <algorithm>
 #include <cstdint>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "core/traversal_result.hpp"
 #include "graph/types.hpp"
 #include "queue/visitor_queue.hpp"
+#include "service/engine.hpp"
 
 namespace asyncgt {
 
@@ -118,33 +120,43 @@ struct pagerank_visitor {
   }
 };
 
-/// Computes PageRank over any GraphStorage. `opt.tolerance` bounds the
-/// residual left behind at every vertex; lower = more accurate = more work.
+/// Session API: submits a PageRank job to this engine; see submit_bfs.
 template <typename Graph>
-pagerank_result<typename Graph::vertex_id> async_pagerank(
-    const Graph& g, pagerank_options opt = {},
-    visitor_queue_config cfg = {}) {
+job<pagerank_result<typename Graph::vertex_id>> engine::submit_pagerank(
+    const Graph& g, pagerank_options popt,
+    std::optional<traversal_options> opts) {
   using V = typename Graph::vertex_id;
-  if (opt.alpha <= 0.0 || opt.alpha >= 1.0) {
+  if (popt.alpha <= 0.0 || popt.alpha >= 1.0) {
     throw std::invalid_argument("async_pagerank: alpha must be in (0, 1)");
   }
-  if (opt.tolerance <= 0.0) {
+  if (popt.tolerance <= 0.0) {
     throw std::invalid_argument("async_pagerank: tolerance must be positive");
   }
-  pagerank_state<Graph> state(g, opt, cfg.num_threads);
-  visitor_queue<pagerank_visitor<V>, pagerank_state<Graph>> q(cfg);
   const double seed =
-      (1.0 - opt.alpha) / static_cast<double>(std::max<std::uint64_t>(
-                              g.num_vertices(), 1));
-  auto stats = q.run_seeded(state, g.num_vertices(), [seed](V v) {
-    return pagerank_visitor<V>{v, seed};
-  });
+      (1.0 - popt.alpha) / static_cast<double>(std::max<std::uint64_t>(
+                               g.num_vertices(), 1));
+  return submit_seeded<pagerank_visitor<V>>(
+      opts, pagerank_state<Graph>(g, popt, resolve_threads(opts)),
+      g.num_vertices(),
+      [seed](V v) { return pagerank_visitor<V>{v, seed}; },
+      [](pagerank_state<Graph>& s, queue_run_stats stats) {
+        pagerank_result<V> out;
+        out.rank = std::move(s.rank);
+        out.stats = std::move(stats);
+        out.flushes = s.flushes.total();
+        return out;
+      });
+}
 
-  pagerank_result<V> out;
-  out.rank = std::move(state.rank);
-  out.stats = std::move(stats);
-  out.flushes = state.flushes.total();
-  return out;
+/// Computes PageRank over any GraphStorage. `opt.tolerance` bounds the
+/// residual left behind at every vertex; lower = more accurate = more work.
+/// One-shot compatibility wrapper over the process-local engine.
+template <typename Graph>
+pagerank_result<typename Graph::vertex_id> async_pagerank(
+    const Graph& g, pagerank_options opt = {}, traversal_options opts = {}) {
+  return engine::process_default()
+      .submit_pagerank(g, opt, std::move(opts))
+      .get();
 }
 
 }  // namespace asyncgt

@@ -22,10 +22,12 @@
 
 #include <cstdint>
 #include <stdexcept>
+#include <utility>
 
 #include "core/traversal_result.hpp"
 #include "graph/types.hpp"
 #include "queue/visitor_queue.hpp"
+#include "service/engine.hpp"
 
 namespace asyncgt {
 
@@ -66,28 +68,42 @@ struct sssp_visitor {
   }
 };
 
-/// Computes SSSP from `start` over any GraphStorage. Edge weights must be
-/// non-negative (u32 by construction). Throws if `start` is out of range.
+/// Session API: submits an SSSP job to this engine; see submit_bfs.
 template <typename Graph>
-sssp_result<typename Graph::vertex_id> async_sssp(
+job<sssp_result<typename Graph::vertex_id>> engine::submit_sssp(
     const Graph& g, typename Graph::vertex_id start,
-    visitor_queue_config cfg = {}) {
+    std::optional<traversal_options> opts) {
   using V = typename Graph::vertex_id;
   if (start >= g.num_vertices()) {
     throw std::out_of_range("async_sssp: start vertex out of range");
   }
-  sssp_state<Graph> state(g, cfg.num_threads);
-  visitor_queue<sssp_visitor<V>, sssp_state<Graph>> q(cfg);
-  q.push(sssp_visitor<V>{start, start, 0});
-  auto stats = q.run(state);
+  telemetry::metrics_registry* metrics = resolve_metrics(opts);
+  return submit_traversal<sssp_visitor<V>>(
+      opts, sssp_state<Graph>(g, resolve_threads(opts)),
+      [start](auto& q, sssp_state<Graph>&) {
+        q.push(sssp_visitor<V>{start, start, 0});
+      },
+      [metrics](sssp_state<Graph>& s, queue_run_stats stats) {
+        sssp_result<V> out;
+        out.dist = std::move(s.dist);
+        out.parent = std::move(s.parent);
+        out.stats = std::move(stats);
+        out.updates = s.updates.total();
+        if (metrics != nullptr) out.work().record(*metrics, "sssp");
+        return out;
+      });
+}
 
-  sssp_result<V> out;
-  out.dist = std::move(state.dist);
-  out.parent = std::move(state.parent);
-  out.stats = std::move(stats);
-  out.updates = state.updates.total();
-  if (cfg.metrics != nullptr) out.work().record(*cfg.metrics, "sssp");
-  return out;
+/// Computes SSSP from `start` over any GraphStorage. Edge weights must be
+/// non-negative (u32 by construction). Throws if `start` is out of range.
+/// One-shot compatibility wrapper over the process-local engine.
+template <typename Graph>
+sssp_result<typename Graph::vertex_id> async_sssp(
+    const Graph& g, typename Graph::vertex_id start,
+    traversal_options opts = {}) {
+  return engine::process_default()
+      .submit_sssp(g, start, std::move(opts))
+      .get();
 }
 
 }  // namespace asyncgt

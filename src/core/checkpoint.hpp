@@ -161,11 +161,13 @@ traversal_checkpoint<VertexId> load_checkpoint(const std::string& path,
 template <typename Graph>
 sssp_result<typename Graph::vertex_id> resume_sssp(
     const Graph& g, const traversal_checkpoint<typename Graph::vertex_id>& cp,
-    visitor_queue_config cfg = {}) {
+    traversal_options opts = {}) {
   using V = typename Graph::vertex_id;
   if (cp.label.size() != g.num_vertices()) {
     throw std::invalid_argument("resume_sssp: checkpoint size mismatch");
   }
+  const visitor_queue_config cfg =
+      engine::process_default().pooled_config(std::move(opts));
   sssp_state<Graph> state(g, cfg.num_threads);
   state.dist = cp.label;
   state.parent = cp.parent;
@@ -197,11 +199,13 @@ sssp_result<typename Graph::vertex_id> resume_sssp(
 template <typename Graph>
 bfs_result<typename Graph::vertex_id> async_bfs_checkpointed(
     const Graph& g, typename Graph::vertex_id start,
-    const std::string& checkpoint_path, visitor_queue_config cfg = {}) {
+    const std::string& checkpoint_path, traversal_options opts = {}) {
   using V = typename Graph::vertex_id;
   if (start >= g.num_vertices()) {
     throw std::out_of_range("async_bfs: start vertex out of range");
   }
+  const visitor_queue_config cfg =
+      engine::process_default().pooled_config(std::move(opts));
   bfs_state<Graph> state(g, cfg.num_threads);
   visitor_queue<bfs_visitor<V>, bfs_state<Graph>> q(cfg);
   q.push(bfs_visitor<V>{start, start, 0});
@@ -230,11 +234,13 @@ bfs_result<typename Graph::vertex_id> async_bfs_checkpointed(
 template <typename Graph>
 sssp_result<typename Graph::vertex_id> async_sssp_checkpointed(
     const Graph& g, typename Graph::vertex_id start,
-    const std::string& checkpoint_path, visitor_queue_config cfg = {}) {
+    const std::string& checkpoint_path, traversal_options opts = {}) {
   using V = typename Graph::vertex_id;
   if (start >= g.num_vertices()) {
     throw std::out_of_range("async_sssp: start vertex out of range");
   }
+  const visitor_queue_config cfg =
+      engine::process_default().pooled_config(std::move(opts));
   sssp_state<Graph> state(g, cfg.num_threads);
   visitor_queue<sssp_visitor<V>, sssp_state<Graph>> q(cfg);
   q.push(sssp_visitor<V>{start, start, 0});
@@ -262,11 +268,13 @@ sssp_result<typename Graph::vertex_id> async_sssp_checkpointed(
 template <typename Graph>
 bfs_result<typename Graph::vertex_id> resume_bfs(
     const Graph& g, const traversal_checkpoint<typename Graph::vertex_id>& cp,
-    visitor_queue_config cfg = {}) {
+    traversal_options opts = {}) {
   using V = typename Graph::vertex_id;
   if (cp.label.size() != g.num_vertices()) {
     throw std::invalid_argument("resume_bfs: checkpoint size mismatch");
   }
+  const visitor_queue_config cfg =
+      engine::process_default().pooled_config(std::move(opts));
   bfs_state<Graph> state(g, cfg.num_threads);
   state.level = cp.label;
   state.parent = cp.parent;

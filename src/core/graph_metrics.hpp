@@ -24,7 +24,7 @@ namespace asyncgt {
 
 template <typename Graph>
 dist_t eccentricity(const Graph& g, typename Graph::vertex_id v,
-                    visitor_queue_config cfg = {}) {
+                    traversal_options cfg = {}) {
   return async_bfs(g, v, cfg).max_level();
 }
 
@@ -38,7 +38,7 @@ struct diameter_estimate {
 template <typename Graph>
 diameter_estimate estimate_diameter(const Graph& g, unsigned rounds = 2,
                                     std::uint64_t seed = 1,
-                                    visitor_queue_config cfg = {}) {
+                                    traversal_options cfg = {}) {
   using V = typename Graph::vertex_id;
   diameter_estimate est;
   const std::uint64_t n = g.num_vertices();
@@ -73,7 +73,7 @@ diameter_estimate estimate_diameter(const Graph& g, unsigned rounds = 2,
 template <typename Graph>
 double average_path_length_sampled(const Graph& g, unsigned samples = 4,
                                    std::uint64_t seed = 7,
-                                   visitor_queue_config cfg = {}) {
+                                   traversal_options cfg = {}) {
   using V = typename Graph::vertex_id;
   const std::uint64_t n = g.num_vertices();
   if (n == 0 || samples == 0) return 0.0;

@@ -19,10 +19,13 @@
 
 namespace asyncgt {
 
+/// Session API: submits a multi-source BFS job to this engine; the seeds
+/// are pushed on the submitting thread (prepare phase), everything after
+/// flows through the job's pooled workers.
 template <typename Graph>
-bfs_result<typename Graph::vertex_id> async_multi_source_bfs(
+job<bfs_result<typename Graph::vertex_id>> engine::submit_multi_source_bfs(
     const Graph& g, const std::vector<typename Graph::vertex_id>& sources,
-    visitor_queue_config cfg = {}) {
+    std::optional<traversal_options> opts) {
   using V = typename Graph::vertex_id;
   if (sources.empty()) {
     throw std::invalid_argument("multi_source_bfs: need at least one source");
@@ -32,17 +35,30 @@ bfs_result<typename Graph::vertex_id> async_multi_source_bfs(
       throw std::out_of_range("multi_source_bfs: source out of range");
     }
   }
-  bfs_state<Graph> state(g, cfg.num_threads);
-  visitor_queue<bfs_visitor<V>, bfs_state<Graph>> q(cfg);
-  for (const V s : sources) q.push(bfs_visitor<V>{s, s, 0});
-  auto stats = q.run(state);
+  return submit_traversal<bfs_visitor<V>>(
+      opts, bfs_state<Graph>(g, resolve_threads(opts)),
+      // Safe by-reference capture: prepare runs synchronously inside submit.
+      [&sources](auto& q, bfs_state<Graph>&) {
+        for (const V s : sources) q.push(bfs_visitor<V>{s, s, 0});
+      },
+      [](bfs_state<Graph>& s, queue_run_stats stats) {
+        bfs_result<V> out;
+        out.level = std::move(s.level);
+        out.parent = std::move(s.parent);
+        out.stats = std::move(stats);
+        out.updates = s.updates.total();
+        return out;
+      });
+}
 
-  bfs_result<V> out;
-  out.level = std::move(state.level);
-  out.parent = std::move(state.parent);
-  out.stats = std::move(stats);
-  out.updates = state.updates.total();
-  return out;
+/// One-shot compatibility wrapper over the process-local engine.
+template <typename Graph>
+bfs_result<typename Graph::vertex_id> async_multi_source_bfs(
+    const Graph& g, const std::vector<typename Graph::vertex_id>& sources,
+    traversal_options opts = {}) {
+  return engine::process_default()
+      .submit_multi_source_bfs(g, sources, std::move(opts))
+      .get();
 }
 
 }  // namespace asyncgt

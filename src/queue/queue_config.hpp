@@ -16,6 +16,13 @@
 
 namespace asyncgt {
 
+// Forward-declared so this header stays below the service layer: the engine
+// only ever holds a pointer to the pool (src/service/worker_pool.hpp), and
+// traversal_engine.hpp includes the full definition.
+namespace service {
+class worker_pool;
+}
+
 /// Visitor pop ordering. `priority` is the paper's design; `fifo` and `lifo`
 /// exist for the ablation bench that quantifies what the prioritization buys.
 /// The value selects one of three compile-time ordering policies
@@ -53,6 +60,13 @@ struct visitor_queue_config {
   /// worker (1 = every visit; tracing every visit on large graphs produces
   /// multi-GB traces).
   std::uint32_t trace_sample_every = 64;
+
+  /// Borrowed worker pool (nullable). When set, run()/run_seeded() dispatch
+  /// their worker bodies as a gang on this pool — acquire/release of parked
+  /// threads — instead of spawning and joining `num_threads` fresh
+  /// std::threads per run. asyncgt::engine sets this on every job config it
+  /// prepares; null reproduces the one-shot spawn/join lifecycle.
+  service::worker_pool* pool = nullptr;
 
   void validate() const {
     if (num_threads == 0) {

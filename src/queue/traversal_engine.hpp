@@ -32,7 +32,19 @@
 // latched error as traversal_aborted on the calling thread. The queue is
 // reusable afterwards, and the algorithm state the visitors were mutating
 // is quiescent and internally consistent (per-vertex entries are only ever
-// written by their owner, and all owners have joined).
+// written by their owner, and all owners have joined). Cooperative
+// cancellation (request_cancel, used by the service layer's job handles)
+// rides the same abort broadcast and containment machinery.
+//
+// Execution substrates. When the config carries a worker pool
+// (visitor_queue_config::pool, set by asyncgt::engine), a run dispatches
+// its worker bodies as one gang of pooled, parked threads — acquire/release
+// instead of spawn/join — and the run_async/run_seeded_async entry points
+// additionally return immediately, delivering stats or the failure to a
+// completion callback on the pool thread that finishes the gang. With a
+// null pool, run()/run_seeded() reproduce the one-shot spawn/join
+// lifecycle (now with an exception-safe RAII join: a throw between spawn
+// and join can no longer detach workers).
 #pragma once
 
 #include <algorithm>
@@ -40,6 +52,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -54,6 +67,7 @@
 #include "queue/routing_policy.hpp"
 #include "queue/termination.hpp"
 #include "queue/traversal_abort.hpp"
+#include "service/worker_pool.hpp"
 #include "telemetry/metrics_registry.hpp"
 #include "telemetry/trace_writer.hpp"
 #include "util/cache_line.hpp"
@@ -94,10 +108,11 @@ class traversal_engine {
   /// reset, and the first error rethrows here as traversal_aborted.
   queue_run_stats run(State& state) {
     wall_timer timer;
-    if (term_.pending() == 0) {
+    if (term_.pending() == 0 &&
+        !cancelled_.load(std::memory_order_relaxed)) {
       return finalize_stats(timer.elapsed_seconds());
     }
-    term_.reset_done();
+    arm();
     launch(state, [](std::size_t) {});
     throw_if_aborted();
     return finalize_stats(timer.elapsed_seconds());
@@ -122,28 +137,64 @@ class traversal_engine {
     if (num_vertices == 0) return finalize_stats(timer.elapsed_seconds());
     const std::remove_reference_t<MakeVisitor>& make = make_visitor;
     term_.reserve(static_cast<std::int64_t>(num_vertices));
-    term_.reset_done();
-    const std::size_t T = cfg_.num_threads;
-    launch(state, [this, &make, num_vertices, T](std::size_t t) {
-      lane& me = lanes_[t];
-      const std::uint64_t lo = num_vertices * t / T;
-      const std::uint64_t hi = num_vertices * (t + 1) / T;
-      me.seeding = true;  // seeds are pre-accounted: flushes must not reserve
-      for (std::uint64_t v = lo; v < hi; ++v) {
-        // A failed worker cannot reach quiescence, so a long seeding slice
-        // must notice the abort itself (checked at outbox-batch granularity
-        // to keep the common path branch-cheap).
-        if ((v & 0x3FFu) == 0 && term_.abort_requested()) {
-          me.seeding = false;
-          return;
-        }
-        lane_push(me, make(static_cast<vertex_id>(v)));
-      }
-      flush_all(me);
-      me.seeding = false;
+    arm();
+    launch(state, [this, &make, num_vertices](std::size_t t) {
+      seed_slice(make, num_vertices, t);
     });
     throw_if_aborted();
     return finalize_stats(timer.elapsed_seconds());
+  }
+
+  /// Asynchronous run: dispatches the workers as one gang on `pool` and
+  /// returns immediately. `done(stats, error)` runs exactly once, on the
+  /// pool thread that finishes the gang (or inline here for an empty
+  /// frontier): error is null on a clean run, otherwise a traversal_aborted
+  /// exception_ptr carrying the same context run() would have thrown —
+  /// stats are the post-reset zeros in that case. The caller must keep
+  /// `state` and this engine alive until `done` has been invoked.
+  template <typename Done>
+  void run_async(service::worker_pool& pool, State& state, Done done) {
+    wall_timer timer;
+    arm();
+    if (term_.pending() == 0 && !term_.abort_requested()) {
+      finish_async(timer, done);
+      return;
+    }
+    dispatch_async(pool, state, [](std::size_t) {}, std::move(done), timer);
+  }
+
+  /// Asynchronous seeded run; see run_seeded for the seeding discipline and
+  /// run_async for the completion contract. `make_visitor` is copied into
+  /// the gang and invoked as const from all workers concurrently.
+  template <typename MakeVisitor, typename Done>
+  void run_seeded_async(service::worker_pool& pool, State& state,
+                        std::uint64_t num_vertices, MakeVisitor make_visitor,
+                        Done done) {
+    wall_timer timer;
+    term_.reserve(static_cast<std::int64_t>(num_vertices));
+    arm();
+    if (num_vertices == 0 && !term_.abort_requested()) {
+      finish_async(timer, done);
+      return;
+    }
+    auto make = std::make_shared<const MakeVisitor>(std::move(make_visitor));
+    dispatch_async(
+        pool, state,
+        [this, make, num_vertices](std::size_t t) {
+          seed_slice(*make, num_vertices, t);
+        },
+        std::move(done), timer);
+  }
+
+  /// Cooperative cancellation: raises the abort flag and wakes every parked
+  /// worker, exactly as a worker failure would, so the run unwinds promptly
+  /// and surfaces as traversal_aborted ("cancelled" when no worker actually
+  /// failed). Callable from any thread, before or during a run; a cancel
+  /// raised before the next run aborts that run at its first abort check.
+  void request_cancel() {
+    cancelled_.store(true, std::memory_order_relaxed);
+    term_.request_abort();
+    wake_all(boxes_);
   }
 
   std::size_t num_threads() const noexcept { return cfg_.num_threads; }
@@ -193,26 +244,117 @@ class traversal_engine {
     std::size_t num_threads() const noexcept { return eng.num_threads(); }
   };
 
-  /// Single driver for both run flavours: spawn, per-thread seed hook,
-  /// worker loop, join. (The seed's run()/run_seeded() each hand-rolled
-  /// this.)
+  /// Re-arms the termination detector for the next run. reset_done() also
+  /// clears the abort flag, so a cancel raised before the run (the service
+  /// API allows cancelling a job that has not started yet) must be
+  /// re-asserted afterwards or it would be silently swallowed.
+  void arm() {
+    term_.reset_done();
+    if (cancelled_.load(std::memory_order_relaxed)) term_.request_abort();
+  }
+
+  /// One worker's whole run: per-thread seed hook, worker loop, catch-all
+  /// at the boundary — an escaping exception would std::terminate the
+  /// process (std::thread) or poison the pool; latch it and unwind everyone
+  /// instead.
+  template <typename SeedSlice>
+  void run_worker(State& state, const SeedSlice& seed, std::size_t t) {
+    try {
+      seed(t);
+      worker_loop(state, t);
+    } catch (...) {
+      record_failure(t, std::current_exception());
+    }
+  }
+
+  /// Seeds the contiguous slice [t*n/T, (t+1)*n/T) through lane t's own
+  /// outbox buffers (batched delivery), then returns to join processing.
+  template <typename Make>
+  void seed_slice(const Make& make, std::uint64_t num_vertices,
+                  std::size_t t) {
+    lane& me = lanes_[t];
+    const std::size_t T = cfg_.num_threads;
+    const std::uint64_t lo = num_vertices * t / T;
+    const std::uint64_t hi = num_vertices * (t + 1) / T;
+    me.seeding = true;  // seeds are pre-accounted: flushes must not reserve
+    for (std::uint64_t v = lo; v < hi; ++v) {
+      // A failed worker cannot reach quiescence, so a long seeding slice
+      // must notice the abort itself (checked at outbox-batch granularity
+      // to keep the common path branch-cheap).
+      if ((v & 0x3FFu) == 0 && term_.abort_requested()) {
+        me.seeding = false;
+        return;
+      }
+      lane_push(me, make(static_cast<vertex_id>(v)));
+    }
+    flush_all(me);
+    me.seeding = false;
+  }
+
+  /// Single blocking driver for both run flavours. With a pooled config
+  /// this is acquire/release of parked workers (one gang, FIFO-scheduled
+  /// against other jobs sharing the pool); without one it spawns and joins
+  /// fresh threads, with an RAII guard so a throw between spawn and join —
+  /// e.g. thread-resource exhaustion partway through the spawn loop — can
+  /// never reach a joinable std::thread's destructor (std::terminate).
   template <typename SeedSlice>
   void launch(State& state, const SeedSlice& seed) {
-    std::vector<std::thread> threads;
-    threads.reserve(cfg_.num_threads);
-    for (std::size_t t = 0; t < cfg_.num_threads; ++t) {
-      threads.emplace_back([this, &state, &seed, t] {
-        // Catch-all at the thread boundary: an escaping exception would
-        // std::terminate the process. Latch it and unwind everyone instead.
-        try {
-          seed(t);
-          worker_loop(state, t);
-        } catch (...) {
-          record_failure(t, std::current_exception());
-        }
-      });
+    if (cfg_.pool != nullptr) {
+      cfg_.pool->wait(cfg_.pool->submit(
+          cfg_.num_threads,
+          [this, &state, &seed](std::size_t t) { run_worker(state, seed, t); }));
+      return;
     }
-    for (auto& th : threads) th.join();
+    struct joiner {
+      traversal_engine* eng;
+      std::vector<std::thread> threads;
+      ~joiner() {
+        if (threads.size() < eng->cfg_.num_threads) {
+          // Spawn failed partway: the missing lanes will never flush or
+          // commit, so the started workers could not reach quiescence —
+          // unwind them through the abort broadcast before joining, then
+          // restore the queue to a reusable state (the spawn failure
+          // itself propagates to the caller; any failure a half-started
+          // worker latched meanwhile is superseded by it).
+          eng->term_.request_abort();
+          wake_all(eng->boxes_);
+          for (auto& th : threads) th.join();
+          {
+            std::lock_guard lk(eng->fail_mu_);
+            eng->fail_ = failure{};
+          }
+          eng->cancelled_.store(false, std::memory_order_relaxed);
+          eng->reset_after_abort();
+          return;
+        }
+        for (auto& th : threads) th.join();
+      }
+    } guard{this, {}};
+    guard.threads.reserve(cfg_.num_threads);
+    for (std::size_t t = 0; t < cfg_.num_threads; ++t) {
+      guard.threads.emplace_back(
+          [this, &state, &seed, t] { run_worker(state, seed, t); });
+    }
+  }
+
+  /// Common tail of the async entry points: one gang whose completion hook
+  /// collects the failure latch, finalizes stats, and invokes `done`.
+  template <typename SeedSlice, typename Done>
+  void dispatch_async(service::worker_pool& pool, State& state,
+                      SeedSlice seed, Done done, const wall_timer& timer) {
+    auto done_fn = std::make_shared<Done>(std::move(done));
+    pool.submit(
+        cfg_.num_threads,
+        [this, &state, seed = std::move(seed)](std::size_t t) {
+          run_worker(state, seed, t);
+        },
+        [this, timer, done_fn] { finish_async(timer, *done_fn); });
+  }
+
+  template <typename Done>
+  void finish_async(const wall_timer& timer, Done& done) {
+    std::exception_ptr error = take_failure();
+    done(finalize_stats(timer.elapsed_seconds()), std::move(error));
   }
 
   void lane_push(lane& me, Visitor&& v) {
@@ -374,18 +516,28 @@ class traversal_engine {
     wake_all(boxes_);
   }
 
-  /// After the join: if a worker failed, discard all queue state (every
-  /// structure a worker abandoned mid-run) and rethrow the latched error as
-  /// traversal_aborted on the calling thread. No-op on a clean run.
-  void throw_if_aborted() {
+  /// After the join: if the run aborted — a worker failed or a cancel was
+  /// requested — discard all queue state (every structure a worker
+  /// abandoned mid-run) and return the latched error packaged as a
+  /// traversal_aborted exception_ptr; null on a clean run. A cancel that
+  /// raced no worker failure yields a traversal_aborted with a null cause
+  /// and "cancelled" in the message. Consuming the failure re-arms the
+  /// queue for the next run (the cancel flag is cleared too).
+  std::exception_ptr take_failure() {
     failure f;
+    const bool was_cancelled =
+        cancelled_.exchange(false, std::memory_order_relaxed);
     {
       std::lock_guard lk(fail_mu_);
-      if (!fail_.error) return;
+      if (!fail_.error && !was_cancelled) return nullptr;
       f = std::move(fail_);
       fail_ = failure{};
     }
     reset_after_abort();
+    if (!f.error) {
+      return std::make_exception_ptr(traversal_aborted(
+          "traversal aborted: cancelled", 0, false, 0, nullptr));
+    }
     std::string what = "traversal aborted: worker " +
                        std::to_string(f.thread) + " failed";
     if (f.has_vertex) {
@@ -399,8 +551,13 @@ class traversal_engine {
     } catch (...) {
       what += ": non-standard exception";
     }
-    throw traversal_aborted(what, f.thread, f.has_vertex, f.vertex,
-                            std::move(f.error));
+    return std::make_exception_ptr(traversal_aborted(
+        what, f.thread, f.has_vertex, f.vertex, std::move(f.error)));
+  }
+
+  /// Blocking-path shim over take_failure: rethrows on the calling thread.
+  void throw_if_aborted() {
+    if (std::exception_ptr ep = take_failure()) std::rethrow_exception(ep);
   }
 
   /// Restores the engine to its post-construction state after an abort left
@@ -479,6 +636,9 @@ class traversal_engine {
   termination_detector term_;
   std::mutex fail_mu_;
   failure fail_;
+  /// Set by request_cancel; consumed (cleared) by take_failure. Survives
+  /// arm()'s reset_done so a cancel raised before the run still aborts it.
+  std::atomic<bool> cancelled_{false};
   // External pushes arrive outside any lane; relaxed atomics in case a
   // caller pushes from several threads between runs.
   std::atomic<std::uint64_t> ext_pushes_{0};

@@ -53,6 +53,12 @@
 // not assume it is visitor_queue itself — only that it has push(). `tid` is
 // the executing worker's index, usable to index per-thread counters in
 // State without contention.
+//
+// NOTE: this is an internal header. User code includes <asyncgt.hpp> (the
+// umbrella) and uses the session API (asyncgt::engine) or the async_* free
+// functions; including queue/visitor_queue.hpp — or any other internal
+// header — directly from user code is unsupported and may break without
+// notice as the layering evolves.
 #pragma once
 
 #include <algorithm>
@@ -154,6 +160,43 @@ class visitor_queue {
     }
   }
 
+  /// Asynchronous run: dispatches the workers as one gang on `pool` and
+  /// returns immediately. `done(stats, error)` is invoked exactly once —
+  /// on the pool thread finishing the gang (or inline for an empty
+  /// frontier) — with error null on success, else a traversal_aborted
+  /// exception_ptr. Sampler probes are registered for the duration and
+  /// unregistered before `done` runs, on every path. The caller must keep
+  /// `state` and this queue alive until then (asyncgt::engine's job
+  /// machinery does; see docs/service_api.md).
+  template <typename Done>
+  void run_async(service::worker_pool& pool, State& state, Done done) {
+    register_probes();
+    with_engine([&](auto& e) {
+      e.run_async(pool, state, wrap_done(std::move(done)));
+    });
+  }
+
+  /// Asynchronous seeded run; see run_seeded for the make_visitor contract
+  /// (const-callable, thread-safe — it is copied into the gang) and
+  /// run_async for the completion contract.
+  template <typename MakeVisitor, typename Done>
+  void run_seeded_async(service::worker_pool& pool, State& state,
+                        std::uint64_t num_vertices, MakeVisitor make_visitor,
+                        Done done) {
+    register_probes();
+    with_engine([&](auto& e) {
+      e.run_seeded_async(pool, state, num_vertices, std::move(make_visitor),
+                         wrap_done(std::move(done)));
+    });
+  }
+
+  /// Cooperative cancellation: aborts the current (or next) run promptly;
+  /// it completes with traversal_aborted. Callable from any thread — this
+  /// is what job::cancel() forwards to.
+  void cancel() {
+    with_engine([](auto& e) { e.request_cancel(); });
+  }
+
   std::size_t num_threads() const noexcept { return cfg_.num_threads; }
 
   /// In-flight visitor count (the termination counter). Exact at
@@ -192,6 +235,18 @@ class visitor_queue {
       default:
         return f(std::get<3>(engine_));
     }
+  }
+
+  /// Decorates an async completion callback so probes are unregistered
+  /// before the caller's `done` observes the result (telemetry teardown is
+  /// part of the run on the async path, as on the blocking one).
+  template <typename Done>
+  auto wrap_done(Done done) {
+    return [this, d = std::move(done)](queue_run_stats stats,
+                                       std::exception_ptr error) mutable {
+      unregister_probes();
+      d(std::move(stats), std::move(error));
+    };
   }
 
   void register_probes() {

@@ -1,0 +1,382 @@
+// asyncgt::engine — the session-based public API of the traversal service.
+//
+// The seed library answered one query per call: every async_* free function
+// built a fresh visitor_queue, spawned its full thread complement, joined
+// it, and threw everything away. This header turns that into a persistent
+// service: an engine owns a long-lived worker_pool (threads parked between
+// jobs, never re-spawned — see service/worker_pool.hpp for the gang
+// scheduler that doubles as the job admission policy), and queries become
+// *jobs*:
+//
+//   asyncgt::engine eng({.pool_threads = 16});
+//   auto j1 = eng.submit_bfs(g, 0);
+//   auto j2 = eng.submit_sssp(g, 42);   // concurrent with j1 over the same g
+//   auto bfs = j1.get();                // bfs_result, or throws
+//
+// Concurrency model. Each job gets its own queue lanes, termination
+// counter, and algorithm state (per-job isolation — a job failing or being
+// cancelled aborts only itself), while the *graph* and, for semi-external
+// runs, the block_cache and ssd_model behind it are shared: concurrent SEM
+// queries keep one device at its IOPS plateau and enjoy each other's cache
+// residency (bench/ext_concurrent_queries measures exactly that). Jobs
+// whose combined width exceeds the pool serialize FIFO; otherwise they
+// genuinely overlap.
+//
+// Job handles carry the whole per-job surface: a future (get/wait),
+// cooperative cancellation (cancel() reuses the PR-3 abort broadcast, so a
+// cancelled job unwinds promptly and surfaces traversal_aborted), a live
+// pending() frontier probe, and per-job stats in the result. Telemetry
+// sinks resolve per job: options attached to the submit win, engine
+// defaults fill the gaps, and the engine stamps the service.jobs counter
+// and service.pool.spawned_threads gauge into whichever registry the job
+// carries — a warm engine shows the gauge frozen at the pool width.
+//
+// The async_* free functions remain as one-shot wrappers over
+// engine::process_default() — submit + get — so all pre-service call sites
+// keep their exact signatures and exception contracts while transparently
+// sharing the process-wide pool.
+//
+// Layering: this header sits between the queue layer and the algorithm
+// headers. engine::submit_bfs/sssp/cc/... are declared here but *defined*
+// in the matching core/*.hpp (which include this header first), so the
+// service knows nothing about any particular visitor, and new algorithms
+// register themselves by defining another submit_* out of class — or by
+// calling the generic submit_traversal/submit_seeded directly.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "queue/queue_stats.hpp"
+#include "queue/visitor_queue.hpp"
+#include "service/traversal_options.hpp"
+#include "service/worker_pool.hpp"
+#include "telemetry/metrics_registry.hpp"
+
+namespace asyncgt {
+
+// Result types owned by the algorithm headers; only named here so the
+// submit_* declarations below can spell their return types.
+template <typename VertexId> struct bfs_result;
+template <typename VertexId> struct sssp_result;
+template <typename VertexId> struct cc_result;
+template <typename VertexId> struct pagerank_result;
+template <typename VertexId> struct kcore_result;
+struct pagerank_options;
+
+namespace service {
+
+/// Type-erased control block shared between a job handle and the engine:
+/// keeps cancellation and the pending-probe callable alive independently of
+/// the typed job state.
+struct job_control {
+  std::function<void()> cancel;
+  std::function<std::int64_t()> pending;
+  std::atomic<bool> finished{false};
+};
+
+}  // namespace service
+
+/// Handle to one submitted traversal. Movable, future-like. get() returns
+/// the algorithm result (with per-job queue stats inside) or rethrows the
+/// job's failure — traversal_aborted for worker faults and cancellations,
+/// exactly the free-function contract.
+template <typename Result>
+class job {
+ public:
+  job() = default;
+
+  /// Blocks until the job finishes; returns the result or rethrows the
+  /// job's error. Consumes the handle's future (one get() per job).
+  Result get() { return future_.get(); }
+
+  void wait() const { future_.wait(); }
+  bool valid() const noexcept { return future_.valid(); }
+
+  /// True once the job finished running — get() will no longer block on
+  /// traversal work. Non-blocking; implied by wait()/get() returning.
+  bool done() const noexcept {
+    return control_ != nullptr &&
+           control_->finished.load(std::memory_order_acquire);
+  }
+
+  /// Cooperative cancellation: raises the job's abort flag and wakes every
+  /// parked worker (the PR-3 failure-containment broadcast). The job's
+  /// workers unwind at their next abort check and get() throws
+  /// traversal_aborted. Idempotent; a no-op after completion.
+  void cancel() {
+    if (control_ != nullptr) control_->cancel();
+  }
+
+  /// Live in-flight visitor count of this job (conservative sample while
+  /// running, 0 at quiescence) — the per-job frontier probe.
+  std::int64_t pending() const {
+    return control_ != nullptr ? control_->pending() : 0;
+  }
+
+ private:
+  friend class engine;
+  job(std::future<Result> f, std::shared_ptr<service::job_control> c)
+      : future_(std::move(f)), control_(std::move(c)) {}
+
+  std::future<Result> future_;
+  std::shared_ptr<service::job_control> control_;
+};
+
+class engine {
+ public:
+  struct config {
+    /// Pre-warmed pool width. Jobs wider than the current pool grow it (and
+    /// bump the spawn counter); pre-size to the widest expected job for the
+    /// zero-spawns-after-warm-up guarantee.
+    std::size_t pool_threads = 0;
+    /// Per-job defaults: applied whole when a submit passes no options, and
+    /// its telemetry sinks fill any the submit's options leave null.
+    traversal_options defaults{};
+  };
+
+  engine() : engine(config{}) {}
+  explicit engine(config c)
+      : defaults_(std::move(c.defaults)), pool_(c.pool_threads) {}
+
+  engine(const engine&) = delete;
+  engine& operator=(const engine&) = delete;
+
+  /// Waits for every outstanding job, then parks and joins the pool.
+  ~engine() { wait_idle(); }
+
+  // ---- The session API (defined out of class in core/*.hpp) ----
+
+  template <typename Graph>
+  job<bfs_result<typename Graph::vertex_id>> submit_bfs(
+      const Graph& g, typename Graph::vertex_id start,
+      std::optional<traversal_options> opts = std::nullopt);
+
+  template <typename Graph>
+  job<sssp_result<typename Graph::vertex_id>> submit_sssp(
+      const Graph& g, typename Graph::vertex_id start,
+      std::optional<traversal_options> opts = std::nullopt);
+
+  template <typename Graph>
+  job<cc_result<typename Graph::vertex_id>> submit_cc(
+      const Graph& g, std::optional<traversal_options> opts = std::nullopt);
+
+  template <typename Graph>
+  job<bfs_result<typename Graph::vertex_id>> submit_multi_source_bfs(
+      const Graph& g,
+      const std::vector<typename Graph::vertex_id>& sources,
+      std::optional<traversal_options> opts = std::nullopt);
+
+  template <typename Graph>
+  job<pagerank_result<typename Graph::vertex_id>> submit_pagerank(
+      const Graph& g, pagerank_options popt,
+      std::optional<traversal_options> opts = std::nullopt);
+
+  template <typename Graph>
+  job<kcore_result<typename Graph::vertex_id>> submit_kcore(
+      const Graph& g, std::optional<traversal_options> opts = std::nullopt);
+
+  // ---- Generic submission (what the named submits are built from) ----
+
+  /// Submits an externally-seeded traversal. `state` is moved into the job;
+  /// `prepare(queue, state)` runs synchronously on the submitting thread to
+  /// push the seed visitors; `finalize(state, stats)` runs on the pool
+  /// thread that completes the job and produces the result delivered
+  /// through the handle. On failure or cancellation finalize is skipped and
+  /// the handle carries the error instead.
+  template <typename Visitor, typename State, typename Prepare,
+            typename Finalize>
+  auto submit_traversal(std::optional<traversal_options> opts, State state,
+                        Prepare prepare, Finalize finalize)
+      -> job<std::invoke_result_t<Finalize&, State&, queue_run_stats>> {
+    auto tj = make_typed_job<Visitor>(opts, std::move(state),
+                                      std::move(finalize));
+    prepare(tj->queue, tj->state);
+    return start_job(tj, [this](auto& jq, auto& jstate, auto done) {
+      jq.run_async(pool_, jstate, std::move(done));
+    });
+  }
+
+  /// Seeded flavour: one visitor per vertex in [0, num_vertices), built by
+  /// `make_visitor` on the job's own workers (paper Algorithm 3 seeding).
+  /// make_visitor must be const-callable and thread-safe, as for
+  /// visitor_queue::run_seeded.
+  template <typename Visitor, typename State, typename MakeVisitor,
+            typename Finalize>
+  auto submit_seeded(std::optional<traversal_options> opts, State state,
+                     std::uint64_t num_vertices, MakeVisitor make_visitor,
+                     Finalize finalize)
+      -> job<std::invoke_result_t<Finalize&, State&, queue_run_stats>> {
+    auto tj = make_typed_job<Visitor>(opts, std::move(state),
+                                      std::move(finalize));
+    return start_job(
+        tj, [this, num_vertices, mv = std::move(make_visitor)](
+                auto& jq, auto& jstate, auto done) mutable {
+          jq.run_seeded_async(pool_, jstate, num_vertices, std::move(mv),
+                              std::move(done));
+        });
+  }
+
+  // ---- Introspection / lifecycle ----
+
+  /// Resolves options against this engine's defaults and pins the config to
+  /// its pool (growing it to the job's width). For blocking call sites that
+  /// must own their visitor_queue and state directly — the checkpointed
+  /// variants in core/checkpoint.hpp, which save partial state after an
+  /// abort — yet should still run on warm pooled workers.
+  visitor_queue_config pooled_config(
+      std::optional<traversal_options> opts = std::nullopt) {
+    return prepare_config(opts);
+  }
+
+  service::worker_pool& pool() noexcept { return pool_; }
+  const traversal_options& defaults() const noexcept { return defaults_; }
+
+  /// Jobs submitted but not yet completed (delivered or failed).
+  std::size_t active_jobs() const {
+    std::lock_guard lk(jobs_mu_);
+    return active_;
+  }
+
+  std::uint64_t jobs_submitted() const noexcept {
+    return submitted_.load(std::memory_order_relaxed);
+  }
+
+  /// Blocks until every outstanding job delivered its result or error.
+  void wait_idle() {
+    std::unique_lock lk(jobs_mu_);
+    idle_cv_.wait(lk, [&] { return active_ == 0; });
+  }
+
+  /// The process-local engine behind the async_* free functions. Its pool
+  /// grows on demand to the widest job ever requested and survives until
+  /// process exit, so back-to-back free-function calls reuse warm workers.
+  static engine& process_default() {
+    static engine instance;
+    return instance;
+  }
+
+ private:
+  // Option resolution visible to the out-of-class submit_* definitions in
+  // core/*.hpp: the thread count sizes the per-job state shards, and the
+  // resolved metrics sink lets finalize record per-algorithm work counters
+  // with the same opts-win-defaults-fill rule prepare_config applies.
+  const traversal_options& resolve(
+      const std::optional<traversal_options>& opts) const noexcept {
+    return opts.has_value() ? *opts : defaults_;
+  }
+
+  std::size_t resolve_threads(
+      const std::optional<traversal_options>& opts) const noexcept {
+    return resolve(opts).queue.num_threads;
+  }
+
+  telemetry::metrics_registry* resolve_metrics(
+      const std::optional<traversal_options>& opts) const noexcept {
+    telemetry::metrics_registry* m = resolve(opts).queue.metrics;
+    return m != nullptr ? m : defaults_.queue.metrics;
+  }
+
+  template <typename Visitor, typename State, typename Finalize>
+  struct typed_job {
+    using result_type =
+        std::invoke_result_t<Finalize&, State&, queue_run_stats>;
+    State state;
+    visitor_queue<Visitor, State> queue;
+    Finalize finalize;
+    std::promise<result_type> promise;
+
+    typed_job(State&& st, const visitor_queue_config& cfg, Finalize&& fin)
+        : state(std::move(st)), queue(cfg), finalize(std::move(fin)) {}
+  };
+
+  /// Resolves options against engine defaults, pins the job to this
+  /// engine's pool, grows the pool to the job's width, and stamps the
+  /// service metrics into the job's registry (if any).
+  visitor_queue_config prepare_config(
+      const std::optional<traversal_options>& opts) {
+    const traversal_options& t = opts.has_value() ? *opts : defaults_;
+    visitor_queue_config cfg = t.queue;
+    if (cfg.metrics == nullptr) cfg.metrics = defaults_.queue.metrics;
+    if (cfg.trace == nullptr) cfg.trace = defaults_.queue.trace;
+    if (cfg.sampler == nullptr) cfg.sampler = defaults_.queue.sampler;
+    cfg.validate();
+    cfg.pool = &pool_;
+    pool_.ensure_threads(cfg.num_threads);
+    if (cfg.metrics != nullptr) {
+      cfg.metrics->get_counter("service.jobs").add(0);
+      cfg.metrics->get_gauge("service.pool.spawned_threads")
+          .record_max(static_cast<std::int64_t>(pool_.threads_spawned()));
+    }
+    return cfg;
+  }
+
+  template <typename Visitor, typename State, typename Finalize>
+  auto make_typed_job(const std::optional<traversal_options>& opts,
+                      State state, Finalize finalize) {
+    const visitor_queue_config cfg = prepare_config(opts);
+    return std::make_shared<typed_job<Visitor, State, Finalize>>(
+        std::move(state), cfg, std::move(finalize));
+  }
+
+  /// Common tail of both submit flavours: wire the control block, launch
+  /// via `run` (which picks run_async vs run_seeded_async), deliver the
+  /// result or error through the promise from the completing pool thread.
+  template <typename TypedJob, typename Run>
+  auto start_job(std::shared_ptr<TypedJob> tj, Run run)
+      -> job<typename TypedJob::result_type> {
+    using Result = typename TypedJob::result_type;
+    auto control = std::make_shared<service::job_control>();
+    control->cancel = [tj] { tj->queue.cancel(); };
+    control->pending = [tj] { return tj->queue.pending(); };
+    job<Result> handle(tj->promise.get_future(), control);
+    {
+      std::lock_guard lk(jobs_mu_);
+      ++active_;
+    }
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    run(tj->queue, tj->state,
+        [this, tj, control](queue_run_stats stats, std::exception_ptr error) {
+          // finished flips before the promise is fulfilled so that a handle
+          // whose wait()/get() returned always reads done() == true.
+          control->finished.store(true, std::memory_order_release);
+          if (error != nullptr) {
+            tj->promise.set_exception(std::move(error));
+          } else {
+            try {
+              tj->promise.set_value(tj->finalize(tj->state, std::move(stats)));
+            } catch (...) {
+              tj->promise.set_exception(std::current_exception());
+            }
+          }
+          {
+            // Notify under the lock: wait_idle() may be ~engine, and the
+            // condvar must not be destroyed mid-notify. Holding jobs_mu_
+            // means the notify completes before any waiter can observe
+            // active_ == 0.
+            std::lock_guard lk(jobs_mu_);
+            --active_;
+            idle_cv_.notify_all();
+          }
+        });
+    return handle;
+  }
+
+  traversal_options defaults_;
+  service::worker_pool pool_;
+  mutable std::mutex jobs_mu_;
+  std::condition_variable idle_cv_;
+  std::size_t active_ = 0;  // guarded by jobs_mu_
+  std::atomic<std::uint64_t> submitted_{0};
+};
+
+}  // namespace asyncgt

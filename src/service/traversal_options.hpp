@@ -1,0 +1,86 @@
+// traversal_options — the one per-job configuration surface of the library.
+//
+// Before this struct, every call site assembled a visitor_queue_config by
+// hand and the SEM retry knobs travelled separately: the engine API, the
+// async_* free functions, agt_tool, and each bench harness all duplicated
+// the "threads / flush-batch / retries / backoff / sinks" plumbing, so
+// adding one option meant touching five parsers. traversal_options folds
+// all of it into a single struct with a single flag parser
+// (`from_flags`): the session API (engine::submit_*), the free-function
+// wrappers, and the tools all consume this one type.
+//
+// It converts implicitly from visitor_queue_config, so pre-existing call
+// sites that pass a raw queue config to async_bfs/async_sssp/... keep
+// compiling unchanged.
+//
+// Layering: the I/O retry knobs are carried as plain integers (mirroring
+// sem::io_retry_policy's defaults) rather than as the sem type itself, so
+// the in-memory algorithm headers do not grow a dependency on the SEM
+// layer; SEM call sites build an io_retry_policy via the documented
+// correspondence (see agt_tool, bench/ext_concurrent_queries).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "queue/queue_config.hpp"
+#include "util/options.hpp"
+
+namespace asyncgt {
+
+struct traversal_options {
+  /// Queue/engine knobs: thread count, pop ordering, flush batch, routing,
+  /// and the borrowed telemetry sinks (metrics/trace/sampler).
+  visitor_queue_config queue;
+
+  /// Transient-I/O retry budget for semi-external runs; mirrors
+  /// sem::io_retry_policy{max_retries, backoff_initial_us} defaults.
+  /// Ignored by in-memory runs.
+  std::uint32_t io_retries = 4;
+  std::uint32_t io_backoff_us = 50;
+
+  traversal_options() = default;
+  /// Implicit on purpose: every pre-service call site passes a
+  /// visitor_queue_config and must keep compiling.
+  traversal_options(const visitor_queue_config& cfg) : queue(cfg) {}
+
+  traversal_options& with_threads(std::size_t n) {
+    queue.num_threads = n;
+    return *this;
+  }
+  traversal_options& with_flush_batch(std::size_t b) {
+    queue.flush_batch = b;
+    return *this;
+  }
+  traversal_options& with_metrics(telemetry::metrics_registry* m) {
+    queue.metrics = m;
+    return *this;
+  }
+
+  void validate() const { queue.validate(); }
+
+  /// The single flag parser shared by agt_tool and the bench harnesses:
+  ///   --threads=N        worker lanes            (default 16)
+  ///   --flush-batch=N    delivery batch          (default 64 IM, 1 SEM —
+  ///                      batching delay fragments the semi-sorted visit
+  ///                      order the SEM block cache depends on, tuning.md)
+  ///   --io-retries=N     transient-errno budget  (default 4)
+  ///   --io-backoff-us=N  initial retry backoff   (default 50)
+  /// `sem_mode` selects the SEM defaults (flush batch, secondary sort).
+  static traversal_options from_flags(const options& opt,
+                                      bool sem_mode = false) {
+    traversal_options o;
+    o.queue.num_threads =
+        static_cast<std::size_t>(opt.get_int("threads", 16));
+    o.queue.flush_batch = static_cast<std::size_t>(
+        opt.get_int("flush-batch", sem_mode ? 1 : 64));
+    o.queue.secondary_vertex_sort = sem_mode;
+    o.io_retries = static_cast<std::uint32_t>(
+        opt.get_int("io-retries", static_cast<std::int64_t>(o.io_retries)));
+    o.io_backoff_us = static_cast<std::uint32_t>(opt.get_int(
+        "io-backoff-us", static_cast<std::int64_t>(o.io_backoff_us)));
+    return o;
+  }
+};
+
+}  // namespace asyncgt

@@ -1,0 +1,159 @@
+// Concurrent queries over one shared graph — the workload the service
+// exists for (docs/service_api.md). N simultaneous BFS / SSSP / CC jobs on
+// a single engine must each reach exactly the fixed point the serial
+// baselines compute, over one shared in-memory graph and over one shared
+// semi-external graph + ssd_model + block_cache — with and without fault
+// injection on the storage path. Per-job isolation is the property under
+// test: jobs share the pool, the graph, and the cache, but nothing else.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "asyncgt.hpp"
+#include "baselines/serial_bfs.hpp"
+#include "baselines/serial_cc.hpp"
+#include "baselines/serial_sssp.hpp"
+#include "telemetry/io_recorder.hpp"
+
+namespace asyncgt {
+namespace {
+
+class ConcurrentQueries : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("agt_concurrent_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    // Undirected + weighted so every algorithm is meaningful on one graph.
+    g_ = add_weights(rmat_graph_undirected<vertex32>(rmat_a(10)),
+                     weight_scheme::uniform, 3);
+    path_ = (dir_ / "g.agt").string();
+    write_graph(path_, g_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  static traversal_options threads(std::size_t n) {
+    return traversal_options{}.with_threads(n);
+  }
+
+  /// Fires 2×BFS + SSSP + CC on `eng` over `graph` at once, then checks
+  /// every result against the serial baselines on the in-memory twin.
+  template <typename Graph>
+  void run_four_jobs(engine& eng, const Graph& graph) {
+    auto b0 = eng.submit_bfs(graph, vertex32{0});
+    auto b1 = eng.submit_bfs(graph, start1_);
+    auto ss = eng.submit_sssp(graph, vertex32{0});
+    auto cc = eng.submit_cc(graph);
+
+    EXPECT_EQ(b0.get().level, serial_bfs(g_, vertex32{0}).level);
+    EXPECT_EQ(b1.get().level, serial_bfs(g_, start1_).level);
+    EXPECT_EQ(ss.get().dist, dijkstra_sssp(g_, vertex32{0}).dist);
+    EXPECT_EQ(cc.get().num_components(), serial_cc(g_).num_components());
+    eng.wait_idle();  // accounting retires a beat after get() returns
+    EXPECT_EQ(eng.active_jobs(), 0u);
+  }
+
+  std::filesystem::path dir_;
+  csr32 g_;
+  std::string path_;
+  vertex32 start1_ = 1;
+};
+
+TEST_F(ConcurrentQueries, MixedJobsOverOneInMemoryGraph) {
+  // Pool wide enough for all four jobs to genuinely overlap.
+  engine eng({.pool_threads = 16, .defaults = threads(4)});
+  run_four_jobs(eng, g_);
+  EXPECT_EQ(eng.jobs_submitted(), 4u);
+  EXPECT_EQ(eng.pool().threads_spawned(), 16u);
+}
+
+TEST_F(ConcurrentQueries, MixedJobsOverOneSharedSemGraphAndCache) {
+  // One device model, one block cache, one sem graph — all four jobs read
+  // through them concurrently (the bench's shared-residency scenario).
+  sem::ssd_model dev(sem::device_preset_by_name("intel", 0.01));
+  sem::block_cache cache(64);
+  sem::sem_csr32 sg(path_, &dev, &cache);
+
+  engine eng({.pool_threads = 16, .defaults = threads(4)});
+  run_four_jobs(eng, sg);
+  EXPECT_GT(cache.counters().hits, 0u);
+}
+
+TEST_F(ConcurrentQueries, SharedSemGraphUnderTransientFaultsIsExact) {
+  // Every read through the shared storage draws from the fault injector;
+  // the retry policy must keep all four concurrent jobs byte-exact, with
+  // recovery visible only in io telemetry.
+  sem::fault_config fc;
+  fc.seed = 7;
+  fc.p_eio = 0.4;
+  fc.p_eagain = 0.1;
+  fc.p_short = 0.2;
+  fc.fail_attempts = 2;
+  sem::fault_injector inj(fc);
+  telemetry::io_recorder rec;
+  sem::block_cache cache(64);
+  sem::sem_csr32 sg(path_, nullptr, &cache);
+  sem::io_retry_policy retry;
+  retry.max_retries = 4;
+  retry.backoff_initial_us = 1;
+  retry.backoff_max_us = 20;
+  sg.set_retry_policy(retry);
+  sg.set_fault_injector(&inj);
+  sg.set_io_recorder(&rec);
+
+  engine eng({.pool_threads = 16, .defaults = threads(4)});
+  run_four_jobs(eng, sg);
+
+  const auto io = rec.snapshot();
+  EXPECT_GT(inj.counters().errors, 0u);
+  EXPECT_GT(io.retries, 0u);
+  EXPECT_EQ(io.gave_up, 0u);
+}
+
+TEST_F(ConcurrentQueries, FatalFaultKillsItsJobWhileSiblingsFinish) {
+  // Two views of the same file: one healthy, one with a non-retryable
+  // injector. Jobs over the poisoned view abort; concurrent jobs over the
+  // healthy view (same engine, same pool) must not notice.
+  sem::fault_config fc;
+  fc.seed = 11;
+  fc.p_eio = 0.5;
+  fc.fatal = true;
+  sem::fault_injector inj(fc);
+  sem::sem_csr32 poisoned(path_);
+  poisoned.set_fault_injector(&inj);
+  sem::sem_csr32 healthy(path_);
+
+  engine eng({.pool_threads = 16, .defaults = threads(4)});
+  auto good_bfs = eng.submit_bfs(healthy, vertex32{0});
+  auto bad_bfs = eng.submit_bfs(poisoned, vertex32{0});
+  auto good_cc = eng.submit_cc(healthy);
+  auto bad_sssp = eng.submit_sssp(poisoned, vertex32{0});
+
+  EXPECT_THROW(bad_bfs.get(), traversal_aborted);
+  EXPECT_THROW(bad_sssp.get(), traversal_aborted);
+  EXPECT_EQ(good_bfs.get().level, serial_bfs(g_, vertex32{0}).level);
+  EXPECT_EQ(good_cc.get().num_components(), serial_cc(g_).num_components());
+
+  // The engine keeps serving after burying both failed jobs.
+  EXPECT_EQ(eng.submit_bfs(healthy, vertex32{0}).get().level,
+            serial_bfs(g_, vertex32{0}).level);
+}
+
+TEST_F(ConcurrentQueries, RepeatedWavesKeepThePoolWarm) {
+  // Three waves of four concurrent jobs: after the first wave the pool must
+  // never spawn again — the service-reuse guarantee under a live mix.
+  engine eng({.pool_threads = 16, .defaults = threads(4)});
+  run_four_jobs(eng, g_);
+  const std::uint64_t warm = eng.pool().threads_spawned();
+  run_four_jobs(eng, g_);
+  run_four_jobs(eng, g_);
+  EXPECT_EQ(eng.pool().threads_spawned(), warm);
+  EXPECT_EQ(eng.jobs_submitted(), 12u);
+}
+
+}  // namespace
+}  // namespace asyncgt

@@ -1,0 +1,158 @@
+// Contract of the service's gang scheduler (service/worker_pool.hpp): FIFO
+// block dispatch, grow-only spawning with a frozen-when-warm lifetime
+// counter, completion hooks that run before wait() returns, and a
+// destructor that drains every queued gang. These are the properties the
+// engine's job scheduler and the zero-spawns-after-warm-up acceptance test
+// are built on, so they get direct coverage below the traversal layer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "service/worker_pool.hpp"
+
+namespace asyncgt::service {
+namespace {
+
+TEST(WorkerPool, RunsEverySlotExactlyOnce) {
+  worker_pool pool(4);
+  std::vector<std::atomic<int>> hits(16);
+  auto t = pool.submit(hits.size(),
+                       [&](std::size_t slot) { ++hits[slot]; });
+  pool.wait(t);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(WorkerPool, SpawnCounterGrowsOnDemandAndThenFreezes) {
+  worker_pool pool(2);
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_EQ(pool.threads_spawned(), 2u);
+
+  // A gang wider than the pool grows it (the FIFO progress guarantee
+  // requires at least `count` threads)...
+  pool.wait(pool.submit(6, [](std::size_t) {}));
+  EXPECT_EQ(pool.size(), 6u);
+  EXPECT_EQ(pool.threads_spawned(), 6u);
+
+  // ...and every narrower or equal gang afterwards reuses warm threads:
+  // the lifetime counter must not move again.
+  for (int i = 0; i < 8; ++i) {
+    pool.wait(pool.submit(6, [](std::size_t) {}));
+    pool.wait(pool.submit(3, [](std::size_t) {}));
+  }
+  EXPECT_EQ(pool.threads_spawned(), 6u);
+  EXPECT_EQ(pool.gangs_completed(), 17u);
+}
+
+TEST(WorkerPool, FifoBlockDispatchSerializesOversizedLoad) {
+  // Gang A occupies the entire pool, parked on a gate. Gang B is queued
+  // behind it: with no spare threads, FIFO block dispatch means not one B
+  // item may start until A releases.
+  worker_pool pool(4);
+  std::atomic<bool> gate{false};
+  std::atomic<int> a_started{0};
+  std::atomic<int> b_started{0};
+
+  auto a = pool.submit(4, [&](std::size_t) {
+    ++a_started;
+    while (!gate.load()) std::this_thread::yield();
+  });
+  auto b = pool.submit(4, [&](std::size_t) { ++b_started; });
+
+  while (a_started.load() < 4) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(b_started.load(), 0) << "gang B ran while A held every thread";
+
+  gate.store(true);
+  pool.wait(a);
+  pool.wait(b);
+  EXPECT_EQ(b_started.load(), 4);
+}
+
+TEST(WorkerPool, ConcurrentGangsOverlapWhenThreadsAreFree) {
+  // Two half-width gangs in an oversized pool must genuinely overlap: each
+  // gang's items park until they have seen a live item of the *other* gang,
+  // which can only terminate if both run at once.
+  worker_pool pool(8);
+  std::atomic<int> a_live{0};
+  std::atomic<int> b_live{0};
+  auto a = pool.submit(4, [&](std::size_t) {
+    ++a_live;
+    while (b_live.load() == 0) std::this_thread::yield();
+  });
+  auto b = pool.submit(4, [&](std::size_t) {
+    ++b_live;
+    while (a_live.load() == 0) std::this_thread::yield();
+  });
+  pool.wait(a);
+  pool.wait(b);
+  EXPECT_EQ(a_live.load(), 4);
+  EXPECT_EQ(b_live.load(), 4);
+}
+
+TEST(WorkerPool, OnCompleteRunsOnceBeforeWaitReturns) {
+  worker_pool pool(4);
+  std::atomic<int> body_runs{0};
+  std::atomic<int> completions{0};
+  int seen_at_completion = -1;
+  auto t = pool.submit(
+      8, [&](std::size_t) { ++body_runs; },
+      [&] {
+        seen_at_completion = body_runs.load();
+        ++completions;
+      });
+  pool.wait(t);
+  EXPECT_EQ(completions.load(), 1);
+  EXPECT_EQ(seen_at_completion, 8) << "on_complete ran before the last item";
+}
+
+TEST(WorkerPool, DestructorDrainsQueuedGangs) {
+  // Submit a burst and destroy the pool immediately: shutdown must still
+  // run every queued item (abandoning them would park sibling traversal
+  // lanes forever), then join.
+  std::atomic<int> runs{0};
+  {
+    worker_pool pool(2);
+    for (int i = 0; i < 16; ++i) {
+      pool.submit(2, [&](std::size_t) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        ++runs;
+      });
+    }
+  }
+  EXPECT_EQ(runs.load(), 32);
+}
+
+TEST(WorkerPool, EmptyGangIsRejected) {
+  worker_pool pool(1);
+  EXPECT_THROW(pool.submit(0, [](std::size_t) {}), std::invalid_argument);
+}
+
+TEST(WorkerPool, ManyGangsStress) {
+  worker_pool pool(8);
+  std::atomic<std::uint64_t> total{0};
+  std::vector<worker_pool::ticket> tickets;
+  tickets.reserve(64);
+  for (int i = 0; i < 64; ++i) {
+    tickets.push_back(pool.submit(
+        1 + static_cast<std::size_t>(i % 8),
+        [&](std::size_t slot) { total += slot + 1; }));
+  }
+  for (const auto& t : tickets) pool.wait(t);
+  // sum over gangs of 1+2+...+count
+  std::uint64_t expect = 0;
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t c = 1 + static_cast<std::uint64_t>(i % 8);
+    expect += c * (c + 1) / 2;
+  }
+  EXPECT_EQ(total.load(), expect);
+  EXPECT_EQ(pool.gangs_completed(), 64u);
+  EXPECT_EQ(pool.threads_spawned(), 8u);
+}
+
+}  // namespace
+}  // namespace asyncgt::service

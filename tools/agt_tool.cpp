@@ -285,13 +285,10 @@ int run_traversal(const options& opt, const char* name, F&& run) {
     }
   } cleanup{temp_file};
 
-  visitor_queue_config cfg;
-  cfg.num_threads = static_cast<std::size_t>(opt.get_int("threads", 16));
-  // Batched delivery pays in memory (mutex amortization); SEM mode defaults
-  // to per-push so delivery delay cannot fragment the semi-sorted visit
-  // order the block cache depends on (docs/tuning.md).
-  cfg.flush_batch = static_cast<std::size_t>(
-      opt.get_int("flush-batch", sem_mode ? 1 : 64));
+  // One parser for threads / flush-batch / retries / backoff, shared with
+  // the engine API and the bench harnesses (service/traversal_options.hpp).
+  const traversal_options topt = traversal_options::from_flags(opt, sem_mode);
+  visitor_queue_config cfg = topt.queue;
   rep.attach(cfg);
 
   int rc;
@@ -300,7 +297,6 @@ int run_traversal(const options& opt, const char* name, F&& run) {
         opt.get_string("device", "intel"),
         opt.get_double("time-scale", 1.0));
     sem::ssd_model dev(params);
-    cfg.secondary_vertex_sort = true;
     // Optional block cache between the traversal and the device. Demo mode
     // enables it (the SEM report should show hit/miss/eviction dynamics);
     // explicit --sem keeps the seed default of no cache unless asked.
@@ -324,10 +320,8 @@ int run_traversal(const options& opt, const char* name, F&& run) {
           sem::parse_fault_config(inject_spec));
     }
     sem::io_retry_policy retry;
-    retry.max_retries = static_cast<std::uint32_t>(
-        opt.get_int("io-retries", static_cast<int>(retry.max_retries)));
-    retry.backoff_initial_us = static_cast<std::uint32_t>(opt.get_int(
-        "io-backoff-us", static_cast<int>(retry.backoff_initial_us)));
+    retry.max_retries = topt.io_retries;
+    retry.backoff_initial_us = topt.io_backoff_us;
     std::unique_ptr<sem::sem_csr32> g;
     {
       telemetry::phase_timer ph(rep.trace(), "load-graph", &rep.metrics());
@@ -558,8 +552,7 @@ int cmd_pagerank(const options& opt) {
 int cmd_metrics(const options& opt) {
   if (opt.positional().size() < 2) return usage();
   const csr32 g = read_graph32(opt.positional()[1]);
-  visitor_queue_config cfg;
-  cfg.num_threads = static_cast<std::size_t>(opt.get_int("threads", 16));
+  const traversal_options cfg = traversal_options::from_flags(opt);
   const degree_summary s = compute_degree_summary(g);
   std::printf("degree          : %s\n", s.stats.to_string().c_str());
   std::printf("top-1%% edges    : %.1f%%\n",

@@ -2,8 +2,10 @@
 # Builds the tree under ThreadSanitizer and runs the concurrency-sensitive
 # suites: the layered visitor-queue engine (routing / ordering / mailbox /
 # termination, including the flush-batch ablation), the asynchronous
-# traversals driving it, and the failure-containment battery (abort
-# broadcast racing delivery/parking, injected-fault soak). Wraps the `tsan`
+# traversals driving it, the failure-containment battery (abort
+# broadcast racing delivery/parking, injected-fault soak), and the
+# traversal-service battery (pooled gang dispatch, concurrent jobs over one
+# shared graph, cancellation racing the pool). Wraps the `tsan`
 # presets in CMakePresets.json so CI and humans run the identical
 # configuration:
 #
@@ -18,5 +20,5 @@ cd "$(dirname "$0")/.."
 JOBS="${1:--j$(nproc)}"
 
 cmake --preset tsan
-cmake --build --preset tsan "${JOBS}" --target test_queue test_core test_fault
+cmake --build --preset tsan "${JOBS}" --target test_queue test_core test_fault test_service
 ctest --preset tsan
