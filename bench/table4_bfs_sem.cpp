@@ -84,6 +84,12 @@ int main(int argc, char** argv) {
     injector = std::make_unique<sem::fault_injector>(
         sem::parse_fault_config(inject_spec));
   }
+  // --io-backend routes every adjacency read (docs/io_backends.md); labels
+  // must stay identical to the sync default, so the per-run correctness
+  // check below doubles as the backend acceptance test.
+  sem::io_backend_config backend_cfg;
+  backend_cfg.kind = sem::parse_io_backend_kind(topt.io_backend);
+  backend_cfg.batch = topt.io_batch;
   telemetry::io_recorder io_rec;  // accumulates across all SEM runs
 
   banner("Semi-External Memory Breadth First Search", "paper Table IV");
@@ -134,6 +140,9 @@ int main(int argc, char** argv) {
             1, static_cast<std::uint64_t>(cache_fraction *
                                           static_cast<double>(file_blocks))));
         sem::sem_csr32 sg(path, &dev, &cache);
+        backend_cfg.block_bytes =
+            static_cast<std::uint32_t>(devices[d].block_bytes);
+        sg.set_io_backend(backend_cfg);
         if (injector != nullptr) {
           sg.set_fault_injector(injector.get());
           sg.set_io_recorder(&io_rec);
@@ -160,6 +169,7 @@ int main(int argc, char** argv) {
           sem::ssd_model dev1(devices[d]);
           sem::block_cache cache1(cache.capacity());
           sem::sem_csr32 sg1(path, &dev1, &cache1);
+          sg1.set_io_backend(backend_cfg);
           visitor_queue_config cfg1 = cfg;
           cfg1.num_threads = 1;
           t_sem1 = time_seconds([&] { async_bfs(sg1, start, cfg1); });

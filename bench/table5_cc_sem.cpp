@@ -53,6 +53,11 @@ int main(int argc, char** argv) {
     injector = std::make_unique<sem::fault_injector>(
         sem::parse_fault_config(inject_spec));
   }
+  // --io-backend routes every adjacency read (docs/io_backends.md); the
+  // per-run label check doubles as the backend acceptance test.
+  sem::io_backend_config backend_cfg;
+  backend_cfg.kind = sem::parse_io_backend_kind(topt.io_backend);
+  backend_cfg.batch = topt.io_batch;
   telemetry::io_recorder io_rec;  // accumulates across all SEM runs
 
   banner("Semi-External Memory Connected Components", "paper Table V");
@@ -113,6 +118,9 @@ int main(int argc, char** argv) {
           1, static_cast<std::uint64_t>(cache_fraction *
                                         static_cast<double>(file_blocks))));
       sem::sem_csr32 sg(path, &dev, &cache);
+      backend_cfg.block_bytes =
+          static_cast<std::uint32_t>(devices[d].block_bytes);
+      sg.set_io_backend(backend_cfg);
       if (injector != nullptr) {
         sg.set_fault_injector(injector.get());
         sg.set_io_recorder(&io_rec);

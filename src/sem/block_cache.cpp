@@ -30,6 +30,11 @@ bool block_cache::access(std::uint64_t block) {
   return false;
 }
 
+bool block_cache::contains(std::uint64_t block) const {
+  std::lock_guard lk(mu_);
+  return map_.find(block) != map_.end();
+}
+
 std::uint64_t block_cache::size() const {
   std::lock_guard lk(mu_);
   return map_.size();

@@ -46,6 +46,12 @@ class block_cache {
   /// inserts it, evicting the least-recently-used block if full.
   bool access(std::uint64_t block);
 
+  /// Non-mutating residency probe: true iff `block` is currently tracked.
+  /// Does not refresh recency and does not count as a hit or miss — used by
+  /// the coalescing io_backend to trim speculative readahead at blocks the
+  /// simulated page cache would serve cheaply anyway.
+  bool contains(std::uint64_t block) const;
+
   std::uint64_t capacity() const noexcept { return capacity_; }
   std::uint64_t size() const;
   cache_counters counters() const;

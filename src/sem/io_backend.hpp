@@ -1,0 +1,187 @@
+// Pluggable batched I/O backends for semi-external storage.
+//
+// The paper reaches peak random-read IOPS by oversubscribing threads so
+// that many blocking preads are in flight at once; modern out-of-core
+// systems (ACGraph et al., PAPERS.md) reach the same device concurrency
+// with far fewer threads by issuing *batched, coalesced* block requests.
+// This header is the seam between those two worlds: every adjacency read
+// of a sem_csr flows through an io_backend, and the backend decides how
+// logical requests become syscalls.
+//
+//   sync_backend        one pread per request — the behaviour-identical
+//                       default (exactly the pre-backend read path).
+//   coalescing_backend  per-thread staging: requests merge with adjacent /
+//                       overlapping ranges into preadv batches, and single
+//                       reads are extended into a block-aligned readahead
+//                       window of `batch` blocks. The semi-sorted SEM visit
+//                       order (§IV-C) makes consecutive requests adjacent
+//                       in the file, so most requests are served from the
+//                       window without a syscall. Speculative readahead is
+//                       trimmed at blocks already resident in the shared
+//                       block_cache (they are cheap re-reads anyway).
+//   uring_backend       (-DASYNCGT_WITH_URING) submits the same merged
+//                       batches through io_uring with a bounded in-flight
+//                       window; falls back to the synchronous path when
+//                       the ring is unavailable or a fault injector is
+//                       attached (plans must be drawn per logical op).
+//
+// Failure model (docs/io_backends.md, docs/robustness.md): every syscall a
+// backend issues goes through edge_file's retry/backoff loop, and faults
+// are drawn per *merged range*. When a merged range fails permanently the
+// batch is split — each staged request is re-issued on its own — so a bad
+// sector can only fail requests whose own bytes overlap it, and traversal
+// labels are bit-identical across backends, faults or not.
+//
+// Threading: one backend instance lives per sem_csr and is shared by every
+// concurrent job traversing it. All per-thread state (windows, staged
+// requests) lives in lanes indexed by a process-wide thread index; counters
+// are relaxed atomics. No locks on the read path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sem/edge_file.hpp"
+
+namespace asyncgt::sem {
+
+class block_cache;
+
+enum class io_backend_kind { sync, coalescing, uring };
+
+const char* to_string(io_backend_kind kind) noexcept;
+
+/// Parses "sync" | "coalescing" | "uring" (the `--io-backend=` values).
+/// Throws std::invalid_argument on anything else, including "uring" when
+/// the tree was built without -DASYNCGT_WITH_URING.
+io_backend_kind parse_io_backend_kind(const std::string& name);
+
+/// The backends compiled into this build, in declaration order. "Every
+/// compiled io_backend" in the differential and identity suites iterates
+/// this list.
+std::vector<io_backend_kind> compiled_io_backends();
+
+/// True iff `kind` can actually run on this host. sync/coalescing always
+/// can; uring probes io_uring_setup once (sandboxes and old kernels refuse
+/// it) and remembers the answer.
+bool io_backend_available(io_backend_kind kind) noexcept;
+
+struct io_backend_config {
+  io_backend_kind kind = io_backend_kind::sync;
+  /// Batch depth: the readahead window in blocks for single reads, and the
+  /// staged-request count that triggers an implicit flush.
+  std::uint32_t batch = 8;
+  /// Device block granularity for window alignment (4 KiB = the NAND page
+  /// size every device preset uses).
+  std::uint32_t block_bytes = 4096;
+
+  void validate() const;
+};
+
+/// One logical read: `bytes` at `offset` into `dst`. `stream` is a window
+/// affinity hint (0 = targets section, 1 = weights section): requests of
+/// different streams keep separate readahead windows so a weighted
+/// traversal's alternating target/weight reads do not thrash one window.
+struct io_request {
+  std::uint64_t offset = 0;
+  std::uint64_t bytes = 0;
+  void* dst = nullptr;
+  std::uint32_t stream = 0;
+};
+
+struct io_backend_counters {
+  std::uint64_t requests = 0;       ///< logical reads entering the backend
+  std::uint64_t batches = 0;        ///< merged ranges issued to the kernel
+  std::uint64_t bytes_issued = 0;   ///< bytes covered by issued batches
+  std::uint64_t coalesced_ranges = 0;  ///< requests served w/o own syscall
+  std::uint64_t split_batches = 0;  ///< merged issues split after failure
+  std::uint64_t inflight_peak = 0;  ///< max concurrently issued batches
+
+  /// The bench's bytes-per-syscall figure of merit.
+  double bytes_per_batch() const noexcept {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(bytes_issued) /
+                              static_cast<double>(batches);
+  }
+};
+
+class io_backend {
+ public:
+  explicit io_backend(edge_file& file) noexcept : file_(&file) {}
+  virtual ~io_backend() = default;
+
+  io_backend(const io_backend&) = delete;
+  io_backend& operator=(const io_backend&) = delete;
+
+  virtual const char* name() const noexcept = 0;
+  virtual io_backend_kind kind() const noexcept = 0;
+
+  /// Blocking read of one range; data is valid on return. Throws io_error
+  /// exactly when the requested bytes cannot be read (see edge_file).
+  virtual void read(const io_request& req) = 0;
+
+  /// Stages a request on the calling thread's lane; the data is guaranteed
+  /// present only after flush(). Backends without staging complete it
+  /// immediately. Staged requests never outlive one adjacency access — the
+  /// synchronous visitor contract is the engine's flush-on-idle.
+  virtual void enqueue(const io_request& req) { read(req); }
+
+  /// Completes every request the calling thread has staged.
+  virtual void flush() {}
+
+  io_backend_counters counters() const noexcept;
+  void reset_counters() noexcept;
+
+  edge_file& file() const noexcept { return *file_; }
+
+ protected:
+  /// Counter helpers shared by the implementations; all relaxed atomics,
+  /// mirrored into the edge_file's io_recorder when one is attached.
+  void count_requests(std::uint64_t n) noexcept;
+  void count_batch(std::uint64_t bytes) noexcept;
+  void count_coalesced(std::uint64_t n) noexcept;
+  void count_split() noexcept;
+
+  /// Unscoped in-flight bracket for asynchronous submission paths where the
+  /// op outlives the submitting scope (io_uring). Prefer inflight_guard.
+  void inflight_begin_raw() noexcept;
+  void inflight_end_raw() noexcept;
+
+  /// RAII bracket around one issued batch: maintains the in-flight peak in
+  /// both the backend counters and the attached recorder.
+  class inflight_guard {
+   public:
+    explicit inflight_guard(io_backend& b) noexcept;
+    ~inflight_guard();
+    inflight_guard(const inflight_guard&) = delete;
+    inflight_guard& operator=(const inflight_guard&) = delete;
+
+   private:
+    io_backend& b_;
+  };
+
+  edge_file* file_;
+
+ private:
+  friend class inflight_guard;
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> bytes_issued_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> splits_{0};
+  std::atomic<std::uint64_t> inflight_{0};
+  std::atomic<std::uint64_t> inflight_peak_{0};
+};
+
+/// Builds the backend selected by `cfg` over `file`. `cache` (borrowed,
+/// nullable) is the shared block cache the coalescing scheduler consults to
+/// trim speculative readahead. Throws std::invalid_argument on a bad
+/// config and std::runtime_error for a uring request the host cannot serve.
+std::unique_ptr<io_backend> make_io_backend(edge_file& file,
+                                            const io_backend_config& cfg,
+                                            block_cache* cache = nullptr);
+
+}  // namespace asyncgt::sem

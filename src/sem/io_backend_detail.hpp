@@ -1,0 +1,114 @@
+// Internal: concrete io_backend implementations shared between
+// io_backend.cpp and the optional uring_backend.cpp. Not part of the public
+// surface — include io_backend.hpp instead; tests that need a concrete
+// class go through make_io_backend and the base interface.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "sem/io_backend.hpp"
+
+namespace asyncgt::sem::detail {
+
+/// One pread per logical request — the pre-backend read path, bit for bit.
+class sync_backend final : public io_backend {
+ public:
+  explicit sync_backend(edge_file& file) noexcept : io_backend(file) {}
+
+  const char* name() const noexcept override { return "sync"; }
+  io_backend_kind kind() const noexcept override {
+    return io_backend_kind::sync;
+  }
+  void read(const io_request& req) override;
+};
+
+/// Per-thread coalescing scheduler: staged requests merge into preadv
+/// batches; single reads refill a block-aligned readahead window. See the
+/// io_backend.hpp header comment for the full design.
+class coalescing_backend : public io_backend {
+ public:
+  coalescing_backend(edge_file& file, const io_backend_config& cfg,
+                     block_cache* cache);
+  ~coalescing_backend() override;
+
+  const char* name() const noexcept override { return "coalescing"; }
+  io_backend_kind kind() const noexcept override {
+    return io_backend_kind::coalescing;
+  }
+  void read(const io_request& req) override;
+  void enqueue(const io_request& req) override;
+  void flush() override;
+
+ protected:
+  /// A filled stretch of the file kept per thread; requests landing inside
+  /// it are served by memcpy (counted as coalesced, zero syscalls).
+  struct window {
+    std::uint64_t off = 0;
+    std::uint64_t len = 0;  // 0 = empty
+    std::vector<char> buf;
+  };
+
+  /// Per-thread state. Each lane is only ever touched by the thread that
+  /// owns its index, so no locking: window 0 serves stream 0 (targets),
+  /// window 1 serves stream 1 (weights).
+  struct lane {
+    window win[2];
+    std::vector<io_request> staged;
+  };
+
+  /// One contiguous range assembled by flush_lane: `slices` partition
+  /// [offset, offset + bytes) in file order.
+  struct merged_io {
+    std::uint64_t offset = 0;
+    std::uint64_t bytes = 0;
+    std::vector<io_slice> slices;
+  };
+
+  /// Issues one merged range as one device operation (edge_file::readv_at:
+  /// one fault plan, retry/backoff, split-on-permanent-failure). Overridden
+  /// by uring_backend's submission path.
+  virtual void issue(const merged_io& io);
+
+  /// Issues a flush's worth of merged ranges. Default: sequentially via
+  /// issue(); uring_backend overrides to keep a bounded in-flight window.
+  virtual void issue_batch(std::vector<merged_io>& batch);
+
+  lane& my_lane();
+
+  const io_backend_config cfg_;
+  block_cache* cache_;
+
+ private:
+  bool serve_from_window(lane& ln, const io_request& req) noexcept;
+  void fill_window(lane& ln, const io_request& req);
+  void flush_lane(lane& ln);
+
+  // Lanes live in a fixed two-level table indexed by a process-wide thread
+  // index: lock-free lookup, no dangling pointers across backend lifetimes,
+  // memory bounded by the number of threads that actually touch this
+  // backend (chunks allocate on first use).
+  static constexpr std::size_t kChunkSize = 64;
+  static constexpr std::size_t kChunks = 256;  // 16384 threads before overflow
+  struct chunk {
+    lane lanes[kChunkSize];
+  };
+  std::array<std::atomic<chunk*>, kChunks> chunks_{};
+  std::mutex overflow_mu_;
+  std::unordered_map<std::uint32_t, std::unique_ptr<lane>> overflow_;
+};
+
+#if defined(ASYNCGT_WITH_URING)
+/// Defined in uring_backend.cpp.
+bool uring_runtime_available() noexcept;
+std::unique_ptr<io_backend> make_uring_backend(edge_file& file,
+                                               const io_backend_config& cfg,
+                                               block_cache* cache);
+#endif
+
+}  // namespace asyncgt::sem::detail

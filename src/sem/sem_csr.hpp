@@ -24,6 +24,7 @@
 #include "graph/types.hpp"
 #include "sem/block_cache.hpp"
 #include "sem/edge_file.hpp"
+#include "sem/io_backend.hpp"
 #include "sem/ssd_model.hpp"
 
 namespace asyncgt::sem {
@@ -89,6 +90,37 @@ class sem_csr {
     }
     targets_pos_ = agt_targets_pos<VertexId>(h.num_vertices);
     weights_pos_ = agt_weights_pos<VertexId>(h.num_vertices, h.num_edges);
+    backend_ = make_io_backend(file_, backend_cfg_, cache_);
+  }
+
+  // The backend holds a pointer to file_, so moves must rebind it onto the
+  // destination's own members instead of inheriting the stale one.
+  sem_csr(sem_csr&& other)
+      : file_(std::move(other.file_)),
+        device_(other.device_),
+        cache_(other.cache_),
+        header_(other.header_),
+        offsets_(std::move(other.offsets_)),
+        targets_pos_(other.targets_pos_),
+        weights_pos_(other.weights_pos_),
+        backend_cfg_(other.backend_cfg_) {
+    backend_ = make_io_backend(file_, backend_cfg_, cache_);
+  }
+
+  sem_csr& operator=(sem_csr&& other) {
+    if (this != &other) {
+      backend_.reset();
+      file_ = std::move(other.file_);
+      device_ = other.device_;
+      cache_ = other.cache_;
+      header_ = other.header_;
+      offsets_ = std::move(other.offsets_);
+      targets_pos_ = other.targets_pos_;
+      weights_pos_ = other.weights_pos_;
+      backend_cfg_ = other.backend_cfg_;
+      backend_ = make_io_backend(file_, backend_cfg_, cache_);
+    }
+    return *this;
   }
 
   std::uint64_t num_vertices() const noexcept { return header_.num_vertices; }
@@ -116,6 +148,19 @@ class sem_csr {
     file_.set_retry_policy(policy);
   }
 
+  /// Swaps the I/O backend every adjacency read routes through (default:
+  /// sync). One backend instance serves all jobs traversing this graph —
+  /// per-thread state lives inside it — but the swap itself must happen
+  /// before traversals start, not while readers are in flight.
+  void set_io_backend(const io_backend_config& cfg) {
+    backend_cfg_ = cfg;
+    backend_ = make_io_backend(file_, backend_cfg_, cache_);
+  }
+  io_backend& backend() const noexcept { return *backend_; }
+  const io_backend_config& backend_config() const noexcept {
+    return backend_cfg_;
+  }
+
   std::uint64_t out_degree(VertexId v) const noexcept {
     return offsets_[v + 1] - offsets_[v];
   }
@@ -135,16 +180,21 @@ class sem_csr {
     targets.resize(degree);
     const std::uint64_t tbytes = degree * sizeof(VertexId);
     const std::uint64_t tpos = targets_pos_ + begin * sizeof(VertexId);
+    // Device/cache charging stays per logical request regardless of how the
+    // backend batches the host reads, so simulated-device accounting is
+    // identical across backends.
     charge_device(tpos, tbytes);
-    file_.read_at(tpos, targets.data(), tbytes);
     if (header_.weighted()) {
       weights.resize(degree);
       const std::uint64_t wbytes = degree * sizeof(weight_t);
       const std::uint64_t wpos = weights_pos_ + begin * sizeof(weight_t);
       charge_device(wpos, wbytes);
-      file_.read_at(wpos, weights.data(), wbytes);
+      backend_->enqueue({tpos, tbytes, targets.data(), 0});
+      backend_->enqueue({wpos, wbytes, weights.data(), 1});
+      backend_->flush();
       for (std::uint64_t i = 0; i < degree; ++i) f(targets[i], weights[i]);
     } else {
+      backend_->read({tpos, tbytes, targets.data(), 0});
       for (std::uint64_t i = 0; i < degree; ++i) f(targets[i], weight_t{1});
     }
   }
@@ -184,6 +234,8 @@ class sem_csr {
   std::vector<std::uint64_t> offsets_;
   std::uint64_t targets_pos_ = 0;
   std::uint64_t weights_pos_ = 0;
+  io_backend_config backend_cfg_;
+  std::unique_ptr<io_backend> backend_;
 };
 
 using sem_csr32 = sem_csr<vertex32>;

@@ -22,6 +22,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "queue/queue_config.hpp"
 #include "util/options.hpp"
@@ -38,6 +39,13 @@ struct traversal_options {
   /// Ignored by in-memory runs.
   std::uint32_t io_retries = 4;
   std::uint32_t io_backoff_us = 50;
+
+  /// Semi-external I/O backend selection; carried as the flag string (same
+  /// layering rule as the retry knobs — no sem types here). SEM call sites
+  /// build an io_backend_config via sem::parse_io_backend_kind(io_backend)
+  /// with batch = io_batch. Ignored by in-memory runs.
+  std::string io_backend = "sync";
+  std::uint32_t io_batch = 8;
 
   traversal_options() = default;
   /// Implicit on purpose: every pre-service call site passes a
@@ -66,6 +74,9 @@ struct traversal_options {
   ///                      order the SEM block cache depends on, tuning.md)
   ///   --io-retries=N     transient-errno budget  (default 4)
   ///   --io-backoff-us=N  initial retry backoff   (default 50)
+  ///   --io-backend=NAME  SEM read path: sync | coalescing | uring
+  ///                      (default sync; docs/io_backends.md)
+  ///   --io-batch=N       coalescing/uring batch depth (default 8)
   /// `sem_mode` selects the SEM defaults (flush batch, secondary sort).
   static traversal_options from_flags(const options& opt,
                                       bool sem_mode = false) {
@@ -79,6 +90,9 @@ struct traversal_options {
         opt.get_int("io-retries", static_cast<std::int64_t>(o.io_retries)));
     o.io_backoff_us = static_cast<std::uint32_t>(opt.get_int(
         "io-backoff-us", static_cast<std::int64_t>(o.io_backoff_us)));
+    o.io_backend = opt.get_string("io-backend", o.io_backend);
+    o.io_batch = static_cast<std::uint32_t>(
+        opt.get_int("io-batch", static_cast<std::int64_t>(o.io_batch)));
     return o;
   }
 };

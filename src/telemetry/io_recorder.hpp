@@ -20,6 +20,9 @@ struct io_snapshot {
   std::uint64_t max_latency_us = 0;
   std::uint64_t retries = 0;   // transient failures re-attempted
   std::uint64_t gave_up = 0;   // reads that failed permanently
+  std::uint64_t batches = 0;           // merged ranges issued to the kernel
+  std::uint64_t coalesced_ranges = 0;  // requests served without a syscall
+  std::uint64_t inflight_peak = 0;     // max concurrent issued batches
   std::vector<std::uint64_t> latency_buckets;  // log2 µs buckets
 
   double mean_latency_us() const {
@@ -58,6 +61,32 @@ class io_recorder {
     gave_up_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// One merged byte range was issued to the kernel by an io_backend (a
+  /// pread of a coalescing window, or one preadv batch).
+  void record_batch() noexcept {
+    batches_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// `n` logical requests were served without their own syscall: window
+  /// hits, or slices folded into a preadv batch beyond the first.
+  void record_coalesced(std::uint64_t n = 1) noexcept {
+    coalesced_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Brackets one issued batch; maintains the concurrent-batch peak that
+  /// surfaces as io.inflight_peak. Call end exactly once per begin.
+  void inflight_begin() noexcept {
+    const std::uint64_t cur =
+        inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::uint64_t peak = inflight_peak_.load(std::memory_order_relaxed);
+    while (cur > peak && !inflight_peak_.compare_exchange_weak(
+                             peak, cur, std::memory_order_relaxed)) {
+    }
+  }
+  void inflight_end() noexcept {
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
   io_snapshot snapshot() const {
     io_snapshot s;
     s.ops = ops_.load(std::memory_order_relaxed);
@@ -66,6 +95,9 @@ class io_recorder {
     s.max_latency_us = max_us_.load(std::memory_order_relaxed);
     s.retries = retries_.load(std::memory_order_relaxed);
     s.gave_up = gave_up_.load(std::memory_order_relaxed);
+    s.batches = batches_.load(std::memory_order_relaxed);
+    s.coalesced_ranges = coalesced_.load(std::memory_order_relaxed);
+    s.inflight_peak = inflight_peak_.load(std::memory_order_relaxed);
     s.latency_buckets.reserve(num_buckets);
     for (const auto& b : buckets_) {
       s.latency_buckets.push_back(b.load(std::memory_order_relaxed));
@@ -80,6 +112,10 @@ class io_recorder {
     max_us_.store(0, std::memory_order_relaxed);
     retries_.store(0, std::memory_order_relaxed);
     gave_up_.store(0, std::memory_order_relaxed);
+    batches_.store(0, std::memory_order_relaxed);
+    coalesced_.store(0, std::memory_order_relaxed);
+    inflight_.store(0, std::memory_order_relaxed);
+    inflight_peak_.store(0, std::memory_order_relaxed);
     for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   }
 
@@ -90,6 +126,10 @@ class io_recorder {
   std::atomic<std::uint64_t> max_us_{0};
   std::atomic<std::uint64_t> retries_{0};
   std::atomic<std::uint64_t> gave_up_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> inflight_{0};
+  std::atomic<std::uint64_t> inflight_peak_{0};
   std::atomic<std::uint64_t> buckets_[num_buckets] = {};
 };
 

@@ -50,6 +50,9 @@ json_value to_json(const io_snapshot& io) {
   out.set("max_latency_us", io.max_latency_us);
   out.set("retries", io.retries);
   out.set("gave_up", io.gave_up);
+  out.set("batches", io.batches);
+  out.set("coalesced_ranges", io.coalesced_ranges);
+  out.set("inflight_peak", io.inflight_peak);
   out.set("latency_us_buckets", buckets_to_json(io.latency_buckets));
   return out;
 }

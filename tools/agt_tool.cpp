@@ -66,6 +66,9 @@ int usage() {
                "                         eio=0.01,seed=7[,fatal][,bad=LO-HI]\n"
                "  --io-retries N         transient-errno retry budget (4)\n"
                "  --io-backoff-us N      initial retry backoff (50)\n"
+               "and SEM I/O backend flags (docs/io_backends.md):\n"
+               "  --io-backend NAME      sync|coalescing|uring (default sync)\n"
+               "  --io-batch N           coalescing batch depth (default 8)\n"
                "  --checkpoint-on-error F  bfs/sssp: save emergency\n"
                "                         checkpoint to F on abort (exit 3)\n"
                "  --resume F             bfs/sssp: resume from checkpoint F\n"
@@ -327,6 +330,11 @@ int run_traversal(const options& opt, const char* name, F&& run) {
       telemetry::phase_timer ph(rep.trace(), "load-graph", &rep.metrics());
       g = std::make_unique<sem::sem_csr32>(path, &dev, cache.get());
       g->set_retry_policy(retry);
+      sem::io_backend_config bcfg;
+      bcfg.kind = sem::parse_io_backend_kind(topt.io_backend);
+      bcfg.batch = topt.io_batch;
+      bcfg.block_bytes = static_cast<std::uint32_t>(params.block_bytes);
+      g->set_io_backend(bcfg);
       // The recorder is what carries io.retries/io.gave_up into the report
       // and the console summary, so injected runs always attach it.
       if (rep.enabled() || injector != nullptr) g->set_io_recorder(&recorder);
@@ -343,6 +351,13 @@ int run_traversal(const options& opt, const char* name, F&& run) {
     const auto c = dev.counters();
     std::printf("device: %s reads (%s MiB)\n", fmt_count(c.reads).c_str(),
                 fmt_count(c.read_bytes >> 20).c_str());
+    const auto bc = g->backend().counters();
+    std::printf("io backend: %s — %s requests in %s syscall batches "
+                "(%s coalesced, peak %s in flight)\n",
+                g->backend().name(), fmt_count(bc.requests).c_str(),
+                fmt_count(bc.batches).c_str(),
+                fmt_count(bc.coalesced_ranges).c_str(),
+                fmt_count(bc.inflight_peak).c_str());
     if (cache != nullptr) {
       std::printf("cache: %.1f%% hit rate, %s evictions\n",
                   100.0 * cache->counters().hit_rate(),
@@ -361,12 +376,27 @@ int run_traversal(const options& opt, const char* name, F&& run) {
     if (rep.enabled()) {
       rep.metrics().get_counter("io.retries").add(0, io.retries);
       rep.metrics().get_counter("io.gave_up").add(0, io.gave_up);
+      rep.metrics().get_counter("io.batches").add(0, io.batches);
+      rep.metrics()
+          .get_counter("io.coalesced_ranges")
+          .add(0, io.coalesced_ranges);
+      rep.metrics().get_counter("io.inflight_peak").add(0, io.inflight_peak);
     }
     if (rep.json_enabled()) {
       json_value& s = rep.section("sem");
       s.set("device", params.name);
       s.set("time_scale", params.time_scale);
       s.set("ssd", bench::to_json(c));
+      json_value bj = json_value::object();
+      bj.set("name", std::string(g->backend().name()));
+      bj.set("batch", static_cast<std::uint64_t>(topt.io_batch));
+      bj.set("requests", bc.requests);
+      bj.set("batches", bc.batches);
+      bj.set("bytes_issued", bc.bytes_issued);
+      bj.set("coalesced_ranges", bc.coalesced_ranges);
+      bj.set("split_batches", bc.split_batches);
+      bj.set("inflight_peak", bc.inflight_peak);
+      s.set("backend", std::move(bj));
       if (cache != nullptr) {
         s.set("cache", bench::to_json(cache->counters()));
       }

@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# Line-coverage gate for the hot layers (docs/observability.md).
+#
+# Builds the `coverage` preset (--coverage -O0, build-coverage/), runs the
+# unit batteries that exercise the semi-external and queue layers, then
+# collects line coverage for src/sem/ and src/queue/ and FAILS if either
+# dips under the threshold (default 80% lines). Output is lcov-compatible
+# (build-coverage/coverage.info) so genhtml and CI coverage services can
+# consume it directly.
+#
+# Collection prefers gcovr when installed; otherwise it falls back to
+# plain `gcov --json-format` plus an embedded aggregator, so the gate runs
+# on a bare toolchain image.
+#
+#   tools/coverage.sh [-jN] [--threshold=PCT]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+ROOT="$(pwd)"
+BUILD="${ROOT}/build-coverage"
+
+JOBS="-j$(nproc)"
+THRESHOLD=80
+for arg in "$@"; do
+  case "${arg}" in
+    -j*) JOBS="${arg}" ;;
+    --threshold=*) THRESHOLD="${arg#--threshold=}" ;;
+    *)
+      echo "unknown argument: ${arg}" >&2
+      exit 2
+      ;;
+  esac
+done
+
+cmake --preset coverage
+cmake --build --preset coverage "${JOBS}" \
+  --target test_sem test_queue test_core test_fault test_backend test_diff
+
+# Fresh counters: stale .gcda from a previous run would inflate the numbers.
+find "${BUILD}" -name '*.gcda' -delete
+
+for bin in test_sem test_queue test_core test_fault test_backend test_diff; do
+  "${BUILD}/tests/${bin}" --gtest_brief=1
+done
+
+if command -v gcovr >/dev/null 2>&1; then
+  gcovr --root "${ROOT}" --filter 'src/(sem|queue)/' \
+    --lcov "${BUILD}/coverage.info" \
+    --fail-under-line "${THRESHOLD}" --print-summary "${BUILD}"
+  exit 0
+fi
+
+# Bare-toolchain fallback: gcov --json-format over every .gcda, aggregated
+# into per-file executed/executable line sets, emitted as lcov records.
+# (The script arrives on stdin, so it discovers the .gcda files itself.)
+THRESHOLD="${THRESHOLD}" ROOT="${ROOT}" BUILD="${BUILD}" python3 - <<'PY'
+import json, os, subprocess, sys
+
+root = os.environ["ROOT"]
+build = os.environ["BUILD"]
+threshold = float(os.environ["THRESHOLD"])
+gates = ("src/sem/", "src/queue/")
+
+gcdas = []
+for dirpath, _, files in os.walk(build):
+    gcdas += [os.path.join(dirpath, f) for f in files if f.endswith(".gcda")]
+
+# file (repo-relative) -> {line -> max hit count}
+cover = {}
+for gcda in sorted(gcdas):
+    # -t: JSON to stdout, nothing written next to the objects.
+    out = subprocess.run(["gcov", "-t", "--json-format", gcda],
+                         capture_output=True, cwd=build)
+    if out.returncode != 0:
+        continue
+    for doc in out.stdout.splitlines():
+        try:
+            data = json.loads(doc)
+        except json.JSONDecodeError:
+            continue
+        for f in data.get("files", []):
+            path = os.path.normpath(os.path.join(build, f["file"]))
+            if not path.startswith(root + os.sep):
+                continue
+            rel = os.path.relpath(path, root)
+            lines = cover.setdefault(rel, {})
+            for ln in f.get("lines", []):
+                n = ln["line_number"]
+                lines[n] = max(lines.get(n, 0), ln["count"])
+
+with open(os.path.join(build, "coverage.info"), "w") as info:
+    for rel in sorted(cover):
+        lines = cover[rel]
+        info.write("TN:\nSF:%s\n" % os.path.join(root, rel))
+        for n in sorted(lines):
+            info.write("DA:%d,%d\n" % (n, lines[n]))
+        hit = sum(1 for c in lines.values() if c > 0)
+        info.write("LH:%d\nLF:%d\nend_of_record\n" % (hit, len(lines)))
+
+failed = False
+print("%-14s %10s %10s %8s" % ("layer", "lines", "covered", "rate"))
+for gate in gates:
+    total = hit = 0
+    for rel, lines in cover.items():
+        if not rel.startswith(gate):
+            continue
+        total += len(lines)
+        hit += sum(1 for c in lines.values() if c > 0)
+    rate = 100.0 * hit / total if total else 0.0
+    flag = "" if rate >= threshold else "  < %.0f%% FAIL" % threshold
+    print("%-14s %10d %10d %7.1f%%%s" % (gate, total, hit, rate, flag))
+    if rate < threshold:
+        failed = True
+print("lcov report: %s" % os.path.join(build, "coverage.info"))
+sys.exit(1 if failed else 0)
+PY

@@ -1,12 +1,18 @@
 #!/usr/bin/env bash
 # Builds the tree under AddressSanitizer + UBSan and runs the fault-
-# tolerance battery (ctest label `fault`): injector determinism, the
-# edge_file retry/backoff loop, engine-wide abort containment, hostile .agt
-# inputs, and the end-to-end injected-fault soak with checkpoint-on-error
-# resume (docs/robustness.md). Wraps the `asan` presets in CMakePresets.json
-# so CI and humans run the identical configuration:
+# tolerance battery (ctest labels `fault`, `diff`, `backend`): injector
+# determinism, the edge_file retry/backoff loop, engine-wide abort
+# containment, hostile .agt inputs, the end-to-end injected-fault soak with
+# checkpoint-on-error resume (docs/robustness.md), and the differential /
+# backend-identity suites (docs/io_backends.md). Wraps the `asan` presets in
+# CMakePresets.json so CI and humans run the identical configuration:
 #
-#   tools/fault_soak.sh [-jN]
+#   tools/fault_soak.sh [-jN] [--io-backend=LIST]
+#
+# --io-backend (default "sync,coalescing") adds an end-to-end pass: for each
+# listed backend, an injected-fault SEM traversal through agt_tool must
+# finish with identical results and zero gave-up reads — the same traversal
+# bytes, moved by a different transport.
 #
 # Exits non-zero on any sanitizer report (halt_on_error=1) or test failure.
 # The concurrency-racy subset of the same battery also runs under TSan via
@@ -15,8 +21,29 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-JOBS="${1:--j$(nproc)}"
+JOBS="-j$(nproc)"
+BACKENDS="sync,coalescing"
+for arg in "$@"; do
+  case "${arg}" in
+    -j*) JOBS="${arg}" ;;
+    --io-backend=*) BACKENDS="${arg#--io-backend=}" ;;
+    *)
+      echo "unknown argument: ${arg}" >&2
+      exit 2
+      ;;
+  esac
+done
 
 cmake --preset asan
-cmake --build --preset asan "${JOBS}" --target test_fault
+cmake --build --preset asan "${JOBS}" --target test_fault test_diff test_backend agt_tool
 ctest --preset asan
+
+# End-to-end backend pass: the injected-fault demo traversal, once per
+# requested backend. agt_tool exits non-zero if the traversal aborts or the
+# JSON report fails its own schema check.
+for backend in ${BACKENDS//,/ }; do
+  echo "=== fault soak: --io-backend=${backend} ==="
+  ./build-asan/tools/agt_tool bfs --sem --scale=12 --threads=16 \
+    --time-scale=0.01 --io-backend="${backend}" --io-batch=8 \
+    --inject=eio=0.02,seed=7
+done
