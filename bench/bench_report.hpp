@@ -2,27 +2,40 @@
 //
 // Every bench binary keeps its human-facing text table and additionally
 // accepts:
-//   --json FILE               write a schema-1 report (telemetry::report)
+//   --json FILE               write a schema-2 report (telemetry::report)
 //   --trace FILE              write a Chrome trace (chrome://tracing /
 //                             ui.perfetto.dev)
 //   --sample-interval-us N    sampler period for frontier time-series
-//                             (default 2000; active only with --json/--trace)
+//                             (default 2000; active only with --json/--trace
+//                             or --stats-dump)
+//   --stats-dump N            print a per-interval metrics delta table to
+//                             stdout every N sampler ticks while the bench
+//                             runs (live introspection; 0 = off). Works
+//                             without --json/--trace.
 //
 // Usage pattern (3-5 lines per bench):
 //   bench_report rep(opt, "table4_bfs_sem");
 //   rep.attach(cfg);                   // wire telemetry sinks into the run
 //   rep.add_row(...); rep.section("sem").set(...);   // whatever fits
+//   rep.add_job(bench::to_json(handle.stats()));     // per-job attribution
 //   rep.finish();                      // scrape, serialize, write files
 //
 // finish() automatically appends the scraped metrics registry as the
 // "metrics" section and the sampler series as "samples", so benches only
-// record what is specific to them. With neither --json nor --trace the
-// whole object is inert: no sampler thread, no trace buffers, and the
-// queue's telemetry pointers stay null.
+// record what is specific to them. With neither --json, --trace nor
+// --stats-dump the whole object is inert: no sampler thread, no trace
+// buffers, and the queue's telemetry pointers stay null.
+//
+// Abort survivability: with --trace, the trace_writer's flush path is set
+// up front, so the engine's traversal_aborted containment path can flush
+// the partial trace (with its terminal abort marker) before the exception
+// propagates; the destructor also best-effort flushes when finish() never
+// ran. A bench that dies mid-run still leaves an openable trace.
 #pragma once
 
 #include <chrono>
 #include <cstdio>
+#include <iostream>
 #include <memory>
 #include <string>
 #include <utility>
@@ -30,10 +43,13 @@
 #include "queue/queue_stats.hpp"
 #include "queue/visitor_queue.hpp"
 #include "sem/block_cache.hpp"
+#include "sem/block_heat.hpp"
 #include "sem/ssd_model.hpp"
+#include "service/job_stats.hpp"
 #include "telemetry/io_recorder.hpp"
 #include "telemetry/metrics_json.hpp"
 #include "telemetry/sampler.hpp"
+#include "telemetry/stats_dump.hpp"
 #include "telemetry/trace_writer.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
@@ -78,6 +94,50 @@ inline json_value to_json(const sem::ssd_counters& c) {
   return out;
 }
 
+/// One job's attribution snapshot -> a "jobs" array entry (schema v2).
+inline json_value to_json(const service::job_stats& s) {
+  json_value out = json_value::object();
+  out.set("job_id", s.job_id);
+  out.set("label", s.label);
+  out.set("completed", s.completed);
+  out.set("failed", s.failed);
+  out.set("cancelled", s.cancelled);
+  out.set("visits", s.visits);
+  out.set("pushes", s.pushes);
+  out.set("flushes", s.flushes);
+  out.set("wakeups", s.wakeups);
+  out.set("edge_inspections", s.edge_inspections);
+  out.set("io_ops", s.io_ops);
+  out.set("io_bytes", s.io_bytes);
+  out.set("io_retries", s.io_retries);
+  out.set("queue_wait_seconds", s.queue_wait_seconds);
+  out.set("run_seconds", s.run_seconds);
+  out.set("total_seconds", s.total_seconds);
+  return out;
+}
+
+/// Block-heat summary with a hottest-first top-K table (schema v2
+/// "block_heat" section).
+inline json_value to_json(const sem::block_heat& heat, std::size_t top_k) {
+  json_value out = json_value::object();
+  out.set("block_bytes", heat.block_bytes());
+  out.set("num_blocks", heat.num_blocks());
+  out.set("blocks_touched", heat.blocks_touched());
+  out.set("total_accesses", heat.total_accesses());
+  out.set("total_misses", heat.total_misses());
+  out.set("out_of_range", heat.out_of_range());
+  json_value top = json_value::array();
+  for (const auto& e : heat.top_k(top_k)) {
+    json_value row = json_value::object();
+    row.set("block", e.block);
+    row.set("accesses", e.accesses);
+    row.set("misses", e.misses);
+    top.push(std::move(row));
+  }
+  out.set("top", std::move(top));
+  return out;
+}
+
 class bench_report {
  public:
   bench_report(const options& opt, std::string name)
@@ -85,20 +145,32 @@ class bench_report {
         json_path_(opt.get_string("json", "")),
         trace_path_(opt.get_string("trace", "")),
         sample_interval_us_(
-            static_cast<std::uint64_t>(opt.get_int("sample-interval-us", 2000))) {
+            static_cast<std::uint64_t>(opt.get_int("sample-interval-us", 2000))),
+        stats_dump_every_(
+            static_cast<std::uint64_t>(opt.get_int("stats-dump", 0))) {
     // Reproduce the full command line in the config block so a BENCH_*.json
     // is self-describing.
     for (const auto& key : opt.keys()) {
       report_.config(key, opt.get_string(key, ""));
     }
-    if (trace_enabled()) trace_ = std::make_unique<telemetry::trace_writer>();
+    if (trace_enabled()) {
+      trace_ = std::make_unique<telemetry::trace_writer>();
+      // Registered up front so abort-containment (and our destructor) can
+      // flush a partial trace even when finish() never runs.
+      trace_->set_flush_path(trace_path_);
+    }
   }
 
-  ~bench_report() { sampler_.stop(); }
+  ~bench_report() {
+    sampler_.stop();
+    if (trace_ && !finished_) (void)trace_->flush();
+  }
 
   bool json_enabled() const noexcept { return !json_path_.empty(); }
   bool trace_enabled() const noexcept { return !trace_path_.empty(); }
-  bool enabled() const noexcept { return json_enabled() || trace_enabled(); }
+  bool enabled() const noexcept {
+    return json_enabled() || trace_enabled() || stats_dump_every_ > 0;
+  }
 
   telemetry::metrics_registry& metrics() noexcept { return registry_; }
   telemetry::sampler& sampler() noexcept { return sampler_; }
@@ -113,6 +185,15 @@ class bench_report {
     cfg.metrics = &registry_;
     cfg.trace = trace_.get();
     cfg.sampler = &sampler_;
+    if (stats_dump_every_ > 0 && !dumper_) {
+      dumper_ = std::make_unique<telemetry::stats_dumper>(&registry_);
+      // Runs on the sampler thread; the dumper serializes internally.
+      sampler_.set_tick_hook([this](double t_seconds) {
+        if (++ticks_ % stats_dump_every_ == 0) {
+          dumper_->dump(std::cout, t_seconds);
+        }
+      });
+    }
     if (!sampler_.running()) {
       sampler_.start(std::chrono::microseconds(sample_interval_us_));
     }
@@ -129,6 +210,11 @@ class bench_report {
   }
   bench_report& add_row(json_value row) {
     report_.add_row(std::move(row));
+    return *this;
+  }
+  /// Appends one entry to the top-level "jobs" array (schema v2).
+  bench_report& add_job(json_value job) {
+    report_.add_job(std::move(job));
     return *this;
   }
 
@@ -153,6 +239,7 @@ class bench_report {
   /// when disabled (does nothing).
   void finish() {
     sampler_.stop();
+    finished_ = true;
     if (!enabled()) return;
     if (json_enabled()) {
       const auto snap = registry_.scrape();
@@ -182,9 +269,13 @@ class bench_report {
   telemetry::metrics_registry registry_{64};
   telemetry::sampler sampler_;
   std::unique_ptr<telemetry::trace_writer> trace_;
+  std::unique_ptr<telemetry::stats_dumper> dumper_;
+  std::uint64_t ticks_ = 0;  // sampler-thread only (tick hook)
   std::string json_path_;
   std::string trace_path_;
   std::uint64_t sample_interval_us_;
+  std::uint64_t stats_dump_every_;
+  bool finished_ = false;
 };
 
 }  // namespace asyncgt::bench

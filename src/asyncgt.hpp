@@ -55,6 +55,7 @@
 #include "queue/visitor_queue.hpp"
 #include "sem/device_presets.hpp"
 #include "sem/block_cache.hpp"
+#include "sem/block_heat.hpp"
 #include "sem/ext_sorter.hpp"
 #include "sem/fault_injector.hpp"
 #include "sem/io_error.hpp"
@@ -65,7 +66,11 @@
 #include "service/traversal_options.hpp"
 #include "service/worker_pool.hpp"
 #include "telemetry/json.hpp"
+#include "telemetry/metric_scope.hpp"
 #include "telemetry/metrics_json.hpp"
 #include "telemetry/metrics_registry.hpp"
+#include "telemetry/percentiles.hpp"
 #include "telemetry/sampler.hpp"
+#include "telemetry/span.hpp"
+#include "telemetry/stats_dump.hpp"
 #include "telemetry/trace_writer.hpp"

@@ -55,6 +55,7 @@ struct bfs_visitor {
       s.level[vtx] = cur_level;
       s.parent[vtx] = cur_parent;
       s.updates.add(tid);
+      telemetry::metric_scope::count_edges(s.g->out_degree(vtx));
       s.g->for_each_out_edge(vtx, [&](VertexId vj, weight_t) {
         q.push(bfs_visitor{vj, vtx, cur_level + 1});
       });
@@ -87,7 +88,8 @@ job<bfs_result<typename Graph::vertex_id>> engine::submit_bfs(
         out.updates = s.updates.total();
         if (metrics != nullptr) out.work().record(*metrics, "bfs");
         return out;
-      });
+      },
+      "bfs");
 }
 
 /// One-shot compatibility wrapper: submit to the process-local engine and

@@ -56,6 +56,7 @@ struct cc_visitor {
     if (cur_ccid < s.ccid[vtx]) {
       s.ccid[vtx] = cur_ccid;  // relax vertex information
       s.updates.add(tid);
+      telemetry::metric_scope::count_edges(s.g->out_degree(vtx));
       s.g->for_each_out_edge(vtx, [&](VertexId vj, weight_t) {
         q.push(cc_visitor{vj, cur_ccid});
       });
@@ -81,7 +82,8 @@ job<cc_result<typename Graph::vertex_id>> engine::submit_cc(
         out.updates = s.updates.total();
         if (metrics != nullptr) out.work().record(*metrics, "cc");
         return out;
-      });
+      },
+      "cc");
 }
 
 /// One-shot compatibility wrapper over the process-local engine.

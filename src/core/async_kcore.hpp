@@ -127,7 +127,8 @@ job<kcore_result<typename Graph::vertex_id>> engine::submit_kcore(
         out.stats = std::move(stats);
         out.updates = s.updates.total();
         return out;
-      });
+      },
+      "kcore");
 }
 
 /// Computes the coreness of every vertex of a symmetric (undirected) graph.

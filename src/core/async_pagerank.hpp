@@ -145,7 +145,8 @@ job<pagerank_result<typename Graph::vertex_id>> engine::submit_pagerank(
         out.stats = std::move(stats);
         out.flushes = s.flushes.total();
         return out;
-      });
+      },
+      "pagerank");
 }
 
 /// Computes PageRank over any GraphStorage. `opt.tolerance` bounds the

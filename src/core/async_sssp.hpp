@@ -61,6 +61,7 @@ struct sssp_visitor {
       s.dist[vtx] = cur_dist;  // relax vertex information
       s.parent[vtx] = cur_parent;
       s.updates.add(tid);
+      telemetry::metric_scope::count_edges(s.g->out_degree(vtx));
       s.g->for_each_out_edge(vtx, [&](VertexId vj, weight_t w) {
         q.push(sssp_visitor{vj, vtx, cur_dist + w});
       });
@@ -91,7 +92,8 @@ job<sssp_result<typename Graph::vertex_id>> engine::submit_sssp(
         out.updates = s.updates.total();
         if (metrics != nullptr) out.work().record(*metrics, "sssp");
         return out;
-      });
+      },
+      "sssp");
 }
 
 /// Computes SSSP from `start` over any GraphStorage. Edge weights must be

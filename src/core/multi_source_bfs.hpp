@@ -48,7 +48,8 @@ job<bfs_result<typename Graph::vertex_id>> engine::submit_multi_source_bfs(
         out.stats = std::move(stats);
         out.updates = s.updates.total();
         return out;
-      });
+      },
+      "msbfs");
 }
 
 /// One-shot compatibility wrapper over the process-local engine.

@@ -8,6 +8,7 @@
 
 #include "graph/types.hpp"
 #include "queue/queue_stats.hpp"
+#include "telemetry/metric_scope.hpp"
 #include "telemetry/metrics_registry.hpp"
 #include "util/cache_line.hpp"
 
@@ -52,8 +53,18 @@ struct traversal_work {
   std::uint64_t label_corrections = 0;
 
   /// Records the work proxies as "<algo>.*" counters (shard 0; called once
-  /// per run from the driver, never from the hot path).
+  /// per run from the driver, never from the hot path). When the calling
+  /// thread carries an ambient metric_scope (the service engine wraps job
+  /// finalizers in one), the same counters land in the job's named deltas,
+  /// so per-job <algo>.* sums conserve against the shared registry.
   void record(telemetry::metrics_registry& reg, const char* algo) const {
+    record_into(reg, algo);
+    if (telemetry::metric_scope* sc = telemetry::metric_scope::current()) {
+      record_into(sc->deltas(), algo);
+    }
+  }
+
+  void record_into(telemetry::metrics_registry& reg, const char* algo) const {
     const std::string p(algo);
     reg.get_counter(p + ".visits").add(0, visits);
     reg.get_counter(p + ".updates").add(0, updates);

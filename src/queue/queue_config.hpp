@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "telemetry/metric_scope.hpp"
 #include "telemetry/metrics_registry.hpp"
 #include "telemetry/sampler.hpp"
 #include "telemetry/trace_writer.hpp"
@@ -60,6 +61,15 @@ struct visitor_queue_config {
   /// worker (1 = every visit; tracing every visit on large graphs produces
   /// multi-GB traces).
   std::uint32_t trace_sample_every = 64;
+
+  /// Per-job attribution scope (borrowed, nullable). When set, the engine
+  /// installs it as the calling thread's ambient metric_scope for the
+  /// duration of every worker body (telemetry/metric_scope.hpp), marks the
+  /// job's run start, and mirrors the end-of-run queue stats into the
+  /// scope's hot counters and named deltas — so shared sinks (io_recorder,
+  /// the global registry) stay exact while the job gets its own copy.
+  /// asyncgt::engine wires one scope per submitted job; null costs nothing.
+  telemetry::metric_scope* scope = nullptr;
 
   /// Borrowed worker pool (nullable). When set, run()/run_seeded() dispatch
   /// their worker bodies as a gang on this pool — acquire/release of parked

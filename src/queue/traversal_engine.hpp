@@ -69,6 +69,7 @@
 #include "queue/traversal_abort.hpp"
 #include "service/worker_pool.hpp"
 #include "telemetry/metrics_registry.hpp"
+#include "telemetry/span.hpp"
 #include "telemetry/trace_writer.hpp"
 #include "util/cache_line.hpp"
 #include "util/timer.hpp"
@@ -259,6 +260,12 @@ class traversal_engine {
   /// instead.
   template <typename SeedSlice>
   void run_worker(State& state, const SeedSlice& seed, std::size_t t) {
+    // Ambient per-job attribution: everything this worker does — including
+    // I/O recorded deep inside shared components — is charged to the job's
+    // scope through TLS for the duration of the body. The first worker in
+    // also stamps the job's queue-wait -> run transition.
+    telemetry::metric_scope::attribution attr(cfg_.scope, t);
+    if (cfg_.scope != nullptr) cfg_.scope->mark_run_start();
     try {
       seed(t);
       worker_loop(state, t);
@@ -420,11 +427,20 @@ class traversal_engine {
     lane& me = lanes_[tid];
     mailbox<Visitor>& inbox = boxes_[tid];
     // Tracing state is resolved once per worker: the hot loop pays one
-    // pointer test per visit when tracing is off.
+    // pointer test per visit when tracing is off. Scoped (service) jobs get
+    // per-job worker rows — concurrent gangs must never share a
+    // trace_stream, which is single-writer (telemetry/span.hpp).
     telemetry::trace_stream* ts = nullptr;
     if (cfg_.trace != nullptr) {
-      ts = &cfg_.trace->stream(static_cast<std::uint32_t>(tid) + 1,
-                               "worker-" + std::to_string(tid));
+      if (cfg_.scope != nullptr) {
+        const std::uint64_t jid = cfg_.scope->job_id();
+        ts = &cfg_.trace->stream(
+            telemetry::span_track::worker_tid(jid, tid),
+            "job-" + std::to_string(jid) + " worker-" + std::to_string(tid));
+      } else {
+        ts = &cfg_.trace->stream(static_cast<std::uint32_t>(tid) + 1,
+                                 "worker-" + std::to_string(tid));
+      }
     }
     const std::uint32_t sample_every = cfg_.trace_sample_every;
     std::uint32_t until_sample = 1;  // trace the first visit of each worker
@@ -535,6 +551,7 @@ class traversal_engine {
     }
     reset_after_abort();
     if (!f.error) {
+      note_abort_trace("traversal aborted: cancelled");
       return std::make_exception_ptr(traversal_aborted(
           "traversal aborted: cancelled", 0, false, 0, nullptr));
     }
@@ -551,8 +568,19 @@ class traversal_engine {
     } catch (...) {
       what += ": non-standard exception";
     }
+    note_abort_trace(what);
     return std::make_exception_ptr(traversal_aborted(
         what, f.thread, f.has_vertex, f.vertex, std::move(f.error)));
+  }
+
+  /// Terminal trace marker for a run that ends in traversal_aborted, plus a
+  /// best-effort flush to the writer's configured path — so the spans
+  /// leading up to a failure or cancellation survive even when the process
+  /// never reaches its orderly end-of-run trace write.
+  void note_abort_trace(const std::string& what) {
+    if (cfg_.trace == nullptr) return;
+    cfg_.trace->instant_global(what);
+    (void)cfg_.trace->flush();
   }
 
   /// Blocking-path shim over take_failure: rethrows on the calling thread.
@@ -604,12 +632,24 @@ class traversal_engine {
     }
     s.pushes += ext_pushes_.exchange(0, std::memory_order_relaxed);
     s.flushes += ext_flushes_.exchange(0, std::memory_order_relaxed);
-    if (cfg_.metrics != nullptr) record_metrics(s);
+    if (cfg_.scope != nullptr) {
+      // The job's private copy: hot counters for cheap stats() reads plus
+      // the same named records the shared registry gets, so per-job deltas
+      // sum exactly to the global ones.
+      using hot = telemetry::metric_scope::hot;
+      telemetry::metric_scope& sc = *cfg_.scope;
+      sc.add(hot::visits, 0, s.visits);
+      sc.add(hot::pushes, 0, s.pushes);
+      sc.add(hot::flushes, 0, s.flushes);
+      sc.add(hot::wakeups, 0, s.wakeups);
+      record_metrics(sc.deltas(), s);
+    }
+    if (cfg_.metrics != nullptr) record_metrics(*cfg_.metrics, s);
     return s;
   }
 
-  void record_metrics(const queue_run_stats& s) {
-    telemetry::metrics_registry& reg = *cfg_.metrics;
+  static void record_metrics(telemetry::metrics_registry& reg,
+                             const queue_run_stats& s) {
     reg.get_counter("queue.runs").add(0);
     reg.get_counter("queue.visits").add(0, s.visits);
     reg.get_counter("queue.pushes").add(0, s.pushes);

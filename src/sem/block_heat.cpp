@@ -1,0 +1,52 @@
+#include "sem/block_heat.hpp"
+
+#include <algorithm>
+
+namespace asyncgt::sem {
+
+std::uint64_t block_heat::total_accesses() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& a : accesses_) n += a.load(std::memory_order_relaxed);
+  return n;
+}
+
+std::uint64_t block_heat::total_misses() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& m : misses_) n += m.load(std::memory_order_relaxed);
+  return n;
+}
+
+std::uint64_t block_heat::blocks_touched() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& a : accesses_) {
+    if (a.load(std::memory_order_relaxed) != 0) ++n;
+  }
+  return n;
+}
+
+std::vector<block_heat::entry> block_heat::top_k(std::size_t k) const {
+  std::vector<entry> touched;
+  for (std::uint64_t b = 0; b < accesses_.size(); ++b) {
+    const std::uint64_t a = accesses_[b].load(std::memory_order_relaxed);
+    if (a == 0) continue;
+    touched.push_back({b, a, misses_[b].load(std::memory_order_relaxed)});
+  }
+  const std::size_t n = std::min(k, touched.size());
+  std::partial_sort(touched.begin(), touched.begin() + static_cast<std::ptrdiff_t>(n),
+                    touched.end(), [](const entry& x, const entry& y) {
+                      if (x.accesses != y.accesses) {
+                        return x.accesses > y.accesses;
+                      }
+                      return x.block < y.block;
+                    });
+  touched.resize(n);
+  return touched;
+}
+
+void block_heat::reset() noexcept {
+  for (auto& a : accesses_) a.store(0, std::memory_order_relaxed);
+  for (auto& m : misses_) m.store(0, std::memory_order_relaxed);
+  out_of_range_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace asyncgt::sem

@@ -1,0 +1,90 @@
+// Per-block access/miss heat map for the semi-external path.
+//
+// Every adjacency read on a sem_csr touches a run of device blocks; which
+// blocks run hot decides whether the block_cache's budget is spent well and
+// whether semi-sort locality is doing its job. A block_heat records, per
+// block, how many times it was touched and how many of those touches missed
+// the simulated page cache — dense arrays of relaxed atomics, so recording
+// from hundreds of oversubscribed reader threads costs two uncontended adds
+// and the hot path needs no locks or hashing.
+//
+// Attach one via sem_csr::set_block_heat. Recording happens inside the same
+// device-charging walk that probes the cache, so heat misses agree exactly
+// with the cache's own miss counters (the probe that decides the charge is
+// the probe that is recorded — a separate peek could disagree when a probe
+// in the same run evicts a later block). With no cache attached every touch
+// is a miss, matching full-charge accounting. top_k() ranks blocks by
+// access count for the bench reports' hot-block table.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace asyncgt::sem {
+
+class block_heat {
+ public:
+  struct entry {
+    std::uint64_t block = 0;
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+  };
+
+  /// `num_blocks` bounds the tracked block-id range; `block_bytes` is the
+  /// granularity used when no ssd_model supplies one (sem_csr prefers the
+  /// device's). Touches at or past num_blocks land on the out-of-range
+  /// counter instead of being dropped silently.
+  explicit block_heat(std::uint64_t num_blocks,
+                      std::uint64_t block_bytes = 4096)
+      : block_bytes_(block_bytes ? block_bytes : 4096),
+        accesses_(num_blocks),
+        misses_(num_blocks) {}
+
+  std::uint64_t num_blocks() const noexcept { return accesses_.size(); }
+  std::uint64_t block_bytes() const noexcept { return block_bytes_; }
+
+  /// One touch of `block`; `miss` = the touch was charged to the device.
+  void record(std::uint64_t block, bool miss) noexcept {
+    if (block >= accesses_.size()) {
+      out_of_range_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    accesses_[block].fetch_add(1, std::memory_order_relaxed);
+    if (miss) misses_[block].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t accesses(std::uint64_t block) const noexcept {
+    return block < accesses_.size()
+               ? accesses_[block].load(std::memory_order_relaxed)
+               : 0;
+  }
+  std::uint64_t misses(std::uint64_t block) const noexcept {
+    return block < misses_.size()
+               ? misses_[block].load(std::memory_order_relaxed)
+               : 0;
+  }
+  std::uint64_t out_of_range() const noexcept {
+    return out_of_range_.load(std::memory_order_relaxed);
+  }
+
+  /// Sums across all blocks (scrape-time walk, like the registries).
+  std::uint64_t total_accesses() const noexcept;
+  std::uint64_t total_misses() const noexcept;
+  /// Blocks touched at least once.
+  std::uint64_t blocks_touched() const noexcept;
+
+  /// The `k` hottest blocks by access count (ties broken by lower block id),
+  /// hottest first; fewer when fewer were touched.
+  std::vector<entry> top_k(std::size_t k) const;
+
+  void reset() noexcept;
+
+ private:
+  std::uint64_t block_bytes_;
+  std::vector<std::atomic<std::uint64_t>> accesses_;
+  std::vector<std::atomic<std::uint64_t>> misses_;
+  std::atomic<std::uint64_t> out_of_range_{0};
+};
+
+}  // namespace asyncgt::sem

@@ -23,6 +23,7 @@
 #include "graph/graph_io.hpp"
 #include "graph/types.hpp"
 #include "sem/block_cache.hpp"
+#include "sem/block_heat.hpp"
 #include "sem/edge_file.hpp"
 #include "sem/io_backend.hpp"
 #include "sem/ssd_model.hpp"
@@ -99,6 +100,7 @@ class sem_csr {
       : file_(std::move(other.file_)),
         device_(other.device_),
         cache_(other.cache_),
+        heat_(other.heat_),
         header_(other.header_),
         offsets_(std::move(other.offsets_)),
         targets_pos_(other.targets_pos_),
@@ -113,6 +115,7 @@ class sem_csr {
       file_ = std::move(other.file_);
       device_ = other.device_;
       cache_ = other.cache_;
+      heat_ = other.heat_;
       header_ = other.header_;
       offsets_ = std::move(other.offsets_);
       targets_pos_ = other.targets_pos_;
@@ -146,6 +149,23 @@ class sem_csr {
   /// Replaces the transient-failure retry policy of the underlying file.
   void set_retry_policy(const io_retry_policy& policy) {
     file_.set_retry_policy(policy);
+  }
+
+  /// Attaches a block-heat recorder (borrowed, nullable): every adjacency
+  /// read then records the touched device blocks and whether each touch
+  /// missed the cache. Block granularity follows the attached ssd_model
+  /// when one is set, else the recorder's own block_bytes — size the
+  /// recorder with heat_blocks_for(). With heat attached but no device, the
+  /// charge walk still runs (to classify hits/misses) but charges nothing.
+  void set_block_heat(block_heat* heat) noexcept { heat_ = heat; }
+  block_heat* heat() const noexcept { return heat_; }
+
+  /// Blocks needed to cover this file at the granularity charge_device will
+  /// use — pass to block_heat's constructor.
+  std::uint64_t heat_blocks_for(std::uint64_t block_bytes = 4096) const {
+    const std::uint64_t bs =
+        device_ != nullptr ? device_->params().block_bytes : block_bytes;
+    return bs == 0 ? 0 : (file_.size() + bs - 1) / bs;
   }
 
   /// Swaps the I/O backend every adjacency read routes through (default:
@@ -210,26 +230,53 @@ class sem_csr {
 
  private:
   /// Charges the device for the blocks of [pos, pos+bytes) that miss the
-  /// simulated page cache (all of them when no cache is attached).
+  /// simulated page cache (all of them when no cache is attached), and
+  /// records per-block heat when a recorder is attached. The heat recording
+  /// shares the cache probe that decides the charge, so heat misses agree
+  /// exactly with the cache's miss counters.
   void charge_device(std::uint64_t pos, std::uint64_t bytes) const {
-    if (device_ == nullptr) return;
-    if (cache_ == nullptr) {
-      device_->read(bytes);
+    if (heat_ == nullptr) {
+      // Pre-heat fast path, bit-identical to the original accounting.
+      if (device_ == nullptr) return;
+      if (cache_ == nullptr) {
+        device_->read(bytes);
+        return;
+      }
+      const std::uint64_t bs = device_->params().block_bytes;
+      const std::uint64_t first = pos / bs;
+      const std::uint64_t last = (pos + bytes - 1) / bs;
+      std::uint64_t missing = 0;
+      for (std::uint64_t b = first; b <= last; ++b) {
+        missing += cache_->access(b) ? 0 : 1;
+      }
+      if (missing > 0) device_->read(missing * bs);
       return;
     }
-    const std::uint64_t bs = device_->params().block_bytes;
+    const std::uint64_t bs = device_ != nullptr
+                                 ? device_->params().block_bytes
+                                 : heat_->block_bytes();
     const std::uint64_t first = pos / bs;
     const std::uint64_t last = (pos + bytes - 1) / bs;
     std::uint64_t missing = 0;
     for (std::uint64_t b = first; b <= last; ++b) {
-      missing += cache_->access(b) ? 0 : 1;
+      const bool miss = cache_ == nullptr || !cache_->access(b);
+      missing += miss ? 1 : 0;
+      heat_->record(b, miss);
     }
-    if (missing > 0) device_->read(missing * bs);
+    if (device_ == nullptr || missing == 0) return;
+    // Match the cache-less fast path's charge (raw bytes, not whole blocks)
+    // so attaching heat never changes simulated-device time.
+    if (cache_ == nullptr) {
+      device_->read(bytes);
+    } else {
+      device_->read(missing * bs);
+    }
   }
 
   edge_file file_;
   ssd_model* device_;
   block_cache* cache_ = nullptr;
+  block_heat* heat_ = nullptr;
   agt_header header_;
   std::vector<std::uint64_t> offsets_;
   std::uint64_t targets_pos_ = 0;

@@ -45,22 +45,28 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "queue/queue_stats.hpp"
 #include "queue/visitor_queue.hpp"
+#include "service/job_stats.hpp"
 #include "service/traversal_options.hpp"
 #include "service/worker_pool.hpp"
 #include "telemetry/metrics_registry.hpp"
+#include "telemetry/span.hpp"
+#include "util/stats.hpp"
 
 namespace asyncgt {
 
@@ -82,6 +88,9 @@ struct job_control {
   std::function<void()> cancel;
   std::function<std::int64_t()> pending;
   std::atomic<bool> finished{false};
+  /// The job's attribution scope and terminal flags; lives as long as any
+  /// handle does, so stats() stays readable after the engine forgot the job.
+  std::shared_ptr<job_scope_state> scope;
 };
 
 }  // namespace service
@@ -123,6 +132,24 @@ class job {
     return control_ != nullptr ? control_->pending() : 0;
   }
 
+  /// Engine-assigned job id (1-based, unique per engine); 0 for a
+  /// default-constructed handle.
+  std::uint64_t id() const noexcept {
+    return control_ != nullptr && control_->scope != nullptr
+               ? control_->scope->scope.job_id()
+               : 0;
+  }
+
+  /// Per-job attribution snapshot: visits, edge inspections, io
+  /// bytes/retries, queue flushes, and queue-wait/run/total wall time.
+  /// Readable at any time — counters are "so far" while the job runs and
+  /// final once done() — and stays valid after get().
+  service::job_stats stats() const {
+    return control_ != nullptr && control_->scope != nullptr
+               ? control_->scope->snapshot()
+               : service::job_stats{};
+  }
+
  private:
   friend class engine;
   job(std::future<Result> f, std::shared_ptr<service::job_control> c)
@@ -142,11 +169,15 @@ class engine {
     /// Per-job defaults: applied whole when a submit passes no options, and
     /// its telemetry sinks fill any the submit's options leave null.
     traversal_options defaults{};
+    /// Completed-job summaries retained for recent_jobs() (0 disables).
+    std::size_t completed_ring = 64;
   };
 
   engine() : engine(config{}) {}
   explicit engine(config c)
-      : defaults_(std::move(c.defaults)), pool_(c.pool_threads) {}
+      : defaults_(std::move(c.defaults)),
+        completed_ring_(c.completed_ring),
+        pool_(c.pool_threads) {}
 
   engine(const engine&) = delete;
   engine& operator=(const engine&) = delete;
@@ -196,10 +227,11 @@ class engine {
   template <typename Visitor, typename State, typename Prepare,
             typename Finalize>
   auto submit_traversal(std::optional<traversal_options> opts, State state,
-                        Prepare prepare, Finalize finalize)
+                        Prepare prepare, Finalize finalize,
+                        const char* label = "traversal")
       -> job<std::invoke_result_t<Finalize&, State&, queue_run_stats>> {
     auto tj = make_typed_job<Visitor>(opts, std::move(state),
-                                      std::move(finalize));
+                                      std::move(finalize), label);
     prepare(tj->queue, tj->state);
     return start_job(tj, [this](auto& jq, auto& jstate, auto done) {
       jq.run_async(pool_, jstate, std::move(done));
@@ -214,10 +246,10 @@ class engine {
             typename Finalize>
   auto submit_seeded(std::optional<traversal_options> opts, State state,
                      std::uint64_t num_vertices, MakeVisitor make_visitor,
-                     Finalize finalize)
+                     Finalize finalize, const char* label = "traversal")
       -> job<std::invoke_result_t<Finalize&, State&, queue_run_stats>> {
     auto tj = make_typed_job<Visitor>(opts, std::move(state),
-                                      std::move(finalize));
+                                      std::move(finalize), label);
     return start_job(
         tj, [this, num_vertices, mv = std::move(make_visitor)](
                 auto& jq, auto& jstate, auto done) mutable {
@@ -249,6 +281,32 @@ class engine {
 
   std::uint64_t jobs_submitted() const noexcept {
     return submitted_.load(std::memory_order_relaxed);
+  }
+
+  std::uint64_t jobs_completed() const {
+    std::lock_guard lk(jobs_mu_);
+    return jobs_completed_;
+  }
+
+  /// Snapshots of the most recently completed jobs (newest last), up to the
+  /// configured ring size. Jobs still running are not listed — read their
+  /// handles' stats() instead.
+  std::vector<service::job_stats> recent_jobs() const {
+    std::lock_guard lk(jobs_mu_);
+    return {recent_.begin(), recent_.end()};
+  }
+
+  /// Engine-lifetime job lifecycle latency distributions (microseconds),
+  /// one sample per completed job.
+  struct lifecycle_latencies {
+    log2_histogram queue_wait_us;
+    log2_histogram run_us;
+    log2_histogram total_us;
+  };
+
+  lifecycle_latencies lifecycle() const {
+    std::lock_guard lk(jobs_mu_);
+    return lifecycle_;
   }
 
   /// Blocks until every outstanding job delivered its result or error.
@@ -290,13 +348,20 @@ class engine {
   struct typed_job {
     using result_type =
         std::invoke_result_t<Finalize&, State&, queue_run_stats>;
+    // The scope must outlive the queue (whose config points at it), so it
+    // is declared — and therefore destroyed — after the queue.
+    std::shared_ptr<service::job_scope_state> scope;
     State state;
     visitor_queue<Visitor, State> queue;
     Finalize finalize;
     std::promise<result_type> promise;
 
-    typed_job(State&& st, const visitor_queue_config& cfg, Finalize&& fin)
-        : state(std::move(st)), queue(cfg), finalize(std::move(fin)) {}
+    typed_job(std::shared_ptr<service::job_scope_state> sc, State&& st,
+              const visitor_queue_config& cfg, Finalize&& fin)
+        : scope(std::move(sc)),
+          state(std::move(st)),
+          queue(cfg),
+          finalize(std::move(fin)) {}
   };
 
   /// Resolves options against engine defaults, pins the job to this
@@ -322,10 +387,19 @@ class engine {
 
   template <typename Visitor, typename State, typename Finalize>
   auto make_typed_job(const std::optional<traversal_options>& opts,
-                      State state, Finalize finalize) {
-    const visitor_queue_config cfg = prepare_config(opts);
+                      State state, Finalize finalize, const char* label) {
+    visitor_queue_config cfg = prepare_config(opts);
+    // One attribution scope per job, installed into the config BEFORE the
+    // queue is built so every worker body and end-of-run stats mirror runs
+    // against it (queue/traversal_engine.hpp).
+    auto scope = std::make_shared<service::job_scope_state>(
+        next_job_id_.fetch_add(1, std::memory_order_relaxed), label,
+        cfg.num_threads);
+    scope->metrics = cfg.metrics;
+    scope->trace = cfg.trace;
+    cfg.scope = &scope->scope;
     return std::make_shared<typed_job<Visitor, State, Finalize>>(
-        std::move(state), cfg, std::move(finalize));
+        std::move(scope), std::move(state), cfg, std::move(finalize));
   }
 
   /// Common tail of both submit flavours: wire the control block, launch
@@ -336,7 +410,11 @@ class engine {
       -> job<typename TypedJob::result_type> {
     using Result = typename TypedJob::result_type;
     auto control = std::make_shared<service::job_control>();
-    control->cancel = [tj] { tj->queue.cancel(); };
+    control->scope = tj->scope;
+    control->cancel = [tj] {
+      tj->scope->cancel_requested.store(true, std::memory_order_relaxed);
+      tj->queue.cancel();
+    };
     control->pending = [tj] { return tj->queue.pending(); };
     job<Result> handle(tj->promise.get_future(), control);
     {
@@ -349,14 +427,30 @@ class engine {
           // finished flips before the promise is fulfilled so that a handle
           // whose wait()/get() returned always reads done() == true.
           control->finished.store(true, std::memory_order_release);
+          std::optional<Result> result;
+          if (error == nullptr) {
+            try {
+              // Finalize runs attributed to the job so the per-algorithm
+              // work counters it records mirror into the job's deltas.
+              telemetry::metric_scope::attribution attr(&tj->scope->scope, 0);
+              result.emplace(tj->finalize(tj->state, std::move(stats)));
+            } catch (...) {
+              error = std::current_exception();
+            }
+          }
+          // All job-state mutation happens BEFORE the promise is fulfilled:
+          // a caller whose get() returned must see the final snapshot
+          // (completed/failed flags, finish timestamp) — never a job that
+          // is still "running".
+          if (error != nullptr) {
+            tj->scope->error_latched.store(true, std::memory_order_relaxed);
+          }
+          tj->scope->scope.mark_finished();
+          finish_job_accounting(*tj->scope);
           if (error != nullptr) {
             tj->promise.set_exception(std::move(error));
           } else {
-            try {
-              tj->promise.set_value(tj->finalize(tj->state, std::move(stats)));
-            } catch (...) {
-              tj->promise.set_exception(std::current_exception());
-            }
+            tj->promise.set_value(std::move(*result));
           }
           {
             // Notify under the lock: wait_idle() may be ~engine, and the
@@ -371,12 +465,93 @@ class engine {
     return handle;
   }
 
+  /// Completion-side accounting, invoked once per job from the pool thread
+  /// that delivered its result or error: lifecycle histograms + ring entry
+  /// under jobs_mu_, service.* lifecycle metrics into the job's registry,
+  /// and the Chrome-trace lifecycle spans into its writer.
+  void finish_job_accounting(service::job_scope_state& st) {
+    const service::job_stats snap = st.snapshot();
+    const auto us = [](double seconds) {
+      return seconds <= 0.0 ? std::uint64_t{0}
+                            : static_cast<std::uint64_t>(seconds * 1e6);
+    };
+    {
+      std::lock_guard lk(jobs_mu_);
+      ++jobs_completed_;
+      lifecycle_.queue_wait_us.add(us(snap.queue_wait_seconds));
+      lifecycle_.run_us.add(us(snap.run_seconds));
+      lifecycle_.total_us.add(us(snap.total_seconds));
+      if (completed_ring_ > 0) {
+        recent_.push_back(snap);
+        while (recent_.size() > completed_ring_) recent_.pop_front();
+      }
+    }
+    if (st.metrics != nullptr) {
+      st.metrics->get_counter("service.jobs.completed").add(0);
+      st.metrics->get_histogram("service.job.queue_wait_us")
+          .record(0, us(snap.queue_wait_seconds));
+      st.metrics->get_histogram("service.job.run_us")
+          .record(0, us(snap.run_seconds));
+      st.metrics->get_histogram("service.job.total_us")
+          .record(0, us(snap.total_seconds));
+    }
+    emit_job_spans(st, snap);
+  }
+
+  /// Renders the job's lifecycle as one named row in the Chrome trace:
+  /// a parent span covering submit -> finish, with admit (queue wait),
+  /// gang-run, and terminate children, plus an instant marker when the job
+  /// ended in cancellation or failure. Emitted retroactively from the one
+  /// completing thread — the trace format orders by timestamp, so this is
+  /// race-free against the per-lane worker streams.
+  void emit_job_spans(service::job_scope_state& st,
+                      const service::job_stats& snap) {
+    telemetry::trace_writer* tw = st.trace;
+    if (tw == nullptr) return;
+    using track_t = telemetry::span_track;
+    const std::uint32_t tid =
+        track_t::job_track_base +
+        static_cast<std::uint32_t>(snap.job_id % track_t::job_track_span);
+    track_t track(tw, tid,
+                  "job-" + std::to_string(snap.job_id) + " (" + snap.label +
+                      ")");
+    // The job may have been submitted before the writer existed; clamp.
+    const auto raw_t0 = std::chrono::duration_cast<std::chrono::microseconds>(
+                            st.scope.submit_time() - tw->origin())
+                            .count();
+    const std::uint64_t t0 =
+        raw_t0 > 0 ? static_cast<std::uint64_t>(raw_t0) : 0;
+    const auto us = [](double seconds) {
+      return seconds <= 0.0 ? std::uint64_t{0}
+                            : static_cast<std::uint64_t>(seconds * 1e6);
+    };
+    const std::uint64_t t_run = t0 + us(snap.queue_wait_seconds);
+    const std::uint64_t t_run_end = t_run + us(snap.run_seconds);
+    const std::uint64_t t_end = t0 + us(snap.total_seconds);
+    const std::uint64_t parent = track.emit(
+        snap.label + " #" + std::to_string(snap.job_id), t0, t_end);
+    track.emit("admit", t0, t_run, parent);
+    if (t_run_end > t_run) track.emit("gang-run", t_run, t_run_end, parent);
+    if (t_end > t_run_end) track.emit("terminate", t_run_end, t_end, parent);
+    if (snap.cancelled) {
+      track.instant("cancelled", t_end);
+    } else if (snap.failed) {
+      track.instant("abort", t_end);
+    }
+  }
+
   traversal_options defaults_;
+  std::size_t completed_ring_;
   service::worker_pool pool_;
   mutable std::mutex jobs_mu_;
   std::condition_variable idle_cv_;
   std::size_t active_ = 0;  // guarded by jobs_mu_
   std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> next_job_id_{1};
+  // Completed-job introspection, all guarded by jobs_mu_.
+  std::uint64_t jobs_completed_ = 0;
+  std::deque<service::job_stats> recent_;
+  lifecycle_latencies lifecycle_;
 };
 
 }  // namespace asyncgt

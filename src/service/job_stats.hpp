@@ -1,0 +1,94 @@
+// Per-job statistics surface of the traversal service.
+//
+// Every job the engine admits carries a job_scope_state: the job's
+// metric_scope (telemetry/metric_scope.hpp — hot counters, named deltas,
+// lifecycle timestamps) plus the terminal flags and the telemetry sinks the
+// job resolved at submit time. job<Result>::stats() snapshots it into a
+// plain job_stats value — readable while the job runs (counters are "so
+// far") and stable after completion. The engine also keeps a ring of
+// completed snapshots (engine::recent_jobs) so short-lived jobs remain
+// introspectable after their handles are gone.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "telemetry/metric_scope.hpp"
+
+namespace asyncgt {
+
+namespace telemetry {
+class trace_writer;
+}
+
+namespace service {
+
+/// Plain-value snapshot of one job's attribution and lifecycle. The counter
+/// fields mirror metric_scope's hot set; the seconds are derived from its
+/// submit/run-start/finish timestamps.
+struct job_stats {
+  std::uint64_t job_id = 0;
+  std::string label;
+
+  bool completed = false;  // finished without error
+  bool failed = false;     // finished with a non-cancellation error
+  bool cancelled = false;  // cancel() was requested on the handle
+
+  std::uint64_t visits = 0;
+  std::uint64_t pushes = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t wakeups = 0;
+  std::uint64_t edge_inspections = 0;
+  std::uint64_t io_ops = 0;
+  std::uint64_t io_bytes = 0;
+  std::uint64_t io_retries = 0;
+
+  double queue_wait_seconds = 0.0;  // submit -> first worker body
+  double run_seconds = 0.0;         // first worker body -> finish
+  double total_seconds = 0.0;       // submit -> finish
+};
+
+/// The live per-job state shared between the engine, the job handle's
+/// control block, and the queue config's scope pointer. The engine keeps it
+/// alive (shared_ptr) for as long as anything can still read it.
+struct job_scope_state {
+  telemetry::metric_scope scope;
+  std::atomic<bool> cancel_requested{false};
+  std::atomic<bool> error_latched{false};  // set when the job delivers an error
+  // The sinks this job resolved at submit time (borrowed, nullable); the
+  // completion path uses them for lifecycle accounting and span emission.
+  telemetry::metrics_registry* metrics = nullptr;
+  telemetry::trace_writer* trace = nullptr;
+
+  job_scope_state(std::uint64_t job_id, std::string label, std::size_t shards)
+      : scope(job_id, std::move(label), shards) {}
+
+  job_stats snapshot() const {
+    job_stats s;
+    s.job_id = scope.job_id();
+    s.label = scope.label();
+    const bool cancelled = cancel_requested.load(std::memory_order_relaxed);
+    const bool errored = error_latched.load(std::memory_order_relaxed);
+    s.cancelled = cancelled;
+    s.failed = errored && !cancelled;
+    s.completed = scope.finished() && !errored;
+    using hot = telemetry::metric_scope::hot;
+    s.visits = scope.total(hot::visits);
+    s.pushes = scope.total(hot::pushes);
+    s.flushes = scope.total(hot::flushes);
+    s.wakeups = scope.total(hot::wakeups);
+    s.edge_inspections = scope.total(hot::edge_inspections);
+    s.io_ops = scope.total(hot::io_ops);
+    s.io_bytes = scope.total(hot::io_bytes);
+    s.io_retries = scope.total(hot::io_retries);
+    s.queue_wait_seconds = scope.queue_wait_seconds();
+    s.run_seconds = scope.run_seconds();
+    s.total_seconds = scope.total_seconds();
+    return s;
+  }
+};
+
+}  // namespace service
+}  // namespace asyncgt

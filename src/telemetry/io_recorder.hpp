@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "telemetry/metric_scope.hpp"
+
 namespace asyncgt::telemetry {
 
 struct io_snapshot {
@@ -37,6 +39,11 @@ class io_recorder {
   static constexpr std::size_t num_buckets = 48;
 
   void record(std::uint64_t bytes, std::uint64_t latency_us) noexcept {
+    // Per-job attribution rides the same call: when the calling thread runs
+    // on behalf of a job (metric_scope::attribution installed by the
+    // traversal engine), the job's scope gets the identical op/byte counts,
+    // so per-job io sums stay conserved against this recorder's snapshot.
+    metric_scope::count_io(bytes);
     ops_.fetch_add(1, std::memory_order_relaxed);
     bytes_.fetch_add(bytes, std::memory_order_relaxed);
     total_us_.fetch_add(latency_us, std::memory_order_relaxed);
@@ -53,6 +60,7 @@ class io_recorder {
 
   /// One transient failure was retried (edge_file retry policy).
   void record_retry() noexcept {
+    metric_scope::count_io_retry();
     retries_.fetch_add(1, std::memory_order_relaxed);
   }
 

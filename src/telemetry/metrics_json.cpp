@@ -3,6 +3,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "telemetry/percentiles.hpp"
+
 namespace asyncgt::telemetry {
 
 namespace {
@@ -32,6 +34,10 @@ json_value to_json(const metrics_snapshot& snap) {
         json_value h = json_value::object();
         h.set("count", e.total);
         h.set("sum", e.sum);
+        const percentile_set p = percentiles_from_log2(e.buckets);
+        h.set("p50", p.p50);
+        h.set("p95", p.p95);
+        h.set("p99", p.p99);
         h.set("buckets", buckets_to_json(e.buckets));
         out.set(e.name, std::move(h));
         break;
@@ -48,6 +54,14 @@ json_value to_json(const io_snapshot& io) {
   out.set("total_latency_us", io.total_latency_us);
   out.set("mean_latency_us", io.mean_latency_us());
   out.set("max_latency_us", io.max_latency_us);
+  // Interpolated latency percentiles, clamped to the exact recorded maximum
+  // so p50 <= p95 <= p99 <= max holds in every emitted report (checked by
+  // tools/check_bench_json.py).
+  const percentile_set p = percentiles_from_log2(
+      io.latency_buckets, static_cast<double>(io.max_latency_us));
+  out.set("p50_us", p.p50);
+  out.set("p95_us", p.p95);
+  out.set("p99_us", p.p99);
   out.set("retries", io.retries);
   out.set("gave_up", io.gave_up);
   out.set("batches", io.batches);
@@ -75,7 +89,7 @@ json_value to_json(const std::vector<sampler::series>& series) {
 }
 
 report::report(std::string name) : doc_(json_value::object()) {
-  doc_.set("schema_version", 1);
+  doc_.set("schema_version", schema_version);
   doc_.set("name", std::move(name));
   doc_.set("config", json_value::object());
   doc_.set("sections", json_value::object());
@@ -116,6 +130,19 @@ report& report::add_row(json_value row) {
   return *this;
 }
 
+report& report::add_job(json_value job) {
+  json_value* jobs = nullptr;
+  for (auto& [k, v] : doc_.as_object()) {
+    if (k == "jobs") jobs = &v;
+  }
+  if (jobs == nullptr) {
+    doc_.set("jobs", json_value::array());
+    jobs = &doc_.as_object().back().second;
+  }
+  jobs->push(std::move(job));
+  return *this;
+}
+
 void report::write_file(const std::string& path) const {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) {
@@ -135,13 +162,71 @@ bool fail(std::string* error, const std::string& why) {
   return false;
 }
 
+// Reads a numeric member; returns false (leaving *out alone) when absent or
+// non-numeric.
+bool numeric_member(const json_value& obj, const std::string& key,
+                    double* out) {
+  const json_value* v = obj.find(key);
+  if (v == nullptr || !v->is_number()) return false;
+  *out = v->as_double();
+  return true;
+}
+
+// Recursively enforces percentile monotonicity: any object carrying a full
+// {p50,p95,p99} or {p50_us,p95_us,p99_us} triple must satisfy
+// p50 <= p95 <= p99, and <= the sibling max (max / max_us / max_latency_us)
+// when one is present. `where` names the offending object on failure.
+bool check_percentiles(const json_value& v, const std::string& where,
+                       std::string* error) {
+  if (v.is_array()) {
+    std::size_t i = 0;
+    for (const auto& e : v.as_array()) {
+      if (!check_percentiles(e, where + "[" + std::to_string(i) + "]",
+                             error)) {
+        return false;
+      }
+      ++i;
+    }
+    return true;
+  }
+  if (!v.is_object()) return true;
+  for (const char* suffix : {"", "_us"}) {
+    double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+    const std::string s(suffix);
+    if (!numeric_member(v, "p50" + s, &p50) ||
+        !numeric_member(v, "p95" + s, &p95) ||
+        !numeric_member(v, "p99" + s, &p99)) {
+      continue;
+    }
+    if (!(p50 <= p95 && p95 <= p99)) {
+      return fail(error, where + ": percentiles not monotone (p50" + s + "=" +
+                             std::to_string(p50) + ", p95" + s + "=" +
+                             std::to_string(p95) + ", p99" + s + "=" +
+                             std::to_string(p99) + ")");
+    }
+    double mx = 0.0;
+    if (numeric_member(v, "max" + s, &mx) ||
+        numeric_member(v, "max_latency_us", &mx)) {
+      if (p99 > mx) {
+        return fail(error, where + ": p99" + s + "=" + std::to_string(p99) +
+                               " exceeds recorded max=" + std::to_string(mx));
+      }
+    }
+  }
+  for (const auto& [k, child] : v.as_object()) {
+    if (!check_percentiles(child, where + "." + k, error)) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 bool report::verify(const json_value& doc, std::string* error) {
   if (!doc.is_object()) return fail(error, "document is not a JSON object");
   const json_value* ver = doc.find("schema_version");
-  if (ver == nullptr || !ver->is_int() || ver->as_int() != 1) {
-    return fail(error, "schema_version must be the integer 1");
+  if (ver == nullptr || !ver->is_int() ||
+      (ver->as_int() != 1 && ver->as_int() != schema_version)) {
+    return fail(error, "schema_version must be the integer 1 or 2");
   }
   const json_value* name = doc.find("name");
   if (name == nullptr || !name->is_string() || name->as_string().empty()) {
@@ -167,7 +252,18 @@ bool report::verify(const json_value& doc, std::string* error) {
       if (!r.is_object()) return fail(error, "rows entries must be objects");
     }
   }
-  return true;
+  const json_value* jobs = doc.find("jobs");
+  if (jobs != nullptr) {
+    if (!jobs->is_array()) return fail(error, "jobs must be an array");
+    for (const auto& j : jobs->as_array()) {
+      if (!j.is_object()) return fail(error, "jobs entries must be objects");
+      const json_value* id = j.find("job_id");
+      if (id == nullptr || !id->is_int()) {
+        return fail(error, "jobs entries must carry an integer job_id");
+      }
+    }
+  }
+  return check_percentiles(doc, "$", error);
 }
 
 bool report::verify_text(const std::string& text, std::string* error) {

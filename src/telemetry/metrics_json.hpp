@@ -2,18 +2,23 @@
 // document: a small schema shared by every bench binary and agt_tool so
 // emitted JSON stays machine-readable for BENCH_*.json trajectory tracking.
 //
-// Schema (version 1, checked by report::verify, `agt_tool verify-json`,
-// and tools/check_bench_json.py):
+// Schema (version 2, checked by report::verify, `agt_tool verify-json`,
+// and tools/check_bench_json.py; version-1 documents remain valid):
 //   {
-//     "schema_version": 1,
+//     "schema_version": 2,
 //     "name": "<bench or subcommand name>",     non-empty string
 //     "config": { ... },                        object of scalars
 //     "sections": { "<name>": { ... }, ... },   object of objects
-//     "rows": [ { ... }, ... ]                  optional array of objects
+//     "rows": [ { ... }, ... ],                 optional array of objects
+//     "jobs": [ { "job_id": n, ... }, ... ]     optional per-job sections
 //   }
 // Sections hold the machine-independent metrics (queue counters, algorithm
 // work proxies, SEM cache/device telemetry, sampler series); rows hold the
-// per-configuration lines of a bench table. See docs/observability.md.
+// per-configuration lines of a bench table; jobs hold one object per
+// service-submitted job (job_stats + named deltas). Version 2 additionally
+// derives p50/p95/p99 for every serialized log2 histogram — verifiers
+// enforce p50 <= p95 <= p99 (<= max where a max is recorded) on any object
+// carrying the triple. See docs/observability.md.
 #pragma once
 
 #include <cstdint>
@@ -36,10 +41,13 @@ json_value to_json(const io_snapshot& io);
 /// Sampler series -> {"<probe>": {"t": [...], "v": [...]}, ...}.
 json_value to_json(const std::vector<sampler::series>& series);
 
-/// Builder for the schema-1 report document above.
+/// Builder for the schema-2 report document above.
 class report {
  public:
   explicit report(std::string name);
+
+  /// The version new documents are written at; verify() also accepts 1.
+  static constexpr int schema_version = 2;
 
   /// Adds one scalar to the "config" object.
   report& config(const std::string& key, json_value value);
@@ -50,6 +58,10 @@ class report {
 
   /// Appends a row object to "rows".
   report& add_row(json_value row);
+
+  /// Appends a per-job object to the top-level "jobs" array. The object
+  /// must carry an integer "job_id" (verify() enforces it).
+  report& add_job(json_value job);
 
   const json_value& doc() const noexcept { return doc_; }
   json_value& doc() noexcept { return doc_; }

@@ -63,16 +63,26 @@ void sampler::stop() {
   running_.store(false, std::memory_order_release);
 }
 
+void sampler::set_tick_hook(tick_hook_fn hook) {
+  std::lock_guard lk(mu_);
+  tick_hook_ = std::move(hook);
+}
+
 void sampler::tick() {
   const double t = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - origin_)
                        .count();
-  std::lock_guard lk(mu_);
-  for (auto& p : probes_) {
-    if (!p.live) continue;
-    p.points.push_back({t, p.fn()});
-    ++samples_;
+  tick_hook_fn hook;
+  {
+    std::lock_guard lk(mu_);
+    for (auto& p : probes_) {
+      if (!p.live) continue;
+      p.points.push_back({t, p.fn()});
+      ++samples_;
+    }
+    hook = tick_hook_;  // copy so the hook runs without holding mu_
   }
+  if (hook) hook(t);
 }
 
 std::uint64_t sampler::samples_taken() const {

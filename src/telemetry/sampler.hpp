@@ -81,6 +81,14 @@ class sampler {
   /// given tid, so traces show the sampled time-series as tracks.
   void write_counters(trace_writer& tw, std::uint32_t tid = 999) const;
 
+  /// Called on the sampler thread after each tick's probes have run, with
+  /// elapsed seconds since sampler construction. Runs OUTSIDE the probe
+  /// mutex, so the hook may call snapshot()/samples_taken() or scrape a
+  /// registry (bench_report wires --stats-dump through this). Replace with
+  /// nullptr to remove; safe while running.
+  using tick_hook_fn = std::function<void(double t_seconds)>;
+  void set_tick_hook(tick_hook_fn hook);
+
  private:
   void tick();
 
@@ -97,6 +105,7 @@ class sampler {
   std::vector<probe> probes_;
   probe_id next_id_ = 1;
   std::uint64_t samples_ = 0;
+  tick_hook_fn tick_hook_;  // guarded by mu_; invoked after releasing it
 
   std::thread thread_;
   std::atomic<bool> running_{false};

@@ -1,0 +1,124 @@
+// Begin/end span API with parent links, emitted through trace_writer.
+//
+// scoped_span/phase_timer cover RAII block timing, but the service layer's
+// job lifecycle is not block-shaped: submit happens on the caller's thread,
+// the gang runs on pool workers, and completion lands on whichever pool
+// thread finishes last. A span_track models one named row ("job-7 (bfs)")
+// in the Chrome trace and emits spans onto it either live (begin/end) or
+// retroactively (emit with explicit timestamps — the engine reconstructs
+// submit -> admit -> gang-run -> terminate from the job's metric_scope
+// timestamps at completion; the Chrome format orders by ts, so emission
+// order is irrelevant).
+//
+// Every span carries an "id" argument and, when parented, a "parent"
+// argument referencing another span's id — process-unique, allocated from
+// the writer — so tooling can rebuild the tree even across tracks.
+//
+// Threading: one span_track is single-writer, like the trace_stream it
+// wraps (acquire the track on the thread that will emit; the engine emits a
+// job's whole lifecycle from the one pool thread that completes it).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/trace_writer.hpp"
+
+namespace asyncgt::telemetry {
+
+class span_track {
+ public:
+  /// Chrome tid range reserved for per-job tracks: the engine places job N
+  /// at job_track_base + (N mod job_track_span), far above the shared
+  /// worker-lane rows (tid 1..T) and the fixed phase/sampler/events streams.
+  static constexpr std::uint32_t job_track_base = 10000;
+  static constexpr std::uint32_t job_track_span = 50000;
+
+  /// Chrome tid for lane `lane` of job `job_id`'s gang. Concurrent jobs
+  /// MUST NOT share worker streams (trace_stream is single-writer; two
+  /// gangs pushing onto one lane-tid vector is a data race), so each job
+  /// gets its own block of worker rows right after its lifecycle track.
+  static constexpr std::uint32_t worker_track_base = 1u << 20;
+  static constexpr std::uint32_t worker_track_stride = 4096;
+  static std::uint32_t worker_tid(std::uint64_t job_id,
+                                  std::size_t lane) noexcept {
+    return worker_track_base +
+           static_cast<std::uint32_t>(job_id % job_track_span) *
+               worker_track_stride +
+           static_cast<std::uint32_t>(lane % worker_track_stride);
+  }
+
+  /// Null `tw` makes every operation a no-op (ids come back 0), so call
+  /// sites stay unconditional like the other telemetry sinks.
+  span_track(trace_writer* tw, std::uint32_t tid, const std::string& name)
+      : tw_(tw), stream_(tw != nullptr ? &tw->stream(tid, name) : nullptr) {}
+
+  bool enabled() const noexcept { return stream_ != nullptr; }
+
+  /// Opens a span now; returns its id for end() and for parenting children.
+  std::uint64_t begin(std::string name, std::uint64_t parent = 0) {
+    if (stream_ == nullptr) return 0;
+    open_.push_back({tw_->next_span_id(), stream_->now_us(), parent,
+                     std::move(name)});
+    return open_.back().id;
+  }
+
+  /// Closes the span `id` (from begin) and emits it. Unknown/zero ids are
+  /// ignored, so a no-op begin pairs with a no-op end.
+  void end(std::uint64_t id) {
+    if (stream_ == nullptr || id == 0) return;
+    for (std::size_t i = open_.size(); i-- > 0;) {
+      if (open_[i].id != id) continue;
+      open_span s = std::move(open_[i]);
+      open_.erase(open_.begin() + static_cast<std::ptrdiff_t>(i));
+      emit_event(std::move(s.name), s.start_us, stream_->now_us(), s.id,
+                 s.parent);
+      return;
+    }
+  }
+
+  /// Retroactive emission with explicit timestamps (microseconds on the
+  /// writer's timebase); returns the span's id for parenting.
+  std::uint64_t emit(std::string name, std::uint64_t start_us,
+                     std::uint64_t end_us, std::uint64_t parent = 0) {
+    if (stream_ == nullptr) return 0;
+    const std::uint64_t id = tw_->next_span_id();
+    emit_event(std::move(name), start_us, end_us, id, parent);
+    return id;
+  }
+
+  /// Zero-duration marker on this track ("abort", "cancelled").
+  void instant(std::string name, std::uint64_t ts_us) {
+    if (stream_ != nullptr) stream_->instant(std::move(name), ts_us);
+  }
+
+  std::uint64_t now_us() const noexcept {
+    return stream_ != nullptr ? stream_->now_us() : 0;
+  }
+
+ private:
+  struct open_span {
+    std::uint64_t id = 0;
+    std::uint64_t start_us = 0;
+    std::uint64_t parent = 0;
+    std::string name;
+  };
+
+  void emit_event(std::string name, std::uint64_t start_us,
+                  std::uint64_t end_us, std::uint64_t id,
+                  std::uint64_t parent) {
+    trace_args args;
+    args.emplace_back("id", id);
+    if (parent != 0) args.emplace_back("parent", parent);
+    const std::uint64_t dur = end_us > start_us ? end_us - start_us : 0;
+    stream_->complete(std::move(name), start_us, dur, std::move(args));
+  }
+
+  trace_writer* tw_;
+  trace_stream* stream_;
+  std::vector<open_span> open_;
+};
+
+}  // namespace asyncgt::telemetry

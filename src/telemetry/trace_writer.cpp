@@ -13,12 +13,44 @@ trace_writer::trace_writer(std::string process_name)
 
 trace_stream& trace_writer::stream(std::uint32_t tid, const std::string& name) {
   std::lock_guard lk(mu_);
+  return stream_locked(tid, name);
+}
+
+trace_stream& trace_writer::stream_locked(std::uint32_t tid,
+                                          const std::string& name) {
   for (auto& s : streams_) {
     if (s.tid_ == tid) return s;
   }
   streams_.push_back(trace_stream(
       this, tid, name.empty() ? "thread-" + std::to_string(tid) : name));
   return streams_.back();
+}
+
+void trace_writer::instant_global(std::string name) {
+  const std::uint64_t ts = now_us();
+  std::lock_guard lk(mu_);
+  stream_locked(events_stream_tid, "events").instant(std::move(name), ts);
+}
+
+void trace_writer::set_flush_path(std::string path) {
+  std::lock_guard lk(mu_);
+  flush_path_ = std::move(path);
+}
+
+std::string trace_writer::flush_path() const {
+  std::lock_guard lk(mu_);
+  return flush_path_;
+}
+
+bool trace_writer::flush() const noexcept {
+  std::string path = flush_path();
+  if (path.empty()) return false;
+  try {
+    write_file(path);
+    return true;
+  } catch (...) {
+    return false;
+  }
 }
 
 std::size_t trace_writer::event_count() const {
@@ -57,8 +89,10 @@ json_value trace_writer::to_json() const {
       if (e.phase == 'i') ev.set("s", "t");  // instant scope: thread
       if (e.has_value) {
         ev.set("args", json_value::object().set("value", e.value));
-      } else if (e.has_arg) {
-        ev.set("args", json_value::object().set(e.arg_name, e.arg));
+      } else if (!e.args.empty()) {
+        json_value args = json_value::object();
+        for (const auto& [k, v] : e.args) args.set(k, v);
+        ev.set("args", std::move(args));
       }
       events.push(std::move(ev));
     }

@@ -17,6 +17,7 @@
 //   tw.write_file("out.trace");                   // load in ui.perfetto.dev
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <deque>
@@ -31,6 +32,10 @@ namespace asyncgt::telemetry {
 
 class trace_writer;
 
+/// Named numeric arguments attached to an event ({"args": {...}} in the
+/// Chrome format). The span API uses these for id/parent links.
+using trace_args = std::vector<std::pair<std::string, std::uint64_t>>;
+
 struct trace_event {
   std::string name;
   char phase = 'X';          // 'X' complete, 'i' instant, 'C' counter
@@ -38,9 +43,7 @@ struct trace_event {
   std::uint64_t dur_us = 0;  // complete events only
   bool has_value = false;    // counter events carry a numeric payload
   double value = 0.0;
-  bool has_arg = false;      // optional single numeric argument
-  std::string arg_name;
-  std::uint64_t arg = 0;
+  trace_args args;           // optional named numeric arguments
 };
 
 /// A single-writer event buffer; one per logical thread. All methods must be
@@ -50,26 +53,35 @@ class trace_stream {
   /// Records a completed span [ts_us, ts_us + dur_us).
   void complete(std::string name, std::uint64_t ts_us, std::uint64_t dur_us) {
     events_.push_back({std::move(name), 'X', ts_us, dur_us,
-                       false, 0.0, false, {}, 0});
+                       false, 0.0, {}});
   }
 
   /// Completed span with one numeric argument (e.g. the visited vertex id).
   void complete(std::string name, std::uint64_t ts_us, std::uint64_t dur_us,
                 std::string arg_name, std::uint64_t arg) {
+    trace_args args;
+    args.emplace_back(std::move(arg_name), arg);
+    complete(std::move(name), ts_us, dur_us, std::move(args));
+  }
+
+  /// Completed span with arbitrary named numeric arguments (the span API's
+  /// id/parent links travel through here).
+  void complete(std::string name, std::uint64_t ts_us, std::uint64_t dur_us,
+                trace_args args) {
     events_.push_back({std::move(name), 'X', ts_us, dur_us,
-                       false, 0.0, true, std::move(arg_name), arg});
+                       false, 0.0, std::move(args)});
   }
 
   /// Zero-duration marker.
   void instant(std::string name, std::uint64_t ts_us) {
     events_.push_back({std::move(name), 'i', ts_us, 0,
-                       false, 0.0, false, {}, 0});
+                       false, 0.0, {}});
   }
 
   /// Counter sample: renders as a stacked time-series track in the viewer.
   void counter(std::string name, std::uint64_t ts_us, double value) {
     events_.push_back({std::move(name), 'C', ts_us, 0,
-                       true, value, false, {}, 0});
+                       true, value, {}});
   }
 
   std::uint64_t now_us() const noexcept;
@@ -98,6 +110,28 @@ class trace_writer {
   /// valid for the writer's lifetime. `name` labels the track on first
   /// acquisition (thread_name metadata event).
   trace_stream& stream(std::uint32_t tid, const std::string& name = "");
+
+  /// Thread-safe zero-duration marker on the writer's dedicated "events"
+  /// track (tid events_stream_tid): the whole append happens under the
+  /// writer mutex, so any thread may call it without owning a stream —
+  /// the abort path uses this (queue/traversal_engine.hpp's take_failure).
+  void instant_global(std::string name);
+  static constexpr std::uint32_t events_stream_tid = 996;
+
+  /// Process-unique id source for the span API (telemetry/span.hpp). Never
+  /// returns 0 (0 means "no parent").
+  std::uint64_t next_span_id() noexcept {
+    return next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Remembers where flush() should persist the trace. Empty disables.
+  void set_flush_path(std::string path);
+  std::string flush_path() const;
+
+  /// Best-effort write to the configured flush path so buffered events
+  /// survive an abort; returns false when no path is set or the write
+  /// failed (never throws — this runs on failure-containment paths).
+  bool flush() const noexcept;
 
   /// Microseconds since this writer was constructed.
   std::uint64_t now_us() const noexcept {
@@ -129,10 +163,14 @@ class trace_writer {
   void write_file(const std::string& path) const;
 
  private:
+  trace_stream& stream_locked(std::uint32_t tid, const std::string& name);
+
   std::string process_name_;
   std::chrono::steady_clock::time_point origin_;
   mutable std::mutex mu_;
   std::deque<trace_stream> streams_;  // stable addresses
+  std::string flush_path_;            // guarded by mu_
+  std::atomic<std::uint64_t> next_span_id_{1};
 };
 
 inline std::uint64_t trace_stream::now_us() const noexcept {

@@ -1,0 +1,186 @@
+// block_heat — the per-block access/miss heat map behind the bench
+// reports' hot-block tables. Covered here:
+//
+//   * record/accessor round trips, miss accounting, and the out-of-range
+//     counter (touches past num_blocks are counted, not dropped);
+//   * top_k ordering (hottest first, ties to the lower block id) and
+//     truncation;
+//   * scrape-time totals and blocks_touched;
+//   * reset;
+//   * integration with sem_csr's device-charging walk: heat misses agree
+//     exactly with the block_cache's own miss counter, and with no cache
+//     every touch is a miss (full-charge accounting).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "asyncgt.hpp"
+#include "sem/block_cache.hpp"
+#include "sem/block_heat.hpp"
+#include "sem/sem_csr.hpp"
+#include "sem/ssd_model.hpp"
+
+namespace asyncgt::sem {
+namespace {
+
+TEST(BlockHeat, RecordsAccessesAndMisses) {
+  block_heat heat(8, 4096);
+  EXPECT_EQ(heat.num_blocks(), 8u);
+  EXPECT_EQ(heat.block_bytes(), 4096u);
+
+  heat.record(0, true);
+  heat.record(0, false);
+  heat.record(3, true);
+  EXPECT_EQ(heat.accesses(0), 2u);
+  EXPECT_EQ(heat.misses(0), 1u);
+  EXPECT_EQ(heat.accesses(3), 1u);
+  EXPECT_EQ(heat.misses(3), 1u);
+  EXPECT_EQ(heat.accesses(5), 0u);
+  EXPECT_EQ(heat.total_accesses(), 3u);
+  EXPECT_EQ(heat.total_misses(), 2u);
+  EXPECT_EQ(heat.blocks_touched(), 2u);
+  EXPECT_EQ(heat.out_of_range(), 0u);
+}
+
+TEST(BlockHeat, OutOfRangeTouchesAreCountedNotDropped) {
+  block_heat heat(4);
+  heat.record(4, true);
+  heat.record(1000, false);
+  EXPECT_EQ(heat.out_of_range(), 2u);
+  EXPECT_EQ(heat.total_accesses(), 0u);
+  // Reads past the range are safe zeros.
+  EXPECT_EQ(heat.accesses(1000), 0u);
+  EXPECT_EQ(heat.misses(1000), 0u);
+}
+
+TEST(BlockHeat, ZeroBlockBytesFallsBackToDefault) {
+  block_heat heat(2, 0);
+  EXPECT_EQ(heat.block_bytes(), 4096u);
+}
+
+TEST(BlockHeat, TopKRanksByAccessesWithLowerIdTieBreak) {
+  block_heat heat(16);
+  for (int i = 0; i < 5; ++i) heat.record(9, i % 2 == 0);
+  for (int i = 0; i < 3; ++i) heat.record(2, true);
+  for (int i = 0; i < 3; ++i) heat.record(11, false);  // ties block 2
+  heat.record(0, false);
+
+  const auto top = heat.top_k(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].block, 9u);
+  EXPECT_EQ(top[0].accesses, 5u);
+  EXPECT_EQ(top[0].misses, 3u);
+  // Tie at 3 accesses: the lower block id wins.
+  EXPECT_EQ(top[1].block, 2u);
+  EXPECT_EQ(top[2].block, 11u);
+  EXPECT_EQ(top[1].misses, 3u);
+  EXPECT_EQ(top[2].misses, 0u);
+
+  // k beyond the touched set returns only touched blocks.
+  EXPECT_EQ(heat.top_k(100).size(), 4u);
+  EXPECT_TRUE(heat.top_k(0).empty());
+}
+
+TEST(BlockHeat, ResetClearsEverything) {
+  block_heat heat(4);
+  heat.record(1, true);
+  heat.record(9, true);  // out of range
+  heat.reset();
+  EXPECT_EQ(heat.total_accesses(), 0u);
+  EXPECT_EQ(heat.total_misses(), 0u);
+  EXPECT_EQ(heat.blocks_touched(), 0u);
+  EXPECT_EQ(heat.out_of_range(), 0u);
+  EXPECT_TRUE(heat.top_k(4).empty());
+}
+
+TEST(BlockHeat, ConcurrentRecordingLosesNothing) {
+  constexpr std::size_t kThreads = 4;
+  constexpr std::uint64_t kIters = 50000;
+  block_heat heat(kThreads);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kIters; ++i) {
+        heat.record(t, (i & 3) == 0);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(heat.total_accesses(), kThreads * kIters);
+  EXPECT_EQ(heat.total_misses(), kThreads * (kIters / 4));
+  EXPECT_EQ(heat.blocks_touched(), kThreads);
+}
+
+// ---- sem_csr integration ------------------------------------------------
+
+class BlockHeatSemTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("agt_block_heat_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    g_ = rmat_graph<vertex32>(rmat_a(9));
+    path_ = (dir_ / "g.agt").string();
+    write_graph(path_, g_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  static void walk_all_edges(const sem_csr32& sg, std::uint64_t n) {
+    volatile std::uint64_t sink = 0;
+    for (std::uint64_t v = 0; v < n; ++v) {
+      sg.for_each_out_edge(static_cast<vertex32>(v), [&](auto u, auto w) {
+        sink = sink + u;
+        (void)w;
+      });
+    }
+  }
+
+  std::filesystem::path dir_;
+  csr32 g_;
+  std::string path_;
+};
+
+TEST_F(BlockHeatSemTest, HeatMissesAgreeExactlyWithTheCache) {
+  ssd_params params;  // defaults; zero-latency accounting still charges
+  ssd_model dev(params);
+  block_cache cache(4);  // tiny: plenty of misses and evictions
+  sem_csr32 sg(path_, &dev, &cache);
+  block_heat heat(sg.heat_blocks_for(params.block_bytes), params.block_bytes);
+  sg.set_block_heat(&heat);
+
+  walk_all_edges(sg, g_.num_vertices());
+
+  EXPECT_GT(heat.total_accesses(), 0u);
+  EXPECT_GT(heat.blocks_touched(), 0u);
+  // The heat recorder sits inside the same probe that decides the charge,
+  // so its miss count is the cache's miss count — exactly.
+  EXPECT_EQ(heat.total_misses(), cache.counters().misses);
+  EXPECT_EQ(heat.total_accesses(),
+            cache.counters().hits + cache.counters().misses);
+  EXPECT_LE(heat.total_misses(), heat.total_accesses());
+  EXPECT_EQ(heat.out_of_range(), 0u);
+
+  const auto top = heat.top_k(5);
+  ASSERT_FALSE(top.empty());
+  EXPECT_GT(top[0].accesses, 0u);
+}
+
+TEST_F(BlockHeatSemTest, NoCacheMeansEveryTouchIsAMiss) {
+  ssd_params params;
+  ssd_model dev(params);
+  sem_csr32 sg(path_, &dev, nullptr);
+  block_heat heat(sg.heat_blocks_for(params.block_bytes), params.block_bytes);
+  sg.set_block_heat(&heat);
+
+  walk_all_edges(sg, g_.num_vertices());
+
+  EXPECT_GT(heat.total_accesses(), 0u);
+  EXPECT_EQ(heat.total_misses(), heat.total_accesses());
+}
+
+}  // namespace
+}  // namespace asyncgt::sem

@@ -1,0 +1,87 @@
+// percentile_from_log2 / percentiles_from_log2 — quantile estimates over
+// power-of-two bucket counts (the latency presentation path for io_recorder
+// buckets, job lifecycle histograms, and every bench report's p50/p95/p99
+// triples, which tools/check_bench_json.py then enforces are monotone).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "telemetry/percentiles.hpp"
+
+namespace asyncgt::telemetry {
+namespace {
+
+TEST(Percentiles, EmptyHistogramIsZero) {
+  EXPECT_EQ(percentile_from_log2({}, 50.0), 0.0);
+  EXPECT_EQ(percentile_from_log2({0, 0, 0}, 99.0), 0.0);
+  const percentile_set s = percentiles_from_log2({});
+  EXPECT_EQ(s.p50, 0.0);
+  EXPECT_EQ(s.p95, 0.0);
+  EXPECT_EQ(s.p99, 0.0);
+}
+
+TEST(Percentiles, InterpolatesInsideASingleBucket) {
+  // All mass in bucket 2 = [4, 8): p50 lands exactly mid-bucket.
+  const std::vector<std::uint64_t> b{0, 0, 100};
+  EXPECT_DOUBLE_EQ(percentile_from_log2(b, 50.0), 6.0);
+  EXPECT_DOUBLE_EQ(percentile_from_log2(b, 100.0), 8.0);
+  // p=0 sits at the bucket's lower edge.
+  EXPECT_DOUBLE_EQ(percentile_from_log2(b, 0.0), 4.0);
+}
+
+TEST(Percentiles, BucketZeroAbsorbsZeroAndOne) {
+  // Bucket 0 covers [0, 2).
+  const std::vector<std::uint64_t> b{10};
+  const double p50 = percentile_from_log2(b, 50.0);
+  EXPECT_GE(p50, 0.0);
+  EXPECT_LE(p50, 2.0);
+}
+
+TEST(Percentiles, MonotoneInPByConstruction) {
+  const std::vector<std::uint64_t> b{5, 0, 17, 3, 0, 0, 41, 2};
+  double prev = 0.0;
+  for (double p = 0.0; p <= 100.0; p += 2.5) {
+    const double v = percentile_from_log2(b, p);
+    EXPECT_GE(v, prev) << "p=" << p;
+    prev = v;
+  }
+  const percentile_set s = percentiles_from_log2(b);
+  EXPECT_LE(s.p50, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+}
+
+TEST(Percentiles, SkipsEmptyBucketsAndCrossesBoundaries) {
+  // 50 samples in [2,4), 50 in [16,32): p50 is the top of the first
+  // occupied bucket, p95 interpolates 90% into the second.
+  const std::vector<std::uint64_t> b{0, 50, 0, 0, 50};
+  EXPECT_DOUBLE_EQ(percentile_from_log2(b, 50.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile_from_log2(b, 95.0), 16.0 + 0.9 * 16.0);
+}
+
+TEST(Percentiles, ClampMaxCapsTheEstimateAtTheRecordedMaximum) {
+  // One sample known to be exactly 17 lands in bucket 4 = [16, 32); the
+  // raw p99 estimate overshoots toward 32 until clamped.
+  const std::vector<std::uint64_t> b{0, 0, 0, 0, 1};
+  EXPECT_GT(percentile_from_log2(b, 99.0), 17.0);
+  EXPECT_DOUBLE_EQ(percentile_from_log2(b, 99.0, 17.0), 17.0);
+  const percentile_set s = percentiles_from_log2(b, 17.0);
+  EXPECT_LE(s.p50, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+  EXPECT_LE(s.p99, 17.0);
+  // A clamp below every sample still caps (max wins over the estimate).
+  EXPECT_DOUBLE_EQ(percentile_from_log2(b, 50.0, 10.0), 10.0);
+  // clamp_max = 0 means "no clamp", not "clamp to zero".
+  EXPECT_GT(percentile_from_log2(b, 50.0, 0.0), 16.0);
+}
+
+TEST(Percentiles, OutOfRangePIsClampedTo0And100) {
+  const std::vector<std::uint64_t> b{0, 8};
+  EXPECT_DOUBLE_EQ(percentile_from_log2(b, -5.0),
+                   percentile_from_log2(b, 0.0));
+  EXPECT_DOUBLE_EQ(percentile_from_log2(b, 250.0),
+                   percentile_from_log2(b, 100.0));
+}
+
+}  // namespace
+}  // namespace asyncgt::telemetry

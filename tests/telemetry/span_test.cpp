@@ -1,0 +1,193 @@
+// span_track — begin/end and retroactive span emission with parent links
+// (the engine's job-lifecycle rows in the Chrome trace). Covered here:
+//
+//   * live begin/end emits a complete ('X') event carrying a process-unique
+//     "id" argument;
+//   * parented spans carry a "parent" argument referencing the parent's id;
+//   * retroactive emit() places spans at explicit timestamps (the engine
+//     reconstructs submit->admit->gang-run->terminate after the fact);
+//   * a null writer makes every operation a no-op returning id 0;
+//   * worker_tid() keeps concurrent jobs' gang lanes on disjoint Chrome
+//     tids — trace_stream is single-writer, so two gangs must never share
+//     a stream (the root cause of the concurrent-trace heap corruption
+//     this PR fixed).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "telemetry/json.hpp"
+#include "telemetry/span.hpp"
+#include "telemetry/trace_writer.hpp"
+
+namespace asyncgt::telemetry {
+namespace {
+
+// Pulls every 'X' event named `name` out of the writer's JSON.
+std::vector<const json_value*> complete_events(const json_value& doc,
+                                               const std::string& name) {
+  std::vector<const json_value*> out;
+  for (const auto& ev : doc.find("traceEvents")->as_array()) {
+    const json_value* n = ev.find("name");
+    const json_value* ph = ev.find("ph");
+    if (n != nullptr && ph != nullptr && n->as_string() == name &&
+        ph->as_string() == "X") {
+      out.push_back(&ev);
+    }
+  }
+  return out;
+}
+
+std::int64_t arg(const json_value& ev, const std::string& key) {
+  const json_value* args = ev.find("args");
+  if (args == nullptr) return 0;
+  const json_value* v = args->find(key);
+  return v != nullptr ? v->as_int() : 0;
+}
+
+TEST(SpanTrack, BeginEndEmitsACompleteEventWithAnId) {
+  trace_writer tw("test");
+  span_track track(&tw, span_track::job_track_base, "job-0 (bfs)");
+  ASSERT_TRUE(track.enabled());
+
+  const std::uint64_t id = track.begin("run");
+  EXPECT_NE(id, 0u);
+  track.end(id);
+
+  const json_value doc = tw.to_json();
+  const auto evs = complete_events(doc, "run");
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(arg(*evs[0], "id"), static_cast<std::int64_t>(id));
+  EXPECT_EQ(arg(*evs[0], "parent"), 0);  // unparented: no parent arg at all
+}
+
+TEST(SpanTrack, EndOfUnknownOrZeroIdIsIgnored) {
+  trace_writer tw("test");
+  span_track track(&tw, 1, "t");
+  track.end(0);
+  track.end(424242);
+  const std::uint64_t id = track.begin("a");
+  track.end(id);
+  track.end(id);  // double-end: second is a no-op, not a duplicate event
+  const json_value doc = tw.to_json();
+  EXPECT_EQ(complete_events(doc, "a").size(), 1u);
+}
+
+TEST(SpanTrack, ParentLinksReferenceTheParentSpanId) {
+  trace_writer tw("test");
+  span_track track(&tw, 1, "job-3");
+  const std::uint64_t total = track.begin("bfs #3");
+  const std::uint64_t run = track.begin("gang-run", total);
+  track.end(run);
+  track.end(total);
+
+  const json_value doc = tw.to_json();
+  const auto parents = complete_events(doc, "bfs #3");
+  const auto children = complete_events(doc, "gang-run");
+  ASSERT_EQ(parents.size(), 1u);
+  ASSERT_EQ(children.size(), 1u);
+  EXPECT_EQ(arg(*children[0], "parent"), arg(*parents[0], "id"));
+}
+
+TEST(SpanTrack, RetroactiveEmitPlacesSpansAtExplicitTimestamps) {
+  trace_writer tw("test");
+  span_track track(&tw, 1, "job-9");
+  const std::uint64_t lifecycle = track.emit("sssp #9", 100, 900);
+  EXPECT_NE(lifecycle, 0u);
+  track.emit("queue-wait", 100, 250, lifecycle);
+  track.emit("gang-run", 250, 900, lifecycle);
+
+  const json_value doc = tw.to_json();
+  const auto life = complete_events(doc, "sssp #9");
+  ASSERT_EQ(life.size(), 1u);
+  EXPECT_EQ(life[0]->find("ts")->as_int(), 100);
+  EXPECT_EQ(life[0]->find("dur")->as_int(), 800);
+  const auto wait = complete_events(doc, "queue-wait");
+  ASSERT_EQ(wait.size(), 1u);
+  EXPECT_EQ(wait[0]->find("dur")->as_int(), 150);
+  EXPECT_EQ(arg(*wait[0], "parent"), static_cast<std::int64_t>(lifecycle));
+}
+
+TEST(SpanTrack, EmitWithInvertedTimestampsClampsToZeroDuration) {
+  trace_writer tw("test");
+  span_track track(&tw, 1, "t");
+  track.emit("odd", 500, 400);  // end before start: dur 0, never underflow
+  const json_value doc = tw.to_json();
+  const auto evs = complete_events(doc, "odd");
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(evs[0]->find("dur")->as_int(), 0);
+}
+
+TEST(SpanTrack, InstantMarkerLandsOnTheTrack) {
+  trace_writer tw("test");
+  span_track track(&tw, 1, "job-1");
+  track.instant("abort", 777);
+  bool found = false;
+  const json_value doc = tw.to_json();
+  for (const auto& ev : doc.find("traceEvents")->as_array()) {
+    const json_value* n = ev.find("name");
+    const json_value* ph = ev.find("ph");
+    if (n != nullptr && ph != nullptr && n->as_string() == "abort" &&
+        ph->as_string() == "i") {
+      found = true;
+      EXPECT_EQ(ev.find("ts")->as_int(), 777);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SpanTrack, NullWriterIsANoOp) {
+  span_track track(nullptr, 1, "ghost");
+  EXPECT_FALSE(track.enabled());
+  EXPECT_EQ(track.begin("x"), 0u);
+  track.end(0);
+  EXPECT_EQ(track.emit("y", 1, 2), 0u);
+  track.instant("z", 3);
+  EXPECT_EQ(track.now_us(), 0u);
+}
+
+TEST(SpanTrack, SpanIdsAreProcessUniquePerWriter) {
+  trace_writer tw("test");
+  span_track a(&tw, 1, "a");
+  span_track b(&tw, 2, "b");
+  std::set<std::uint64_t> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.insert(a.emit("s", 0, 1));
+    ids.insert(b.emit("s", 0, 1));
+  }
+  EXPECT_EQ(ids.size(), 16u);
+  EXPECT_EQ(ids.count(0), 0u);
+}
+
+// ---- worker-lane tid allocation -----------------------------------------
+
+TEST(SpanTrack, WorkerTidsAreDisjointAcrossConcurrentJobs) {
+  // Different jobs must never map any lane pair onto the same tid (a shared
+  // tid means a shared single-writer stream — a data race).
+  for (std::uint64_t j1 = 0; j1 < 8; ++j1) {
+    for (std::uint64_t j2 = j1 + 1; j2 < 8; ++j2) {
+      for (std::size_t lane1 = 0; lane1 < 64; ++lane1) {
+        for (std::size_t lane2 = 0; lane2 < 64; ++lane2) {
+          EXPECT_NE(span_track::worker_tid(j1, lane1),
+                    span_track::worker_tid(j2, lane2))
+              << "jobs " << j1 << "/" << j2 << " lanes " << lane1 << "/"
+              << lane2;
+        }
+      }
+    }
+  }
+}
+
+TEST(SpanTrack, WorkerTidsClearTheSharedAndJobTrackRanges) {
+  // The per-job worker rows live above the legacy shared lanes (1..T), the
+  // fixed streams, and the job lifecycle tracks.
+  EXPECT_GE(span_track::worker_tid(0, 0), span_track::worker_track_base);
+  EXPECT_GT(span_track::worker_track_base,
+            span_track::job_track_base + span_track::job_track_span);
+  // Lanes within one job are distinct too (mod the stride).
+  EXPECT_NE(span_track::worker_tid(5, 0), span_track::worker_tid(5, 1));
+}
+
+}  // namespace
+}  // namespace asyncgt::telemetry

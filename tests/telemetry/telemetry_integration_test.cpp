@@ -186,7 +186,7 @@ TEST(TelemetryIntegration, VerifyRejectsNonConformingDocuments) {
   EXPECT_FALSE(telemetry::report::verify_text("not json", &error));
   EXPECT_FALSE(telemetry::report::verify_text("{}", &error));
   EXPECT_FALSE(telemetry::report::verify_text(
-      R"({"schema_version":2,"name":"x","config":{},"sections":{}})",
+      R"({"schema_version":3,"name":"x","config":{},"sections":{}})",
       &error));
   EXPECT_FALSE(telemetry::report::verify_text(
       R"({"schema_version":1,"name":"","config":{},"sections":{}})",
@@ -194,8 +194,24 @@ TEST(TelemetryIntegration, VerifyRejectsNonConformingDocuments) {
   EXPECT_FALSE(telemetry::report::verify_text(
       R"({"schema_version":1,"name":"x","config":{},"sections":{"s":3}})",
       &error));
+  // v2 additions: jobs must be an array of objects with integer job_ids,
+  // and percentile triples must be monotone.
+  EXPECT_FALSE(telemetry::report::verify_text(
+      R"({"schema_version":2,"name":"x","config":{},"sections":{},"jobs":[3]})",
+      &error));
+  EXPECT_FALSE(telemetry::report::verify_text(
+      R"({"schema_version":2,"name":"x","config":{},"sections":{},"jobs":[{"label":"bfs"}]})",
+      &error));
+  EXPECT_FALSE(telemetry::report::verify_text(
+      R"({"schema_version":2,"name":"x","config":{},"sections":{"l":{"p50":9,"p95":5,"p99":10}}})",
+      &error));
+  // Both versions of a minimal conforming document pass.
   EXPECT_TRUE(telemetry::report::verify_text(
       R"({"schema_version":1,"name":"x","config":{},"sections":{}})",
+      &error))
+      << error;
+  EXPECT_TRUE(telemetry::report::verify_text(
+      R"({"schema_version":2,"name":"x","config":{},"sections":{"l":{"p50":1,"p95":2,"p99":3}},"jobs":[{"job_id":4}]})",
       &error))
       << error;
 }

@@ -12,6 +12,8 @@
 //   pagerank  FILE [--threads=16] [--alpha=0.85] [--top=10] [--sem] [...]
 //   kcore     FILE [--threads=16] [--sem] [...]
 //   metrics   FILE [--sweeps=2] [--samples=3]   diameter/path-length stats
+//   stats     [FILE] [--jobs=4] [--sem]   mixed service workload, per-job
+//                                  telemetry + lifecycle percentiles
 //   import    EDGELIST.txt --out=FILE [--vertices=N] [--undirected]
 //   export    FILE --out=EDGELIST.txt
 //
@@ -24,6 +26,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <numeric>
 #include <sstream>
@@ -54,12 +57,18 @@ int usage() {
                "           [--device=fusionio|intel|corsair] "
                "[--time-scale=1]\n"
                "  cc [FILE] [--threads=16] [--sem] [--device=...]\n"
+               "  stats [FILE] [--jobs=4] [--threads=16] [--sem]\n"
+               "           run a mixed bfs/sssp/cc workload through the\n"
+               "           service and print per-job telemetry (counters,\n"
+               "           lifecycle latencies, percentiles)\n"
                "  verify-json FILE       schema-check an emitted report\n"
                "\n"
                "traversals also accept telemetry flags:\n"
                "  --json FILE            write a machine-readable report\n"
                "  --trace FILE           write a chrome://tracing file\n"
                "  --sample-interval-us N sampler period (default 2000)\n"
+               "  --stats-dump N         print per-interval metric deltas\n"
+               "                         every N sampler ticks\n"
                "  --cache-fraction F     SEM block cache, fraction of file\n"
                "and fault-tolerance flags (docs/robustness.md):\n"
                "  --inject SPEC          SEM fault injection, e.g.\n"
@@ -619,6 +628,99 @@ int cmd_kcore(const options& opt) {
   });
 }
 
+/// `agt_tool stats`: runs a short mixed workload (bfs/sssp/cc cycling over
+/// --jobs) through one engine and prints the job-scoped telemetry surface —
+/// per-job attribution counters, terminal flags, lifecycle latencies, and
+/// the engine's lifecycle percentiles (docs/observability.md). The same
+/// data lands in the --json report as a schema-v2 "jobs" array.
+int cmd_stats(const options& opt) {
+  return run_traversal(opt, "stats", [&](const auto& g, const auto& cfg,
+                                         bench::bench_report& rep) {
+    const auto jobs =
+        std::max<std::size_t>(1, static_cast<std::size_t>(opt.get_int("jobs", 4)));
+    const auto start = static_cast<vertex32>(opt.get_int("start", 0));
+    traversal_options topt = traversal_options::from_flags(opt, false);
+    topt.queue = cfg;
+    engine eng({.pool_threads = cfg.num_threads * jobs, .defaults = topt});
+
+    telemetry::phase_timer ph(rep.trace(), "stats", &rep.metrics());
+    std::vector<std::function<void()>> waits;
+    for (std::size_t j = 0; j < jobs; ++j) {
+      const auto s = static_cast<vertex32>(
+          (start + j) % std::max<std::uint64_t>(g.num_vertices(), 1));
+      switch (j % 3) {
+        case 0: {
+          auto h = std::make_shared<job<bfs_result<vertex32>>>(
+              eng.submit_bfs(g, s));
+          waits.push_back([h] { h->get(); });
+          break;
+        }
+        case 1: {
+          auto h = std::make_shared<job<sssp_result<vertex32>>>(
+              eng.submit_sssp(g, s));
+          waits.push_back([h] { h->get(); });
+          break;
+        }
+        default: {
+          auto h = std::make_shared<job<cc_result<vertex32>>>(eng.submit_cc(g));
+          waits.push_back([h] { h->get(); });
+          break;
+        }
+      }
+    }
+    for (auto& w : waits) w();
+
+    // The completed-job ring is the introspection surface: handles may be
+    // gone, the snapshots stay.
+    const auto recent = eng.recent_jobs();
+    const auto ms = [](double seconds) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.2f", seconds * 1e3);
+      return std::string(buf);
+    };
+    text_table table;
+    table.header({"job", "kind", "state", "visits", "edges", "io KiB",
+                  "retries", "wait ms", "run ms", "total ms"});
+    for (const auto& js : recent) {
+      table.row({std::to_string(js.job_id), js.label,
+                 js.failed ? "failed" : js.cancelled ? "cancelled" : "done",
+                 fmt_count(js.visits), fmt_count(js.edge_inspections),
+                 fmt_count(js.io_bytes >> 10), fmt_count(js.io_retries),
+                 ms(js.queue_wait_seconds), ms(js.run_seconds),
+                 ms(js.total_seconds)});
+      if (rep.json_enabled()) rep.add_job(bench::to_json(js));
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    const auto lc = eng.lifecycle();
+    const auto buckets = [](const log2_histogram& h) {
+      std::vector<std::uint64_t> b(h.num_buckets());
+      for (std::size_t i = 0; i < b.size(); ++i) b[i] = h.bucket_count(i);
+      return b;
+    };
+    const auto put = [&](const char* name, const log2_histogram& h) {
+      const auto p = telemetry::percentiles_from_log2(buckets(h));
+      std::printf("%-14s p50 %.0fus  p95 %.0fus  p99 %.0fus  (%llu jobs)\n",
+                  name, p.p50, p.p95, p.p99,
+                  static_cast<unsigned long long>(h.total()));
+      if (rep.json_enabled()) {
+        json_value v = json_value::object();
+        v.set("p50", p.p50);
+        v.set("p95", p.p95);
+        v.set("p99", p.p99);
+        rep.section("lifecycle").set(name, std::move(v));
+      }
+    };
+    put("queue_wait_us", lc.queue_wait_us);
+    put("run_us", lc.run_us);
+    put("total_us", lc.total_us);
+    std::printf("engine: %llu submitted, %llu completed\n",
+                static_cast<unsigned long long>(eng.jobs_submitted()),
+                static_cast<unsigned long long>(eng.jobs_completed()));
+    return 0;
+  });
+}
+
 int cmd_verify_json(const options& opt) {
   if (opt.positional().size() < 2) return usage();
   const std::string path = opt.positional()[1];
@@ -634,7 +736,7 @@ int cmd_verify_json(const options& opt) {
     std::printf("FAIL: %s: %s\n", path.c_str(), error.c_str());
     return 1;
   }
-  std::printf("ok: %s conforms to bench-report schema v1\n", path.c_str());
+  std::printf("ok: %s conforms to the bench-report schema\n", path.c_str());
   return 0;
 }
 
@@ -654,6 +756,7 @@ int main(int argc, char** argv) {
     if (cmd == "pagerank") return cmd_pagerank(opt);
     if (cmd == "kcore") return cmd_kcore(opt);
     if (cmd == "metrics") return cmd_metrics(opt);
+    if (cmd == "stats") return cmd_stats(opt);
     if (cmd == "import") return cmd_import(opt);
     if (cmd == "export") return cmd_export(opt);
     if (cmd == "verify-json") return cmd_verify_json(opt);

@@ -1,10 +1,18 @@
 #!/usr/bin/env python3
-"""Schema check for bench-report JSON emitted via --json (schema v1).
+"""Schema check for bench-report JSON emitted via --json (schema v1/v2).
 
 Mirrors telemetry::report::verify (src/telemetry/metrics_json.cpp) so CI and
 ad-hoc tooling can validate BENCH_*.json artifacts without building the C++
 tree; `agt_tool verify-json FILE` is the in-tree equivalent. Python 3 stdlib
 only.
+
+Beyond structure, this enforces the schema-v2 percentile invariant: any
+object carrying a full {p50,p95,p99} or {p50_us,p95_us,p99_us} triple —
+io_recorder latency summaries, registry histograms, per-job lifecycle
+latencies — must satisfy p50 <= p95 <= p99, and p99 <= the sibling recorded
+maximum (max / max_us / max_latency_us) when one is present. The C++ side
+derives these by interpolation clamped to the exact max, so a violation
+means a broken emitter, not noise.
 
 Usage: check_bench_json.py FILE [FILE...]
 Exit status 0 if every file conforms, 1 otherwise.
@@ -13,14 +21,52 @@ import json
 import sys
 
 
+def _num(obj, key):
+    v = obj.get(key)
+    if isinstance(v, bool) or not isinstance(v, (int, float)):
+        return None
+    return v
+
+
+def check_percentiles(value, where):
+    """Recursively checks percentile monotonicity; returns an error or None."""
+    if isinstance(value, list):
+        for i, entry in enumerate(value):
+            error = check_percentiles(entry, "%s[%d]" % (where, i))
+            if error is not None:
+                return error
+        return None
+    if not isinstance(value, dict):
+        return None
+    for suffix in ("", "_us"):
+        p50 = _num(value, "p50" + suffix)
+        p95 = _num(value, "p95" + suffix)
+        p99 = _num(value, "p99" + suffix)
+        if p50 is None or p95 is None or p99 is None:
+            continue
+        if not (p50 <= p95 <= p99):
+            return "%s: percentiles not monotone (p50%s=%r, p95%s=%r, p99%s=%r)" % (
+                where, suffix, p50, suffix, p95, suffix, p99)
+        maximum = _num(value, "max" + suffix)
+        if maximum is None:
+            maximum = _num(value, "max_latency_us")
+        if maximum is not None and p99 > maximum:
+            return "%s: p99%s=%r exceeds recorded max=%r" % (
+                where, suffix, p99, maximum)
+    for key, child in value.items():
+        error = check_percentiles(child, "%s.%s" % (where, key))
+        if error is not None:
+            return error
+    return None
+
+
 def check(doc):
-    """Returns None if `doc` conforms to schema v1, else an error string."""
+    """Returns None if `doc` conforms to schema v1/v2, else an error string."""
     if not isinstance(doc, dict):
         return "document is not a JSON object"
-    if doc.get("schema_version") != 1 or isinstance(
-        doc.get("schema_version"), bool
-    ):
-        return "schema_version must be the integer 1"
+    version = doc.get("schema_version")
+    if isinstance(version, bool) or version not in (1, 2):
+        return "schema_version must be the integer 1 or 2"
     name = doc.get("name")
     if not isinstance(name, str) or not name:
         return "name must be a non-empty string"
@@ -39,7 +85,17 @@ def check(doc):
         for row in rows:
             if not isinstance(row, dict):
                 return "rows entries must be objects"
-    return None
+    jobs = doc.get("jobs")
+    if jobs is not None:
+        if not isinstance(jobs, list):
+            return "jobs must be an array"
+        for entry in jobs:
+            if not isinstance(entry, dict):
+                return "jobs entries must be objects"
+            job_id = entry.get("job_id")
+            if isinstance(job_id, bool) or not isinstance(job_id, int):
+                return "jobs entries must carry an integer job_id"
+    return check_percentiles(doc, "$")
 
 
 def main(argv):
@@ -60,7 +116,8 @@ def main(argv):
             print("FAIL: %s: %s" % (path, error))
             status = 1
         else:
-            print("ok: %s conforms to bench-report schema v1" % path)
+            print("ok: %s conforms to bench-report schema v%s"
+                  % (path, doc.get("schema_version")))
     return status
 
 

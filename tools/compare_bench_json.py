@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Diff two bench-report JSON files (schema v1/v2) and flag regressions.
+
+Walks both documents in parallel and reports every numeric leaf that
+changed, as an absolute pair and a percentage delta. Intended use: keep a
+known-good BENCH_*.json as a baseline, re-run the bench after a change, and
+diff:
+
+    compare_bench_json.py baseline.json current.json
+    compare_bench_json.py --threshold 10 --watch 'seconds|_us' a.json b.json
+
+With --threshold PCT, any watched metric that grew by more than PCT percent
+makes the script exit 1 (a regression), so it can gate a CI job. "Watched"
+defaults to every numeric leaf; narrow it with --watch REGEX matched against
+the dotted path (e.g. 'sections\\.timing'). Growth is always the regression
+direction — the metrics this tree emits (seconds, latencies, io bytes,
+retries) are all cost-like. Leaves present in only one file are reported
+but never trip the threshold: schema v2 added whole sections, and a
+baseline captured before an emitter change should not hard-fail the diff.
+
+Exit status: 0 = no regression, 1 = regression over threshold,
+2 = usage / unreadable input.
+"""
+import argparse
+import json
+import re
+import sys
+
+
+def is_number(v):
+    return not isinstance(v, bool) and isinstance(v, (int, float))
+
+
+def numeric_leaves(value, where, out):
+    """Flattens `value` into {dotted.path: number} for every numeric leaf."""
+    if is_number(value):
+        out[where] = value
+    elif isinstance(value, dict):
+        for key in value:
+            numeric_leaves(value[key], "%s.%s" % (where, key) if where else key,
+                           out)
+    elif isinstance(value, list):
+        # Index jobs by job_id when available so reordering between runs
+        # (concurrent jobs complete in nondeterministic order) still pairs
+        # the same job with itself.
+        for i, entry in enumerate(value):
+            tag = i
+            if isinstance(entry, dict) and is_number(entry.get("job_id")):
+                tag = "job%d" % entry["job_id"]
+            numeric_leaves(entry, "%s[%s]" % (where, tag), out)
+
+
+def load(path):
+    with open(path, "rb") as f:
+        return json.load(f)
+
+
+def pct_delta(old, new):
+    if old == 0:
+        return None  # undefined; shown as "new/inf" in the report
+    return 100.0 * (new - old) / abs(old)
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Diff two bench-report JSON files.")
+    parser.add_argument("baseline", help="baseline report (the 'before')")
+    parser.add_argument("current", help="current report (the 'after')")
+    parser.add_argument("--threshold", type=float, default=None, metavar="PCT",
+                        help="exit 1 if any watched metric grew by more "
+                             "than PCT percent")
+    parser.add_argument("--watch", default=None, metavar="REGEX",
+                        help="only apply --threshold to paths matching "
+                             "REGEX (default: all numeric leaves)")
+    parser.add_argument("--all", action="store_true",
+                        help="also print unchanged metrics")
+    args = parser.parse_args(argv[1:])
+
+    try:
+        watch = re.compile(args.watch) if args.watch else None
+    except re.error as e:
+        print("bad --watch regex: %s" % e, file=sys.stderr)
+        return 2
+    try:
+        base_doc, cur_doc = load(args.baseline), load(args.current)
+    except (OSError, ValueError) as e:
+        print("cannot read input: %s" % e, file=sys.stderr)
+        return 2
+
+    base, cur = {}, {}
+    numeric_leaves(base_doc, "", base)
+    numeric_leaves(cur_doc, "", cur)
+
+    regressions = []
+    changed = 0
+    for path in sorted(set(base) | set(cur)):
+        if path not in base:
+            print("  %-60s  (only in current) = %g" % (path, cur[path]))
+            changed += 1
+            continue
+        if path not in cur:
+            print("  %-60s  (only in baseline) = %g" % (path, base[path]))
+            changed += 1
+            continue
+        old, new = base[path], cur[path]
+        if old == new:
+            if args.all:
+                print("  %-60s  %g (unchanged)" % (path, old))
+            continue
+        changed += 1
+        delta = pct_delta(old, new)
+        delta_str = "%+.1f%%" % delta if delta is not None else "new/inf"
+        print("  %-60s  %g -> %g  (%s)" % (path, old, new, delta_str))
+        if args.threshold is not None and (watch is None or watch.search(path)):
+            grew = (delta is not None and delta > args.threshold) or \
+                   (delta is None and new > 0)
+            if grew:
+                regressions.append((path, old, new, delta_str))
+
+    if changed == 0:
+        print("no differences between %s and %s" % (args.baseline,
+                                                    args.current))
+    if regressions:
+        print("\nREGRESSION: %d metric(s) grew past %.1f%%:"
+              % (len(regressions), args.threshold))
+        for path, old, new, delta_str in regressions:
+            print("  %s: %g -> %g (%s)" % (path, old, new, delta_str))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -5,7 +5,8 @@
 # traversals driving it, the failure-containment battery (abort
 # broadcast racing delivery/parking, injected-fault soak), and the
 # traversal-service battery (pooled gang dispatch, concurrent jobs over one
-# shared graph, cancellation racing the pool), the differential battery
+# shared graph, cancellation racing the pool, per-job attribution
+# conservation under concurrent gangs), the differential battery
 # (async vs serial labels across storage modes), and the I/O-backend battery
 # (per-thread coalescing lanes, backend-identity under injected faults).
 # Wraps the `tsan` presets in CMakePresets.json so CI and humans run the
@@ -22,5 +23,5 @@ cd "$(dirname "$0")/.."
 JOBS="${1:--j$(nproc)}"
 
 cmake --preset tsan
-cmake --build --preset tsan "${JOBS}" --target test_queue test_core test_fault test_service test_diff test_backend
+cmake --build --preset tsan "${JOBS}" --target test_queue test_core test_fault test_service test_diff test_backend test_telemetry test_sem
 ctest --preset tsan
