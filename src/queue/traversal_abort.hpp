@@ -28,12 +28,13 @@ class traversal_aborted : public std::runtime_error {
  public:
   traversal_aborted(const std::string& what, std::size_t worker,
                     bool has_vertex, std::uint64_t vertex,
-                    std::exception_ptr cause)
+                    std::exception_ptr cause, bool cancelled = false)
       : std::runtime_error(what),
         worker_(worker),
         has_vertex_(has_vertex),
         vertex_(vertex),
-        cause_(std::move(cause)) {}
+        cause_(std::move(cause)),
+        cancelled_(cancelled) {}
 
   /// Index of the worker whose exception aborted the run.
   std::size_t worker() const noexcept { return worker_; }
@@ -48,11 +49,18 @@ class traversal_aborted : public std::runtime_error {
   /// std::rethrow_exception for callers that dispatch on the cause.
   const std::exception_ptr& cause() const noexcept { return cause_; }
 
+  /// True when the abort was a cooperative cancellation (request_cancel /
+  /// job::cancel) rather than a worker failure. A run that both got
+  /// cancelled and latched a real error reports the error, so this stays
+  /// false — the service layer classifies terminal job state from it.
+  bool cancelled() const noexcept { return cancelled_; }
+
  private:
   std::size_t worker_ = 0;
   bool has_vertex_ = false;
   std::uint64_t vertex_ = 0;
   std::exception_ptr cause_;
+  bool cancelled_ = false;
 };
 
 }  // namespace asyncgt

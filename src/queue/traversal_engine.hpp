@@ -553,7 +553,8 @@ class traversal_engine {
     if (!f.error) {
       note_abort_trace("traversal aborted: cancelled");
       return std::make_exception_ptr(traversal_aborted(
-          "traversal aborted: cancelled", 0, false, 0, nullptr));
+          "traversal aborted: cancelled", 0, false, 0, nullptr,
+          /*cancelled=*/true));
     }
     std::string what = "traversal aborted: worker " +
                        std::to_string(f.thread) + " failed";

@@ -60,6 +60,7 @@
 #include <vector>
 
 #include "queue/queue_stats.hpp"
+#include "queue/traversal_abort.hpp"
 #include "queue/visitor_queue.hpp"
 #include "service/job_stats.hpp"
 #include "service/traversal_options.hpp"
@@ -111,8 +112,11 @@ class job {
   void wait() const { future_.wait(); }
   bool valid() const noexcept { return future_.valid(); }
 
-  /// True once the job finished running — get() will no longer block on
-  /// traversal work. Non-blocking; implied by wait()/get() returning.
+  /// True once the job is terminal: flips only after the finish timestamp,
+  /// terminal flags, and lifecycle accounting landed, immediately before
+  /// the promise is fulfilled — so done() == true implies stats() returns
+  /// the final snapshot, and get() no longer blocks on traversal work.
+  /// Non-blocking; implied by wait()/get() returning.
   bool done() const noexcept {
     return control_ != nullptr &&
            control_->finished.load(std::memory_order_acquire);
@@ -411,10 +415,7 @@ class engine {
     using Result = typename TypedJob::result_type;
     auto control = std::make_shared<service::job_control>();
     control->scope = tj->scope;
-    control->cancel = [tj] {
-      tj->scope->cancel_requested.store(true, std::memory_order_relaxed);
-      tj->queue.cancel();
-    };
+    control->cancel = [tj] { tj->queue.cancel(); };
     control->pending = [tj] { return tj->queue.pending(); };
     job<Result> handle(tj->promise.get_future(), control);
     {
@@ -424,9 +425,6 @@ class engine {
     submitted_.fetch_add(1, std::memory_order_relaxed);
     run(tj->queue, tj->state,
         [this, tj, control](queue_run_stats stats, std::exception_ptr error) {
-          // finished flips before the promise is fulfilled so that a handle
-          // whose wait()/get() returned always reads done() == true.
-          control->finished.store(true, std::memory_order_release);
           std::optional<Result> result;
           if (error == nullptr) {
             try {
@@ -438,15 +436,15 @@ class engine {
               error = std::current_exception();
             }
           }
-          // All job-state mutation happens BEFORE the promise is fulfilled:
-          // a caller whose get() returned must see the final snapshot
-          // (completed/failed flags, finish timestamp) — never a job that
-          // is still "running".
-          if (error != nullptr) {
-            tj->scope->error_latched.store(true, std::memory_order_relaxed);
-          }
+          // All job-state mutation happens BEFORE done() flips and the
+          // promise is fulfilled: a caller that observed done() == true (or
+          // whose wait()/get() returned) must see the terminal snapshot —
+          // outcome latched, finish timestamp stamped, lifecycle accounting
+          // done — never a job that is still "running".
           tj->scope->scope.mark_finished();
+          tj->scope->latch_outcome(classify_outcome(error));
           finish_job_accounting(*tj->scope);
+          control->finished.store(true, std::memory_order_release);
           if (error != nullptr) {
             tj->promise.set_exception(std::move(error));
           } else {
@@ -463,6 +461,23 @@ class engine {
           }
         });
     return handle;
+  }
+
+  /// Maps the job's delivered error (or lack of one) to its terminal
+  /// state: null -> completed, a cancellation-flagged traversal_aborted ->
+  /// cancelled, anything else -> failed. This is the single source of the
+  /// completed/failed/cancelled flags — classified from what the job
+  /// actually delivered, not from whether cancel() was ever requested.
+  static service::job_outcome classify_outcome(
+      const std::exception_ptr& error) noexcept {
+    if (error == nullptr) return service::job_outcome::completed;
+    try {
+      std::rethrow_exception(error);
+    } catch (const traversal_aborted& a) {
+      if (a.cancelled()) return service::job_outcome::cancelled;
+    } catch (...) {
+    }
+    return service::job_outcome::failed;
   }
 
   /// Completion-side accounting, invoked once per job from the pool thread

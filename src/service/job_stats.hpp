@@ -32,9 +32,13 @@ struct job_stats {
   std::uint64_t job_id = 0;
   std::string label;
 
+  // Exactly one of these is true for a terminal job, all false while it
+  // runs — the completion path latches the outcome once from the delivered
+  // result/error, so a late cancel() on an already-successful job or a real
+  // worker failure racing a cancel request cannot misattribute the state.
   bool completed = false;  // finished without error
   bool failed = false;     // finished with a non-cancellation error
-  bool cancelled = false;  // cancel() was requested on the handle
+  bool cancelled = false;  // finished via cooperative cancellation
 
   std::uint64_t visits = 0;
   std::uint64_t pushes = 0;
@@ -50,13 +54,20 @@ struct job_stats {
   double total_seconds = 0.0;       // submit -> finish
 };
 
+/// How a job ended. Latched exactly once by the engine's completion path
+/// (from the delivered result or error — a cancellation is the
+/// traversal_aborted whose cancelled() is true), never derived from the
+/// racy "was cancel() ever requested" flag: a genuine worker failure that
+/// raced a cancel request is a failure, and a job that completed just
+/// before a late cancel() stays completed.
+enum class job_outcome : int { running = 0, completed, failed, cancelled };
+
 /// The live per-job state shared between the engine, the job handle's
 /// control block, and the queue config's scope pointer. The engine keeps it
 /// alive (shared_ptr) for as long as anything can still read it.
 struct job_scope_state {
   telemetry::metric_scope scope;
-  std::atomic<bool> cancel_requested{false};
-  std::atomic<bool> error_latched{false};  // set when the job delivers an error
+  std::atomic<int> outcome{static_cast<int>(job_outcome::running)};
   // The sinks this job resolved at submit time (borrowed, nullable); the
   // completion path uses them for lifecycle accounting and span emission.
   telemetry::metrics_registry* metrics = nullptr;
@@ -65,15 +76,22 @@ struct job_scope_state {
   job_scope_state(std::uint64_t job_id, std::string label, std::size_t shards)
       : scope(job_id, std::move(label), shards) {}
 
+  /// One-shot terminal-state latch; paired with the acquire in snapshot()
+  /// so a reader that sees the outcome also sees the finish timestamp and
+  /// counter totals written before it.
+  void latch_outcome(job_outcome out) noexcept {
+    outcome.store(static_cast<int>(out), std::memory_order_release);
+  }
+
   job_stats snapshot() const {
     job_stats s;
     s.job_id = scope.job_id();
     s.label = scope.label();
-    const bool cancelled = cancel_requested.load(std::memory_order_relaxed);
-    const bool errored = error_latched.load(std::memory_order_relaxed);
-    s.cancelled = cancelled;
-    s.failed = errored && !cancelled;
-    s.completed = scope.finished() && !errored;
+    const auto out = static_cast<job_outcome>(
+        outcome.load(std::memory_order_acquire));
+    s.completed = out == job_outcome::completed;
+    s.failed = out == job_outcome::failed;
+    s.cancelled = out == job_outcome::cancelled;
     using hot = telemetry::metric_scope::hot;
     s.visits = scope.total(hot::visits);
     s.pushes = scope.total(hot::pushes);

@@ -9,8 +9,13 @@ namespace asyncgt::telemetry {
 std::vector<stats_dumper::delta_entry> stats_dumper::take_deltas() {
   std::vector<delta_entry> out;
   if (reg_ == nullptr) return out;
-  const metrics_snapshot snap = reg_->scrape();
+  // Scrape under mu_: the sampler thread and a foreground caller may share
+  // one dumper, and two takes whose scrape/update sections interleave would
+  // let the staler snapshot overwrite prev_ last — re-reporting increments
+  // the other take already consumed. scrape() is itself thread-safe, so
+  // holding mu_ across it merely serializes takes.
   std::lock_guard lk(mu_);
+  const metrics_snapshot snap = reg_->scrape();
   for (const auto& e : snap.entries) {
     delta_entry d;
     d.name = e.name;

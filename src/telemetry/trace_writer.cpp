@@ -56,7 +56,10 @@ bool trace_writer::flush() const noexcept {
 std::size_t trace_writer::event_count() const {
   std::lock_guard lk(mu_);
   std::size_t n = 0;
-  for (const auto& s : streams_) n += s.events_.size();
+  for (const auto& s : streams_) {
+    std::lock_guard sk(*s.mu_);
+    n += s.events_.size();
+  }
   return n;
 }
 
@@ -79,6 +82,10 @@ json_value trace_writer::to_json() const {
   }
 
   for (const auto& s : streams_) {
+    // Live streams may be appending concurrently (flush-on-abort runs while
+    // other jobs' gangs are still tracing): snapshot each one under its own
+    // mutex so the walk never races a vector reallocation.
+    std::lock_guard sk(*s.mu_);
     for (const auto& e : s.events_) {
       json_value ev = json_value::object();
       ev.set("name", e.name);

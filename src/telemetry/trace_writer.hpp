@@ -3,8 +3,13 @@
 //
 // Events accumulate in per-stream vectors (one stream per worker thread, a
 // dedicated stream for phases, one for the sampler), so recording a span is
-// a vector push_back with no cross-thread synchronization; the writer only
-// locks when a stream is first acquired and when the file is serialized.
+// a vector push_back under the stream's own mutex — single-writer, so the
+// lock is uncontended except against a concurrent flush()/to_json(), which
+// snapshots each stream under that same mutex. That contention is real:
+// the abort path flushes the writer while OTHER jobs' gangs are still
+// appending to their streams (queue/traversal_engine.hpp note_abort_trace),
+// and without the per-stream lock that iteration races vector reallocation.
+// The writer's own mutex covers stream acquisition and the stream list.
 // Timebase: microseconds since the trace_writer was constructed, on the
 // steady clock — every stream shares it, so spans from different threads
 // line up in the viewer.
@@ -21,6 +26,7 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -46,12 +52,16 @@ struct trace_event {
   trace_args args;           // optional named numeric arguments
 };
 
-/// A single-writer event buffer; one per logical thread. All methods must be
-/// called from one thread at a time (each worker owns its stream).
+/// A single-writer event buffer; one per logical thread. All mutating
+/// methods must be called from one thread at a time (each worker owns its
+/// stream). Appends still take the stream's mutex — not against each other
+/// (single writer), but against trace_writer::flush()/to_json(), which may
+/// serialize every stream mid-run on another job's abort path.
 class trace_stream {
  public:
   /// Records a completed span [ts_us, ts_us + dur_us).
   void complete(std::string name, std::uint64_t ts_us, std::uint64_t dur_us) {
+    std::lock_guard lk(*mu_);
     events_.push_back({std::move(name), 'X', ts_us, dur_us,
                        false, 0.0, {}});
   }
@@ -68,25 +78,31 @@ class trace_stream {
   /// id/parent links travel through here).
   void complete(std::string name, std::uint64_t ts_us, std::uint64_t dur_us,
                 trace_args args) {
+    std::lock_guard lk(*mu_);
     events_.push_back({std::move(name), 'X', ts_us, dur_us,
                        false, 0.0, std::move(args)});
   }
 
   /// Zero-duration marker.
   void instant(std::string name, std::uint64_t ts_us) {
+    std::lock_guard lk(*mu_);
     events_.push_back({std::move(name), 'i', ts_us, 0,
                        false, 0.0, {}});
   }
 
   /// Counter sample: renders as a stacked time-series track in the viewer.
   void counter(std::string name, std::uint64_t ts_us, double value) {
+    std::lock_guard lk(*mu_);
     events_.push_back({std::move(name), 'C', ts_us, 0,
                        true, value, {}});
   }
 
   std::uint64_t now_us() const noexcept;
 
-  std::size_t size() const noexcept { return events_.size(); }
+  std::size_t size() const noexcept {
+    std::lock_guard lk(*mu_);
+    return events_.size();
+  }
 
  private:
   friend class trace_writer;
@@ -96,6 +112,10 @@ class trace_stream {
   const trace_writer* owner_;
   std::uint32_t tid_;
   std::string name_;
+  // Guards events_ against the writer's serialization walk; heap-allocated
+  // so the stream stays movable into the writer's deque (the move happens
+  // under the writer mutex, before the stream is ever shared).
+  std::unique_ptr<std::mutex> mu_ = std::make_unique<std::mutex>();
   std::vector<trace_event> events_;
 };
 
@@ -130,7 +150,9 @@ class trace_writer {
 
   /// Best-effort write to the configured flush path so buffered events
   /// survive an abort; returns false when no path is set or the write
-  /// failed (never throws — this runs on failure-containment paths).
+  /// failed (never throws — this runs on failure-containment paths). Safe
+  /// while other threads are still appending — one job's abort must not
+  /// corrupt the streams of jobs that are still running.
   bool flush() const noexcept;
 
   /// Microseconds since this writer was constructed.

@@ -239,6 +239,23 @@ struct bomb_visitor {
   }
 };
 
+// Regression: the terminal flags are latched once from what the job
+// delivered, not derived from whether cancel() was ever requested — so a
+// cancel() landing after the job already completed must not flip a
+// successful job's snapshot to cancelled.
+TEST(JobStats, LateCancelAfterCompletionStaysCompleted) {
+  engine eng({.pool_threads = 4, .defaults = threads(4)});
+  const csr32 g = rmat_graph<vertex32>(rmat_a(9));
+  auto j = eng.submit_bfs(g, vertex32{0});
+  (void)j.get();
+  j.cancel();  // too late: the outcome is already latched
+
+  const auto js = j.stats();
+  EXPECT_TRUE(js.completed);
+  EXPECT_FALSE(js.cancelled);
+  EXPECT_FALSE(js.failed);
+}
+
 TEST(JobStats, FailedJobLatchesTheFailedFlagNotCancelled) {
   engine eng({.pool_threads = 4, .defaults = threads(4)});
   auto j = eng.submit_traversal<bomb_visitor>(

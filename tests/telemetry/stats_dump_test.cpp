@@ -10,8 +10,11 @@
 //   * gauges report on change (including change-to-zero), not every tick.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "telemetry/metrics_registry.hpp"
@@ -34,20 +37,23 @@ TEST(StatsDump, DeltasAdvanceTheBaseline) {
   stats_dumper dump(&reg);
 
   c.add(0, 5);
-  auto d1 = find(dump.take_deltas(), "q.visits");
+  const auto v_d1 = dump.take_deltas();
+  const auto* d1 = find(v_d1, "q.visits");
   ASSERT_NE(d1, nullptr);
   EXPECT_EQ(d1->delta, 5u);
   EXPECT_EQ(d1->total, 5u);
   EXPECT_TRUE(d1->changed);
 
   c.add(1, 3);
-  auto d2 = find(dump.take_deltas(), "q.visits");
+  const auto v_d2 = dump.take_deltas();
+  const auto* d2 = find(v_d2, "q.visits");
   ASSERT_NE(d2, nullptr);
   EXPECT_EQ(d2->delta, 3u);
   EXPECT_EQ(d2->total, 8u);
 
   // Nothing moved: delta 0, flagged unchanged.
-  auto d3 = find(dump.take_deltas(), "q.visits");
+  const auto v_d3 = dump.take_deltas();
+  const auto* d3 = find(v_d3, "q.visits");
   ASSERT_NE(d3, nullptr);
   EXPECT_EQ(d3->delta, 0u);
   EXPECT_FALSE(d3->changed);
@@ -69,7 +75,8 @@ TEST(StatsDump, ResetBetweenTakesNeverUnderflows) {
   reg.reset();
   c.add(0, 7);
 
-  auto d = find(dump.take_deltas(), "q.visits");
+  const auto v_d = dump.take_deltas();
+  const auto* d = find(v_d, "q.visits");
   ASSERT_NE(d, nullptr);
   // Naive cur - prev would be 7 - 1000 == 2^64 - 993. The dumper must
   // report the post-reset total instead and resynchronize.
@@ -79,7 +86,8 @@ TEST(StatsDump, ResetBetweenTakesNeverUnderflows) {
 
   // The baseline resynchronized: the next interval is plain again.
   c.add(0, 2);
-  auto d2 = find(dump.take_deltas(), "q.visits");
+  const auto v_d2 = dump.take_deltas();
+  const auto* d2 = find(v_d2, "q.visits");
   ASSERT_NE(d2, nullptr);
   EXPECT_EQ(d2->delta, 2u);
 }
@@ -91,7 +99,8 @@ TEST(StatsDump, ResetToExactlyZeroReportsNothingNotGarbage) {
   c.add(0, 50);
   dump.take_deltas();
   reg.reset();  // no further work before the next take
-  auto d = find(dump.take_deltas(), "q.visits");
+  const auto v_d = dump.take_deltas();
+  const auto* d = find(v_d, "q.visits");
   ASSERT_NE(d, nullptr);
   EXPECT_EQ(d->delta, 0u);
   EXPECT_FALSE(d->changed);
@@ -106,7 +115,8 @@ TEST(StatsDump, HistogramsClampLikeCounters) {
   dump.take_deltas();
   reg.reset();
   h.record(0, 5);
-  auto d = find(dump.take_deltas(), "job.total_us");
+  const auto v_d = dump.take_deltas();
+  const auto* d = find(v_d, "job.total_us");
   ASSERT_NE(d, nullptr);
   EXPECT_EQ(d->delta, 1u);
 }
@@ -147,20 +157,63 @@ TEST(StatsDump, GaugesReportOnChangeIncludingToZero) {
   auto& g = reg.get_gauge("queue.pending");
   g.set(9);
   stats_dumper dump(&reg);
-  auto d1 = find(dump.take_deltas(), "queue.pending");
+  const auto v_d1 = dump.take_deltas();
+  const auto* d1 = find(v_d1, "queue.pending");
   ASSERT_NE(d1, nullptr);
   EXPECT_TRUE(d1->changed);  // first sighting counts as news
   EXPECT_EQ(d1->value, 9);
 
   g.set(0);  // drained — a change worth printing even though the value is 0
-  auto d2 = find(dump.take_deltas(), "queue.pending");
+  const auto v_d2 = dump.take_deltas();
+  const auto* d2 = find(v_d2, "queue.pending");
   ASSERT_NE(d2, nullptr);
   EXPECT_TRUE(d2->changed);
   EXPECT_EQ(d2->value, 0);
 
-  auto d3 = find(dump.take_deltas(), "queue.pending");
+  const auto v_d3 = dump.take_deltas();
+  const auto* d3 = find(v_d3, "queue.pending");
   ASSERT_NE(d3, nullptr);
   EXPECT_FALSE(d3->changed);
+}
+
+// Regression: the header allows the sampler thread and a foreground caller
+// to share one dumper, so two take_deltas() must not interleave their
+// scrape and baseline update — the staler snapshot overwriting prev_ last
+// used to re-report increments the other take had already consumed. With
+// takes serialized, delta conservation is exact: across every take, each
+// increment is reported exactly once.
+TEST(StatsDump, ConcurrentTakesNeverDoubleCountDeltas) {
+  metrics_registry reg(2);
+  auto& c = reg.get_counter("q.visits");
+  stats_dumper dump(&reg);
+
+  constexpr std::uint64_t kIncrements = 20000;
+  std::atomic<bool> done{false};
+  std::thread incrementer([&] {
+    for (std::uint64_t i = 0; i < kIncrements; ++i) c.add(0, 1);
+    done.store(true);
+  });
+
+  std::atomic<std::uint64_t> reported{0};
+  auto taker = [&] {
+    while (!done.load()) {
+      for (const auto& d : dump.take_deltas()) {
+        if (d.name == "q.visits") reported.fetch_add(d.delta);
+      }
+    }
+  };
+  std::thread t1(taker);
+  std::thread t2(taker);
+  incrementer.join();
+  t1.join();
+  t2.join();
+
+  // Collect whatever the racing takes left behind.
+  for (const auto& d : dump.take_deltas()) {
+    if (d.name == "q.visits") reported.fetch_add(d.delta);
+  }
+  EXPECT_EQ(reported.load(), kIncrements)
+      << "interleaved takes re-reported (or lost) increments";
 }
 
 TEST(StatsDump, NullRegistryIsInert) {

@@ -2,11 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "telemetry/json.hpp"
 #include "telemetry/metrics_registry.hpp"
@@ -132,6 +135,57 @@ TEST(TraceWriter, WriteFileThrowsOnBadPath) {
   trace_writer tw;
   EXPECT_THROW(tw.write_file("/nonexistent-dir/x/y/trace.json"),
                std::runtime_error);
+}
+
+// Regression: one job's abort path flushes the writer while other jobs'
+// gangs are still appending to their own single-writer streams (the
+// service engine shares one trace_writer across concurrent jobs). The
+// serialization walk must snapshot each stream under its per-stream mutex
+// — before that, it iterated events_ vectors racing their reallocation.
+// Run under TSan by the tsan preset; the final parse also proves a
+// mid-append flush still produces a loadable document.
+TEST(TraceWriter, FlushIsSafeWhileOtherStreamsAppend) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "asyncgt_trace_flushrace.json";
+  trace_writer tw("flush-race");
+  tw.set_flush_path(path.string());
+
+  constexpr int kWriters = 4;
+  constexpr std::uint64_t kEventsPerWriter = 2000;
+  std::atomic<int> writers_left{kWriters};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&tw, &writers_left, t] {
+      trace_stream& s =
+          tw.stream(100 + static_cast<std::uint32_t>(t), "gang-worker");
+      for (std::uint64_t i = 0; i < kEventsPerWriter; ++i) {
+        s.complete("visit", i, 1, "vertex", i);
+        if (i % 64 == 0) s.instant("wake", i);
+      }
+      writers_left.fetch_sub(1);
+    });
+  }
+  // The "cancelled job": flush repeatedly while the other gangs trace.
+  std::size_t flushes = 0;
+  while (writers_left.load() > 0) {
+    EXPECT_TRUE(tw.flush());
+    ++flushes;
+  }
+  for (auto& th : writers) th.join();
+  EXPECT_GE(flushes, 1u);
+
+  EXPECT_TRUE(tw.flush());  // quiescent flush sees every event
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const json_value doc = json_value::parse(buf.str());
+  std::size_t completes = 0;
+  for (const auto& e : doc.find("traceEvents")->as_array()) {
+    if (e.find("ph")->as_string() == "X") ++completes;
+  }
+  EXPECT_EQ(completes, kWriters * kEventsPerWriter);
+  std::filesystem::remove(path);
 }
 
 }  // namespace
