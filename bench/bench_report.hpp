@@ -40,6 +40,7 @@
 #include <string>
 #include <utility>
 
+#include "core/hybrid_traversal.hpp"
 #include "queue/queue_stats.hpp"
 #include "queue/visitor_queue.hpp"
 #include "sem/block_cache.hpp"
@@ -91,6 +92,27 @@ inline json_value to_json(const sem::ssd_counters& c) {
   out.set("write_bytes", c.write_bytes);
   out.set("read_blocks", c.read_blocks);
   out.set("max_inflight", c.max_inflight);
+  return out;
+}
+
+/// A hybrid run's direction breakdown -> a "hybrid" block: switch count,
+/// total inspections, and one {direction, depth, edge_inspections, frontier}
+/// object per phase (check_bench_json validates the per-phase shape;
+/// compare_bench_json watches the edge_inspections keys).
+inline json_value to_json(const hybrid_extra& e) {
+  json_value out = json_value::object();
+  out.set("direction_switches", e.direction_switches);
+  out.set("edge_inspections", e.edge_inspections);
+  json_value phases = json_value::array();
+  for (const hybrid_phase& p : e.phases) {
+    json_value pj = json_value::object();
+    pj.set("direction", p.direction);
+    pj.set("depth", p.depth);
+    pj.set("edge_inspections", p.edge_inspections);
+    pj.set("frontier", p.frontier);
+    phases.push(std::move(pj));
+  }
+  out.set("phases", std::move(phases));
   return out;
 }
 

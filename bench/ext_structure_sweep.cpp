@@ -17,7 +17,16 @@
 // Shape checks: distributed imbalance grows monotonically with skew while
 // async queue balance stays flat — the paper's argument for asynchrony.
 //
+// The sweep then pits the engine's own frontier-adaptive hybrid traversal
+// (core/hybrid_traversal.hpp, --hybrid on agt_tool) against the pure-async
+// run on an undirected RMAT-A instance: identical labels, and the hybrid's
+// bottom-up middle levels must inspect at least 2x fewer edges than the
+// async run pushes — the headline number the JSON report carries under
+// "hybrid" (per-phase breakdown included; compare_bench_json watches the
+// edge_inspections keys).
+//
 //   ./ext_structure_sweep [--vertices=16384] [--threads=16]
+//                         [--hybrid-scale=S]  (default: log2(--vertices))
 #include <string>
 #include <vector>
 
@@ -28,7 +37,9 @@
 #include "bench_report.hpp"
 #include "core/async_bfs.hpp"
 #include "core/async_cc.hpp"
+#include "core/hybrid_traversal.hpp"
 #include "gen/random_graphs.hpp"
+#include "gen/rmat.hpp"
 #include "graph/graph_stats.hpp"
 
 using namespace asyncgt;
@@ -127,6 +138,90 @@ int main(int argc, char** argv) {
   ok &= shape_check(async_cv.back() < degree_cv.back() / 2.0,
                     "queue-load CV stays well below the degree CV on "
                     "power-law graphs (the hash absorbs the skew)");
+
+  // ---- Frontier-adaptive hybrid vs pure-async, undirected RMAT-A ----
+  // Undirected so every vertex is reachable: on a directed RMAT the many
+  // in-degree-0 / unreachable vertices would scan their in-edges every
+  // bottom-up sweep without ever claiming, poisoning the comparison.
+  {
+    const auto hscale =
+        static_cast<unsigned>(opt.get_int("hybrid-scale", scale));
+    const csr32 hg = [&] {
+      csr32 g = rmat_graph_undirected<vertex32>(rmat_a(hscale, 42));
+      g.ensure_reverse();
+      return g;
+    }();
+
+    visitor_queue_config cfg;
+    cfg.num_threads = threads;
+    bfs_result<vertex32> plain;
+    const double t_plain =
+        time_seconds([&] { plain = async_bfs(hg, vertex32{0}, cfg); });
+    // Pure-async inspections: every push traverses exactly one edge.
+    const std::uint64_t plain_inspected = plain.stats.pushes;
+
+    traversal_options topt(cfg);
+    topt.hybrid = true;
+    topt.hybrid_alpha = opt.get_double("hybrid-alpha", topt.hybrid_alpha);
+    topt.hybrid_beta = opt.get_double("hybrid-beta", topt.hybrid_beta);
+    bfs_result<vertex32> hyb;
+    hybrid_extra hex;
+    const double t_hyb =
+        time_seconds([&] { hyb = hybrid_bfs(hg, vertex32{0}, topt, &hex); });
+
+    ok &= shape_check(hyb.level == plain.level,
+                      "hybrid BFS labels are bit-identical to pure-async");
+    ok &= shape_check(
+        2 * hex.edge_inspections <= plain_inspected,
+        "hybrid BFS inspects at least 2x fewer edges than pure-async "
+        "pushes on RMAT-A (the bottom-up sweeps earn their keep)");
+
+    // CC comparison, reported but not gated: the Jacobi sweeps pay m per
+    // pass, so the inspection trade depends on how fast labels converge.
+    const auto cc_plain = async_cc(hg, cfg);
+    hybrid_extra cex;
+    const auto cc_hyb = hybrid_cc(hg, topt, &cex);
+    ok &= shape_check(cc_hyb.component == cc_plain.component,
+                      "hybrid CC labels are bit-identical to pure-async");
+
+    const double ratio =
+        static_cast<double>(plain_inspected) /
+        std::max<double>(1.0, static_cast<double>(hex.edge_inspections));
+    text_table htable;
+    htable.header({"traversal", "edges inspected", "vs async", "switches",
+                   "time (s)"});
+    htable.row({"async bfs", fmt_count(plain_inspected), "1.00", "0",
+                fmt_seconds(t_plain)});
+    htable.row({"hybrid bfs", fmt_count(hex.edge_inspections),
+                fmt_ratio(1.0 / ratio), fmt_count(hex.direction_switches),
+                fmt_seconds(t_hyb)});
+    htable.row({"async cc", fmt_count(cc_plain.stats.pushes), "1.00", "0",
+                ""});
+    htable.row({"hybrid cc", fmt_count(cex.edge_inspections),
+                fmt_ratio(static_cast<double>(cex.edge_inspections) /
+                          std::max<double>(
+                              1.0, static_cast<double>(cc_plain.stats.pushes))),
+                fmt_count(cex.direction_switches), ""});
+    std::printf("RMAT-A scale %u (%s edges): hybrid inspects %.2fx fewer "
+                "edges than async pushes\n%s\n",
+                hscale, fmt_count(hg.num_edges()).c_str(), ratio,
+                htable.render().c_str());
+    rep.add_table(htable);
+
+    if (rep.json_enabled()) {
+      json_value& h = rep.section("hybrid");
+      h.set("scale", static_cast<std::uint64_t>(hscale));
+      h.set("edges", hg.num_edges());
+      h.set("plain_edge_inspections", plain_inspected);
+      h.set("edge_inspections", hex.edge_inspections);
+      h.set("inspection_ratio", ratio);
+      h.set("bfs", bench::to_json(hex));
+      json_value cj = bench::to_json(cex);
+      cj.set("plain_edge_inspections", cc_plain.stats.pushes);
+      h.set("cc", std::move(cj));
+    }
+  }
+
   rep.add_table(table);
   if (rep.json_enabled()) rep.section("result").set("ok", ok);
   rep.finish();

@@ -37,6 +37,7 @@
 #include "core/async_sssp.hpp"
 #include "core/checkpoint.hpp"
 #include "core/graph_metrics.hpp"
+#include "core/hybrid_traversal.hpp"
 #include "core/multi_source_bfs.hpp"
 #include "core/traversal_result.hpp"
 #include "core/validate.hpp"

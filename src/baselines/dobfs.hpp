@@ -3,9 +3,16 @@
 // paper removes synchronization to tolerate skew, direction switching keeps
 // the barriers but shrinks the dominant levels' edge work by scanning
 // *unvisited* vertices and probing their in-neighbours once the frontier is
-// large. Requires a symmetric graph (bottom-up probes out-edges as
-// in-edges); serial implementation, compared for edge-inspection counts in
+// large. Serial implementation, compared for edge-inspection counts in
 // bench/ext_dobfs.
+//
+// When the graph carries a reverse view (csr_graph::ensure_reverse /
+// graph_io's ".rev" companion), the bottom-up probe walks real in-edges with
+// an exact early-exit inspection count — so dobfs is valid on directed
+// graphs too, and its counts are comparable to core/hybrid_traversal.hpp's.
+// Without one it falls back to probing out-edges as in-edges, which is only
+// correct on symmetric graphs and whose count upper-bounds a real
+// implementation's (the callback cannot break out of the scan).
 #pragma once
 
 #include <cstdint>
@@ -53,22 +60,45 @@ bfs_result<typename Graph::vertex_id> dobfs(
         static_cast<std::uint64_t>(switch_fraction * static_cast<double>(n));
     if (bottom_up) {
       ++ex.bottom_up_levels;
+      bool use_reverse = false;
+      if constexpr (requires { g.has_reverse(); }) {
+        use_reverse = g.has_reverse();
+      }
       for (V v = 0; v < n; ++v) {
         if (out.level[v] != infinite_distance<dist_t>) continue;
         bool claimed = false;
-        g.for_each_out_edge(v, [&](V u, weight_t) {
-          ++ex.edges_inspected;
-          // NOTE: cannot early-exit for_each_out_edge; the claimed flag
-          // keeps the semantics right while the scan finishes. The
-          // inspected count therefore upper-bounds a real implementation's.
-          if (!claimed && out.level[u] == lvl) {
-            out.level[v] = lvl + 1;
-            out.parent[v] = u;
-            ++out.updates;
-            next.push_back(v);
-            claimed = true;
+        if (use_reverse) {
+          if constexpr (requires { g.has_reverse(); }) {
+            // Real in-edge probe: exact on directed graphs, and the count
+            // stops at the claiming edge (early exit).
+            g.for_each_in_edge(v, [&](V u, weight_t) {
+              if (claimed) return;
+              ++ex.edges_inspected;
+              if (out.level[u] == lvl) {
+                out.level[v] = lvl + 1;
+                out.parent[v] = u;
+                ++out.updates;
+                next.push_back(v);
+                claimed = true;
+              }
+            });
           }
-        });
+        } else {
+          g.for_each_out_edge(v, [&](V u, weight_t) {
+            ++ex.edges_inspected;
+            // NOTE: cannot early-exit for_each_out_edge; the claimed flag
+            // keeps the semantics right while the scan finishes. The
+            // inspected count therefore upper-bounds a real
+            // implementation's. Symmetric graphs only.
+            if (!claimed && out.level[u] == lvl) {
+              out.level[v] = lvl + 1;
+              out.parent[v] = u;
+              ++out.updates;
+              next.push_back(v);
+              claimed = true;
+            }
+          });
+        }
       }
     } else {
       ++ex.top_down_levels;

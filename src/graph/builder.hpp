@@ -24,6 +24,11 @@ struct build_options {
   /// Sort adjacency lists by target id (deterministic layout; also what a
   /// CSR file format wants).
   bool sort_adjacency = true;
+  /// Also build the reverse (transpose) view at construction — in-offsets /
+  /// in-targets arrays for in-edge traversal (csr_graph::for_each_in_edge).
+  /// Equivalent to calling ensure_reverse() on the result; costs one extra
+  /// O(V+E) counting sort and doubles the edge-array footprint.
+  bool build_reverse = false;
 };
 
 /// Builds a CSR with `n` vertices from `edges`. Edges referencing vertices
@@ -92,8 +97,10 @@ csr_graph<VertexId> build_csr(std::uint64_t n,
     if (weighted) weights[slot] = e.weight;
   }
 
-  return csr_graph<VertexId>(std::move(offsets), std::move(targets),
-                             std::move(weights));
+  csr_graph<VertexId> g(std::move(offsets), std::move(targets),
+                        std::move(weights));
+  if (opt.build_reverse) g.ensure_reverse();
+  return g;
 }
 
 /// Extracts the edge list back out of a CSR (used by tests and by the SEM

@@ -11,6 +11,21 @@
 //
 // so the same algorithm template instantiates over this class or over
 // sem::sem_csr (disk-backed).
+//
+// Reverse view. Storage backends may additionally carry an optional
+// transpose — in-offsets/in-targets arrays here, a second on-disk edge file
+// for sem_csr — extending the concept with:
+//
+//   has_reverse(), in_degree(v),
+//   for_each_in_edge(v, f)   with f(source, weight)
+//
+// Algorithms that pull over in-edges (the bottom-up sweeps of
+// core/hybrid_traversal.hpp, the dobfs baseline on directed graphs,
+// graph_stats' in-degree summary) gate on has_reverse() at runtime. The
+// in-memory transpose is built on demand by ensure_reverse() — a counting
+// sort over the forward arrays, O(V+E) time, no edge list materialized —
+// and in-adjacency comes out sorted by source id, so the layout is
+// deterministic and binary-searchable like the forward one.
 #pragma once
 
 #include <cstdint>
@@ -83,17 +98,116 @@ class csr_graph {
   std::span<const VertexId> targets() const noexcept { return targets_; }
   std::span<const weight_t> weights() const noexcept { return weights_; }
 
+  // ---- Reverse (transpose) view ----
+
+  bool has_reverse() const noexcept { return !in_offsets_.empty(); }
+
+  /// Builds the transpose in place if absent: a counting sort over the
+  /// forward arrays (no edge list). Self-loops and duplicate edges transpose
+  /// to themselves; zero-out-degree vertices simply contribute nothing, and
+  /// every vertex keeps an in-adjacency slot (possibly empty). Idempotent.
+  void ensure_reverse() {
+    if (has_reverse()) return;
+    const std::uint64_t n = num_vertices();
+    in_offsets_.assign(n + 1, 0);
+    for (const VertexId t : targets_) ++in_offsets_[t + 1];
+    for (std::uint64_t v = 0; v < n; ++v) in_offsets_[v + 1] += in_offsets_[v];
+    in_targets_.resize(targets_.size());
+    if (!weights_.empty()) in_weights_.resize(weights_.size());
+    std::vector<offset_type> cursor(in_offsets_.begin(),
+                                    in_offsets_.end() - 1);
+    // Outer loop ascends over sources, so each in-adjacency list comes out
+    // sorted by source id — a deterministic layout matching the forward one.
+    for (std::uint64_t v = 0; v < n; ++v) {
+      for (offset_type i = offsets_[v]; i < offsets_[v + 1]; ++i) {
+        const offset_type slot = cursor[targets_[i]]++;
+        in_targets_[slot] = static_cast<VertexId>(v);
+        if (!weights_.empty()) in_weights_[slot] = weights_[i];
+      }
+    }
+  }
+
+  /// Adopts prebuilt transpose arrays (graph_io's reverse-file reader uses
+  /// this to avoid recomputing a transpose that is already on disk). Shape
+  /// is validated like the forward constructor's.
+  void set_reverse(std::vector<offset_type> in_offsets,
+                   std::vector<VertexId> in_targets,
+                   std::vector<weight_t> in_weights = {}) {
+    if (in_offsets.size() != offsets_.size() || in_offsets.front() != 0 ||
+        in_offsets.back() != in_targets.size() ||
+        in_targets.size() != targets_.size()) {
+      throw std::invalid_argument("csr_graph: malformed reverse arrays");
+    }
+    if (!in_weights.empty() && in_weights.size() != in_targets.size()) {
+      throw std::invalid_argument(
+          "csr_graph: reverse weights must parallel in-targets or be empty");
+    }
+    in_offsets_ = std::move(in_offsets);
+    in_targets_ = std::move(in_targets);
+    in_weights_ = std::move(in_weights);
+  }
+
+  /// In-degree of v. Requires has_reverse().
+  std::uint64_t in_degree(VertexId v) const noexcept {
+    return in_offsets_[v + 1] - in_offsets_[v];
+  }
+
+  /// Sources of v's in-edges, sorted ascending. Requires has_reverse().
+  std::span<const VertexId> in_neighbors(VertexId v) const noexcept {
+    return {in_targets_.data() + in_offsets_[v],
+            in_targets_.data() + in_offsets_[v + 1]};
+  }
+
+  /// Invokes f(source, weight) for every in-edge of v; weight is the
+  /// original (u,v) edge's weight, 1 when unweighted. Requires
+  /// has_reverse().
+  template <typename F>
+  void for_each_in_edge(VertexId v, F&& f) const {
+    const offset_type begin = in_offsets_[v];
+    const offset_type end = in_offsets_[v + 1];
+    if (in_weights_.empty()) {
+      for (offset_type i = begin; i < end; ++i)
+        f(in_targets_[i], weight_t{1});
+    } else {
+      for (offset_type i = begin; i < end; ++i)
+        f(in_targets_[i], in_weights_[i]);
+    }
+  }
+
+  std::span<const offset_type> in_offsets() const noexcept {
+    return in_offsets_;
+  }
+  std::span<const VertexId> in_targets() const noexcept { return in_targets_; }
+
+  /// The transpose as a standalone graph (its out-edges are this graph's
+  /// in-edges) — what graph_io serializes as the on-disk reverse edge file.
+  /// Reuses the reverse arrays when present, else builds them transiently.
+  csr_graph<VertexId> transpose() const {
+    if (has_reverse()) {
+      return csr_graph<VertexId>(in_offsets_, in_targets_, in_weights_);
+    }
+    csr_graph<VertexId> copy(offsets_, targets_, weights_);
+    copy.ensure_reverse();
+    return csr_graph<VertexId>(std::move(copy.in_offsets_),
+                               std::move(copy.in_targets_),
+                               std::move(copy.in_weights_));
+  }
+
   /// Approximate resident size, for memory-budget reporting in benches.
   std::uint64_t memory_bytes() const noexcept {
-    return offsets_.size() * sizeof(offset_type) +
-           targets_.size() * sizeof(VertexId) +
-           weights_.size() * sizeof(weight_t);
+    return (offsets_.size() + in_offsets_.size()) * sizeof(offset_type) +
+           (targets_.size() + in_targets_.size()) * sizeof(VertexId) +
+           (weights_.size() + in_weights_.size()) * sizeof(weight_t);
   }
 
  private:
   std::vector<offset_type> offsets_{0};
   std::vector<VertexId> targets_;
   std::vector<weight_t> weights_;
+  // Reverse view (empty until ensure_reverse()/set_reverse()).
+  std::vector<offset_type> in_offsets_;
+  std::vector<VertexId> in_targets_;
+  std::vector<weight_t> in_weights_;
 };
 
 using csr32 = csr_graph<vertex32>;

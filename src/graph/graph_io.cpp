@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <stdexcept>
 #include <vector>
@@ -145,7 +146,64 @@ csr_graph<VertexId> read_graph_impl(const std::string& path) {
                              std::move(weights));
 }
 
+/// Writes both files, then validates-and-adopts on the read side. The
+/// reverse file's shape must mirror the forward one (same vertex count and
+/// edge count) — a stale .rev next to a rewritten main file must fail
+/// loudly, not feed the bottom-up sweeps a transpose of a different graph.
+template <typename VertexId>
+void write_with_reverse_impl(const std::string& path,
+                             const csr_graph<VertexId>& g) {
+  write_graph_impl(path, g);
+  write_graph_impl(reverse_path_for(path), g.transpose());
+}
+
+template <typename VertexId>
+csr_graph<VertexId> read_with_reverse_impl(const std::string& path) {
+  csr_graph<VertexId> g = read_graph_impl<VertexId>(path);
+  const std::string rpath = reverse_path_for(path);
+  if (!has_reverse_file(path)) return g;
+  csr_graph<VertexId> rev = read_graph_impl<VertexId>(rpath);
+  if (rev.num_vertices() != g.num_vertices() ||
+      rev.num_edges() != g.num_edges()) {
+    throw std::runtime_error("'" + rpath +
+                             "' does not transpose '" + path +
+                             "' (vertex/edge counts disagree)");
+  }
+  g.set_reverse(std::vector<std::uint64_t>(rev.offsets().begin(),
+                                           rev.offsets().end()),
+                std::vector<VertexId>(rev.targets().begin(),
+                                      rev.targets().end()),
+                std::vector<weight_t>(rev.weights().begin(),
+                                      rev.weights().end()));
+  return g;
+}
+
 }  // namespace
+
+std::string reverse_path_for(const std::string& path) { return path + ".rev"; }
+
+bool has_reverse_file(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::exists(reverse_path_for(path), ec);
+}
+
+void write_graph_with_reverse(const std::string& path,
+                              const csr_graph<vertex32>& g) {
+  write_with_reverse_impl(path, g);
+}
+
+void write_graph_with_reverse(const std::string& path,
+                              const csr_graph<vertex64>& g) {
+  write_with_reverse_impl(path, g);
+}
+
+csr_graph<vertex32> read_graph32_with_reverse(const std::string& path) {
+  return read_with_reverse_impl<vertex32>(path);
+}
+
+csr_graph<vertex64> read_graph64_with_reverse(const std::string& path) {
+  return read_with_reverse_impl<vertex64>(path);
+}
 
 void write_graph(const std::string& path, const csr_graph<vertex32>& g) {
   write_graph_impl(path, g);

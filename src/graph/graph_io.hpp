@@ -11,6 +11,14 @@
 // is loaded into memory and the targets/weights sections are pread() on
 // demand — so a graph written here can be traversed either fully in-memory
 // or semi-externally without conversion.
+//
+// Reverse edge files. A graph may carry an on-disk reverse view: a second,
+// ordinary .agt file at reverse_path_for(path) ("<path>.rev") holding the
+// transpose (its out-edges are the main graph's in-edges). write_graph_with_
+// reverse emits both; sem_csr::open_reverse serves the reverse file through
+// the same io_backend / block_cache / block_heat seam as the main one, and
+// the in-memory readers rehydrate it via read_graph_with_reverse without
+// recomputing the transpose.
 #pragma once
 
 #include <cstdint>
@@ -56,5 +64,25 @@ agt_header read_graph_header(const std::string& path);
 /// Loads a full in-memory CSR. Throws on bad magic or id-width mismatch.
 csr_graph<vertex32> read_graph32(const std::string& path);
 csr_graph<vertex64> read_graph64(const std::string& path);
+
+/// On-disk location of `path`'s reverse edge file (the "<path>.rev"
+/// convention shared by the writers, the readers, and sem_csr).
+std::string reverse_path_for(const std::string& path);
+
+/// True iff `path` has a companion reverse edge file on disk.
+bool has_reverse_file(const std::string& path);
+
+/// Writes `g` to `path` and its transpose to reverse_path_for(path). The
+/// reverse file is an ordinary .agt (readable on its own); g's in-memory
+/// reverse view is reused when present, else a transient transpose is built.
+void write_graph_with_reverse(const std::string& path,
+                              const csr_graph<vertex32>& g);
+void write_graph_with_reverse(const std::string& path,
+                              const csr_graph<vertex64>& g);
+
+/// Loads a full in-memory CSR and, when reverse_path_for(path) exists,
+/// adopts it as the reverse view (validated against the forward shape).
+csr_graph<vertex32> read_graph32_with_reverse(const std::string& path);
+csr_graph<vertex64> read_graph64_with_reverse(const std::string& path);
 
 }  // namespace asyncgt

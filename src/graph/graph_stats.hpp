@@ -15,24 +15,27 @@
 namespace asyncgt {
 
 struct degree_summary {
-  summary_stats stats;          // over out-degrees
-  log2_histogram histogram;     // log2 buckets of out-degree
+  summary_stats stats;          // over the summarized degree direction
+  log2_histogram histogram;     // log2 buckets of degree
   std::uint64_t max_degree = 0;
-  std::uint64_t isolated = 0;   // vertices with out-degree 0
+  std::uint64_t isolated = 0;   // vertices with degree 0 in this direction
 
   /// Fraction of all edges owned by the top `fraction` highest-degree
   /// vertices. Skewed (RMAT-B-like) graphs concentrate most edges here.
   double top_fraction_edge_share = 0.0;
 };
 
-template <typename VertexId>
-degree_summary compute_degree_summary(const csr_graph<VertexId>& g,
-                                      double top_fraction = 0.01) {
+namespace detail {
+
+/// Direction-agnostic core: summarizes degree_of(v) over [0, n).
+template <typename DegreeFn>
+degree_summary summarize_degrees(std::uint64_t n, std::uint64_t m,
+                                 DegreeFn&& degree_of, double top_fraction) {
   degree_summary out;
   std::vector<std::uint64_t> degrees;
-  degrees.reserve(g.num_vertices());
-  for (VertexId v = 0; v < g.num_vertices(); ++v) {
-    const std::uint64_t d = g.out_degree(v);
+  degrees.reserve(n);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    const std::uint64_t d = degree_of(v);
     degrees.push_back(d);
     out.stats.add(static_cast<double>(d));
     out.histogram.add(d);
@@ -47,10 +50,41 @@ degree_summary compute_degree_summary(const csr_graph<VertexId>& g,
     top_edges += degrees[i];
   }
   out.top_fraction_edge_share =
-      g.num_edges() == 0
-          ? 0.0
-          : static_cast<double>(top_edges) / static_cast<double>(g.num_edges());
+      m == 0 ? 0.0
+             : static_cast<double>(top_edges) / static_cast<double>(m);
   return out;
+}
+
+}  // namespace detail
+
+template <typename VertexId>
+degree_summary compute_degree_summary(const csr_graph<VertexId>& g,
+                                      double top_fraction = 0.01) {
+  return detail::summarize_degrees(
+      g.num_vertices(), g.num_edges(),
+      [&](std::uint64_t v) {
+        return g.out_degree(static_cast<VertexId>(v));
+      },
+      top_fraction);
+}
+
+/// In-degree distribution, served by the reverse (transpose) view. The mean
+/// matches the out-degree mean (same edge count), but the max and skew can
+/// differ wildly on directed graphs — web-like inputs concentrate in-edges
+/// on popular pages — which is exactly what the bottom-up sweep cost of
+/// hybrid traversal depends on. Builds the reverse view transiently when
+/// the graph does not carry one.
+template <typename VertexId>
+degree_summary compute_in_degree_summary(const csr_graph<VertexId>& g,
+                                         double top_fraction = 0.01) {
+  if (!g.has_reverse()) {
+    csr_graph<VertexId> rev = g.transpose();
+    return compute_degree_summary(rev, top_fraction);
+  }
+  return detail::summarize_degrees(
+      g.num_vertices(), g.num_edges(),
+      [&](std::uint64_t v) { return g.in_degree(static_cast<VertexId>(v)); },
+      top_fraction);
 }
 
 /// True iff every (u,v) edge has a matching (v,u) edge — i.e. the CSR

@@ -1,0 +1,98 @@
+// Frontier-density estimation for direction-adaptive (hybrid) traversal.
+//
+// The asynchronous engine has no explicit frontier — only an in-flight
+// visitor count — so direction decisions (Beamer/Buluç-style top-down vs
+// bottom-up switching, docs/hybrid_traversal.md) need an observer that
+// samples that count at the points where it is meaningful. Workers sample
+// the termination counter at their flush-on-idle / commit checkpoints (the
+// only places the counter is exact enough to read cheaply, see
+// traversal_engine.hpp); the phase driver in core/hybrid_traversal.hpp
+// feeds in exact per-wave counts between capped runs and asks the two
+// classic questions:
+//
+//   go_bottom_up:    m_f * alpha > m_u   -- the queued frontier's edges
+//                    outnumber 1/alpha of the unexplored edges, so scanning
+//                    unvisited vertices' in-edges (with early exit) is
+//                    cheaper than pushing every out-edge of the frontier.
+//   stay_bottom_up:  n_f * beta > n     -- the frontier is still a large
+//                    fraction of all vertices; once it shrinks below n/beta
+//                    the per-sweep O(V) scan stops paying for itself and
+//                    the driver flips back to asynchronous top-down.
+//
+// alpha/beta defaults follow the direction-optimizing BFS literature
+// (alpha=14, beta=24); both are exposed as --hybrid-alpha / --hybrid-beta
+// through traversal_options::from_flags.
+//
+// Thread-safety: sample() is called concurrently by workers (relaxed
+// atomics — the values are advisory); everything else is driver-side,
+// called between runs.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace asyncgt {
+
+class frontier_estimator {
+ public:
+  frontier_estimator() = default;
+  frontier_estimator(double alpha, double beta) : alpha_(alpha), beta_(beta) {}
+
+  /// Worker-side: records one queued-visitor observation (the engine passes
+  /// the termination counter, clamped at zero). Called at flush-on-idle /
+  /// commit checkpoints only, never per visit.
+  void sample(std::uint64_t queued) noexcept {
+    last_queued_.store(queued, std::memory_order_relaxed);
+    std::uint64_t peak = peak_queued_.load(std::memory_order_relaxed);
+    while (queued > peak &&
+           !peak_queued_.compare_exchange_weak(peak, queued,
+                                               std::memory_order_relaxed)) {
+    }
+    samples_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t last_queued() const noexcept {
+    return last_queued_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t peak_queued() const noexcept {
+    return peak_queued_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t samples() const noexcept {
+    return samples_.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept {
+    last_queued_.store(0, std::memory_order_relaxed);
+    peak_queued_.store(0, std::memory_order_relaxed);
+    samples_.store(0, std::memory_order_relaxed);
+  }
+
+  double alpha() const noexcept { return alpha_; }
+  double beta() const noexcept { return beta_; }
+
+  /// Driver-side alpha test: switch into bottom-up sweeps when the frontier's
+  /// forward edge count `frontier_edges` (m_f) exceeds 1/alpha of the edges
+  /// still reachable from unvisited vertices `unvisited_edges` (m_u).
+  bool go_bottom_up(std::uint64_t frontier_edges,
+                    std::uint64_t unvisited_edges) const noexcept {
+    return static_cast<double>(frontier_edges) * alpha_ >
+           static_cast<double>(unvisited_edges);
+  }
+
+  /// Driver-side beta test: keep sweeping bottom-up while the current wave
+  /// `frontier_vertices` (n_f) is still larger than num_vertices/beta.
+  bool stay_bottom_up(std::uint64_t frontier_vertices,
+                      std::uint64_t num_vertices) const noexcept {
+    return static_cast<double>(frontier_vertices) * beta_ >
+           static_cast<double>(num_vertices);
+  }
+
+ private:
+  double alpha_ = 14.0;
+  double beta_ = 24.0;
+  std::atomic<std::uint64_t> last_queued_{0};
+  std::atomic<std::uint64_t> peak_queued_{0};
+  std::atomic<std::uint64_t> samples_{0};
+};
+
+}  // namespace asyncgt

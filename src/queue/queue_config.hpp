@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "queue/frontier_estimator.hpp"
 #include "telemetry/metric_scope.hpp"
 #include "telemetry/metrics_registry.hpp"
 #include "telemetry/sampler.hpp"
@@ -70,6 +71,16 @@ struct visitor_queue_config {
   /// the global registry) stay exact while the job gets its own copy.
   /// asyncgt::engine wires one scope per submitted job; null costs nothing.
   telemetry::metric_scope* scope = nullptr;
+
+  /// Frontier-density estimator (borrowed, nullable). When set, every
+  /// worker samples the in-flight visitor count into it at its
+  /// flush-on-idle / termination-commit checkpoints — the cheap points
+  /// where the termination counter is meaningful — and the end-of-run
+  /// metrics record the observed peak as `queue.frontier_peak`. The hybrid
+  /// phase driver (core/hybrid_traversal.hpp) wires one per run to make its
+  /// direction decisions; null costs one predictable branch per idle
+  /// transition.
+  frontier_estimator* estimator = nullptr;
 
   /// Borrowed worker pool (nullable). When set, run()/run_seeded() dispatch
   /// their worker bodies as a gang on this pool — acquire/release of parked

@@ -476,6 +476,13 @@ class traversal_engine {
       // point where the termination counter can legitimately reach zero.
       if (drain(me, inbox)) continue;
       flush_all(me);
+      // Flush/termination checkpoint: the only place a worker reads the
+      // global counter anyway, so the frontier estimator samples here —
+      // once per idle transition, never per visit.
+      if (cfg_.estimator != nullptr) {
+        cfg_.estimator->sample(static_cast<std::uint64_t>(
+            std::max<std::int64_t>(term_.pending(), 0)));
+      }
       if (commit(me)) {
         announce_done();
         return;
@@ -645,7 +652,14 @@ class traversal_engine {
       sc.add(hot::wakeups, 0, s.wakeups);
       record_metrics(sc.deltas(), s);
     }
-    if (cfg_.metrics != nullptr) record_metrics(*cfg_.metrics, s);
+    if (cfg_.metrics != nullptr) {
+      record_metrics(*cfg_.metrics, s);
+      if (cfg_.estimator != nullptr) {
+        cfg_.metrics->get_gauge("queue.frontier_peak")
+            .record_max(
+                static_cast<std::int64_t>(cfg_.estimator->peak_queued()));
+      }
+    }
     return s;
   }
 

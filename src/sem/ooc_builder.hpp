@@ -37,6 +37,12 @@ struct ooc_build_options {
   bool remove_self_loops = true;
   bool remove_duplicates = true;
   bool symmetrize = false;
+  /// Also emit the on-disk reverse edge file at reverse_path_for(output):
+  /// a second external sort of the cleaned edges keyed by (dst, src), plus
+  /// a second O(V) in-degree array — the footprint stays semi-external.
+  /// The result is byte-identical to write_graph(transpose) of the same
+  /// graph, and is what sem_csr::open_reverse() serves.
+  bool emit_reverse = false;
 };
 
 struct ooc_build_stats {
@@ -108,49 +114,54 @@ class ooc_graph_builder {
     stats.sort_runs = sorter_.stats().runs;
     stats.spilled_bytes = sorter_.stats().spilled_bytes;
 
-    // Phase 2: header + offsets (prefix sums of the degree array).
+    // Phases 2+3: header + offsets (prefix sums of the degree array), then
+    // sequential column passes over the clean file.
     const std::uint64_t m = stats.output_edges;
-    {
-      file_ptr out(std::fopen(output_path_.c_str(), "wb"));
-      if (!out) {
-        throw std::runtime_error("ooc_builder: cannot create " +
-                                 output_path_);
-      }
-      agt_header h;
-      h.flags = (weighted_ ? 1u : 0u) | (sizeof(VertexId) == 8 ? 2u : 0u);
-      h.num_vertices = n_;
-      h.num_edges = m;
-      write_or_throw(out.get(), &h, sizeof(h));
-      std::uint64_t running = 0;
-      // Stream the offsets without materializing a second array: emit the
-      // running sum, then fold each degree in.
-      std::vector<std::uint64_t> chunk;
-      chunk.reserve(1 << 16);
-      chunk.push_back(0);
-      for (std::uint64_t v = 0; v < n_; ++v) {
-        running += degree_[v];
-        chunk.push_back(running);
-        if (chunk.size() == (1 << 16)) {
-          write_or_throw(out.get(), chunk.data(),
-                         chunk.size() * sizeof(std::uint64_t));
-          chunk.clear();
+    write_agt(output_path_, clean_path, degree_, m);
+
+    // Optional reverse pass: re-sort the already-clean edges keyed by
+    // (dst, src) — one more external sort and one more O(V) degree array —
+    // and write the transpose as an ordinary .agt next to the output. No
+    // filtering here: dedup/self-loop removal already happened, and the
+    // transpose of a unique edge set is unique.
+    if (opt_.emit_reverse) {
+      std::vector<std::uint64_t> in_degree(n_, 0);
+      ext_sorter<record> rsorter(opt_.memory_budget_bytes, opt_.scratch_dir);
+      {
+        file_ptr in(std::fopen(clean_path.string().c_str(), "rb"));
+        if (!in) {
+          throw std::runtime_error("ooc_builder: cannot reopen clean file");
+        }
+        std::vector<record> records(4096);
+        for (;;) {
+          const std::size_t got = std::fread(records.data(), sizeof(record),
+                                             records.size(), in.get());
+          if (got == 0) break;
+          for (std::size_t i = 0; i < got; ++i) {
+            rsorter.add({records[i].dst, records[i].src, records[i].weight});
+            ++in_degree[records[i].dst];
+          }
         }
       }
-      if (!chunk.empty()) {
-        write_or_throw(out.get(), chunk.data(),
-                       chunk.size() * sizeof(std::uint64_t));
+      const auto clean_rev_path = opt_.scratch_dir / "clean_edges_rev.bin";
+      {
+        file_ptr rclean(std::fopen(clean_rev_path.string().c_str(), "wb"));
+        if (!rclean) {
+          throw std::runtime_error("ooc_builder: cannot create " +
+                                   clean_rev_path.string());
+        }
+        rsorter.merge([&](const record& r) {
+          if (std::fwrite(&r, sizeof(record), 1, rclean.get()) != 1) {
+            throw std::runtime_error(
+                "ooc_builder: short write to reverse clean file");
+          }
+        });
       }
-
-      // Phase 3: sequential passes over the clean file — targets, then
-      // weights (two passes keep both output regions sequential).
-      stream_column(clean_path, out.get(), /*weights_pass=*/false);
-      if (weighted_) {
-        stream_column(clean_path, out.get(), /*weights_pass=*/true);
-      }
-      if (std::fflush(out.get()) != 0) {
-        throw std::runtime_error("ooc_builder: flush failed");
-      }
+      write_agt(reverse_path_for(output_path_), clean_rev_path, in_degree, m);
+      std::error_code rec;
+      std::filesystem::remove(clean_rev_path, rec);
     }
+
     std::error_code ec;
     std::filesystem::remove(clean_path, ec);
     return stats;
@@ -180,6 +191,50 @@ class ooc_graph_builder {
                              std::size_t bytes) {
     if (bytes != 0 && std::fwrite(data, 1, bytes, f) != bytes) {
       throw std::runtime_error("ooc_builder: short write");
+    }
+  }
+
+  // Phases 2+3 for one output file: header, streamed prefix-sum offsets
+  // (never materializing a second O(V) array), then sequential column
+  // passes over a clean (sorted) edge file. Shared by the forward and
+  // reverse emission paths.
+  void write_agt(const std::string& path,
+                 const std::filesystem::path& clean_path,
+                 const std::vector<std::uint64_t>& degrees, std::uint64_t m) {
+    file_ptr out(std::fopen(path.c_str(), "wb"));
+    if (!out) {
+      throw std::runtime_error("ooc_builder: cannot create " + path);
+    }
+    agt_header h;
+    h.flags = (weighted_ ? 1u : 0u) | (sizeof(VertexId) == 8 ? 2u : 0u);
+    h.num_vertices = n_;
+    h.num_edges = m;
+    write_or_throw(out.get(), &h, sizeof(h));
+    std::uint64_t running = 0;
+    // Stream the offsets without materializing a second array: emit the
+    // running sum, then fold each degree in.
+    std::vector<std::uint64_t> chunk;
+    chunk.reserve(1 << 16);
+    chunk.push_back(0);
+    for (std::uint64_t v = 0; v < n_; ++v) {
+      running += degrees[v];
+      chunk.push_back(running);
+      if (chunk.size() == (1 << 16)) {
+        write_or_throw(out.get(), chunk.data(),
+                       chunk.size() * sizeof(std::uint64_t));
+        chunk.clear();
+      }
+    }
+    if (!chunk.empty()) {
+      write_or_throw(out.get(), chunk.data(),
+                     chunk.size() * sizeof(std::uint64_t));
+    }
+    stream_column(clean_path, out.get(), /*weights_pass=*/false);
+    if (weighted_) {
+      stream_column(clean_path, out.get(), /*weights_pass=*/true);
+    }
+    if (std::fflush(out.get()) != 0) {
+      throw std::runtime_error("ooc_builder: flush failed");
     }
   }
 

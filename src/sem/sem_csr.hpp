@@ -13,11 +13,23 @@
 //
 // The class models the same GraphStorage concept as csr_graph, so async_bfs
 // / async_sssp / async_cc instantiate over it unchanged.
+//
+// Reverse view. A SEM graph can carry an on-disk reverse edge file (the
+// transpose, written by write_graph_with_reverse or ooc_builder's
+// emit_reverse at reverse_path_for(path)): open_reverse() nests a second
+// sem_csr over it sharing this graph's simulated device and I/O backend
+// configuration, so in-edge reads go through the identical
+// io_backend/block_cache/block_heat seam as out-edge reads. The reverse
+// file is a separate byte space, so it takes its own (optional) block cache
+// and heat recorder rather than colliding with the main file's block ids.
+// This extends the concept with has_reverse() / in_degree(v) /
+// for_each_in_edge(v, f) exactly like csr_graph.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "graph/graph_io.hpp"
@@ -95,7 +107,9 @@ class sem_csr {
   }
 
   // The backend holds a pointer to file_, so moves must rebind it onto the
-  // destination's own members instead of inheriting the stale one.
+  // destination's own members instead of inheriting the stale one. The
+  // nested reverse graph rebinds itself through its own move, so its
+  // unique_ptr just transfers.
   sem_csr(sem_csr&& other)
       : file_(std::move(other.file_)),
         device_(other.device_),
@@ -105,7 +119,8 @@ class sem_csr {
         offsets_(std::move(other.offsets_)),
         targets_pos_(other.targets_pos_),
         weights_pos_(other.weights_pos_),
-        backend_cfg_(other.backend_cfg_) {
+        backend_cfg_(other.backend_cfg_),
+        reverse_(std::move(other.reverse_)) {
     backend_ = make_io_backend(file_, backend_cfg_, cache_);
   }
 
@@ -121,6 +136,7 @@ class sem_csr {
       targets_pos_ = other.targets_pos_;
       weights_pos_ = other.weights_pos_;
       backend_cfg_ = other.backend_cfg_;
+      reverse_ = std::move(other.reverse_);
       backend_ = make_io_backend(file_, backend_cfg_, cache_);
     }
     return *this;
@@ -133,22 +149,26 @@ class sem_csr {
   block_cache* cache() const noexcept { return cache_; }
 
   /// Attaches a telemetry I/O recorder (borrowed, nullable) to the
-  /// underlying edge file: every adjacency pread then reports bytes and
-  /// host-side latency into its log2 histogram.
+  /// underlying edge file — and the reverse one, when open: every adjacency
+  /// pread then reports bytes and host-side latency into its log2 histogram.
   void set_io_recorder(telemetry::io_recorder* recorder) noexcept {
     file_.set_recorder(recorder);
+    if (reverse_) reverse_->set_io_recorder(recorder);
   }
 
   /// Attaches a fault injector (borrowed, nullable) to the underlying edge
-  /// file: every adjacency pread then draws a fault plan first. Used by the
-  /// fault-tolerance suite and the `--inject=` bench flag.
+  /// file (and the reverse one, when open): every adjacency pread then draws
+  /// a fault plan first. Used by the fault-tolerance suite and the
+  /// `--inject=` bench flag.
   void set_fault_injector(fault_injector* injector) noexcept {
     file_.set_fault_injector(injector);
+    if (reverse_) reverse_->set_fault_injector(injector);
   }
 
-  /// Replaces the transient-failure retry policy of the underlying file.
+  /// Replaces the transient-failure retry policy of the underlying file(s).
   void set_retry_policy(const io_retry_policy& policy) {
     file_.set_retry_policy(policy);
+    if (reverse_) reverse_->set_retry_policy(policy);
   }
 
   /// Attaches a block-heat recorder (borrowed, nullable): every adjacency
@@ -175,10 +195,58 @@ class sem_csr {
   void set_io_backend(const io_backend_config& cfg) {
     backend_cfg_ = cfg;
     backend_ = make_io_backend(file_, backend_cfg_, cache_);
+    if (reverse_) reverse_->set_io_backend(cfg);
   }
   io_backend& backend() const noexcept { return *backend_; }
   const io_backend_config& backend_config() const noexcept {
     return backend_cfg_;
+  }
+
+  // ---- Reverse (transpose) view ----
+
+  /// Opens the on-disk reverse edge file (reverse_path_for(path), written
+  /// by write_graph_with_reverse or ooc_builder's emit_reverse) as a nested
+  /// sem_csr sharing this graph's simulated device, I/O backend config, and
+  /// retry policy. The reverse file is its own byte space, so it takes its
+  /// own optional block cache / heat recorder instead of aliasing the main
+  /// file's block ids. Throws if the file is missing or does not transpose
+  /// this graph. Idempotent; call before traversals start, like
+  /// set_io_backend.
+  void open_reverse(block_cache* reverse_cache = nullptr,
+                    block_heat* reverse_heat = nullptr) {
+    if (reverse_) return;
+    auto rev = std::make_unique<sem_csr>(reverse_path_for(file_.path()),
+                                         device_, reverse_cache);
+    if (rev->num_vertices() != num_vertices() ||
+        rev->num_edges() != num_edges()) {
+      throw std::runtime_error(
+          "sem_csr: '" + reverse_path_for(file_.path()) +
+          "' does not transpose '" + file_.path() +
+          "' (vertex/edge counts disagree)");
+    }
+    rev->set_io_backend(backend_cfg_);
+    rev->set_block_heat(reverse_heat);
+    reverse_ = std::move(rev);
+  }
+
+  bool has_reverse() const noexcept { return reverse_ != nullptr; }
+
+  /// The nested reverse graph (its out-edges are this graph's in-edges).
+  /// Requires has_reverse().
+  sem_csr& reverse() noexcept { return *reverse_; }
+  const sem_csr& reverse() const noexcept { return *reverse_; }
+
+  /// In-degree of v. Requires has_reverse().
+  std::uint64_t in_degree(VertexId v) const noexcept {
+    return reverse_->out_degree(v);
+  }
+
+  /// Reads v's in-adjacency from the reverse file and invokes
+  /// f(source, weight) per in-edge — same I/O charging as out-edge reads,
+  /// against the reverse file's own cache/heat. Requires has_reverse().
+  template <typename F>
+  void for_each_in_edge(VertexId v, F&& f) const {
+    reverse_->for_each_out_edge(v, std::forward<F>(f));
   }
 
   std::uint64_t out_degree(VertexId v) const noexcept {
@@ -220,13 +288,16 @@ class sem_csr {
   }
 
   /// In-memory bytes held by this storage: the vertex index only — the
-  /// "semi" in semi-external.
+  /// "semi" in semi-external — doubled when the reverse view is open.
   std::uint64_t memory_bytes() const noexcept {
-    return offsets_.size() * sizeof(std::uint64_t);
+    return offsets_.size() * sizeof(std::uint64_t) +
+           (reverse_ ? reverse_->memory_bytes() : 0);
   }
 
   /// On-device bytes (the paper's "Size on EM device" column).
-  std::uint64_t device_bytes() const noexcept { return file_.size(); }
+  std::uint64_t device_bytes() const noexcept {
+    return file_.size() + (reverse_ ? reverse_->device_bytes() : 0);
+  }
 
  private:
   /// Charges the device for the blocks of [pos, pos+bytes) that miss the
@@ -283,6 +354,7 @@ class sem_csr {
   std::uint64_t weights_pos_ = 0;
   io_backend_config backend_cfg_;
   std::unique_ptr<io_backend> backend_;
+  std::unique_ptr<sem_csr> reverse_;  // open_reverse(); null = no view
 };
 
 using sem_csr32 = sem_csr<vertex32>;

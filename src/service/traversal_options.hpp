@@ -47,6 +47,18 @@ struct traversal_options {
   std::string io_backend = "sync";
   std::uint32_t io_batch = 8;
 
+  /// Frontier-adaptive hybrid traversal (docs/hybrid_traversal.md). When
+  /// set, BFS/CC drivers that support it flip from asynchronous top-down
+  /// pushes into synchronous bottom-up sweeps over the unvisited vertices'
+  /// in-edges once the frontier grows dense, then back. Requires the graph
+  /// to carry a reverse view (csr_graph::ensure_reverse / sem_csr::
+  /// open_reverse). The alpha/beta thresholds follow Beamer et al.'s
+  /// direction-optimizing formulation: go bottom-up when frontier_edges *
+  /// alpha > unvisited_edges; stay while frontier_vertices * beta > n.
+  bool hybrid = false;
+  double hybrid_alpha = 14.0;
+  double hybrid_beta = 24.0;
+
   traversal_options() = default;
   /// Implicit on purpose: every pre-service call site passes a
   /// visitor_queue_config and must keep compiling.
@@ -77,6 +89,10 @@ struct traversal_options {
   ///   --io-backend=NAME  SEM read path: sync | coalescing | uring
   ///                      (default sync; docs/io_backends.md)
   ///   --io-batch=N       coalescing/uring batch depth (default 8)
+  ///   --hybrid           frontier-adaptive direction switching (default
+  ///                      off; needs a reverse view on the graph)
+  ///   --hybrid-alpha=X   top-down -> bottom-up threshold (default 14)
+  ///   --hybrid-beta=X    bottom-up -> top-down threshold (default 24)
   /// `sem_mode` selects the SEM defaults (flush batch, secondary sort).
   static traversal_options from_flags(const options& opt,
                                       bool sem_mode = false) {
@@ -93,6 +109,9 @@ struct traversal_options {
     o.io_backend = opt.get_string("io-backend", o.io_backend);
     o.io_batch = static_cast<std::uint32_t>(
         opt.get_int("io-batch", static_cast<std::int64_t>(o.io_batch)));
+    o.hybrid = opt.get_bool("hybrid", false);
+    o.hybrid_alpha = opt.get_double("hybrid-alpha", o.hybrid_alpha);
+    o.hybrid_beta = opt.get_double("hybrid-beta", o.hybrid_beta);
     return o;
   }
 };

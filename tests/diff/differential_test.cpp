@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "asyncgt.hpp"
+#include "baselines/dobfs.hpp"
 #include "baselines/serial_bfs.hpp"
 #include "baselines/serial_cc.hpp"
 #include "baselines/serial_sssp.hpp"
@@ -80,6 +81,29 @@ class Differential : public ::testing::TestWithParam<int> {
     const std::string p = (dir_ / (tag + ".agt")).string();
     write_graph(p, g);
     sem::sem_csr32 sg(p);
+    sem::io_backend_config bcfg;
+    bcfg.kind = mode_.kind;
+    bcfg.batch = mode_.batch;
+    sg.set_io_backend(bcfg);
+    return fn(sg);
+  }
+
+  /// Like on_mode, but the storage carries a reverse (transpose) view —
+  /// the hybrid traversals and directed dobfs require one. In memory that
+  /// is ensure_reverse() on a copy; semi-externally it is the on-disk
+  /// ".rev" companion written by write_graph_with_reverse and opened as a
+  /// nested sem_csr routed through the same backend.
+  template <typename Fn>
+  auto on_mode_reverse(const csr32& g, const std::string& tag, Fn&& fn) {
+    if (!mode_.sem) {
+      csr32 copy = g;
+      copy.ensure_reverse();
+      return fn(copy);
+    }
+    const std::string p = (dir_ / (tag + ".agt")).string();
+    write_graph_with_reverse(p, g);
+    sem::sem_csr32 sg(p);
+    sg.open_reverse();
     sem::io_backend_config bcfg;
     bcfg.kind = mode_.kind;
     bcfg.batch = mode_.batch;
@@ -157,6 +181,95 @@ TEST_P(Differential, CcMatchesSerialBaseline) {
                   [&](const auto& g) { return async_cc(g, cfg()); });
       EXPECT_EQ(got.component, expected.component);
       EXPECT_EQ(got.num_components(), expected.num_components());
+    }
+  }
+}
+
+// The hybrid driver's promise is bit-identical labels to the pure-async
+// engine — not just "a valid BFS". Run both in the same mode and compare
+// directly, once with the literature defaults (alpha=14/beta=24, which on
+// these small graphs mostly stays top-down) and once with alpha=1/beta=64
+// to force bottom-up sweeps through the reverse view.
+TEST_P(Differential, HybridBfsMatchesAsync) {
+  const struct {
+    double alpha, beta;
+  } knobs[] = {{14.0, 24.0}, {1.0, 64.0}};
+  for (const std::uint64_t seed : kSeeds) {
+    for (const auto& fam : families(seed, false)) {
+      for (const auto& k : knobs) {
+        SCOPED_TRACE("mode=" + mode_.name + " family=" + fam.name +
+                     " seed=" + std::to_string(seed) +
+                     " alpha=" + std::to_string(k.alpha));
+        const auto plain =
+            on_mode(fam.graph, fam.name + "_hba" + std::to_string(seed),
+                    [&](const auto& g) { return async_bfs(g, vertex32{0},
+                                                          cfg()); });
+        traversal_options topt(cfg());
+        topt.hybrid = true;
+        topt.hybrid_alpha = k.alpha;
+        topt.hybrid_beta = k.beta;
+        hybrid_extra extra;
+        const auto got = on_mode_reverse(
+            fam.graph, fam.name + "_hbh" + std::to_string(seed),
+            [&](const auto& g) {
+              return hybrid_bfs(g, vertex32{0}, topt, &extra);
+            });
+        EXPECT_EQ(got.level, plain.level);
+        EXPECT_EQ(got.visited_count(), plain.visited_count());
+        // Per-phase inspections must account for the total exactly.
+        std::uint64_t phase_sum = 0;
+        for (const auto& p : extra.phases) phase_sum += p.edge_inspections;
+        EXPECT_EQ(phase_sum, extra.edge_inspections);
+      }
+    }
+  }
+}
+
+TEST_P(Differential, HybridCcMatchesAsync) {
+  const struct {
+    double alpha, beta;
+  } knobs[] = {{14.0, 24.0}, {1.0, 4.0}};
+  for (const std::uint64_t seed : kSeeds) {
+    for (const auto& fam : families(seed, true)) {
+      for (const auto& k : knobs) {
+        SCOPED_TRACE("mode=" + mode_.name + " family=" + fam.name +
+                     " seed=" + std::to_string(seed) +
+                     " beta=" + std::to_string(k.beta));
+        const auto plain =
+            on_mode(fam.graph, fam.name + "_hca" + std::to_string(seed),
+                    [&](const auto& g) { return async_cc(g, cfg()); });
+        traversal_options topt(cfg());
+        topt.hybrid = true;
+        topt.hybrid_alpha = k.alpha;
+        topt.hybrid_beta = k.beta;
+        hybrid_extra extra;
+        const auto got = on_mode_reverse(
+            fam.graph, fam.name + "_hch" + std::to_string(seed),
+            [&](const auto& g) { return hybrid_cc(g, topt, &extra); });
+        EXPECT_EQ(got.component, plain.component);
+        EXPECT_EQ(got.num_components(), plain.num_components());
+      }
+    }
+  }
+}
+
+// dobfs on a *directed* graph is only valid through a real reverse view
+// (the out-edge fallback assumes symmetry). A tiny switch fraction forces
+// bottom-up levels so the in-edge probe actually runs, in every mode.
+TEST_P(Differential, DobfsMatchesSerialOnDirected) {
+  for (const std::uint64_t seed : kSeeds) {
+    for (const auto& fam : families(seed, false)) {
+      SCOPED_TRACE("mode=" + mode_.name + " family=" + fam.name +
+                   " seed=" + std::to_string(seed));
+      const auto expected = serial_bfs(fam.graph, vertex32{0});
+      dobfs_extra extra;
+      const auto got = on_mode_reverse(
+          fam.graph, fam.name + "_do" + std::to_string(seed),
+          [&](const auto& g) {
+            return dobfs(g, vertex32{0}, &extra, 0.01);
+          });
+      EXPECT_EQ(got.level, expected.level);
+      EXPECT_GT(extra.bottom_up_levels, 0u);
     }
   }
 }

@@ -82,6 +82,21 @@ TEST(Builder, WeightedWhenAnyWeightDiffers) {
   EXPECT_TRUE(g.is_weighted());
 }
 
+TEST(Builder, BuildReverseOption) {
+  build_options opt;
+  opt.build_reverse = true;
+  const csr32 g = build_csr<vertex32>(3, {{0, 1, 1}, {2, 1, 1}}, opt);
+  ASSERT_TRUE(g.has_reverse());
+  EXPECT_EQ(g.in_degree(1), 2u);
+  EXPECT_EQ(g.in_neighbors(1)[0], 0u);
+  EXPECT_EQ(g.in_neighbors(1)[1], 2u);
+}
+
+TEST(Builder, ReverseOffByDefault) {
+  const csr32 g = build_csr<vertex32>(2, {{0, 1, 1}});
+  EXPECT_FALSE(g.has_reverse());
+}
+
 TEST(Builder, RoundTripThroughEdgeList) {
   const csr32 g = build_csr<vertex32>(
       4, {{0, 1, 2}, {0, 2, 3}, {2, 3, 4}, {3, 0, 5}});

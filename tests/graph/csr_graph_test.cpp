@@ -85,5 +85,108 @@ TEST(CsrGraph, Wide64BitIds) {
   EXPECT_EQ(g.neighbors(0)[0], 1u);
 }
 
+// ---- Reverse (transpose) view ----
+
+TEST(CsrGraphReverse, EnsureReverseOnTriangle) {
+  csr32 g = triangle();
+  EXPECT_FALSE(g.has_reverse());
+  g.ensure_reverse();
+  ASSERT_TRUE(g.has_reverse());
+  // 0->1, 1->2, 2->0: each vertex has exactly one in-edge.
+  EXPECT_EQ(g.in_degree(0), 1u);
+  EXPECT_EQ(g.in_neighbors(0)[0], 2u);
+  EXPECT_EQ(g.in_neighbors(1)[0], 0u);
+  EXPECT_EQ(g.in_neighbors(2)[0], 1u);
+}
+
+TEST(CsrGraphReverse, EnsureReverseIdempotent) {
+  csr32 g = triangle();
+  g.ensure_reverse();
+  const std::uint64_t bytes = g.memory_bytes();
+  g.ensure_reverse();
+  EXPECT_EQ(g.memory_bytes(), bytes);
+}
+
+TEST(CsrGraphReverse, SelfLoopsAndDuplicatesTranspose) {
+  // Keep self loops and duplicates in: they must survive the transpose
+  // one-for-one (edge counts conserved, self loop still a self loop).
+  build_options opt;
+  opt.remove_self_loops = false;
+  opt.remove_duplicates = false;
+  csr32 g = build_csr<vertex32>(
+      3, {{0, 0, 1}, {0, 1, 1}, {0, 1, 1}, {2, 1, 1}}, opt);
+  g.ensure_reverse();
+  EXPECT_EQ(g.in_degree(0), 1u);  // the self loop
+  EXPECT_EQ(g.in_neighbors(0)[0], 0u);
+  EXPECT_EQ(g.in_degree(1), 3u);  // two duplicates + one from 2
+  EXPECT_EQ(g.in_degree(2), 0u);
+}
+
+TEST(CsrGraphReverse, ZeroDegreeVerticesHaveEmptyInAdjacency) {
+  csr32 g = build_csr<vertex32>(4, {{0, 1, 1}});
+  g.ensure_reverse();
+  EXPECT_EQ(g.in_degree(2), 0u);
+  EXPECT_TRUE(g.in_neighbors(3).empty());
+  bool called = false;
+  g.for_each_in_edge(3, [&](vertex32, weight_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(CsrGraphReverse, InEdgesCarryWeights) {
+  csr32 g = build_csr<vertex32>(3, {{0, 2, 5}, {1, 2, 7}});
+  g.ensure_reverse();
+  std::vector<std::pair<vertex32, weight_t>> seen;
+  g.for_each_in_edge(2, [&](vertex32 s, weight_t w) {
+    seen.emplace_back(s, w);
+  });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], (std::pair<vertex32, weight_t>{0, 5}));
+  EXPECT_EQ(seen[1], (std::pair<vertex32, weight_t>{1, 7}));
+}
+
+TEST(CsrGraphReverse, TransposeOfTransposeIsOriginal) {
+  const csr32 g = build_csr<vertex32>(
+      5, {{0, 1, 1}, {0, 4, 1}, {2, 1, 1}, {3, 3, 1}, {4, 0, 1}});
+  const csr32 tt = g.transpose().transpose();
+  ASSERT_EQ(tt.num_vertices(), g.num_vertices());
+  ASSERT_EQ(tt.num_edges(), g.num_edges());
+  for (vertex32 v = 0; v < g.num_vertices(); ++v) {
+    const auto a = g.neighbors(v), b = tt.neighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(CsrGraphReverse, TransposeReusesExistingView) {
+  csr32 g = triangle();
+  g.ensure_reverse();
+  const csr32 t = g.transpose();
+  EXPECT_EQ(t.num_edges(), 3u);
+  EXPECT_EQ(t.neighbors(0)[0], 2u);  // reversed 2->0
+}
+
+TEST(CsrGraphReverse, SetReverseRejectsBadShapes) {
+  csr32 g = triangle();
+  // Wrong offsets length.
+  EXPECT_THROW(g.set_reverse({0, 3}, {0, 1, 2}, {}), std::invalid_argument);
+  // Offsets don't end at the edge count.
+  EXPECT_THROW(g.set_reverse({0, 1, 2, 2}, {0, 1}, {}),
+               std::invalid_argument);
+  // Weights present but mismatched.
+  EXPECT_THROW(g.set_reverse({0, 1, 2, 3}, {2, 0, 1}, {1, 2}),
+               std::invalid_argument);
+  // A correct transpose is accepted.
+  g.set_reverse({0, 1, 2, 3}, {2, 0, 1}, {});
+  EXPECT_TRUE(g.has_reverse());
+  EXPECT_EQ(g.in_neighbors(1)[0], 0u);
+}
+
+TEST(CsrGraphReverse, MemoryBytesCountsBothDirections) {
+  csr32 g = triangle();
+  const std::uint64_t fwd = g.memory_bytes();
+  g.ensure_reverse();
+  EXPECT_EQ(g.memory_bytes(), 2 * fwd);
+}
+
 }  // namespace
 }  // namespace asyncgt

@@ -111,5 +111,56 @@ TEST_F(GraphIoTest, EmptyGraphRoundTrips) {
   EXPECT_EQ(h.num_edges(), 0u);
 }
 
+// ---- Reverse (".rev" companion) files ----
+
+TEST_F(GraphIoTest, ReversePathConvention) {
+  EXPECT_EQ(reverse_path_for("/tmp/g.agt"), "/tmp/g.agt.rev");
+}
+
+TEST_F(GraphIoTest, WriteWithReverseRoundTrips) {
+  const csr32 g = build_csr<vertex32>(4, {{0, 1, 1}, {2, 1, 1}, {3, 0, 1}});
+  write_graph_with_reverse(path("r.agt"), g);
+  ASSERT_TRUE(has_reverse_file(path("r.agt")));
+  const csr32 h = read_graph32_with_reverse(path("r.agt"));
+  ASSERT_TRUE(h.has_reverse());
+  EXPECT_EQ(h.in_degree(1), 2u);
+  EXPECT_EQ(h.in_neighbors(1)[0], 0u);
+  EXPECT_EQ(h.in_neighbors(1)[1], 2u);
+  EXPECT_EQ(h.in_degree(3), 0u);
+}
+
+TEST_F(GraphIoTest, ReverseFileIsStandaloneTranspose) {
+  // The ".rev" companion is an ordinary .agt of the transpose, so reading
+  // it directly must equal transposing the forward graph in memory.
+  const csr32 g = build_csr<vertex32>(3, {{0, 1, 5}, {1, 2, 9}});
+  write_graph_with_reverse(path("s.agt"), g);
+  const csr32 rev = read_graph32(reverse_path_for(path("s.agt")));
+  const csr32 want = g.transpose();
+  ASSERT_EQ(rev.num_edges(), want.num_edges());
+  for (vertex32 v = 0; v < 3; ++v) {
+    const auto a = want.neighbors(v), b = rev.neighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST_F(GraphIoTest, ReadWithoutReverseFileLoadsForwardOnly) {
+  const csr32 g = build_csr<vertex32>(3, {{0, 1, 1}});
+  write_graph(path("f.agt"), g);
+  EXPECT_FALSE(has_reverse_file(path("f.agt")));
+  const csr32 h = read_graph32_with_reverse(path("f.agt"));
+  EXPECT_FALSE(h.has_reverse());
+}
+
+TEST_F(GraphIoTest, StaleReverseFileRejected) {
+  // A ".rev" left behind by a different (smaller) graph must not be
+  // silently adopted as the transpose.
+  const csr32 old_g = build_csr<vertex32>(2, {{0, 1, 1}});
+  write_graph_with_reverse(path("x.agt"), old_g);
+  const csr32 new_g = build_csr<vertex32>(5, {{0, 1, 1}, {3, 4, 1}});
+  write_graph(path("x.agt"), new_g);  // forward replaced, .rev now stale
+  EXPECT_THROW(read_graph32_with_reverse(path("x.agt")), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace asyncgt

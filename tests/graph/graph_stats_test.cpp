@@ -41,5 +41,31 @@ TEST(GraphStats, EmptyGraphIsSymmetric) {
   EXPECT_TRUE(is_symmetric(g));
 }
 
+TEST(GraphStats, InDegreeSummaryOnDirectedStar) {
+  // All leaves point at the hub: out-degrees are flat (1 each, hub 0) but
+  // the in-degree distribution is maximally skewed.
+  std::vector<edge<vertex32>> edges;
+  for (vertex32 leaf = 1; leaf < 101; ++leaf) edges.push_back({leaf, 0, 1});
+  const csr32 g = build_csr<vertex32>(101, edges);
+  const degree_summary out = compute_degree_summary(g);
+  const degree_summary in = compute_in_degree_summary(g);
+  EXPECT_EQ(out.max_degree, 1u);
+  EXPECT_EQ(in.max_degree, 100u);
+  EXPECT_EQ(in.isolated, 100u);  // every leaf has in-degree 0
+  EXPECT_NEAR(in.top_fraction_edge_share, 1.0, 0.01);
+}
+
+TEST(GraphStats, InDegreeSummarySameWithOrWithoutReverseView) {
+  csr32 g = build_csr<vertex32>(4, {{0, 1, 1}, {2, 1, 1}, {3, 2, 1}});
+  const degree_summary transient = compute_in_degree_summary(g);
+  g.ensure_reverse();
+  const degree_summary served = compute_in_degree_summary(g);
+  EXPECT_EQ(served.max_degree, transient.max_degree);
+  EXPECT_EQ(served.isolated, transient.isolated);
+  EXPECT_EQ(served.stats.count(), transient.stats.count());
+  EXPECT_EQ(served.max_degree, 2u);
+  EXPECT_EQ(served.isolated, 2u);  // vertices 0 and 3 have no in-edges
+}
+
 }  // namespace
 }  // namespace asyncgt

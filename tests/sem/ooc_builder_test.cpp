@@ -151,6 +151,68 @@ TEST_F(OocBuilderTest, OutputTraversableSemiExternally) {
   EXPECT_EQ(edges_seen, sg.num_edges());
 }
 
+TEST_F(OocBuilderTest, EmitReverseByteIdenticalToInMemoryTranspose) {
+  const rmat_params p = rmat_a(8, 17);
+  const auto edges = rmat_edges<vertex32>(p);
+
+  const csr32 im = build_csr<vertex32>(p.num_vertices(), edges);
+  write_graph(out("rref.agt"), im.transpose());
+
+  ooc_build_options opt = tiny_budget();
+  opt.emit_reverse = true;
+  ooc_graph_builder<vertex32> b(p.num_vertices(), out("r.agt"), opt);
+  for (const auto& e : edges) b.add_edge(e.src, e.dst, e.weight);
+  b.finalize();
+
+  ASSERT_TRUE(asyncgt::has_reverse_file(out("r.agt")));
+  EXPECT_TRUE(files_identical(out("rref.agt"),
+                              asyncgt::reverse_path_for(out("r.agt"))));
+}
+
+TEST_F(OocBuilderTest, EmitReverseWeighted) {
+  ooc_build_options opt = tiny_budget();
+  opt.emit_reverse = true;
+  ooc_graph_builder<vertex32> b(3, out("rw.agt"), opt);
+  b.add_edge(0, 2, 5);
+  b.add_edge(1, 2, 9);
+  b.finalize();
+  const csr32 rev =
+      read_graph32(asyncgt::reverse_path_for(out("rw.agt")));
+  std::vector<std::pair<vertex32, weight_t>> seen;
+  rev.for_each_out_edge(2, [&](vertex32 t, weight_t w) {
+    seen.emplace_back(t, w);
+  });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], (std::pair<vertex32, weight_t>{0, 5}));
+  EXPECT_EQ(seen[1], (std::pair<vertex32, weight_t>{1, 9}));
+}
+
+TEST_F(OocBuilderTest, EmitReverseOpensSemiExternally) {
+  const rmat_params p = rmat_a(8, 31);
+  ooc_build_options opt = tiny_budget();
+  opt.emit_reverse = true;
+  ooc_graph_builder<vertex32> b(p.num_vertices(), out("rs.agt"), opt);
+  for (const auto& e : rmat_edges<vertex32>(p)) {
+    b.add_edge(e.src, e.dst, e.weight);
+  }
+  b.finalize();
+  sem_csr32 sg(out("rs.agt"));
+  sg.open_reverse();
+  ASSERT_TRUE(sg.has_reverse());
+  std::uint64_t in_edges = 0;
+  for (vertex32 v = 0; v < sg.num_vertices(); ++v) {
+    in_edges += sg.in_degree(v);
+  }
+  EXPECT_EQ(in_edges, sg.num_edges());
+}
+
+TEST_F(OocBuilderTest, NoReverseFileByDefault) {
+  ooc_graph_builder<vertex32> b(2, out("nr.agt"), tiny_budget());
+  b.add_edge(0, 1);
+  b.finalize();
+  EXPECT_FALSE(asyncgt::has_reverse_file(out("nr.agt")));
+}
+
 TEST_F(OocBuilderTest, EmptyGraph) {
   ooc_graph_builder<vertex32> b(4, out("e.agt"), tiny_budget());
   const auto stats = b.finalize();

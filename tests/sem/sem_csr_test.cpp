@@ -151,6 +151,57 @@ TEST_F(SemCsrTest, TraversalWithSimulatedDeviceStillCorrect) {
   EXPECT_GT(dev.counters().reads, 0u);
 }
 
+TEST_F(SemCsrTest, OpenReverseServesInEdges) {
+  csr32 g = rmat_graph<vertex32>(rmat_a(8));
+  const std::string p = (dir_ / "rev.agt").string();
+  write_graph_with_reverse(p, g);
+  sem_csr32 sg(p);
+  EXPECT_FALSE(sg.has_reverse());
+  sg.open_reverse();
+  ASSERT_TRUE(sg.has_reverse());
+  g.ensure_reverse();
+  for (vertex32 v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(sg.in_degree(v), g.in_degree(v));
+    std::vector<vertex32> sem_in;
+    sg.for_each_in_edge(v, [&](vertex32 s, weight_t) {
+      sem_in.push_back(s);
+    });
+    const auto im_in = g.in_neighbors(v);
+    ASSERT_EQ(sem_in.size(), im_in.size());
+    for (std::size_t i = 0; i < im_in.size(); ++i) {
+      EXPECT_EQ(sem_in[i], im_in[i]);
+    }
+  }
+}
+
+TEST_F(SemCsrTest, OpenReverseIdempotent) {
+  const csr32 g = rmat_graph<vertex32>(rmat_a(6));
+  const std::string p = (dir_ / "ri.agt").string();
+  write_graph_with_reverse(p, g);
+  sem_csr32 sg(p);
+  sg.open_reverse();
+  const std::uint64_t bytes = sg.memory_bytes();
+  sg.open_reverse();
+  EXPECT_EQ(sg.memory_bytes(), bytes);
+}
+
+TEST_F(SemCsrTest, OpenReverseWithoutFileThrows) {
+  const csr32 g = rmat_graph<vertex32>(rmat_a(6));
+  sem_csr32 sg(write_temp(g, "norev.agt"));
+  EXPECT_THROW(sg.open_reverse(), std::runtime_error);
+}
+
+TEST_F(SemCsrTest, ReverseDoublesResidentMemory) {
+  const csr32 g = rmat_graph<vertex32>(rmat_a(6));
+  const std::string p = (dir_ / "rm.agt").string();
+  write_graph_with_reverse(p, g);
+  sem_csr32 sg(p);
+  const std::uint64_t fwd = sg.memory_bytes();
+  sg.open_reverse();
+  // Both directions keep only their (n+1)-entry vertex index resident.
+  EXPECT_EQ(sg.memory_bytes(), 2 * fwd);
+}
+
 TEST(EdgeFile, MissingFileThrows) {
   EXPECT_THROW(edge_file("/nonexistent/path/file.bin"), std::runtime_error);
 }

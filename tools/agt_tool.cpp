@@ -52,6 +52,8 @@ int usage() {
                "           [--hosts=500] [--width=256] [--height=256]\n"
                "  info FILE\n"
                "  validate FILE\n"
+               "  transpose FILE         write FILE's reverse edge file\n"
+               "                         (FILE.rev) for --hybrid / --sem\n"
                "  bfs|sssp [FILE] [--start=0] [--threads=16] [--sem]\n"
                "           [--flush-batch=N]  (default 64 in-memory, 1 SEM)\n"
                "           [--device=fusionio|intel|corsair] "
@@ -81,6 +83,12 @@ int usage() {
                "  --checkpoint-on-error F  bfs/sssp: save emergency\n"
                "                         checkpoint to F on abort (exit 3)\n"
                "  --resume F             bfs/sssp: resume from checkpoint F\n"
+               "hybrid traversal flags (docs/hybrid_traversal.md):\n"
+               "  --hybrid               bfs/cc: frontier-adaptive direction\n"
+               "                         switching (needs FILE.rev under\n"
+               "                         --sem; built in memory otherwise)\n"
+               "  --hybrid-alpha X       top-down -> bottom-up (default 14)\n"
+               "  --hybrid-beta X        bottom-up -> top-down (default 24)\n"
                "without FILE, traversals synthesize an RMAT graph\n"
                "(--scale=14) and run it semi-externally as a demo.\n");
   return 2;
@@ -221,15 +229,38 @@ int cmd_info(const options& opt) {
   std::printf("edges       : %s\n", fmt_count(h.num_edges).c_str());
   std::printf("weighted    : %s\n", h.weighted() ? "yes" : "no");
   std::printf("id width    : %s-bit\n", h.wide_ids() ? "64" : "32");
-  const csr32 g = read_graph32(path);
+  const csr32 g = read_graph32_with_reverse(path);
+  std::printf("reverse file: %s\n", g.has_reverse() ? "yes (.rev)" : "no");
   const degree_summary s = compute_degree_summary(g);
-  std::printf("degree      : %s\n", s.stats.to_string().c_str());
+  std::printf("out-degree  : %s\n", s.stats.to_string().c_str());
   std::printf("max degree  : %s\n", fmt_count(s.max_degree).c_str());
   std::printf("isolated    : %s\n", fmt_count(s.isolated).c_str());
   std::printf("top-1%% edge share: %.1f%%\n",
               100.0 * s.top_fraction_edge_share);
+  // In-degree distribution (satellite of the reverse-view work): same mean
+  // as out (same edge count), but max and skew diverge on directed graphs,
+  // and the bottom-up sweep cost of --hybrid depends on exactly this shape.
+  const degree_summary si = compute_in_degree_summary(g);
+  std::printf("in-degree   : %s\n", si.stats.to_string().c_str());
+  std::printf("max in-deg  : %s\n", fmt_count(si.max_degree).c_str());
+  std::printf("in-isolated : %s\n", fmt_count(si.isolated).c_str());
+  std::printf("top-1%% in-edge share: %.1f%%\n",
+              100.0 * si.top_fraction_edge_share);
   std::printf("symmetric   : %s\n", is_symmetric(g) ? "yes" : "no");
-  std::printf("degree histogram:\n%s", s.histogram.to_string().c_str());
+  std::printf("out-degree histogram:\n%s", s.histogram.to_string().c_str());
+  std::printf("in-degree histogram:\n%s", si.histogram.to_string().c_str());
+  return 0;
+}
+
+int cmd_transpose(const options& opt) {
+  if (opt.positional().size() < 2) return usage();
+  const std::string path = opt.positional()[1];
+  const csr32 g = read_graph32(path);
+  write_graph(reverse_path_for(path), g.transpose());
+  std::printf("wrote reverse edge file %s (%llu vertices, %llu edges)\n",
+              reverse_path_for(path).c_str(),
+              static_cast<unsigned long long>(g.num_vertices()),
+              static_cast<unsigned long long>(g.num_edges()));
   return 0;
 }
 
@@ -276,7 +307,11 @@ int run_traversal(const options& opt, const char* name, F&& run) {
         weight_scheme::uniform, seed);
     temp_file = std::filesystem::temp_directory_path() /
                 ("agt_tool_demo_s" + std::to_string(scale) + ".agt");
-    write_graph(temp_file.string(), g);
+    if (opt.get_bool("hybrid", false)) {
+      write_graph_with_reverse(temp_file.string(), g);
+    } else {
+      write_graph(temp_file.string(), g);
+    }
     path = temp_file.string();
     sem_mode = true;
     std::printf("no graph file given: synthesized RMAT-A scale %u "
@@ -293,6 +328,7 @@ int run_traversal(const options& opt, const char* name, F&& run) {
       if (!p.empty()) {
         std::error_code ec;
         std::filesystem::remove(p, ec);
+        std::filesystem::remove(reverse_path_for(p.string()), ec);
       }
     }
   } cleanup{temp_file};
@@ -344,6 +380,19 @@ int run_traversal(const options& opt, const char* name, F&& run) {
       bcfg.batch = topt.io_batch;
       bcfg.block_bytes = static_cast<std::uint32_t>(params.block_bytes);
       g->set_io_backend(bcfg);
+      if (topt.hybrid) {
+        if (!has_reverse_file(path)) {
+          std::fprintf(stderr,
+                       "--hybrid with --sem needs a reverse edge file at "
+                       "%s; write the graph with agt_tool transpose or the "
+                       "out-of-core builder's emit_reverse\n",
+                       reverse_path_for(path).c_str());
+          return 2;
+        }
+        // The reverse file gets its own cache (block ids are per-file); the
+        // backend/retry/recorder configuration is forwarded by sem_csr.
+        g->open_reverse();
+      }
       // The recorder is what carries io.retries/io.gave_up into the report
       // and the console summary, so injected runs always attach it.
       if (rep.enabled() || injector != nullptr) g->set_io_recorder(&recorder);
@@ -426,7 +475,10 @@ int run_traversal(const options& opt, const char* name, F&& run) {
     std::unique_ptr<csr32> g;
     {
       telemetry::phase_timer ph(rep.trace(), "load-graph", &rep.metrics());
-      g = std::make_unique<csr32>(read_graph32(path));
+      // Adopts the on-disk reverse view when a .rev companion exists;
+      // --hybrid without one transposes in memory.
+      g = std::make_unique<csr32>(read_graph32_with_reverse(path));
+      if (topt.hybrid && !g->has_reverse()) g->ensure_reverse();
     }
     rc = run(*g, cfg, rep);
   }
@@ -477,10 +529,23 @@ int cmd_bfs(const options& opt) {
     telemetry::phase_timer ph(rep.trace(), "bfs", &rep.metrics());
     try {
       bfs_result<vertex32> r;
+      hybrid_extra hex;
+      const bool hybrid = opt.get_bool("hybrid", false);
       if (!resume.empty()) {
         const auto cp = load_checkpoint<vertex32>(resume, checkpoint_kind::bfs);
         r = resume_bfs(g, cp, cfg);
         std::printf("resumed BFS from checkpoint %s\n", resume.c_str());
+      } else if (hybrid) {
+        traversal_options topt(cfg);
+        topt.hybrid = true;
+        topt.hybrid_alpha = opt.get_double("hybrid-alpha", topt.hybrid_alpha);
+        topt.hybrid_beta = opt.get_double("hybrid-beta", topt.hybrid_beta);
+        r = hybrid_bfs(g, start, topt, &hex);
+        std::printf("hybrid: %s direction switches, %s edges inspected "
+                    "over %zu phases\n",
+                    fmt_count(hex.direction_switches).c_str(),
+                    fmt_count(hex.edge_inspections).c_str(),
+                    hex.phases.size());
       } else if (!ckpt.empty()) {
         r = async_bfs_checkpointed(g, start, ckpt, cfg);
       } else {
@@ -493,6 +558,7 @@ int cmd_bfs(const options& opt) {
         alg->set("start", static_cast<std::uint64_t>(start));
         alg->set("reached", r.visited_count());
         alg->set("max_level", r.max_level());
+        if (hybrid) alg->set("hybrid", bench::to_json(hex));
       }
       return 0;
     } catch (const traversal_aborted& e) {
@@ -539,7 +605,23 @@ int cmd_cc(const options& opt) {
                                       bench::bench_report& rep) {
     telemetry::phase_timer ph(rep.trace(), "cc", &rep.metrics());
     try {
-      const auto r = async_cc(g, cfg);
+      cc_result<vertex32> r;
+      hybrid_extra hex;
+      const bool hybrid = opt.get_bool("hybrid", false);
+      if (hybrid) {
+        traversal_options topt(cfg);
+        topt.hybrid = true;
+        topt.hybrid_alpha = opt.get_double("hybrid-alpha", topt.hybrid_alpha);
+        topt.hybrid_beta = opt.get_double("hybrid-beta", topt.hybrid_beta);
+        r = hybrid_cc(g, topt, &hex);
+        std::printf("hybrid: %s direction switches, %s edges inspected "
+                    "over %zu phases\n",
+                    fmt_count(hex.direction_switches).c_str(),
+                    fmt_count(hex.edge_inspections).c_str(),
+                    hex.phases.size());
+      } else {
+        r = async_cc(g, cfg);
+      }
       std::printf("CC: %s components, largest %s vertices, %.3fs\n",
                   fmt_count(r.num_components()).c_str(),
                   fmt_count(r.largest_component_size()).c_str(),
@@ -547,6 +629,7 @@ int cmd_cc(const options& opt) {
       if (auto* alg = report_traversal(rep, "cc", r)) {
         alg->set("components", r.num_components());
         alg->set("largest_component", r.largest_component_size());
+        if (hybrid) alg->set("hybrid", bench::to_json(hex));
       }
       return 0;
     } catch (const traversal_aborted& e) {
@@ -750,6 +833,7 @@ int main(int argc, char** argv) {
     if (cmd == "generate") return cmd_generate(opt);
     if (cmd == "info") return cmd_info(opt);
     if (cmd == "validate") return cmd_validate(opt);
+    if (cmd == "transpose") return cmd_transpose(opt);
     if (cmd == "bfs") return cmd_bfs(opt);
     if (cmd == "sssp") return cmd_sssp(opt);
     if (cmd == "cc") return cmd_cc(opt);

@@ -14,6 +14,13 @@ maximum (max / max_us / max_latency_us) when one is present. The C++ side
 derives these by interpolation clamped to the exact max, so a violation
 means a broken emitter, not noise.
 
+It also validates hybrid-traversal phase breakdowns: any "phases" array
+(bench::to_json(hybrid_extra), nested under sections like "hybrid".bfs/.cc)
+must hold objects whose `direction` is one of top-down / bottom-up /
+async-tail and whose `edge_inspections` is a non-negative number, and the
+phase inspections must sum to the sibling `edge_inspections` total when one
+is present.
+
 Usage: check_bench_json.py FILE [FILE...]
 Exit status 0 if every file conforms, 1 otherwise.
 """
@@ -60,6 +67,46 @@ def check_percentiles(value, where):
     return None
 
 
+_PHASE_DIRECTIONS = ("top-down", "bottom-up", "async-tail")
+
+
+def check_hybrid_phases(value, where):
+    """Recursively checks hybrid phase arrays; returns an error or None."""
+    if isinstance(value, list):
+        for i, entry in enumerate(value):
+            error = check_hybrid_phases(entry, "%s[%d]" % (where, i))
+            if error is not None:
+                return error
+        return None
+    if not isinstance(value, dict):
+        return None
+    phases = value.get("phases")
+    if isinstance(phases, list):
+        total = 0
+        for i, phase in enumerate(phases):
+            p_where = "%s.phases[%d]" % (where, i)
+            if not isinstance(phase, dict):
+                return "%s is not an object" % p_where
+            direction = phase.get("direction")
+            if direction not in _PHASE_DIRECTIONS:
+                return "%s: direction %r not in %s" % (
+                    p_where, direction, "/".join(_PHASE_DIRECTIONS))
+            inspections = _num(phase, "edge_inspections")
+            if inspections is None or inspections < 0:
+                return ("%s: edge_inspections must be a non-negative number"
+                        % p_where)
+            total += inspections
+        declared = _num(value, "edge_inspections")
+        if declared is not None and total != declared:
+            return "%s: phase edge_inspections sum to %r, not the declared %r" % (
+                where, total, declared)
+    for key, child in value.items():
+        error = check_hybrid_phases(child, "%s.%s" % (where, key))
+        if error is not None:
+            return error
+    return None
+
+
 def check(doc):
     """Returns None if `doc` conforms to schema v1/v2, else an error string."""
     if not isinstance(doc, dict):
@@ -95,6 +142,9 @@ def check(doc):
             job_id = entry.get("job_id")
             if isinstance(job_id, bool) or not isinstance(job_id, int):
                 return "jobs entries must carry an integer job_id"
+    error = check_hybrid_phases(doc, "$")
+    if error is not None:
+        return error
     return check_percentiles(doc, "$")
 
 

@@ -18,6 +18,13 @@ retries) are all cost-like. Leaves present in only one file are reported
 but never trip the threshold: schema v2 added whole sections, and a
 baseline captured before an emitter change should not hard-fail the diff.
 
+Paths containing `edge_inspections` (the hybrid traversal's work metric —
+ext_structure_sweep's "hybrid" section, per-phase breakdowns, per-job
+attribution) are always threshold-watched even when --watch narrows to
+something else: a hybrid run quietly inspecting more edges is exactly the
+regression the direction-switch heuristics exist to prevent. Opt out with
+--no-watch-inspections.
+
 Exit status: 0 = no regression, 1 = regression over threshold,
 2 = usage / unreadable input.
 """
@@ -72,6 +79,9 @@ def main(argv):
     parser.add_argument("--watch", default=None, metavar="REGEX",
                         help="only apply --threshold to paths matching "
                              "REGEX (default: all numeric leaves)")
+    parser.add_argument("--no-watch-inspections", action="store_true",
+                        help="do not force-watch edge_inspections paths "
+                             "when --watch narrows the threshold scope")
     parser.add_argument("--all", action="store_true",
                         help="also print unchanged metrics")
     args = parser.parse_args(argv[1:])
@@ -111,7 +121,10 @@ def main(argv):
         delta = pct_delta(old, new)
         delta_str = "%+.1f%%" % delta if delta is not None else "new/inf"
         print("  %-60s  %g -> %g  (%s)" % (path, old, new, delta_str))
-        if args.threshold is not None and (watch is None or watch.search(path)):
+        watched = watch is None or watch.search(path)
+        if not args.no_watch_inspections and "edge_inspections" in path:
+            watched = True
+        if args.threshold is not None and watched:
             grew = (delta is not None and delta > args.threshold) or \
                    (delta is None and new > 0)
             if grew:

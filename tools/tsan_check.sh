@@ -7,8 +7,10 @@
 # traversal-service battery (pooled gang dispatch, concurrent jobs over one
 # shared graph, cancellation racing the pool, per-job attribution
 # conservation under concurrent gangs), the differential battery
-# (async vs serial labels across storage modes), and the I/O-backend battery
-# (per-thread coalescing lanes, backend-identity under injected faults).
+# (async vs serial labels across storage modes), the I/O-backend battery
+# (per-thread coalescing lanes, backend-identity under injected faults),
+# and the hybrid-traversal battery (the bottom-up sweeps' range-partitioned
+# parallel writes and the frontier estimator's worker-side sampling).
 # Wraps the `tsan` presets in CMakePresets.json so CI and humans run the
 # identical configuration:
 #
@@ -23,5 +25,5 @@ cd "$(dirname "$0")/.."
 JOBS="${1:--j$(nproc)}"
 
 cmake --preset tsan
-cmake --build --preset tsan "${JOBS}" --target test_queue test_core test_fault test_service test_diff test_backend test_telemetry test_sem
+cmake --build --preset tsan "${JOBS}" --target test_queue test_core test_fault test_service test_diff test_backend test_telemetry test_sem test_hybrid
 ctest --preset tsan
