@@ -46,6 +46,7 @@
 #include "sem/block_cache.hpp"
 #include "sem/block_heat.hpp"
 #include "sem/ssd_model.hpp"
+#include "service/engine.hpp"
 #include "service/job_stats.hpp"
 #include "telemetry/io_recorder.hpp"
 #include "telemetry/metrics_json.hpp"
@@ -116,7 +117,9 @@ inline json_value to_json(const hybrid_extra& e) {
   return out;
 }
 
-/// One job's attribution snapshot -> a "jobs" array entry (schema v2).
+/// One job's attribution snapshot -> a "jobs" array entry (schema v3: the
+/// legacy boolean terminal flags plus the precise `outcome` name and the
+/// deadline the job ran under).
 inline json_value to_json(const service::job_stats& s) {
   json_value out = json_value::object();
   out.set("job_id", s.job_id);
@@ -124,6 +127,9 @@ inline json_value to_json(const service::job_stats& s) {
   out.set("completed", s.completed);
   out.set("failed", s.failed);
   out.set("cancelled", s.cancelled);
+  out.set("outcome", s.outcome);
+  out.set("deadline_ms", static_cast<std::uint64_t>(s.deadline_ms));
+  out.set("priority", static_cast<std::int64_t>(s.priority));
   out.set("visits", s.visits);
   out.set("pushes", s.pushes);
   out.set("flushes", s.flushes);
@@ -135,6 +141,26 @@ inline json_value to_json(const service::job_stats& s) {
   out.set("queue_wait_seconds", s.queue_wait_seconds);
   out.set("run_seconds", s.run_seconds);
   out.set("total_seconds", s.total_seconds);
+  return out;
+}
+
+/// Engine admission/outcome counters -> the "service" section (schema v3).
+/// check_bench_json.py verifies the conservation invariant over these:
+/// submitted == rejected + active + every terminal outcome.
+inline json_value to_json(const asyncgt::engine::service_counters& c) {
+  json_value out = json_value::object();
+  out.set("submitted", c.submitted);
+  out.set("admitted", c.admitted);
+  out.set("rejected", c.rejected);
+  out.set("shed_requests", c.shed_requests);
+  out.set("active", c.active);
+  out.set("completed", c.completed);
+  out.set("failed", c.failed);
+  out.set("cancelled", c.cancelled);
+  out.set("deadline_exceeded", c.deadline_exceeded);
+  out.set("stalled", c.stalled);
+  out.set("shed", c.shed);
+  out.set("memory_committed_bytes", c.memory_committed_bytes);
   return out;
 }
 

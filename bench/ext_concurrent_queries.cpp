@@ -333,7 +333,10 @@ int main(int argc, char** argv) {
 
   // ---- Report ----
   if (rep.json_enabled()) {
+    // Full admission/outcome counters (schema v3 — the conservation law
+    // checked by tools/check_bench_json.py), plus this bench's extras.
     json_value& s = rep.section("service");
+    s = bench::to_json(eng.counters());
     s.set("pool_threads_spawned", spawned_after);
     s.set("jobs_submitted", eng.jobs_submitted());
     s.set("jobs_completed", eng.jobs_completed());

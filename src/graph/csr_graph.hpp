@@ -98,6 +98,19 @@ class csr_graph {
   std::span<const VertexId> targets() const noexcept { return targets_; }
   std::span<const weight_t> weights() const noexcept { return weights_; }
 
+  /// Resident heap footprint of the adjacency arrays (forward + reverse),
+  /// for the service engine's memory_budget_bytes admission guardrail
+  /// (traversal_options::memory_estimate_bytes).
+  std::uint64_t resident_bytes() const noexcept {
+    return static_cast<std::uint64_t>(
+        offsets_.capacity() * sizeof(offset_type) +
+        targets_.capacity() * sizeof(VertexId) +
+        weights_.capacity() * sizeof(weight_t) +
+        in_offsets_.capacity() * sizeof(offset_type) +
+        in_targets_.capacity() * sizeof(VertexId) +
+        in_weights_.capacity() * sizeof(weight_t));
+  }
+
   // ---- Reverse (transpose) view ----
 
   bool has_reverse() const noexcept { return !in_offsets_.empty(); }

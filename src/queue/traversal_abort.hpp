@@ -24,17 +24,43 @@
 
 namespace asyncgt {
 
+/// Why a cooperative abort was requested. `none` means the abort was a
+/// worker failure, not a request; the service layer's watchdog and load
+/// shedder raise the other reasons through the same broadcast job::cancel
+/// uses, and the engine reports the first-latched reason on the resulting
+/// traversal_aborted so callers can tell a user cancel from a blown
+/// deadline, a stalled job, or an overload shed (docs/robustness.md).
+enum class abort_reason : int {
+  none = 0,
+  cancelled,          ///< explicit job::cancel() / request_cancel()
+  deadline_exceeded,  ///< watchdog: traversal_options::deadline_ms elapsed
+  stalled,            ///< watchdog: no progress for stall_grace_ms
+  shed,               ///< admission control evicted the job under overload
+};
+
+inline const char* abort_reason_name(abort_reason r) noexcept {
+  switch (r) {
+    case abort_reason::none: return "none";
+    case abort_reason::cancelled: return "cancelled";
+    case abort_reason::deadline_exceeded: return "deadline_exceeded";
+    case abort_reason::stalled: return "stalled";
+    case abort_reason::shed: return "shed";
+  }
+  return "none";
+}
+
 class traversal_aborted : public std::runtime_error {
  public:
   traversal_aborted(const std::string& what, std::size_t worker,
                     bool has_vertex, std::uint64_t vertex,
-                    std::exception_ptr cause, bool cancelled = false)
+                    std::exception_ptr cause,
+                    abort_reason reason = abort_reason::none)
       : std::runtime_error(what),
         worker_(worker),
         has_vertex_(has_vertex),
         vertex_(vertex),
         cause_(std::move(cause)),
-        cancelled_(cancelled) {}
+        reason_(reason) {}
 
   /// Index of the worker whose exception aborted the run.
   std::size_t worker() const noexcept { return worker_; }
@@ -49,18 +75,24 @@ class traversal_aborted : public std::runtime_error {
   /// std::rethrow_exception for callers that dispatch on the cause.
   const std::exception_ptr& cause() const noexcept { return cause_; }
 
-  /// True when the abort was a cooperative cancellation (request_cancel /
-  /// job::cancel) rather than a worker failure. A run that both got
-  /// cancelled and latched a real error reports the error, so this stays
-  /// false — the service layer classifies terminal job state from it.
-  bool cancelled() const noexcept { return cancelled_; }
+  /// True when the abort was cooperative — a cancel request, a watchdog
+  /// deadline/stall kill, or a load shed — rather than a worker failure. A
+  /// run that both got cancelled and latched a real (non-cancellation-point)
+  /// error reports the error, so this stays false — the service layer
+  /// classifies terminal job state from it.
+  bool cancelled() const noexcept { return reason_ != abort_reason::none; }
+
+  /// The first-latched cooperative abort reason (`none` for a worker
+  /// failure). job-outcome classification in the engine maps this to
+  /// cancelled / deadline_exceeded / stalled / shed.
+  abort_reason reason() const noexcept { return reason_; }
 
  private:
   std::size_t worker_ = 0;
   bool has_vertex_ = false;
   std::uint64_t vertex_ = 0;
   std::exception_ptr cause_;
-  bool cancelled_ = false;
+  abort_reason reason_ = abort_reason::none;
 };
 
 }  // namespace asyncgt

@@ -68,6 +68,7 @@
 #include "queue/termination.hpp"
 #include "queue/traversal_abort.hpp"
 #include "service/worker_pool.hpp"
+#include "util/cancellation.hpp"
 #include "telemetry/metrics_registry.hpp"
 #include "telemetry/span.hpp"
 #include "telemetry/trace_writer.hpp"
@@ -110,7 +111,7 @@ class traversal_engine {
   queue_run_stats run(State& state) {
     wall_timer timer;
     if (term_.pending() == 0 &&
-        !cancelled_.load(std::memory_order_relaxed)) {
+        cancel_reason_.load(std::memory_order_relaxed) == 0) {
       return finalize_stats(timer.elapsed_seconds());
     }
     arm();
@@ -189,11 +190,17 @@ class traversal_engine {
 
   /// Cooperative cancellation: raises the abort flag and wakes every parked
   /// worker, exactly as a worker failure would, so the run unwinds promptly
-  /// and surfaces as traversal_aborted ("cancelled" when no worker actually
-  /// failed). Callable from any thread, before or during a run; a cancel
-  /// raised before the next run aborts that run at its first abort check.
-  void request_cancel() {
-    cancelled_.store(true, std::memory_order_relaxed);
+  /// and surfaces as traversal_aborted carrying `reason` ("cancelled" by
+  /// default; the service watchdog passes deadline_exceeded/stalled and the
+  /// load shedder passes shed) when no worker actually failed. Callable from
+  /// any thread, before or during a run; a cancel raised before the next run
+  /// aborts that run at its first abort check. The reason is latched
+  /// first-wins: a user cancel() arriving after a watchdog deadline fire
+  /// does not rewrite the reported reason.
+  void request_cancel(abort_reason reason = abort_reason::cancelled) {
+    int expected = 0;
+    (void)cancel_reason_.compare_exchange_strong(
+        expected, static_cast<int>(reason), std::memory_order_relaxed);
     term_.request_abort();
     wake_all(boxes_);
   }
@@ -251,7 +258,9 @@ class traversal_engine {
   /// re-asserted afterwards or it would be silently swallowed.
   void arm() {
     term_.reset_done();
-    if (cancelled_.load(std::memory_order_relaxed)) term_.request_abort();
+    if (cancel_reason_.load(std::memory_order_relaxed) != 0) {
+      term_.request_abort();
+    }
   }
 
   /// One worker's whole run: per-thread seed hook, worker loop, catch-all
@@ -330,7 +339,7 @@ class traversal_engine {
             std::lock_guard lk(eng->fail_mu_);
             eng->fail_ = failure{};
           }
-          eng->cancelled_.store(false, std::memory_order_relaxed);
+          eng->cancel_reason_.store(0, std::memory_order_relaxed);
           eng->reset_after_abort();
           return;
         }
@@ -544,24 +553,43 @@ class traversal_engine {
   /// abandoned mid-run) and return the latched error packaged as a
   /// traversal_aborted exception_ptr; null on a clean run. A cancel that
   /// raced no worker failure yields a traversal_aborted with a null cause
-  /// and "cancelled" in the message. Consuming the failure re-arms the
-  /// queue for the next run (the cancel flag is cleared too).
+  /// and the latched abort_reason in the message. A worker that unwound by
+  /// throwing operation_cancelled (a cancellation point noticing the abort
+  /// hint, e.g. the fault injector's stall mode) is also cooperative, not a
+  /// failure: the run reports the latched reason, with the thrown exception
+  /// preserved as cause(). A genuine worker error always wins over any
+  /// cancel that raced it. Consuming the failure re-arms the queue for the
+  /// next run (the reason latch is cleared too).
   std::exception_ptr take_failure() {
     failure f;
-    const bool was_cancelled =
-        cancelled_.exchange(false, std::memory_order_relaxed);
+    const auto reason = static_cast<abort_reason>(
+        cancel_reason_.exchange(0, std::memory_order_relaxed));
     {
       std::lock_guard lk(fail_mu_);
-      if (!fail_.error && !was_cancelled) return nullptr;
+      if (!fail_.error && reason == abort_reason::none) return nullptr;
       f = std::move(fail_);
       fail_ = failure{};
     }
     reset_after_abort();
-    if (!f.error) {
-      note_abort_trace("traversal aborted: cancelled");
+    // A latched operation_cancelled is a cancellation point unwinding on
+    // request — classify it with the requested reason, not as a failure.
+    bool cooperative = !f.error;
+    if (f.error) {
+      try {
+        std::rethrow_exception(f.error);
+      } catch (const operation_cancelled&) {
+        cooperative = true;
+      } catch (...) {
+      }
+    }
+    if (cooperative) {
+      const abort_reason r =
+          reason != abort_reason::none ? reason : abort_reason::cancelled;
+      const std::string what =
+          std::string("traversal aborted: ") + abort_reason_name(r);
+      note_abort_trace(what);
       return std::make_exception_ptr(traversal_aborted(
-          "traversal aborted: cancelled", 0, false, 0, nullptr,
-          /*cancelled=*/true));
+          what, f.thread, f.has_vertex, f.vertex, std::move(f.error), r));
     }
     std::string what = "traversal aborted: worker " +
                        std::to_string(f.thread) + " failed";
@@ -691,9 +719,10 @@ class traversal_engine {
   termination_detector term_;
   std::mutex fail_mu_;
   failure fail_;
-  /// Set by request_cancel; consumed (cleared) by take_failure. Survives
-  /// arm()'s reset_done so a cancel raised before the run still aborts it.
-  std::atomic<bool> cancelled_{false};
+  /// First-wins abort_reason latch (0 = none), set by request_cancel and
+  /// consumed (cleared) by take_failure. Survives arm()'s reset_done so a
+  /// cancel raised before the run still aborts it.
+  std::atomic<int> cancel_reason_{0};
   // External pushes arrive outside any lane; relaxed atomics in case a
   // caller pushes from several threads between runs.
   std::atomic<std::uint64_t> ext_pushes_{0};

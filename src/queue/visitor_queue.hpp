@@ -191,10 +191,12 @@ class visitor_queue {
   }
 
   /// Cooperative cancellation: aborts the current (or next) run promptly;
-  /// it completes with traversal_aborted. Callable from any thread — this
-  /// is what job::cancel() forwards to.
-  void cancel() {
-    with_engine([](auto& e) { e.request_cancel(); });
+  /// it completes with traversal_aborted carrying `reason` (first request
+  /// wins). Callable from any thread — this is what job::cancel() forwards
+  /// to (reason cancelled); the service watchdog and load shedder pass
+  /// deadline_exceeded / stalled / shed through the same path.
+  void cancel(abort_reason reason = abort_reason::cancelled) {
+    with_engine([reason](auto& e) { e.request_cancel(reason); });
   }
 
   std::size_t num_threads() const noexcept { return cfg_.num_threads; }

@@ -54,6 +54,15 @@ class block_cache {
 
   std::uint64_t capacity() const noexcept { return capacity_; }
   std::uint64_t size() const;
+
+  /// Resident footprint this cache models when full: the page-cache bytes
+  /// the simulated device blocks would occupy (capacity × block_bytes).
+  /// Callers fold this into traversal_options::memory_estimate_bytes for
+  /// the engine's memory_budget_bytes admission guardrail — the cache is
+  /// shared, so charge it once per engine, not once per job.
+  std::uint64_t resident_bytes(std::uint64_t block_bytes = 4096) const noexcept {
+    return capacity_ * block_bytes;
+  }
   cache_counters counters() const;
   void reset_counters();
   void clear();

@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "sem/fault_injector.hpp"
+#include "telemetry/metric_scope.hpp"
+#include "util/cancellation.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -43,6 +45,24 @@ void backoff_sleep(const io_retry_policy& policy, std::uint32_t n) {
 
 std::string errno_text(int err) {
   return err == 0 ? std::string("unexpected EOF") : std::strerror(err);
+}
+
+/// An injected stall: the read blocks as if the device hung, parked in a
+/// polling loop that is also a *cancellation point* — the only way a thread
+/// stuck here can unwind is the injector's release_stalls() latch (device
+/// recovered: the read then proceeds normally) or the ambient job's abort
+/// hint (watchdog deadline/stall fire, user cancel), which throws
+/// operation_cancelled so the engine classifies the unwind as cooperative.
+void stall_until_released(const fault_injector& injector,
+                          const std::string& path, std::uint64_t offset) {
+  while (!injector.stalls_released()) {
+    if (telemetry::metric_scope::current_abort_requested()) {
+      throw operation_cancelled("edge_file: stalled pread '" + path +
+                                "' at offset " + std::to_string(offset) +
+                                " cancelled");
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
 }
 
 }  // namespace
@@ -123,6 +143,7 @@ void edge_file::read_at_raw(std::uint64_t offset, void* dst,
     if (plan.delay_us != 0) {
       std::this_thread::sleep_for(std::chrono::microseconds(plan.delay_us));
     }
+    if (plan.stall) stall_until_released(*injector_, path_, offset);
   }
 
   auto* out = static_cast<char*>(dst);
@@ -240,6 +261,7 @@ void edge_file::readv_at_raw(std::uint64_t offset, const io_slice* slices,
     if (plan.delay_us != 0) {
       std::this_thread::sleep_for(std::chrono::microseconds(plan.delay_us));
     }
+    if (plan.stall) stall_until_released(*injector_, path_, offset);
   }
 
   std::uint64_t done = 0;

@@ -42,6 +42,13 @@ struct fault_config {
   double p_eagain = 0.0;  ///< probability of a transient EAGAIN burst
   double p_short = 0.0;   ///< probability the first pread returns short
   double p_delay = 0.0;   ///< probability of a latency spike
+  /// Probability a read *stalls*: blocks indefinitely — a hung device or a
+  /// wedged kernel path — until either the injector's release_stalls()
+  /// one-way latch flips or the job's cancellation hint fires (the reader
+  /// polls metric_scope::current_abort_requested and unwinds by throwing
+  /// operation_cancelled). stall=1 stalls every read, the deterministic
+  /// setting the watchdog's stalled-job tests use. docs/robustness.md.
+  double p_stall = 0.0;
   std::uint32_t delay_us = 2000;      ///< latency spike duration
   std::uint32_t fail_attempts = 2;    ///< consecutive failures per faulted op
   bool fatal = false;                 ///< injected errors are non-retryable
@@ -52,7 +59,7 @@ struct fault_config {
   std::uint64_t bad_end = 0;
 
   void validate() const {
-    for (const double p : {p_eio, p_eagain, p_short, p_delay}) {
+    for (const double p : {p_eio, p_eagain, p_short, p_delay, p_stall}) {
       if (p < 0.0 || p > 1.0) {
         throw std::invalid_argument(
             "fault_config: probabilities must be in [0,1]");
@@ -74,6 +81,7 @@ struct fault_plan {
   bool fatal = false;
   std::uint64_t short_len = 0;
   std::uint32_t delay_us = 0;
+  bool stall = false;  ///< block until release/cancellation (see p_stall)
 };
 
 class fault_injector {
@@ -82,8 +90,9 @@ class fault_injector {
     std::uint64_t ops = 0;        ///< operations that drew a plan
     std::uint64_t errors = 0;     ///< ops planned to raise an errno
     std::uint64_t shorts = 0;     ///< ops planned to return short
-    std::uint64_t delays = 0;     ///< ops planned to stall
+    std::uint64_t delays = 0;     ///< ops planned to delay
     std::uint64_t range_hits = 0; ///< ops overlapping the bad byte range
+    std::uint64_t stalls = 0;     ///< ops planned to stall indefinitely
   };
 
   explicit fault_injector(const fault_config& cfg) : cfg_(cfg) {
@@ -138,6 +147,11 @@ class fault_injector {
       delays_.fetch_add(1, std::memory_order_relaxed);
       out.delay_us = cfg_.delay_us;
     }
+    if (!stalls_released_.load(std::memory_order_relaxed) &&
+        rng.next_double() < cfg_.p_stall) {
+      stalls_.fetch_add(1, std::memory_order_relaxed);
+      out.stall = true;
+    }
     return out;
   }
 
@@ -148,7 +162,18 @@ class fault_injector {
     c.shorts = shorts_.load(std::memory_order_relaxed);
     c.delays = delays_.load(std::memory_order_relaxed);
     c.range_hits = range_hits_.load(std::memory_order_relaxed);
+    c.stalls = stalls_.load(std::memory_order_relaxed);
     return c;
+  }
+
+  /// One-way "device recovered" latch: ends every in-progress stall and
+  /// stops planning new ones. Not cleared by reset() — a test that released
+  /// the device keeps it released for subsequent runs.
+  void release_stalls() noexcept {
+    stalls_released_.store(true, std::memory_order_relaxed);
+  }
+  bool stalls_released() const noexcept {
+    return stalls_released_.load(std::memory_order_relaxed);
   }
 
   /// Re-arms for a fresh run: operation indices restart at zero, so the
@@ -160,6 +185,7 @@ class fault_injector {
     shorts_.store(0, std::memory_order_relaxed);
     delays_.store(0, std::memory_order_relaxed);
     range_hits_.store(0, std::memory_order_relaxed);
+    stalls_.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -170,11 +196,15 @@ class fault_injector {
   std::atomic<std::uint64_t> shorts_{0};
   std::atomic<std::uint64_t> delays_{0};
   std::atomic<std::uint64_t> range_hits_{0};
+  std::atomic<std::uint64_t> stalls_{0};
+  std::atomic<bool> stalls_released_{false};
 };
 
 /// Parses the CLI fault spec accepted by benches and agt_tool:
 ///   --inject=eio=0.01,eagain=0.005,short=0.02,delay=0.01,delay-us=500,
-///            attempts=2,seed=7,fatal,bad=4096-8192
+///            attempts=2,seed=7,fatal,bad=4096-8192,stall=0.001
+/// (`stall=P` blocks the read until cancellation — stall=1 for the
+/// deterministic every-read form; full grammar in docs/robustness.md.)
 /// Unknown keys and malformed values throw std::invalid_argument.
 inline fault_config parse_fault_config(const std::string& spec) {
   fault_config cfg;
@@ -205,6 +235,8 @@ inline fault_config parse_fault_config(const std::string& spec) {
         cfg.p_short = std::stod(need());
       } else if (key == "delay") {
         cfg.p_delay = std::stod(need());
+      } else if (key == "stall") {
+        cfg.p_stall = std::stod(need());
       } else if (key == "delay-us") {
         cfg.delay_us = static_cast<std::uint32_t>(std::stoul(need()));
       } else if (key == "attempts") {

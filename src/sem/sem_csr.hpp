@@ -299,6 +299,18 @@ class sem_csr {
     return file_.size() + (reverse_ ? reverse_->device_bytes() : 0);
   }
 
+  /// Resident heap footprint for the service engine's memory-budget
+  /// admission guardrail: the in-memory vertex index (memory_bytes) plus
+  /// the attached block cache's modeled page-cache share when this storage
+  /// owns one. Alias of the budget convention csr_graph::resident_bytes
+  /// established for the in-memory backend.
+  std::uint64_t resident_bytes() const noexcept {
+    const std::uint64_t bs =
+        device_ != nullptr ? device_->params().block_bytes : 4096;
+    return memory_bytes() +
+           (cache_ != nullptr ? cache_->resident_bytes(bs) : 0);
+  }
+
  private:
   /// Charges the device for the blocks of [pos, pos+bytes) that miss the
   /// simulated page cache (all of them when no cache is attached), and

@@ -1,0 +1,121 @@
+// Admission-control vocabulary for the service engine.
+//
+// The engine's submit path is the service's only intake: every job passes
+// an admission decision before it can hold memory or a pool gang. This
+// header is the shared vocabulary for that decision — the policy enum the
+// engine config selects, the typed error a refused submit throws, and the
+// priority-class parser the CLI uses — kept separate from engine.hpp so
+// tools and tests can name policies without pulling in the whole service.
+//
+// Three policies (docs/service_api.md has the walkthrough):
+//
+//   block   — submit waits (bounded by admission_timeout_ms) for a slot to
+//             free; the default, preserving pre-admission-control behavior
+//             when the pool has headroom and degrading to a timeout error
+//             instead of unbounded queue growth when it doesn't.
+//   reject  — submit fails fast with admission_rejected (kind queue_full)
+//             the moment the pending-job bound is hit. For front-ends that
+//             do their own retry/backoff.
+//   shed    — submit evicts the lowest-priority running job strictly below
+//             the newcomer's priority class (its outcome becomes `shed`,
+//             via the same abort broadcast cancel() uses) and admits in its
+//             place; with no strictly-lower victim it degrades to reject
+//             (kind no_shed_victim).
+//
+// The memory-budget guardrail rides the same seam: when the engine has a
+// memory_budget_bytes and a job declares an estimate, a submit whose
+// estimate does not fit the remaining budget is refused here (kind
+// memory_budget) — admission refusal, never a mid-flight OOM kill.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace asyncgt::service {
+
+enum class admission_policy : int {
+  block = 0,              ///< wait (bounded) for a slot
+  reject,                 ///< fail fast when the pending bound is hit
+  shed_lowest_priority,   ///< evict a strictly-lower-priority job
+};
+
+inline const char* admission_policy_name(admission_policy p) noexcept {
+  switch (p) {
+    case admission_policy::block: return "block";
+    case admission_policy::reject: return "reject";
+    case admission_policy::shed_lowest_priority: return "shed";
+  }
+  return "block";
+}
+
+/// Parses "block" / "reject" / "shed" (also accepts the long spelling
+/// "shed-lowest-priority"). Returns true on success.
+inline bool parse_admission_policy(const std::string& s,
+                                   admission_policy& out) {
+  if (s == "block") {
+    out = admission_policy::block;
+  } else if (s == "reject") {
+    out = admission_policy::reject;
+  } else if (s == "shed" || s == "shed-lowest-priority") {
+    out = admission_policy::shed_lowest_priority;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Parses a priority class: "low" (-1) / "normal" (0) / "high" (1), or any
+/// integer string. Returns true on success.
+inline bool parse_priority(const std::string& s, int& out) {
+  if (s == "low") {
+    out = -1;
+  } else if (s == "normal") {
+    out = 0;
+  } else if (s == "high") {
+    out = 1;
+  } else {
+    try {
+      std::size_t pos = 0;
+      const int v = std::stoi(s, &pos);
+      if (pos != s.size()) return false;
+      out = v;
+    } catch (...) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Thrown by engine submits the admission layer refuses. The job never
+/// existed from the service's point of view: no job_id was assigned, no
+/// memory committed, no gang queued — only the service.rejected counter
+/// (and submit-attempt tally) moved.
+class admission_rejected : public std::runtime_error {
+ public:
+  enum class kind : int {
+    queue_full = 0,  ///< policy reject: pending bound hit
+    timeout,         ///< policy block: no slot freed within the timeout
+    memory_budget,   ///< estimate does not fit memory_budget_bytes
+    no_shed_victim,  ///< policy shed: no strictly-lower-priority victim
+  };
+
+  admission_rejected(kind k, const std::string& what)
+      : std::runtime_error(what), kind_(k) {}
+
+  kind why() const noexcept { return kind_; }
+
+  static const char* kind_name(kind k) noexcept {
+    switch (k) {
+      case kind::queue_full: return "queue_full";
+      case kind::timeout: return "timeout";
+      case kind::memory_budget: return "memory_budget";
+      case kind::no_shed_victim: return "no_shed_victim";
+    }
+    return "queue_full";
+  }
+
+ private:
+  kind kind_;
+};
+
+}  // namespace asyncgt::service

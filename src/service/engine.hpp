@@ -62,8 +62,10 @@
 #include "queue/queue_stats.hpp"
 #include "queue/traversal_abort.hpp"
 #include "queue/visitor_queue.hpp"
+#include "service/admission.hpp"
 #include "service/job_stats.hpp"
 #include "service/traversal_options.hpp"
+#include "service/watchdog.hpp"
 #include "service/worker_pool.hpp"
 #include "telemetry/metrics_registry.hpp"
 #include "telemetry/span.hpp"
@@ -86,7 +88,11 @@ namespace service {
 /// keeps cancellation and the pending-probe callable alive independently of
 /// the typed job state.
 struct job_control {
-  std::function<void()> cancel;
+  /// Reason-carrying force-cancel: raises the job scope's abort hint (so
+  /// blocking cancellation points unwind) and the queue-level abort
+  /// broadcast. job::cancel() passes `cancelled`; the watchdog passes
+  /// deadline_exceeded/stalled, the load shedder shed.
+  std::function<void(abort_reason)> cancel;
   std::function<std::int64_t()> pending;
   std::atomic<bool> finished{false};
   /// The job's attribution scope and terminal flags; lives as long as any
@@ -127,7 +133,7 @@ class job {
   /// workers unwind at their next abort check and get() throws
   /// traversal_aborted. Idempotent; a no-op after completion.
   void cancel() {
-    if (control_ != nullptr) control_->cancel();
+    if (control_ != nullptr) control_->cancel(abort_reason::cancelled);
   }
 
   /// Live in-flight visitor count of this job (conservative sample while
@@ -175,13 +181,33 @@ class engine {
     traversal_options defaults{};
     /// Completed-job summaries retained for recent_jobs() (0 disables).
     std::size_t completed_ring = 64;
+
+    // ---- Admission control (docs/service_api.md) ----
+    /// Bound on jobs admitted-but-not-terminal; 0 = unbounded (admission
+    /// control off unless the memory budget engages).
+    std::size_t max_pending_jobs = 0;
+    /// What a submit does when the bound (or memory budget) is hit.
+    service::admission_policy admission = service::admission_policy::block;
+    /// Bound on a `block` policy wait; 0 = wait indefinitely.
+    std::uint32_t admission_timeout_ms = 0;
+    /// Engine-wide resident-memory budget; a submit whose declared
+    /// memory_estimate_bytes does not fit the uncommitted remainder is
+    /// refused at admission (never OOM-killed mid-flight). 0 = off.
+    std::uint64_t memory_budget_bytes = 0;
+    /// Watchdog sampling period for deadline/stall enforcement.
+    std::uint32_t watchdog_sample_interval_ms = 10;
   };
 
   engine() : engine(config{}) {}
   explicit engine(config c)
       : defaults_(std::move(c.defaults)),
         completed_ring_(c.completed_ring),
-        pool_(c.pool_threads) {}
+        max_pending_jobs_(c.max_pending_jobs),
+        admission_(c.admission),
+        admission_timeout_ms_(c.admission_timeout_ms),
+        memory_budget_bytes_(c.memory_budget_bytes),
+        pool_(c.pool_threads),
+        watchdog_({.sample_interval_ms = c.watchdog_sample_interval_ms}) {}
 
   engine(const engine&) = delete;
   engine& operator=(const engine&) = delete;
@@ -290,6 +316,57 @@ class engine {
   std::uint64_t jobs_completed() const {
     std::lock_guard lk(jobs_mu_);
     return jobs_completed_;
+  }
+
+  /// Service-level accounting snapshot for overload introspection. The
+  /// conservation invariant — every submit attempt is accounted exactly
+  /// once — holds at any quiescent instant (no submit mid-admission):
+  ///
+  ///   submitted == rejected + active
+  ///             + completed + failed + cancelled
+  ///             + deadline_exceeded + stalled + shed
+  ///
+  /// tools/overload_soak.sh asserts it after each round.
+  struct service_counters {
+    std::uint64_t submitted = 0;  ///< submit attempts (incl. rejected)
+    std::uint64_t admitted = 0;   ///< attempts that passed admission
+    std::uint64_t rejected = 0;   ///< admission_rejected thrown
+    std::uint64_t shed_requests = 0;  ///< victims evicted by shed policy
+    std::uint64_t active = 0;     ///< admitted, not yet terminal
+    // Terminal outcomes of admitted jobs:
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t deadline_exceeded = 0;
+    std::uint64_t stalled = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t memory_committed_bytes = 0;
+  };
+
+  service_counters counters() const {
+    std::lock_guard lk(jobs_mu_);
+    service_counters c;
+    c.submitted = submitted_.load(std::memory_order_relaxed);
+    c.admitted = admitted_;
+    c.rejected = rejected_;
+    c.shed_requests = shed_requests_;
+    c.active = active_;
+    c.completed = n_completed_;
+    c.failed = n_failed_;
+    c.cancelled = n_cancelled_;
+    c.deadline_exceeded = n_deadline_;
+    c.stalled = n_stalled_;
+    c.shed = n_shed_;
+    c.memory_committed_bytes = mem_committed_;
+    return c;
+  }
+
+  /// Watchdog trigger counters (monotone over the engine's lifetime).
+  std::uint64_t watchdog_deadline_fires() const noexcept {
+    return watchdog_.deadline_fires();
+  }
+  std::uint64_t watchdog_stall_fires() const noexcept {
+    return watchdog_.stall_fires();
   }
 
   /// Snapshots of the most recently completed jobs (newest last), up to the
@@ -401,28 +478,45 @@ class engine {
         cfg.num_threads);
     scope->metrics = cfg.metrics;
     scope->trace = cfg.trace;
+    // Robustness parameters are fixed here, before the job is visible to
+    // the admission layer or watchdog.
+    const traversal_options& t = resolve(opts);
+    scope->deadline_ms = t.deadline_ms;
+    scope->stall_grace_ms = t.stall_grace_ms;
+    scope->priority = t.priority;
+    scope->memory_estimate_bytes = t.memory_estimate_bytes;
     cfg.scope = &scope->scope;
     return std::make_shared<typed_job<Visitor, State, Finalize>>(
         std::move(scope), std::move(state), cfg, std::move(finalize));
   }
 
-  /// Common tail of both submit flavours: wire the control block, launch
-  /// via `run` (which picks run_async vs run_seeded_async), deliver the
-  /// result or error through the promise from the completing pool thread.
+  /// Common tail of both submit flavours: admission decision first (may
+  /// block, throw admission_rejected, or shed a victim — the job holds no
+  /// slot or memory before this passes), then wire the control block,
+  /// register the watchdog, launch via `run` (which picks run_async vs
+  /// run_seeded_async), and deliver the result or error through the promise
+  /// from the completing pool thread.
   template <typename TypedJob, typename Run>
   auto start_job(std::shared_ptr<TypedJob> tj, Run run)
       -> job<typename TypedJob::result_type> {
     using Result = typename TypedJob::result_type;
     auto control = std::make_shared<service::job_control>();
     control->scope = tj->scope;
-    control->cancel = [tj] { tj->queue.cancel(); };
+    control->cancel = [tj](abort_reason r) {
+      // Scope hint first: a worker blocked in a cancellation point (the
+      // fault injector's stall mode) only unwinds by polling it, and the
+      // queue broadcast alone cannot reach a thread stuck in a read.
+      tj->scope->scope.request_abort(static_cast<std::uint32_t>(r));
+      tj->queue.cancel(r);
+    };
     control->pending = [tj] { return tj->queue.pending(); };
-    job<Result> handle(tj->promise.get_future(), control);
-    {
-      std::lock_guard lk(jobs_mu_);
-      ++active_;
-    }
     submitted_.fetch_add(1, std::memory_order_relaxed);
+    admit(tj->scope, control->cancel);  // throws admission_rejected
+    job<Result> handle(tj->promise.get_future(), control);
+    if (tj->scope->deadline_ms > 0 || tj->scope->stall_grace_ms > 0) {
+      watchdog_.watch(tj->scope, control->cancel, tj->scope->deadline_ms,
+                      tj->scope->stall_grace_ms);
+    }
     run(tj->queue, tj->state,
         [this, tj, control](queue_run_stats stats, std::exception_ptr error) {
           std::optional<Result> result;
@@ -440,41 +534,155 @@ class engine {
           // promise is fulfilled: a caller that observed done() == true (or
           // whose wait()/get() returned) must see the terminal snapshot —
           // outcome latched, finish timestamp stamped, lifecycle accounting
-          // done — never a job that is still "running".
+          // done — never a job that is still "running". The terminal
+          // counter bump and the active_/slot release happen in ONE
+          // jobs_mu_ critical section (inside finish_job_accounting): a
+          // concurrent counters() snapshot must never see a job counted
+          // both active and terminal, or neither — the conservation law is
+          // an invariant of every snapshot, not just of quiescence.
+          const service::job_outcome out = classify_outcome(error);
           tj->scope->scope.mark_finished();
-          tj->scope->latch_outcome(classify_outcome(error));
-          finish_job_accounting(*tj->scope);
+          tj->scope->latch_outcome(out);
+          finish_job_accounting(*tj->scope, out);
           control->finished.store(true, std::memory_order_release);
+          // Promise last, touching only tj/control (shared): once the
+          // slot release above woke wait_idle(), the engine may already be
+          // tearing down (the pool dtor still joins this thread).
           if (error != nullptr) {
             tj->promise.set_exception(std::move(error));
           } else {
             tj->promise.set_value(std::move(*result));
           }
-          {
-            // Notify under the lock: wait_idle() may be ~engine, and the
-            // condvar must not be destroyed mid-notify. Holding jobs_mu_
-            // means the notify completes before any waiter can observe
-            // active_ == 0.
-            std::lock_guard lk(jobs_mu_);
-            --active_;
-            idle_cv_.notify_all();
-          }
         });
     return handle;
   }
 
+  /// The admission decision (tentpole part 2+3). Runs on the submitting
+  /// thread, before the job holds any slot, memory, or gang. Throws
+  /// admission_rejected (kind queue_full / timeout / memory_budget /
+  /// no_shed_victim) when the configured policy refuses; on return the job
+  /// is committed — counted in active_, its estimate folded into
+  /// mem_committed_, and its cancel registered as a shed target.
+  void admit(const std::shared_ptr<service::job_scope_state>& scope,
+             const std::function<void(abort_reason)>& cancel) {
+    const std::uint64_t est = scope->memory_estimate_bytes;
+    std::unique_lock lk(jobs_mu_);
+    // An estimate that can never fit is refused under every policy:
+    // blocking or shedding cannot make the budget bigger.
+    if (memory_budget_bytes_ > 0 && est > memory_budget_bytes_) {
+      reject_locked(*scope, service::admission_rejected::kind::memory_budget,
+                    "memory estimate " + std::to_string(est) +
+                        " exceeds engine budget " +
+                        std::to_string(memory_budget_bytes_));
+    }
+    auto fits = [&] {
+      return (max_pending_jobs_ == 0 || active_ < max_pending_jobs_) &&
+             (memory_budget_bytes_ == 0 ||
+              mem_committed_ + est <= memory_budget_bytes_);
+    };
+    if (!fits()) {
+      switch (admission_) {
+        case service::admission_policy::block: {
+          const bool ok =
+              admission_timeout_ms_ == 0
+                  ? (idle_cv_.wait(lk, fits), true)
+                  : idle_cv_.wait_for(
+                        lk, std::chrono::milliseconds(admission_timeout_ms_),
+                        fits);
+          if (!ok) {
+            reject_locked(*scope, service::admission_rejected::kind::timeout,
+                          "no admission slot within " +
+                              std::to_string(admission_timeout_ms_) + "ms");
+          }
+          break;
+        }
+        case service::admission_policy::reject:
+          reject_locked(
+              *scope,
+              memory_budget_bytes_ > 0 &&
+                      mem_committed_ + est > memory_budget_bytes_
+                  ? service::admission_rejected::kind::memory_budget
+                  : service::admission_rejected::kind::queue_full,
+              "admission bound hit (" + std::to_string(active_) +
+                  " active jobs)");
+          break;
+        case service::admission_policy::shed_lowest_priority: {
+          // Evict the lowest-priority job strictly below the newcomer, so
+          // equal-priority traffic can never cascade-shed itself. The
+          // newcomer is admitted immediately (transient overshoot of the
+          // bound by one while the victim unwinds) — waiting for the
+          // victim to finish would reintroduce the unbounded block this
+          // policy exists to avoid.
+          active_rec* victim = nullptr;
+          for (auto& r : active_recs_) {
+            if (r.shed_requested || r.priority >= scope->priority) continue;
+            if (victim == nullptr || r.priority < victim->priority) {
+              victim = &r;
+            }
+          }
+          if (victim == nullptr) {
+            reject_locked(*scope,
+                          service::admission_rejected::kind::no_shed_victim,
+                          "no running job with priority below " +
+                              std::to_string(scope->priority));
+          }
+          victim->shed_requested = true;
+          shed_requests_++;
+          auto vcancel = victim->cancel;
+          if (scope->metrics != nullptr) {
+            scope->metrics->get_counter("service.shed").add(0);
+          }
+          lk.unlock();
+          vcancel(abort_reason::shed);
+          lk.lock();
+          break;
+        }
+      }
+    }
+    ++active_;
+    ++admitted_;
+    mem_committed_ += est;
+    active_recs_.push_back(active_rec{scope->scope.job_id(), scope->priority,
+                                      est, cancel, false});
+  }
+
+  /// Counts and throws an admission refusal. Caller holds jobs_mu_ (the
+  /// count must be consistent with the conservation check); the throw
+  /// releases it via unique_lock unwinding in admit's caller frame.
+  [[noreturn]] void reject_locked(service::job_scope_state& scope,
+                                  service::admission_rejected::kind k,
+                                  const std::string& detail) {
+    ++rejected_;
+    if (scope.metrics != nullptr) {
+      scope.metrics->get_counter("service.rejected").add(0);
+    }
+    throw service::admission_rejected(
+        k, std::string("admission rejected (") +
+               service::admission_rejected::kind_name(k) + "): " + detail);
+  }
+
   /// Maps the job's delivered error (or lack of one) to its terminal
-  /// state: null -> completed, a cancellation-flagged traversal_aborted ->
-  /// cancelled, anything else -> failed. This is the single source of the
-  /// completed/failed/cancelled flags — classified from what the job
-  /// actually delivered, not from whether cancel() was ever requested.
+  /// state: null -> completed, a cooperative traversal_aborted -> the
+  /// outcome matching its latched abort_reason (cancelled /
+  /// deadline_exceeded / stalled / shed), anything else -> failed. This is
+  /// the single source of the terminal flags — classified from what the
+  /// job actually delivered, not from whether a cancel was ever requested:
+  /// a job that completed in the same instant its deadline fired delivers
+  /// a result and stays completed.
   static service::job_outcome classify_outcome(
       const std::exception_ptr& error) noexcept {
     if (error == nullptr) return service::job_outcome::completed;
     try {
       std::rethrow_exception(error);
     } catch (const traversal_aborted& a) {
-      if (a.cancelled()) return service::job_outcome::cancelled;
+      switch (a.reason()) {
+        case abort_reason::none: break;  // worker failure
+        case abort_reason::cancelled: return service::job_outcome::cancelled;
+        case abort_reason::deadline_exceeded:
+          return service::job_outcome::deadline_exceeded;
+        case abort_reason::stalled: return service::job_outcome::stalled;
+        case abort_reason::shed: return service::job_outcome::shed;
+      }
     } catch (...) {
     }
     return service::job_outcome::failed;
@@ -484,15 +692,39 @@ class engine {
   /// that delivered its result or error: lifecycle histograms + ring entry
   /// under jobs_mu_, service.* lifecycle metrics into the job's registry,
   /// and the Chrome-trace lifecycle spans into its writer.
-  void finish_job_accounting(service::job_scope_state& st) {
+  void finish_job_accounting(service::job_scope_state& st,
+                             service::job_outcome out) {
     const service::job_stats snap = st.snapshot();
     const auto us = [](double seconds) {
       return seconds <= 0.0 ? std::uint64_t{0}
                             : static_cast<std::uint64_t>(seconds * 1e6);
     };
+    // External sinks (metrics, trace) are stamped BEFORE the locked block:
+    // the moment that block releases the job's admission slot and notifies
+    // idle_cv_, a wait_idle() caller may begin tearing the engine down, so
+    // nothing after it may touch engine state.
+    stamp_completion_metrics(st, snap, out, us);
+    emit_job_spans(st, snap);
     {
+      // One critical section for the whole terminal transition: the
+      // outcome bump, the lifecycle/ring records, the active_ decrement,
+      // the slot + memory release, and the idle notification. counters()
+      // snapshots are taken under the same mutex, so conservation
+      // (submitted == rejected + active + terminal outcomes) holds at
+      // every instant, not just at quiescence. Notifying under the lock
+      // also means the notify completes before any waiter can observe
+      // active_ == 0 and destroy the condvar.
       std::lock_guard lk(jobs_mu_);
       ++jobs_completed_;
+      switch (out) {
+        case service::job_outcome::completed: ++n_completed_; break;
+        case service::job_outcome::failed: ++n_failed_; break;
+        case service::job_outcome::cancelled: ++n_cancelled_; break;
+        case service::job_outcome::deadline_exceeded: ++n_deadline_; break;
+        case service::job_outcome::stalled: ++n_stalled_; break;
+        case service::job_outcome::shed: ++n_shed_; break;
+        case service::job_outcome::running: break;  // unreachable
+      }
       lifecycle_.queue_wait_us.add(us(snap.queue_wait_seconds));
       lifecycle_.run_us.add(us(snap.run_seconds));
       lifecycle_.total_us.add(us(snap.total_seconds));
@@ -500,9 +732,40 @@ class engine {
         recent_.push_back(snap);
         while (recent_.size() > completed_ring_) recent_.pop_front();
       }
+      --active_;
+      mem_committed_ -= st.memory_estimate_bytes;
+      const std::uint64_t jid = st.scope.job_id();
+      for (std::size_t i = 0; i < active_recs_.size(); ++i) {
+        if (active_recs_[i].job_id == jid) {
+          active_recs_.erase(active_recs_.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+      }
+      idle_cv_.notify_all();
     }
+  }
+
+  template <typename UsFn>
+  void stamp_completion_metrics(service::job_scope_state& st,
+                                const service::job_stats& snap,
+                                service::job_outcome out, UsFn us) {
     if (st.metrics != nullptr) {
       st.metrics->get_counter("service.jobs.completed").add(0);
+      // The service.* robustness metric family (schema v3's service
+      // section mirrors these).
+      switch (out) {
+        case service::job_outcome::deadline_exceeded:
+          st.metrics->get_counter("service.deadline_exceeded").add(0);
+          break;
+        case service::job_outcome::stalled:
+          st.metrics->get_counter("service.stalled").add(0);
+          break;
+        case service::job_outcome::shed:
+          st.metrics->get_counter("service.shed_completed").add(0);
+          break;
+        default: break;
+      }
       st.metrics->get_histogram("service.job.queue_wait_us")
           .record(0, us(snap.queue_wait_seconds));
       st.metrics->get_histogram("service.job.run_us")
@@ -510,7 +773,6 @@ class engine {
       st.metrics->get_histogram("service.job.total_us")
           .record(0, us(snap.total_seconds));
     }
-    emit_job_spans(st, snap);
   }
 
   /// Renders the job's lifecycle as one named row in the Chrome trace:
@@ -555,18 +817,49 @@ class engine {
     }
   }
 
+  /// One admitted-but-not-terminal job, as the admission layer sees it:
+  /// the shed policy's victim table. Guarded by jobs_mu_.
+  struct active_rec {
+    std::uint64_t job_id = 0;
+    int priority = 0;
+    std::uint64_t memory_estimate_bytes = 0;
+    std::function<void(abort_reason)> cancel;
+    bool shed_requested = false;  // at most one shed per job
+  };
+
   traversal_options defaults_;
   std::size_t completed_ring_;
+  // Admission configuration (immutable after construction).
+  std::size_t max_pending_jobs_;
+  service::admission_policy admission_;
+  std::uint32_t admission_timeout_ms_;
+  std::uint64_t memory_budget_bytes_;
   service::worker_pool pool_;
   mutable std::mutex jobs_mu_;
   std::condition_variable idle_cv_;
   std::size_t active_ = 0;  // guarded by jobs_mu_
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> next_job_id_{1};
+  // Admission/outcome accounting, all guarded by jobs_mu_.
+  std::vector<active_rec> active_recs_;
+  std::uint64_t mem_committed_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t shed_requests_ = 0;
+  std::uint64_t n_completed_ = 0;
+  std::uint64_t n_failed_ = 0;
+  std::uint64_t n_cancelled_ = 0;
+  std::uint64_t n_deadline_ = 0;
+  std::uint64_t n_stalled_ = 0;
+  std::uint64_t n_shed_ = 0;
   // Completed-job introspection, all guarded by jobs_mu_.
   std::uint64_t jobs_completed_ = 0;
   std::deque<service::job_stats> recent_;
   lifecycle_latencies lifecycle_;
+  // Declared last: destroyed first, so the monitor thread is joined while
+  // every other member it can reach is still alive (~engine wait_idle()s
+  // before members are destroyed, so no live entries remain by then).
+  service::watchdog watchdog_;
 };
 
 }  // namespace asyncgt

@@ -36,9 +36,21 @@ struct job_stats {
   // runs — the completion path latches the outcome once from the delivered
   // result/error, so a late cancel() on an already-successful job or a real
   // worker failure racing a cancel request cannot misattribute the state.
+  // `cancelled` covers every cooperative termination (user cancel, watchdog
+  // deadline/stall kill, load shed); `outcome` names the specific one.
   bool completed = false;  // finished without error
   bool failed = false;     // finished with a non-cancellation error
   bool cancelled = false;  // finished via cooperative cancellation
+
+  /// The precise terminal state: "running" / "completed" / "failed" /
+  /// "cancelled" / "deadline_exceeded" / "stalled" / "shed" (bench schema
+  /// v3's per-job `outcome` field).
+  std::string outcome = "running";
+
+  /// The deadline this job ran under (0 = none), for report correlation.
+  std::uint32_t deadline_ms = 0;
+  /// Admission priority class the job was submitted with.
+  int priority = 0;
 
   std::uint64_t visits = 0;
   std::uint64_t pushes = 0;
@@ -55,12 +67,35 @@ struct job_stats {
 };
 
 /// How a job ended. Latched exactly once by the engine's completion path
-/// (from the delivered result or error — a cancellation is the
-/// traversal_aborted whose cancelled() is true), never derived from the
-/// racy "was cancel() ever requested" flag: a genuine worker failure that
-/// raced a cancel request is a failure, and a job that completed just
-/// before a late cancel() stays completed.
-enum class job_outcome : int { running = 0, completed, failed, cancelled };
+/// (from the delivered result or error — a cooperative termination is the
+/// traversal_aborted whose reason() is non-none, mapped 1:1 onto the
+/// specific outcomes below), never derived from the racy "was cancel()
+/// ever requested" flag: a genuine worker failure that raced a cancel
+/// request is a failure, and a job that completed just before a late
+/// cancel() stays completed — even when that late cancel is a watchdog
+/// deadline fire.
+enum class job_outcome : int {
+  running = 0,
+  completed,
+  failed,
+  cancelled,          // explicit job::cancel()
+  deadline_exceeded,  // watchdog: deadline_ms elapsed
+  stalled,            // watchdog: no progress for stall_grace_ms
+  shed,               // admission control evicted it under overload
+};
+
+inline const char* job_outcome_name(job_outcome o) noexcept {
+  switch (o) {
+    case job_outcome::running: return "running";
+    case job_outcome::completed: return "completed";
+    case job_outcome::failed: return "failed";
+    case job_outcome::cancelled: return "cancelled";
+    case job_outcome::deadline_exceeded: return "deadline_exceeded";
+    case job_outcome::stalled: return "stalled";
+    case job_outcome::shed: return "shed";
+  }
+  return "running";
+}
 
 /// The live per-job state shared between the engine, the job handle's
 /// control block, and the queue config's scope pointer. The engine keeps it
@@ -72,6 +107,15 @@ struct job_scope_state {
   // completion path uses them for lifecycle accounting and span emission.
   telemetry::metrics_registry* metrics = nullptr;
   telemetry::trace_writer* trace = nullptr;
+
+  // Robustness parameters fixed at submit time (plain fields: written once
+  // before the job is visible to any other thread). The watchdog reads the
+  // deadline/stall windows; admission reads priority and the memory
+  // estimate.
+  std::uint32_t deadline_ms = 0;
+  std::uint32_t stall_grace_ms = 0;
+  int priority = 0;
+  std::uint64_t memory_estimate_bytes = 0;
 
   job_scope_state(std::uint64_t job_id, std::string label, std::size_t shards)
       : scope(job_id, std::move(label), shards) {}
@@ -91,7 +135,12 @@ struct job_scope_state {
         outcome.load(std::memory_order_acquire));
     s.completed = out == job_outcome::completed;
     s.failed = out == job_outcome::failed;
-    s.cancelled = out == job_outcome::cancelled;
+    s.cancelled = out == job_outcome::cancelled ||
+                  out == job_outcome::deadline_exceeded ||
+                  out == job_outcome::stalled || out == job_outcome::shed;
+    s.outcome = job_outcome_name(out);
+    s.deadline_ms = deadline_ms;
+    s.priority = priority;
     using hot = telemetry::metric_scope::hot;
     s.visits = scope.total(hot::visits);
     s.pushes = scope.total(hot::pushes);

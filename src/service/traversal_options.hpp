@@ -22,9 +22,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 
 #include "queue/queue_config.hpp"
+#include "service/admission.hpp"
 #include "util/options.hpp"
 
 namespace asyncgt {
@@ -59,6 +61,27 @@ struct traversal_options {
   double hybrid_alpha = 14.0;
   double hybrid_beta = 24.0;
 
+  /// Robustness knobs (docs/robustness.md). All enforced by the service
+  /// engine's watchdog/admission layer; the free-function wrappers route
+  /// through the default engine, so they apply there too.
+  ///
+  /// deadline_ms: wall-clock budget from submit; 0 = none. A job past its
+  /// deadline is force-cancelled through the abort broadcast and completes
+  /// with traversal_aborted reason deadline_exceeded.
+  std::uint32_t deadline_ms = 0;
+  /// stall_grace_ms: once the job holds a gang, a frozen progress epoch
+  /// (metric_scope::progress_epoch) for this long marks it stalled and
+  /// force-cancels it (reason stalled); 0 = stall detection off.
+  std::uint32_t stall_grace_ms = 0;
+  /// Priority class for admission control (low=-1 / normal=0 / high=1, any
+  /// int). Under the shed policy, an arriving job may evict a running job
+  /// of strictly lower priority.
+  int priority = 0;
+  /// Declared resident-memory estimate for the engine's
+  /// memory_budget_bytes guardrail; 0 = unaccounted. Callers typically pass
+  /// graph.resident_bytes() (+ cache share for SEM runs).
+  std::uint64_t memory_estimate_bytes = 0;
+
   traversal_options() = default;
   /// Implicit on purpose: every pre-service call site passes a
   /// visitor_queue_config and must keep compiling.
@@ -74,6 +97,22 @@ struct traversal_options {
   }
   traversal_options& with_metrics(telemetry::metrics_registry* m) {
     queue.metrics = m;
+    return *this;
+  }
+  traversal_options& with_deadline_ms(std::uint32_t ms) {
+    deadline_ms = ms;
+    return *this;
+  }
+  traversal_options& with_stall_grace_ms(std::uint32_t ms) {
+    stall_grace_ms = ms;
+    return *this;
+  }
+  traversal_options& with_priority(int p) {
+    priority = p;
+    return *this;
+  }
+  traversal_options& with_memory_estimate(std::uint64_t bytes) {
+    memory_estimate_bytes = bytes;
     return *this;
   }
 
@@ -93,6 +132,10 @@ struct traversal_options {
   ///                      off; needs a reverse view on the graph)
   ///   --hybrid-alpha=X   top-down -> bottom-up threshold (default 14)
   ///   --hybrid-beta=X    bottom-up -> top-down threshold (default 24)
+  ///   --deadline-ms=N    per-job wall-clock budget (default 0 = none)
+  ///   --stall-grace-ms=N no-progress window before a running job is
+  ///                      declared stalled (default 0 = off)
+  ///   --priority=P       admission priority: low | normal | high | int
   /// `sem_mode` selects the SEM defaults (flush batch, secondary sort).
   static traversal_options from_flags(const options& opt,
                                       bool sem_mode = false) {
@@ -112,6 +155,14 @@ struct traversal_options {
     o.hybrid = opt.get_bool("hybrid", false);
     o.hybrid_alpha = opt.get_double("hybrid-alpha", o.hybrid_alpha);
     o.hybrid_beta = opt.get_double("hybrid-beta", o.hybrid_beta);
+    o.deadline_ms = static_cast<std::uint32_t>(
+        opt.get_int("deadline-ms", static_cast<std::int64_t>(o.deadline_ms)));
+    o.stall_grace_ms = static_cast<std::uint32_t>(opt.get_int(
+        "stall-grace-ms", static_cast<std::int64_t>(o.stall_grace_ms)));
+    const std::string prio = opt.get_string("priority", "");
+    if (!prio.empty() && !service::parse_priority(prio, o.priority)) {
+      throw std::invalid_argument("bad --priority value: " + prio);
+    }
     return o;
   }
 };

@@ -157,6 +157,14 @@ class worker_pool {
     return completed_.load(std::memory_order_relaxed);
   }
 
+  /// Gangs with undispatched items still queued (instantaneous). The
+  /// overload tests use gangs_completed()/queued_gangs() to assert no gang
+  /// leaked: a drained engine must show zero queued gangs.
+  std::size_t queued_gangs() const {
+    std::lock_guard lk(mu_);
+    return queue_.size();
+  }
+
  private:
   void worker_main() {
     std::unique_lock lk(mu_);

@@ -106,6 +106,19 @@ class metric_scope {
     return out;
   }
 
+  /// Monotone progress epoch: the sum of every hot counter. The service
+  /// watchdog samples this to detect stalled jobs — any visit, push, edge
+  /// inspection, or I/O the job performs advances the epoch, so a job whose
+  /// epoch is frozen for stall_grace_ms while running is wedged (blocked in
+  /// a read, deadlocked, or spinning without touching the graph).
+  std::uint64_t progress_epoch() const noexcept {
+    std::uint64_t sum = 0;
+    for (std::size_t c = 0; c < num_hot; ++c) {
+      sum += total(static_cast<hot>(c));
+    }
+    return sum;
+  }
+
   // ---- Named deltas ----
 
   /// The job-private registry holding this job's copy of the named counters
@@ -139,8 +152,58 @@ class metric_scope {
     return end_ns_.load(std::memory_order_relaxed) >= 0;
   }
 
+  /// True once any worker body started on behalf of this job (the job is
+  /// holding a gang). The watchdog only arms stall detection past here: a
+  /// job waiting in FIFO admission is queued, not stalled.
+  bool run_started() const noexcept {
+    return run_start_ns_.load(std::memory_order_relaxed) >= 0;
+  }
+
   std::chrono::steady_clock::time_point submit_time() const noexcept {
     return submit_tp_;
+  }
+
+  /// Wall-clock point the first worker body started; only meaningful when
+  /// run_started().
+  std::chrono::steady_clock::time_point run_start_time() const noexcept {
+    const std::int64_t ns = run_start_ns_.load(std::memory_order_relaxed);
+    return submit_tp_ + std::chrono::nanoseconds(ns >= 0 ? ns : 0);
+  }
+
+  // ---- Cooperative cancellation hint ----
+  //
+  // The scope doubles as the per-job cancellation seam for components that
+  // can block indefinitely (the fault injector's `stall` mode): the
+  // engine's cancel path raises the flag here alongside the queue-level
+  // abort broadcast, and blocking primitives poll it through the same TLS
+  // ambient attribution the counters use, throwing operation_cancelled
+  // (util/cancellation.hpp) to unwind. The reason code is latched
+  // first-wins so a watchdog deadline fire followed by a late user cancel
+  // keeps reporting deadline_exceeded.
+
+  /// Raises the abort hint with a nonzero reason code (the service layer
+  /// passes static_cast<uint32>(abort_reason)). First caller's code wins.
+  void request_abort(std::uint32_t reason_code) noexcept {
+    std::uint32_t expected = 0;
+    (void)abort_code_.compare_exchange_strong(expected, reason_code,
+                                              std::memory_order_relaxed);
+  }
+
+  bool abort_requested() const noexcept {
+    return abort_code_.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// The first-latched reason code (0 = no abort requested).
+  std::uint32_t abort_code() const noexcept {
+    return abort_code_.load(std::memory_order_relaxed);
+  }
+
+  /// Cancellation-point probe: true when the calling thread's ambient job
+  /// has an abort pending. One TLS read + one relaxed load — cheap enough
+  /// for a polling loop's every iteration.
+  static bool current_abort_requested() noexcept {
+    return detail::tls_scope != nullptr &&
+           detail::tls_scope->abort_requested();
   }
 
   /// Submit -> first worker body. Falls back to "so far" while the job is
@@ -223,6 +286,9 @@ class metric_scope {
   // Nanoseconds since submit; -1 = not yet.
   std::atomic<std::int64_t> run_start_ns_{-1};
   std::atomic<std::int64_t> end_ns_{-1};
+  // Cooperative-abort hint: first-latched nonzero reason code (see
+  // request_abort above). 0 = no abort requested.
+  std::atomic<std::uint32_t> abort_code_{0};
 
   struct hot_slots {
     std::atomic<std::uint64_t> value[num_hot] = {};

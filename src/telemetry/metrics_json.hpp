@@ -2,10 +2,10 @@
 // document: a small schema shared by every bench binary and agt_tool so
 // emitted JSON stays machine-readable for BENCH_*.json trajectory tracking.
 //
-// Schema (version 2, checked by report::verify, `agt_tool verify-json`,
-// and tools/check_bench_json.py; version-1 documents remain valid):
+// Schema (version 3, checked by report::verify, `agt_tool verify-json`,
+// and tools/check_bench_json.py; version-1/2 documents remain valid):
 //   {
-//     "schema_version": 2,
+//     "schema_version": 3,
 //     "name": "<bench or subcommand name>",     non-empty string
 //     "config": { ... },                        object of scalars
 //     "sections": { "<name>": { ... }, ... },   object of objects
@@ -18,7 +18,13 @@
 // service-submitted job (job_stats + named deltas). Version 2 additionally
 // derives p50/p95/p99 for every serialized log2 histogram — verifiers
 // enforce p50 <= p95 <= p99 (<= max where a max is recorded) on any object
-// carrying the triple. See docs/observability.md.
+// carrying the triple. Version 3 adds the robustness fields: each jobs[]
+// entry carries its terminal `outcome` ("completed" / "failed" /
+// "cancelled" / "deadline_exceeded" / "stalled" / "shed" / "running") and
+// `deadline_ms`, and a report may carry a "service" section with the
+// engine's admission counters (submitted/admitted/rejected/shed/
+// deadline_exceeded/... — tools/check_bench_json.py checks their
+// conservation). See docs/observability.md and docs/robustness.md.
 #pragma once
 
 #include <cstdint>
@@ -46,8 +52,8 @@ class report {
  public:
   explicit report(std::string name);
 
-  /// The version new documents are written at; verify() also accepts 1.
-  static constexpr int schema_version = 2;
+  /// The version new documents are written at; verify() also accepts 1, 2.
+  static constexpr int schema_version = 3;
 
   /// Adds one scalar to the "config" object.
   report& config(const std::string& key, json_value value);

@@ -1,0 +1,27 @@
+// Cooperative cancellation-point exception.
+//
+// Blocking primitives that can park indefinitely (the fault injector's
+// `stall` mode parking a read, future long waits) poll a cancellation
+// signal — the ambient job scope's abort flag (telemetry/metric_scope.hpp)
+// — and unwind by throwing this type. The traversal engine's failure
+// containment recognizes it as a *cooperative* unwind rather than a worker
+// failure: a job whose stalled read was force-cancelled by the watchdog
+// reports deadline_exceeded/stalled, not "worker failed".
+//
+// Lives in util/ so both the sem layer (which throws it) and the queue
+// layer (which classifies it) can include it without depending on each
+// other.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace asyncgt {
+
+class operation_cancelled : public std::runtime_error {
+ public:
+  explicit operation_cancelled(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+}  // namespace asyncgt

@@ -9,15 +9,21 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "queue/traversal_abort.hpp"
 #include "sem/fault_injector.hpp"
 #include "telemetry/io_recorder.hpp"
+#include "telemetry/metric_scope.hpp"
+#include "util/cancellation.hpp"
 
 namespace asyncgt::sem {
 namespace {
@@ -284,6 +290,61 @@ TEST_F(EdgeFileFault, BatchSplitFillsHealthySlicesAroundABadOne) {
   }
   EXPECT_EQ(std::memcmp(b0.data(), payload_.data(), 1024), 0);
   EXPECT_EQ(std::memcmp(b2.data(), payload_.data() + 2048, 1024), 0);
+}
+
+// ---- stall mode (docs/robustness.md) ------------------------------------
+
+TEST_F(EdgeFileFault, StalledReadBlocksUntilStallsAreReleased) {
+  fault_config cfg;
+  cfg.p_stall = 1.0;
+  fault_injector inj(cfg);
+  edge_file f(path_);
+  f.set_fault_injector(&inj);
+
+  std::atomic<bool> done{false};
+  std::vector<char> buf(512);
+  std::thread reader([&] {
+    f.read_at(0, buf.data(), 512);
+    done.store(true, std::memory_order_release);
+  });
+  // The read must be wedged, not failing: give it time to prove it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(done.load(std::memory_order_acquire));
+  inj.release_stalls();
+  reader.join();
+  EXPECT_TRUE(done.load(std::memory_order_acquire));
+  // The stalled read still delivered the right bytes once released.
+  EXPECT_EQ(std::memcmp(buf.data(), payload_.data(), 512), 0);
+  EXPECT_EQ(inj.counters().stalls, 1u);
+}
+
+TEST_F(EdgeFileFault, StalledReadUnwindsAtTheAmbientAbortHint) {
+  fault_config cfg;
+  cfg.p_stall = 1.0;
+  fault_injector inj(cfg);
+  edge_file f(path_);
+  f.set_fault_injector(&inj);
+
+  // The reading thread carries a job's ambient attribution — exactly how a
+  // pool worker blocked in a stalled pread sees the watchdog's cancel.
+  telemetry::metric_scope scope(1, "stall-test", 1);
+  std::atomic<bool> cancelled{false};
+  std::thread reader([&] {
+    telemetry::metric_scope::attribution attr(&scope, 0);
+    char b = 0;
+    try {
+      f.read_at(0, &b, 1);
+    } catch (const operation_cancelled&) {
+      cancelled.store(true, std::memory_order_release);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(cancelled.load(std::memory_order_acquire));
+  scope.request_abort(
+      static_cast<std::uint32_t>(abort_reason::deadline_exceeded));
+  reader.join();
+  EXPECT_TRUE(cancelled.load(std::memory_order_acquire))
+      << "the stall loop must poll the scope hint and unwind cooperatively";
 }
 
 TEST(IoRetryPolicy, BackoffGrowsGeometricallyAndCaps) {

@@ -134,10 +134,50 @@ TEST(FaultInjector, ValidatesConfig) {
   EXPECT_THROW(fault_injector{zero_attempts}, std::invalid_argument);
 }
 
+// ---- stall mode (docs/robustness.md) ------------------------------------
+
+TEST(FaultInjector, StallPlansAreDeterministicAndCounted) {
+  fault_config cfg;
+  cfg.p_stall = 1.0;
+  cfg.seed = 11;
+  fault_injector inj(cfg);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(inj.plan(static_cast<std::uint64_t>(i) * 4096, 4096).stall);
+  }
+  EXPECT_EQ(inj.counters().stalls, 8u);
+  // reset() replays the identical plan sequence, counters rewound.
+  inj.reset();
+  EXPECT_EQ(inj.counters().stalls, 0u);
+  EXPECT_TRUE(inj.plan(0, 4096).stall);
+}
+
+TEST(FaultInjector, ReleaseStallsIsAOneWayLatch) {
+  fault_config cfg;
+  cfg.p_stall = 1.0;
+  fault_injector inj(cfg);
+  EXPECT_FALSE(inj.stalls_released());
+  EXPECT_TRUE(inj.plan(0, 4096).stall);
+  inj.release_stalls();
+  EXPECT_TRUE(inj.stalls_released());
+  // Released: no further plan stalls, so in-flight tests can always drain.
+  EXPECT_FALSE(inj.plan(4096, 4096).stall);
+  // The latch survives reset() — release is an end-of-scenario decision,
+  // not part of the deterministic replay state.
+  inj.reset();
+  EXPECT_TRUE(inj.stalls_released());
+  EXPECT_FALSE(inj.plan(0, 4096).stall);
+}
+
+TEST(FaultInjector, ValidatesStallProbability) {
+  fault_config bad;
+  bad.p_stall = 1.5;
+  EXPECT_THROW(fault_injector{bad}, std::invalid_argument);
+}
+
 TEST(FaultSpecParser, ParsesFullSpec) {
   const fault_config cfg = parse_fault_config(
       "eio=0.01,eagain=0.005,short=0.02,delay=0.01,delay-us=500,attempts=3,"
-      "seed=7,fatal,bad=4096-8192");
+      "seed=7,fatal,bad=4096-8192,stall=0.25");
   EXPECT_DOUBLE_EQ(cfg.p_eio, 0.01);
   EXPECT_DOUBLE_EQ(cfg.p_eagain, 0.005);
   EXPECT_DOUBLE_EQ(cfg.p_short, 0.02);
@@ -148,6 +188,7 @@ TEST(FaultSpecParser, ParsesFullSpec) {
   EXPECT_TRUE(cfg.fatal);
   EXPECT_EQ(cfg.bad_begin, 4096u);
   EXPECT_EQ(cfg.bad_end, 8192u);
+  EXPECT_DOUBLE_EQ(cfg.p_stall, 0.25);
 }
 
 TEST(FaultSpecParser, EmptySpecIsClean) {
@@ -163,6 +204,7 @@ TEST(FaultSpecParser, RejectsMalformedSpecs) {
   EXPECT_THROW(parse_fault_config("eio=2.0"), std::invalid_argument);
   EXPECT_THROW(parse_fault_config("bad=123"), std::invalid_argument);
   EXPECT_THROW(parse_fault_config("attempts=0"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_config("stall=2.0"), std::invalid_argument);
 }
 
 }  // namespace

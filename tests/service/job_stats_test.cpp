@@ -204,6 +204,7 @@ TEST(JobStats, CancelledJobLatchesTheCancelledFlagNotFailed) {
   EXPECT_TRUE(js.cancelled);
   EXPECT_FALSE(js.failed) << "a cancellation is not a failure";
   EXPECT_FALSE(js.completed);
+  EXPECT_EQ(js.outcome, "cancelled");
   eng.wait_idle();
   // The terminal snapshot also landed in the ring with the same flags.
   const auto recent = eng.recent_jobs();
@@ -254,6 +255,8 @@ TEST(JobStats, LateCancelAfterCompletionStaysCompleted) {
   EXPECT_TRUE(js.completed);
   EXPECT_FALSE(js.cancelled);
   EXPECT_FALSE(js.failed);
+  EXPECT_EQ(js.outcome, "completed")
+      << "a late cancel must not relabel a completed job";
 }
 
 TEST(JobStats, FailedJobLatchesTheFailedFlagNotCancelled) {
@@ -268,6 +271,7 @@ TEST(JobStats, FailedJobLatchesTheFailedFlagNotCancelled) {
   EXPECT_TRUE(js.failed);
   EXPECT_FALSE(js.cancelled);
   EXPECT_FALSE(js.completed);
+  EXPECT_EQ(js.outcome, "failed");
 }
 
 // ---- lifecycle spans ----------------------------------------------------

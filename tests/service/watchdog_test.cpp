@@ -1,0 +1,261 @@
+// Deadline and stall enforcement (src/service/watchdog.{hpp,cpp}) through
+// the engine — the overload-safety tentpole's per-job termination layer:
+//
+//   * a never-terminating job with --deadline-ms is force-cancelled and
+//     surfaces as traversal_aborted with reason deadline_exceeded, the job
+//     snapshot latching outcome "deadline_exceeded";
+//   * the deadline-vs-completion race: a job finishing right at its
+//     deadline reports completed or deadline_exceeded, never both and
+//     never a torn mix (completed jobs deliver full correct results);
+//   * a user cancel() landing after the watchdog already fired keeps the
+//     first-latched reason (deadline_exceeded), not cancelled;
+//   * stall detection: a job that wedges (epoch frozen while holding a
+//     gang) past stall_grace_ms is terminated with reason stalled even
+//     though the wedged thread never reaches the queue's abort broadcast —
+//     it unwinds via the metric_scope abort hint + operation_cancelled;
+//   * the watchdog never fires on jobs that finish in time, and the engine
+//     stays fully usable after every termination.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "asyncgt.hpp"
+#include "baselines/serial_bfs.hpp"
+#include "telemetry/metric_scope.hpp"
+#include "util/cache_line.hpp"
+#include "util/cancellation.hpp"
+
+namespace asyncgt {
+namespace {
+
+traversal_options threads(std::size_t n) {
+  return traversal_options{}.with_threads(n);
+}
+
+// Self-sustaining ring (engine_test's idiom): every visit pushes its
+// successor, so the traversal never terminates on its own.
+struct ring_state {
+  std::uint64_t n = 0;
+  std::vector<padded<std::uint64_t>> visits_per_thread;
+  ring_state(std::uint64_t size, std::size_t nthreads)
+      : n(size), visits_per_thread(nthreads) {}
+};
+
+struct ring_visitor {
+  std::uint32_t vtx{};
+  std::uint32_t vertex() const noexcept { return vtx; }
+  std::uint32_t priority() const noexcept { return 0; }
+  template <typename State, typename Queue>
+  void visit(State& s, Queue& q, std::size_t tid) const {
+    ++s.visits_per_thread[tid].value;
+    q.push(ring_visitor{static_cast<std::uint32_t>((vtx + 1) % s.n)});
+  }
+};
+
+template <typename Engine>
+auto submit_ring(Engine& eng, traversal_options opts) {
+  return eng.template submit_traversal<ring_visitor>(
+      std::move(opts), ring_state(1 << 10, 4),
+      [](auto& q, auto&) { q.push(ring_visitor{0}); },
+      [](ring_state&, queue_run_stats stats) { return stats.visits; });
+}
+
+TEST(Watchdog, DeadlineTerminatesANeverEndingJob) {
+  engine eng({.pool_threads = 4,
+              .defaults = threads(4),
+              .watchdog_sample_interval_ms = 5});
+  auto j = submit_ring(eng, threads(4).with_deadline_ms(60));
+  try {
+    j.get();
+    FAIL() << "expected traversal_aborted";
+  } catch (const traversal_aborted& e) {
+    EXPECT_EQ(e.reason(), abort_reason::deadline_exceeded);
+    EXPECT_NE(std::string(e.what()).find("deadline"), std::string::npos);
+  }
+  const auto js = j.stats();
+  EXPECT_EQ(js.outcome, "deadline_exceeded");
+  EXPECT_EQ(js.deadline_ms, 60u);
+  EXPECT_TRUE(js.cancelled) << "deadline termination is a cancellation kind";
+  EXPECT_FALSE(js.failed);
+  EXPECT_GE(eng.watchdog_deadline_fires(), 1u);
+
+  // The engine survives: the next job completes bit-identically.
+  const csr32 g = rmat_graph<vertex32>(rmat_a(9));
+  const auto r = eng.submit_bfs(g, vertex32{0}).get();
+  EXPECT_EQ(r.level, serial_bfs(g, vertex32{0}).level);
+  eng.wait_idle();
+  const auto sc = eng.counters();
+  EXPECT_EQ(sc.deadline_exceeded, 1u);
+  EXPECT_EQ(sc.completed, 1u);
+  EXPECT_EQ(sc.active, 0u);
+}
+
+TEST(Watchdog, LateUserCancelAfterDeadlineFireKeepsDeadlineReason) {
+  engine eng({.pool_threads = 4,
+              .defaults = threads(4),
+              .watchdog_sample_interval_ms = 5});
+  auto j = submit_ring(eng, threads(4).with_deadline_ms(40));
+  // Wait until the watchdog has definitely fired, then pile a user cancel
+  // on top: the first-latched reason must win everywhere.
+  while (eng.watchdog_deadline_fires() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  j.cancel();
+  try {
+    j.get();
+    FAIL() << "expected traversal_aborted";
+  } catch (const traversal_aborted& e) {
+    EXPECT_EQ(e.reason(), abort_reason::deadline_exceeded)
+        << "late cancel() must not overwrite the latched deadline reason";
+  }
+  EXPECT_EQ(j.stats().outcome, "deadline_exceeded");
+  eng.wait_idle();
+  const auto sc = eng.counters();
+  EXPECT_EQ(sc.deadline_exceeded, 1u);
+  EXPECT_EQ(sc.cancelled, 0u);
+}
+
+// The deadline-vs-completion race, iterated: jobs sized so the deadline
+// lands inside the run's natural duration on some iterations. Whatever the
+// interleaving, the outcome is exactly one of completed/deadline_exceeded,
+// and a completed job's result is the full correct fixed point.
+TEST(Watchdog, CompletionAtDeadlineIsNeverBothAndNeverTorn) {
+  engine eng({.pool_threads = 4,
+              .defaults = threads(4),
+              .watchdog_sample_interval_ms = 1});
+  const csr32 g = rmat_graph<vertex32>(rmat_a(12));
+  const auto expected = serial_bfs(g, vertex32{0});
+
+  std::uint64_t completed = 0, deadlined = 0;
+  for (int i = 0; i < 24; ++i) {
+    // 1..4ms: straddles this graph's BFS runtime on most machines.
+    auto j = eng.submit_bfs(g, vertex32{0},
+                            threads(4).with_deadline_ms(1 + (i % 4)));
+    try {
+      const auto r = j.get();
+      // Completed at (or near) the deadline instant: the result must be
+      // the complete fixed point, not a partially-cancelled label array.
+      EXPECT_EQ(r.level, expected.level);
+      EXPECT_EQ(j.stats().outcome, "completed");
+      EXPECT_FALSE(j.stats().cancelled);
+      ++completed;
+    } catch (const traversal_aborted& e) {
+      EXPECT_EQ(e.reason(), abort_reason::deadline_exceeded);
+      EXPECT_EQ(j.stats().outcome, "deadline_exceeded");
+      ++deadlined;
+    }
+  }
+  eng.wait_idle();
+  const auto sc = eng.counters();
+  EXPECT_EQ(sc.completed, completed);
+  EXPECT_EQ(sc.deadline_exceeded, deadlined);
+  EXPECT_EQ(sc.completed + sc.deadline_exceeded, 24u)
+      << "every job accounted exactly once";
+}
+
+// ---- stall detection ----------------------------------------------------
+
+// Wedge visitor: inspects some edges (advancing the progress epoch), then
+// blocks indefinitely — exactly the shape of a read stuck in the kernel.
+// The queue's abort broadcast can't unwind a thread that never returns to
+// the queue, so the only way out is the cooperative cancellation hint the
+// watchdog raises on the job's metric_scope.
+struct wedge_state {};
+
+struct wedge_visitor {
+  std::uint32_t vtx{};
+  std::uint32_t vertex() const noexcept { return vtx; }
+  std::uint32_t priority() const noexcept { return 0; }
+  template <typename State, typename Queue>
+  void visit(State&, Queue&, std::size_t) const {
+    telemetry::metric_scope::count_edges(64);  // visible progress first
+    while (!telemetry::metric_scope::current_abort_requested()) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    throw operation_cancelled("wedge visitor: abort hint observed");
+  }
+};
+
+TEST(Watchdog, StallGraceTerminatesAWedgedJobViaTheAbortHint) {
+  engine eng({.pool_threads = 4,
+              .defaults = threads(4),
+              .watchdog_sample_interval_ms = 5});
+  auto j = eng.submit_traversal<wedge_visitor>(
+      threads(4).with_stall_grace_ms(50),
+      wedge_state{}, [](auto& q, auto&) { q.push(wedge_visitor{0}); },
+      [](wedge_state&, queue_run_stats stats) { return stats.visits; });
+  try {
+    j.get();
+    FAIL() << "expected traversal_aborted";
+  } catch (const traversal_aborted& e) {
+    EXPECT_EQ(e.reason(), abort_reason::stalled);
+    EXPECT_NE(std::string(e.what()).find("stalled"), std::string::npos);
+  }
+  EXPECT_EQ(j.stats().outcome, "stalled");
+  EXPECT_GE(eng.watchdog_stall_fires(), 1u);
+  eng.wait_idle();
+  const auto sc = eng.counters();
+  EXPECT_EQ(sc.stalled, 1u);
+  EXPECT_EQ(sc.active, 0u);
+}
+
+// A healthy job under both a deadline and a stall grace completes normally:
+// neither trigger fires, and the snapshot carries the configured deadline.
+TEST(Watchdog, HealthyJobUnderDeadlineAndGraceCompletesUntouched) {
+  engine eng({.pool_threads = 4, .defaults = threads(4)});
+  const csr32 g = rmat_graph<vertex32>(rmat_a(10));
+  auto j = eng.submit_bfs(
+      g, vertex32{0},
+      threads(4).with_deadline_ms(60000).with_stall_grace_ms(60000));
+  const auto r = j.get();
+  EXPECT_EQ(r.level, serial_bfs(g, vertex32{0}).level);
+  const auto js = j.stats();
+  EXPECT_EQ(js.outcome, "completed");
+  EXPECT_EQ(js.deadline_ms, 60000u);
+  EXPECT_EQ(eng.watchdog_deadline_fires(), 0u);
+  EXPECT_EQ(eng.watchdog_stall_fires(), 0u);
+}
+
+// A deadline must cover queue wait, not just run time: with the whole pool
+// wedged by one gang, a queued job burns its budget in FIFO admission and
+// the watchdog fires — and latches reason deadline_exceeded — while the
+// job has never held a gang. (Delivery still rides the gang's unwind, so
+// the hog is cancelled after the fire to let the pool drain.)
+TEST(Watchdog, DeadlineCoversQueueWait) {
+  engine eng({.pool_threads = 4,
+              .defaults = threads(4),
+              .watchdog_sample_interval_ms = 5});
+  auto hog = submit_ring(eng, threads(4));
+  while (hog.pending() == 0) {
+  }
+  auto starved = submit_ring(eng, threads(4).with_deadline_ms(40));
+  // The fire must happen while the starved job is still queued behind the
+  // hog — the hog carries no deadline, so any fire is the starved job's.
+  while (eng.watchdog_deadline_fires() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  hog.cancel();
+  try {
+    starved.get();
+    FAIL() << "expected traversal_aborted";
+  } catch (const traversal_aborted& e) {
+    EXPECT_EQ(e.reason(), abort_reason::deadline_exceeded)
+        << "budget burned queued must read as a deadline, not a cancel";
+  }
+  EXPECT_EQ(starved.stats().outcome, "deadline_exceeded");
+  EXPECT_THROW(hog.get(), traversal_aborted);
+  eng.wait_idle();
+  const auto sc = eng.counters();
+  EXPECT_EQ(sc.deadline_exceeded, 1u);
+  EXPECT_EQ(sc.cancelled, 1u);
+  EXPECT_EQ(eng.pool().queued_gangs(), 0u) << "no gang leaked by the "
+                                              "starved job's termination";
+}
+
+}  // namespace
+}  // namespace asyncgt

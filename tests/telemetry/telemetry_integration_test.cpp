@@ -186,7 +186,7 @@ TEST(TelemetryIntegration, VerifyRejectsNonConformingDocuments) {
   EXPECT_FALSE(telemetry::report::verify_text("not json", &error));
   EXPECT_FALSE(telemetry::report::verify_text("{}", &error));
   EXPECT_FALSE(telemetry::report::verify_text(
-      R"({"schema_version":3,"name":"x","config":{},"sections":{}})",
+      R"({"schema_version":4,"name":"x","config":{},"sections":{}})",
       &error));
   EXPECT_FALSE(telemetry::report::verify_text(
       R"({"schema_version":1,"name":"","config":{},"sections":{}})",

@@ -62,7 +62,10 @@ int usage() {
                "  stats [FILE] [--jobs=4] [--threads=16] [--sem]\n"
                "           run a mixed bfs/sssp/cc workload through the\n"
                "           service and print per-job telemetry (counters,\n"
-               "           lifecycle latencies, percentiles)\n"
+               "           lifecycle latencies, percentiles); overload\n"
+               "           knobs: [--admission=block|reject|shed]\n"
+               "           [--max-pending=N] [--admission-timeout-ms=N]\n"
+               "           [--memory-budget-mb=N] [--mix-priority]\n"
                "  verify-json FILE       schema-check an emitted report\n"
                "\n"
                "traversals also accept telemetry flags:\n"
@@ -75,8 +78,14 @@ int usage() {
                "and fault-tolerance flags (docs/robustness.md):\n"
                "  --inject SPEC          SEM fault injection, e.g.\n"
                "                         eio=0.01,seed=7[,fatal][,bad=LO-HI]\n"
+               "                         [,stall=P]\n"
                "  --io-retries N         transient-errno retry budget (4)\n"
                "  --io-backoff-us N      initial retry backoff (50)\n"
+               "overload-safety flags (docs/service_api.md):\n"
+               "  --deadline-ms N        cancel the job past N ms (exit 4)\n"
+               "  --stall-grace-ms N     cancel when no progress for N ms\n"
+               "                         while running (exit 4)\n"
+               "  --priority P           low|normal|high or an integer\n"
                "and SEM I/O backend flags (docs/io_backends.md):\n"
                "  --io-backend NAME      sync|coalescing|uring (default sync)\n"
                "  --io-batch N           coalescing batch depth (default 8)\n"
@@ -90,7 +99,9 @@ int usage() {
                "  --hybrid-alpha X       top-down -> bottom-up (default 14)\n"
                "  --hybrid-beta X        bottom-up -> top-down (default 24)\n"
                "without FILE, traversals synthesize an RMAT graph\n"
-               "(--scale=14) and run it semi-externally as a demo.\n");
+               "(--scale=14) and run it semi-externally as a demo.\n"
+               "exit codes: 0 ok, 1 error, 2 usage, 3 aborted/failed,\n"
+               "4 deadline exceeded or stalled, 5 admission rejected\n");
   return 2;
 }
 
@@ -333,11 +344,13 @@ int run_traversal(const options& opt, const char* name, F&& run) {
     }
   } cleanup{temp_file};
 
-  // One parser for threads / flush-batch / retries / backoff, shared with
-  // the engine API and the bench harnesses (service/traversal_options.hpp).
-  const traversal_options topt = traversal_options::from_flags(opt, sem_mode);
-  visitor_queue_config cfg = topt.queue;
-  rep.attach(cfg);
+  // One parser for threads / flush-batch / retries / backoff / deadline,
+  // shared with the engine API and the bench harnesses
+  // (service/traversal_options.hpp). The report attaches to the embedded
+  // queue config and the whole options bundle flows to the run lambda, so
+  // --deadline-ms / --stall-grace-ms reach the default engine's watchdog.
+  traversal_options topt = traversal_options::from_flags(opt, sem_mode);
+  rep.attach(topt.queue);
 
   int rc;
   if (sem_mode) {
@@ -405,7 +418,7 @@ int run_traversal(const options& opt, const char* name, F&& run) {
         return static_cast<double>(dev.inflight());
       });
     }
-    rc = run(*g, cfg, rep);
+    rc = run(*g, topt, rep);
     const auto c = dev.counters();
     std::printf("device: %s reads (%s MiB)\n", fmt_count(c.reads).c_str(),
                 fmt_count(c.read_bytes >> 20).c_str());
@@ -425,9 +438,10 @@ int run_traversal(const options& opt, const char* name, F&& run) {
     if (injector != nullptr) {
       const auto fc = injector->counters();
       std::printf("faults: %s injected over %s reads (%s short, %s "
-                  "delayed); %s retries, %s gave up\n",
+                  "delayed, %s stalled); %s retries, %s gave up\n",
                   fmt_count(fc.errors).c_str(), fmt_count(fc.ops).c_str(),
                   fmt_count(fc.shorts).c_str(), fmt_count(fc.delays).c_str(),
+                  fmt_count(fc.stalls).c_str(),
                   fmt_count(io.retries).c_str(),
                   fmt_count(io.gave_up).c_str());
     }
@@ -467,6 +481,7 @@ int run_traversal(const options& opt, const char* name, F&& run) {
         fj.set("errors", fc.errors);
         fj.set("shorts", fc.shorts);
         fj.set("delays", fc.delays);
+        fj.set("stalls", fc.stalls);
         fj.set("range_hits", fc.range_hits);
         s.set("faults", std::move(fj));
       }
@@ -480,7 +495,7 @@ int run_traversal(const options& opt, const char* name, F&& run) {
       g = std::make_unique<csr32>(read_graph32_with_reverse(path));
       if (topt.hybrid && !g->has_reverse()) g->ensure_reverse();
     }
-    rc = run(*g, cfg, rep);
+    rc = run(*g, topt, rep);
   }
   rep.finish();
   return rc;
@@ -506,8 +521,18 @@ telemetry::json_value* report_traversal(bench::bench_report& rep,
   return &alg;
 }
 
-/// Prints an abort (exit code 3, distinct from usage errors and validation
-/// failures) and, when an emergency checkpoint was saved, the resume hint.
+/// Exit code for an abort: 4 when the service terminated the job (deadline
+/// or stall watchdog), 3 for every other abort (cancel, worker failure) —
+/// distinct from usage errors (2) and admission rejections (5).
+int abort_exit_code(const traversal_aborted& e) {
+  return e.reason() == abort_reason::deadline_exceeded ||
+                 e.reason() == abort_reason::stalled
+             ? 4
+             : 3;
+}
+
+/// Prints an abort and, when an emergency checkpoint was saved, the resume
+/// hint. Returns the exit code (3 or 4, see abort_exit_code).
 int report_abort(const char* algo, const traversal_aborted& e,
                  const std::string& checkpoint_path) {
   std::fprintf(stderr, "agt_tool %s: %s\n", algo, e.what());
@@ -517,7 +542,7 @@ int report_abort(const char* algo, const traversal_aborted& e,
                  "--resume=%s to finish the traversal\n",
                  checkpoint_path.c_str(), checkpoint_path.c_str());
   }
-  return 3;
+  return abort_exit_code(e);
 }
 
 int cmd_bfs(const options& opt) {
@@ -717,41 +742,87 @@ int cmd_kcore(const options& opt) {
 /// the engine's lifecycle percentiles (docs/observability.md). The same
 /// data lands in the --json report as a schema-v2 "jobs" array.
 int cmd_stats(const options& opt) {
-  return run_traversal(opt, "stats", [&](const auto& g, const auto& cfg,
+  return run_traversal(opt, "stats", [&](const auto& g, const auto& base,
                                          bench::bench_report& rep) {
     const auto jobs =
         std::max<std::size_t>(1, static_cast<std::size_t>(opt.get_int("jobs", 4)));
     const auto start = static_cast<vertex32>(opt.get_int("start", 0));
-    traversal_options topt = traversal_options::from_flags(opt, false);
-    topt.queue = cfg;
-    engine eng({.pool_threads = cfg.num_threads * jobs, .defaults = topt});
+    // Overload-safety knobs (docs/service_api.md): admission policy, a
+    // pending-job bound, a memory budget, plus the per-job deadline /
+    // stall-grace / priority already carried by `base` via from_flags.
+    engine::config ecfg;
+    ecfg.pool_threads = base.queue.num_threads * jobs;
+    ecfg.defaults = base;
+    ecfg.max_pending_jobs =
+        static_cast<std::size_t>(opt.get_int("max-pending", 0));
+    const std::string admission = opt.get_string("admission", "block");
+    if (!service::parse_admission_policy(admission, ecfg.admission)) {
+      throw std::invalid_argument("bad --admission value: " + admission);
+    }
+    ecfg.admission_timeout_ms = static_cast<std::uint32_t>(
+        opt.get_int("admission-timeout-ms", 0));
+    ecfg.memory_budget_bytes =
+        static_cast<std::uint64_t>(opt.get_int("memory-budget-mb", 0)) << 20;
+    engine eng(ecfg);
+    const bool mix_priority = opt.get_bool("mix-priority", false);
 
     telemetry::phase_timer ph(rep.trace(), "stats", &rep.metrics());
     std::vector<std::function<void()>> waits;
+    std::size_t rejected_jobs = 0;
+    std::exception_ptr last_rejection;
     for (std::size_t j = 0; j < jobs; ++j) {
       const auto s = static_cast<vertex32>(
           (start + j) % std::max<std::uint64_t>(g.num_vertices(), 1));
-      switch (j % 3) {
-        case 0: {
-          auto h = std::make_shared<job<bfs_result<vertex32>>>(
-              eng.submit_bfs(g, s));
-          waits.push_back([h] { h->get(); });
-          break;
+      traversal_options jopt = base;
+      // Under a budget every job declares its share so the guardrail has
+      // something to count (docs/service_api.md: estimates are
+      // caller-declared).
+      if (ecfg.memory_budget_bytes != 0 && jopt.memory_estimate_bytes == 0) {
+        jopt.memory_estimate_bytes = g.resident_bytes();
+      }
+      // --mix-priority cycles high/normal/low so shed admission has a
+      // spread of victims to choose from.
+      if (mix_priority) jopt.priority = 1 - static_cast<int>(j % 3);
+      try {
+        switch (j % 3) {
+          case 0: {
+            auto h = std::make_shared<job<bfs_result<vertex32>>>(
+                eng.submit_bfs(g, s, jopt));
+            waits.push_back([h] { h->get(); });
+            break;
+          }
+          case 1: {
+            auto h = std::make_shared<job<sssp_result<vertex32>>>(
+                eng.submit_sssp(g, s, jopt));
+            waits.push_back([h] { h->get(); });
+            break;
+          }
+          default: {
+            auto h = std::make_shared<job<cc_result<vertex32>>>(
+                eng.submit_cc(g, jopt));
+            waits.push_back([h] { h->get(); });
+            break;
+          }
         }
-        case 1: {
-          auto h = std::make_shared<job<sssp_result<vertex32>>>(
-              eng.submit_sssp(g, s));
-          waits.push_back([h] { h->get(); });
-          break;
-        }
-        default: {
-          auto h = std::make_shared<job<cc_result<vertex32>>>(eng.submit_cc(g));
-          waits.push_back([h] { h->get(); });
-          break;
-        }
+      } catch (const service::admission_rejected& e) {
+        std::fprintf(stderr, "job %zu rejected: %s\n", j, e.what());
+        ++rejected_jobs;
+        last_rejection = std::current_exception();
       }
     }
-    for (auto& w : waits) w();
+    // Partial rejection is the workload doing its job; total rejection
+    // means nothing ran at all — surface that as exit 5.
+    if (rejected_jobs == jobs && last_rejection != nullptr) {
+      std::rethrow_exception(last_rejection);
+    }
+    // Terminated jobs (deadline, stall, shed) surface through the snapshot
+    // table below; the stats workload itself keeps going.
+    for (auto& w : waits) {
+      try {
+        w();
+      } catch (const traversal_aborted&) {
+      }
+    }
 
     // The completed-job ring is the introspection surface: handles may be
     // gone, the snapshots stay.
@@ -762,12 +833,12 @@ int cmd_stats(const options& opt) {
       return std::string(buf);
     };
     text_table table;
-    table.header({"job", "kind", "state", "visits", "edges", "io KiB",
-                  "retries", "wait ms", "run ms", "total ms"});
+    table.header({"job", "kind", "outcome", "prio", "visits", "edges",
+                  "io KiB", "retries", "wait ms", "run ms", "total ms"});
     for (const auto& js : recent) {
-      table.row({std::to_string(js.job_id), js.label,
-                 js.failed ? "failed" : js.cancelled ? "cancelled" : "done",
-                 fmt_count(js.visits), fmt_count(js.edge_inspections),
+      table.row({std::to_string(js.job_id), js.label, js.outcome,
+                 std::to_string(js.priority), fmt_count(js.visits),
+                 fmt_count(js.edge_inspections),
                  fmt_count(js.io_bytes >> 10), fmt_count(js.io_retries),
                  ms(js.queue_wait_seconds), ms(js.run_seconds),
                  ms(js.total_seconds)});
@@ -797,9 +868,22 @@ int cmd_stats(const options& opt) {
     put("queue_wait_us", lc.queue_wait_us);
     put("run_us", lc.run_us);
     put("total_us", lc.total_us);
-    std::printf("engine: %llu submitted, %llu completed\n",
-                static_cast<unsigned long long>(eng.jobs_submitted()),
-                static_cast<unsigned long long>(eng.jobs_completed()));
+    const auto sc = eng.counters();
+    std::printf("service: %llu submitted = %llu completed + %llu failed + "
+                "%llu cancelled + %llu deadline_exceeded + %llu stalled + "
+                "%llu shed + %llu rejected (%llu still active)\n",
+                static_cast<unsigned long long>(sc.submitted),
+                static_cast<unsigned long long>(sc.completed),
+                static_cast<unsigned long long>(sc.failed),
+                static_cast<unsigned long long>(sc.cancelled),
+                static_cast<unsigned long long>(sc.deadline_exceeded),
+                static_cast<unsigned long long>(sc.stalled),
+                static_cast<unsigned long long>(sc.shed),
+                static_cast<unsigned long long>(sc.rejected),
+                static_cast<unsigned long long>(sc.active));
+    if (rep.json_enabled()) {
+      rep.section("service") = bench::to_json(sc);
+    }
     return 0;
   });
 }
@@ -844,6 +928,14 @@ int main(int argc, char** argv) {
     if (cmd == "import") return cmd_import(opt);
     if (cmd == "export") return cmd_export(opt);
     if (cmd == "verify-json") return cmd_verify_json(opt);
+  } catch (const asyncgt::traversal_aborted& e) {
+    // Uncaught aborts from subcommands without their own handler (pagerank,
+    // kcore, metrics) still map to the typed exit codes.
+    std::fprintf(stderr, "agt_tool %s: %s\n", cmd.c_str(), e.what());
+    return abort_exit_code(e);
+  } catch (const asyncgt::service::admission_rejected& e) {
+    std::fprintf(stderr, "agt_tool %s: %s\n", cmd.c_str(), e.what());
+    return 5;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "agt_tool %s: %s\n", cmd.c_str(), e.what());
     return 1;

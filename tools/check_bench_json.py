@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Schema check for bench-report JSON emitted via --json (schema v1/v2).
+"""Schema check for bench-report JSON emitted via --json (schema v1/v2/v3).
 
 Mirrors telemetry::report::verify (src/telemetry/metrics_json.cpp) so CI and
 ad-hoc tooling can validate BENCH_*.json artifacts without building the C++
@@ -20,6 +20,13 @@ must hold objects whose `direction` is one of top-down / bottom-up /
 async-tail and whose `edge_inspections` is a non-negative number, and the
 phase inspections must sum to the sibling `edge_inspections` total when one
 is present.
+
+Schema v3 adds the overload-safety surface: jobs[] entries may carry an
+`outcome` (one of the job_outcome names), a non-negative `deadline_ms`, and
+an integer `priority`; a "service" section (bench::to_json of
+engine::service_counters) must satisfy the admission conservation law
+submitted = rejected + active + completed + failed + cancelled +
+deadline_exceeded + stalled + shed.
 
 Usage: check_bench_json.py FILE [FILE...]
 Exit status 0 if every file conforms, 1 otherwise.
@@ -107,13 +114,39 @@ def check_hybrid_phases(value, where):
     return None
 
 
+_OUTCOMES = ("running", "completed", "failed", "cancelled",
+             "deadline_exceeded", "stalled", "shed")
+
+# service-section conservation: submitted = the sum of these terminal (and
+# still-active) buckets. Mirrors engine::service_counters' documented law.
+_CONSERVED = ("rejected", "active", "completed", "failed", "cancelled",
+              "deadline_exceeded", "stalled", "shed")
+
+
+def check_service(section):
+    """Validates a "service" section; returns an error or None."""
+    if "submitted" not in section:
+        # Legacy (pre-v3) shape: jobs_submitted/jobs_completed summaries
+        # without the admission counters — nothing to conserve.
+        return None
+    for key in ("submitted",) + _CONSERVED:
+        v = _num(section, key)
+        if v is None or v < 0:
+            return "service.%s must be a non-negative number" % key
+    total = sum(section[k] for k in _CONSERVED)
+    if section["submitted"] != total:
+        return ("service: conservation violated — submitted=%r but "
+                "terminal buckets sum to %r" % (section["submitted"], total))
+    return None
+
+
 def check(doc):
-    """Returns None if `doc` conforms to schema v1/v2, else an error string."""
+    """Returns None if `doc` conforms to schema v1/v2/v3, else an error."""
     if not isinstance(doc, dict):
         return "document is not a JSON object"
     version = doc.get("schema_version")
-    if isinstance(version, bool) or version not in (1, 2):
-        return "schema_version must be the integer 1 or 2"
+    if isinstance(version, bool) or version not in (1, 2, 3):
+        return "schema_version must be the integer 1, 2 or 3"
     name = doc.get("name")
     if not isinstance(name, str) or not name:
         return "name must be a non-empty string"
@@ -125,6 +158,10 @@ def check(doc):
     for key, value in sections.items():
         if not isinstance(value, dict):
             return "section '%s' is not an object" % key
+        if key == "service":
+            error = check_service(value)
+            if error is not None:
+                return error
     rows = doc.get("rows")
     if rows is not None:
         if not isinstance(rows, list):
@@ -142,6 +179,20 @@ def check(doc):
             job_id = entry.get("job_id")
             if isinstance(job_id, bool) or not isinstance(job_id, int):
                 return "jobs entries must carry an integer job_id"
+            outcome = entry.get("outcome")
+            if outcome is not None and outcome not in _OUTCOMES:
+                return "jobs[%r]: outcome %r not in %s" % (
+                    job_id, outcome, "/".join(_OUTCOMES))
+            deadline = entry.get("deadline_ms")
+            if deadline is not None and (
+                    isinstance(deadline, bool)
+                    or not isinstance(deadline, (int, float))
+                    or deadline < 0):
+                return "jobs[%r]: deadline_ms must be non-negative" % job_id
+            priority = entry.get("priority")
+            if priority is not None and (isinstance(priority, bool)
+                                         or not isinstance(priority, int)):
+                return "jobs[%r]: priority must be an integer" % job_id
     error = check_hybrid_phases(doc, "$")
     if error is not None:
         return error

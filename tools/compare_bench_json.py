@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Diff two bench-report JSON files (schema v1/v2) and flag regressions.
+"""Diff two bench-report JSON files (schema v1/v2/v3) and flag regressions.
 
 Walks both documents in parallel and reports every numeric leaf that
 changed, as an absolute pair and a percentage delta. Intended use: keep a
@@ -25,6 +25,12 @@ something else: a hybrid run quietly inspecting more edges is exactly the
 regression the direction-switch heuristics exist to prevent. Opt out with
 --no-watch-inspections.
 
+The schema-v3 overload counters (paths ending in service `rejected`,
+`shed`, or `deadline_exceeded`) are always-watched the same way: a change
+that starts bouncing or killing jobs under the same workload is a service
+regression even when --watch is trained on timings. Opt out with
+--no-watch-service.
+
 Exit status: 0 = no regression, 1 = regression over threshold,
 2 = usage / unreadable input.
 """
@@ -36,6 +42,14 @@ import sys
 
 def is_number(v):
     return not isinstance(v, bool) and isinstance(v, (int, float))
+
+
+# Overload counters that are always threshold-watched (see module doc):
+# the engine's "service" section plus the service.* metric family any
+# report may carry.
+_SERVICE_WATCH = re.compile(
+    r"service[.\]].*(rejected|shed|deadline_exceeded)"
+    r"|\.(rejected|shed|shed_requests|deadline_exceeded)$")
 
 
 def numeric_leaves(value, where, out):
@@ -82,6 +96,9 @@ def main(argv):
     parser.add_argument("--no-watch-inspections", action="store_true",
                         help="do not force-watch edge_inspections paths "
                              "when --watch narrows the threshold scope")
+    parser.add_argument("--no-watch-service", action="store_true",
+                        help="do not force-watch the service overload "
+                             "counters (rejected/shed/deadline_exceeded)")
     parser.add_argument("--all", action="store_true",
                         help="also print unchanged metrics")
     args = parser.parse_args(argv[1:])
@@ -123,6 +140,8 @@ def main(argv):
         print("  %-60s  %g -> %g  (%s)" % (path, old, new, delta_str))
         watched = watch is None or watch.search(path)
         if not args.no_watch_inspections and "edge_inspections" in path:
+            watched = True
+        if not args.no_watch_service and _SERVICE_WATCH.search(path):
             watched = True
         if args.threshold is not None and watched:
             grew = (delta is not None and delta > args.threshold) or \

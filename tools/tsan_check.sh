@@ -6,7 +6,10 @@
 # broadcast racing delivery/parking, injected-fault soak), and the
 # traversal-service battery (pooled gang dispatch, concurrent jobs over one
 # shared graph, cancellation racing the pool, per-job attribution
-# conservation under concurrent gangs), the differential battery
+# conservation under concurrent gangs), the overload-safety battery
+# (watchdog deadline/stall firing racing completion, admission decisions
+# from concurrent submitters, the 4x-oversubscribed mixed-priority mix —
+# docs/robustness.md), the differential battery
 # (async vs serial labels across storage modes), the I/O-backend battery
 # (per-thread coalescing lanes, backend-identity under injected faults),
 # and the hybrid-traversal battery (the bottom-up sweeps' range-partitioned
@@ -17,7 +20,8 @@
 #   tools/tsan_check.sh [-jN]
 #
 # Exits non-zero on any data race (TSAN_OPTIONS=halt_on_error=1) or test
-# failure.
+# failure. tools/tsan.supp mutes the known libstdc++ exception_ptr
+# false positive (refcount decrement lives in the uninstrumented .so).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -25,5 +29,5 @@ cd "$(dirname "$0")/.."
 JOBS="${1:--j$(nproc)}"
 
 cmake --preset tsan
-cmake --build --preset tsan "${JOBS}" --target test_queue test_core test_fault test_service test_diff test_backend test_telemetry test_sem test_hybrid
+cmake --build --preset tsan "${JOBS}" --target test_queue test_core test_fault test_service test_overload test_diff test_backend test_telemetry test_sem test_hybrid
 ctest --preset tsan
