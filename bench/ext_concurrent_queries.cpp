@@ -61,6 +61,7 @@
 #include "sem/block_cache.hpp"
 #include "sem/block_heat.hpp"
 #include "sem/device_presets.hpp"
+#include "sem/sem_config.hpp"
 #include "sem/sem_csr.hpp"
 #include "service/engine.hpp"
 #include "telemetry/io_recorder.hpp"
@@ -120,7 +121,11 @@ int main(int argc, char** argv) {
   traversal_options topt = traversal_options::from_flags(opt, true);
   if (!opt.has("threads")) topt.queue.num_threads = 32;
   const double time_scale = opt.get_double("time-scale", 4.0);
-  const double cache_fraction = opt.get_double("cache-fraction", 1.0);
+  // --cache-fraction flows through the shared parser; this bench's default
+  // is a cache big enough to hold the file (the shared-cache effect is the
+  // point), and an explicit 0 degrades to the 1-block floor as before.
+  const double cache_fraction =
+      topt.cache_fraction >= 0.0 ? topt.cache_fraction : 1.0;
 
   banner("Concurrent mixed SEM queries over one shared graph + cache",
          "service API (docs/service_api.md), job-scoped telemetry "
@@ -145,20 +150,23 @@ int main(int argc, char** argv) {
   const auto params = sem::device_preset_by_name(
       opt.get_string("device", "intel"), time_scale);
   sem::ssd_model dev(params);
-  const std::uint64_t file_blocks =
-      std::filesystem::file_size(path) / params.block_bytes + 1;
-  sem::block_cache cache(std::max<std::uint64_t>(
-      1, static_cast<std::uint64_t>(cache_fraction *
-                                    static_cast<double>(file_blocks))));
-  sem::sem_csr32 sg(path, &dev, &cache);
-
   // Job-scoped observability around the shared graph: one io_recorder and
   // one block_heat for every job; per-job slices come from metric_scope.
+  // The builder also carries the hot-block knobs, so --ordering=hot /
+  // --cache-policy=pressure / --prefetch-hot apply to the shared graph.
   telemetry::io_recorder rec;
-  sg.set_io_recorder(&rec);
-  sem::block_heat heat(sg.heat_blocks_for(params.block_bytes),
-                       params.block_bytes);
-  sg.set_block_heat(&heat);
+  sem::sem_config scfg = sem::sem_config::from_options(topt, path);
+  scfg.with_device(&dev).with_heat().with_io_recorder(&rec);
+  if (cache_fraction > 0.0) {
+    scfg.with_cache_fraction(cache_fraction);
+  } else {
+    scfg.with_cache_blocks(1);
+  }
+  auto bundle = scfg.open<vertex32>();
+  bundle.wire_queue(topt.queue);
+  sem::sem_csr32& sg = *bundle.graph;
+  sem::block_cache& cache = *bundle.cache;
+  sem::block_heat& heat = *bundle.heat;
 
   const std::vector<vertex32> starts = pick_starts(g, jobs);
   std::vector<bfs_result<vertex32>> expected_bfs;

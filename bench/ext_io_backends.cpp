@@ -32,6 +32,7 @@
 #include "sem/block_cache.hpp"
 #include "sem/device_presets.hpp"
 #include "sem/io_backend.hpp"
+#include "sem/sem_config.hpp"
 #include "sem/sem_csr.hpp"
 
 using namespace asyncgt;
@@ -91,19 +92,20 @@ int main(int argc, char** argv) {
   const auto run_one = [&](sem::io_backend_kind kind, std::size_t threads,
                            std::uint32_t batch) {
     sem::ssd_model dev(params);
-    sem::block_cache cache(cache_blocks);
-    sem::sem_csr32 sg(path, &dev, &cache);
-    sem::io_backend_config bcfg;
-    bcfg.kind = kind;
-    bcfg.batch = batch;
-    bcfg.block_bytes = static_cast<std::uint32_t>(params.block_bytes);
-    sg.set_io_backend(bcfg);
+    // Builder per run: the sweep's only variables are the backend and its
+    // batch depth, everything else (cache size, device) is held constant.
+    auto bundle = sem::sem_config(path)
+                      .with_device(&dev)
+                      .with_cache_blocks(cache_blocks)
+                      .with_io_backend(sem::to_string(kind), batch)
+                      .open<vertex32>();
     visitor_queue_config cfg = topt.queue;
     cfg.num_threads = threads;
     run_result r;
     bfs_result<vertex32> out;
-    r.seconds = time_seconds([&] { out = async_bfs(sg, start, cfg); });
-    r.io = sg.backend().counters();
+    r.seconds =
+        time_seconds([&] { out = async_bfs(*bundle.graph, start, cfg); });
+    r.io = bundle.graph->backend().counters();
     r.labels_ok = out.level == reference.level;
     return r;
   };

@@ -46,6 +46,7 @@
 #include "sem/block_cache.hpp"
 #include "sem/device_presets.hpp"
 #include "sem/fault_injector.hpp"
+#include "sem/sem_config.hpp"
 #include "sem/sem_csr.hpp"
 #include "telemetry/io_recorder.hpp"
 #include "telemetry/metrics_json.hpp"
@@ -76,7 +77,10 @@ int main(int argc, char** argv) {
   if (!opt.has("threads")) topt.queue.num_threads = 128;
   const std::size_t sem_threads = topt.queue.num_threads;
   const double time_scale = opt.get_double("time-scale", 16.0);
-  const double cache_fraction = opt.get_double("cache-fraction", 0.65);
+  // --cache-fraction flows through the shared parser now; this table keeps
+  // its calibrated 0.65 default when the flag is absent.
+  const double cache_fraction =
+      topt.cache_fraction >= 0.0 ? topt.cache_fraction : 0.65;
   const double bgl_edge_rate = opt.get_double("bgl-edge-rate", 7.4e6);
   const std::string inject_spec = opt.get_string("inject", "");
   std::unique_ptr<sem::fault_injector> injector;
@@ -84,12 +88,6 @@ int main(int argc, char** argv) {
     injector = std::make_unique<sem::fault_injector>(
         sem::parse_fault_config(inject_spec));
   }
-  // --io-backend routes every adjacency read (docs/io_backends.md); labels
-  // must stay identical to the sync default, so the per-run correctness
-  // check below doubles as the backend acceptance test.
-  sem::io_backend_config backend_cfg;
-  backend_cfg.kind = sem::parse_io_backend_kind(topt.io_backend);
-  backend_cfg.batch = topt.io_batch;
   telemetry::io_recorder io_rec;  // accumulates across all SEM runs
 
   banner("Semi-External Memory Breadth First Search", "paper Table IV");
@@ -134,31 +132,35 @@ int main(int argc, char** argv) {
       const auto devices = sem::all_device_presets(time_scale);
       for (std::size_t d = 0; d < devices.size(); ++d) {
         sem::ssd_model dev(devices[d]);
-        const std::uint64_t file_blocks =
-            std::filesystem::file_size(path) / devices[d].block_bytes + 1;
-        sem::block_cache cache(std::max<std::uint64_t>(
-            1, static_cast<std::uint64_t>(cache_fraction *
-                                          static_cast<double>(file_blocks))));
-        sem::sem_csr32 sg(path, &dev, &cache);
-        backend_cfg.block_bytes =
-            static_cast<std::uint32_t>(devices[d].block_bytes);
-        sg.set_io_backend(backend_cfg);
+        // One builder per device row: backend (--io-backend routes every
+        // adjacency read, docs/io_backends.md — labels must stay identical
+        // to the sync default, so the per-run correctness check doubles as
+        // the backend acceptance test), cache + policy, retries, and the
+        // hot-block knobs all arrive through the shared parser.
+        sem::sem_config scfg = sem::sem_config::from_options(topt, path);
+        scfg.with_device(&dev).with_cache_fraction(cache_fraction);
         if (injector != nullptr) {
-          sg.set_fault_injector(injector.get());
-          sg.set_io_recorder(&io_rec);
+          scfg.with_fault_injector(injector.get()).with_io_recorder(&io_rec);
         }
+        auto bundle = scfg.open<vertex32>();
+        sem::sem_csr32& sg = *bundle.graph;
 
         visitor_queue_config cfg = topt.queue;
+        bundle.wire_queue(cfg);
         rep.attach(cfg);
         bfs_result<vertex32> sem_r;
         const double t_sem =
             time_seconds([&] { sem_r = async_bfs(sg, start, cfg); });
+        if (bundle.prefetch != nullptr) bundle.prefetch->drain();
         if (sem_r.level != im_r.level) {
           ok &= shape_check(false, "SEM BFS matches in-memory BFS");
         }
         const double iops =
             static_cast<double>(dev.counters().reads) / std::max(t_sem, 1e-9);
-        const double hit_rate = cache.counters().hit_rate();
+        const auto cache_c = bundle.cache != nullptr
+                                 ? bundle.cache->counters()
+                                 : sem::cache_counters{};
+        const double hit_rate = cache_c.hit_rate();
 
         // Single-thread SEM run (fresh cache) to expose the latency-hiding
         // gain of oversubscription. Only on the fastest device at the
@@ -167,12 +169,12 @@ int main(int argc, char** argv) {
         double t_sem1 = -1.0;
         if (scale == scales.front() && devices[d].name == "fusionio") {
           sem::ssd_model dev1(devices[d]);
-          sem::block_cache cache1(cache.capacity());
-          sem::sem_csr32 sg1(path, &dev1, &cache1);
-          sg1.set_io_backend(backend_cfg);
+          sem::sem_config scfg1 = scfg;
+          auto bundle1 = scfg1.with_device(&dev1).open<vertex32>();
           visitor_queue_config cfg1 = cfg;
+          bundle1.wire_queue(cfg1);
           cfg1.num_threads = 1;
-          t_sem1 = time_seconds([&] { async_bfs(sg1, start, cfg1); });
+          t_sem1 = time_seconds([&] { async_bfs(*bundle1.graph, start, cfg1); });
           overs_gain.push_back(t_sem1 / t_sem);
         }
 
@@ -188,7 +190,7 @@ int main(int argc, char** argv) {
                    fmt_count(std::filesystem::file_size(path) >> 20) + " MiB",
                    devices[d].name, fmt_seconds(t_sem), fmt_seconds(t_sem1),
                    fmt_count(static_cast<std::uint64_t>(iops)),
-                   fmt_ratio(hit_rate), fmt_count(cache.counters().evictions),
+                   fmt_ratio(hit_rate), fmt_count(cache_c.evictions),
                    fmt_ratio(t_im / t_sem), fmt_ratio(sp_bgl)});
       }
       table.rule();

@@ -28,6 +28,7 @@
 #include "sem/block_cache.hpp"
 #include "sem/device_presets.hpp"
 #include "sem/fault_injector.hpp"
+#include "sem/sem_config.hpp"
 #include "sem/sem_csr.hpp"
 #include "telemetry/io_recorder.hpp"
 #include "telemetry/metrics_json.hpp"
@@ -43,7 +44,10 @@ int main(int argc, char** argv) {
   traversal_options topt = traversal_options::from_flags(opt, true);
   if (!opt.has("threads")) topt.queue.num_threads = 128;
   const double time_scale = opt.get_double("time-scale", 16.0);
-  const double cache_fraction = opt.get_double("cache-fraction", 0.65);
+  // --cache-fraction flows through the shared parser; calibrated 0.65
+  // default when absent (same convention as table4_bfs_sem).
+  const double cache_fraction =
+      topt.cache_fraction >= 0.0 ? topt.cache_fraction : 0.65;
   const double bgl_edge_rate = opt.get_double("bgl-edge-rate", 7.4e6);
   const auto web_hosts =
       static_cast<std::uint64_t>(opt.get_int("web-hosts", 600));
@@ -53,11 +57,6 @@ int main(int argc, char** argv) {
     injector = std::make_unique<sem::fault_injector>(
         sem::parse_fault_config(inject_spec));
   }
-  // --io-backend routes every adjacency read (docs/io_backends.md); the
-  // per-run label check doubles as the backend acceptance test.
-  sem::io_backend_config backend_cfg;
-  backend_cfg.kind = sem::parse_io_backend_kind(topt.io_backend);
-  backend_cfg.batch = topt.io_batch;
   telemetry::io_recorder io_rec;  // accumulates across all SEM runs
 
   banner("Semi-External Memory Connected Components", "paper Table V");
@@ -112,24 +111,23 @@ int main(int argc, char** argv) {
     const auto devices = sem::all_device_presets(time_scale);
     for (std::size_t d = 0; d < devices.size(); ++d) {
       sem::ssd_model dev(devices[d]);
-      const std::uint64_t file_blocks =
-          std::filesystem::file_size(path) / devices[d].block_bytes + 1;
-      sem::block_cache cache(std::max<std::uint64_t>(
-          1, static_cast<std::uint64_t>(cache_fraction *
-                                        static_cast<double>(file_blocks))));
-      sem::sem_csr32 sg(path, &dev, &cache);
-      backend_cfg.block_bytes =
-          static_cast<std::uint32_t>(devices[d].block_bytes);
-      sg.set_io_backend(backend_cfg);
+      // One builder per device row (see table4_bfs_sem.cpp): --io-backend
+      // routes every adjacency read, and the per-run label check doubles as
+      // the backend acceptance test.
+      sem::sem_config scfg = sem::sem_config::from_options(topt, path);
+      scfg.with_device(&dev).with_cache_fraction(cache_fraction);
       if (injector != nullptr) {
-        sg.set_fault_injector(injector.get());
-        sg.set_io_recorder(&io_rec);
+        scfg.with_fault_injector(injector.get()).with_io_recorder(&io_rec);
       }
+      auto bundle = scfg.open<vertex32>();
+      sem::sem_csr32& sg = *bundle.graph;
 
       visitor_queue_config cfg = topt.queue;
+      bundle.wire_queue(cfg);
       rep.attach(cfg);
       cc_result<vertex32> sem_r;
       const double t_sem = time_seconds([&] { sem_r = async_cc(sg, cfg); });
+      if (bundle.prefetch != nullptr) bundle.prefetch->drain();
       if (sem_r.component != im_r.component) {
         ok &= shape_check(false, w.name + ": SEM CC matches in-memory CC");
       }
@@ -139,12 +137,15 @@ int main(int argc, char** argv) {
       if (devices[d].name == "fusionio") {
         bgl_speedups_fusion.push_back(sp_bgl);
       }
+      const auto cache_c = bundle.cache != nullptr
+                               ? bundle.cache->counters()
+                               : sem::cache_counters{};
       table.row({w.name, fmt_count(g.num_vertices()),
                  fmt_count(im_r.num_components()),
                  fmt_count(std::filesystem::file_size(path) >> 20) + " MiB",
                  devices[d].name, fmt_seconds(t_sem),
-                 fmt_ratio(cache.counters().hit_rate()),
-                 fmt_count(cache.counters().evictions),
+                 fmt_ratio(cache_c.hit_rate()),
+                 fmt_count(cache_c.evictions),
                  fmt_ratio(t_im / t_sem), fmt_ratio(sp_bgl)});
     }
     table.rule();

@@ -60,6 +60,7 @@
 #include <utility>
 #include <vector>
 
+#include "queue/hot_advisor.hpp"
 #include "queue/mailbox.hpp"
 #include "queue/ordering_policy.hpp"
 #include "queue/queue_config.hpp"
@@ -102,6 +103,12 @@ class traversal_engine {
     term_.reserve(1);
     ext_pushes_.fetch_add(1, std::memory_order_relaxed);
     ext_flushes_.fetch_add(1, std::memory_order_relaxed);
+    // Advised before delivery: once delivered, the visitor may execute (and
+    // fire on_complete) on another thread, and the pressure tracker must
+    // never see a completion before its enqueue.
+    if (cfg_.advisor != nullptr) {
+      cfg_.advisor->on_enqueue(static_cast<std::uint64_t>(v.vertex()));
+    }
     boxes_[route_(v.vertex())].deliver_one(std::move(v));
   }
 
@@ -402,6 +409,13 @@ class traversal_engine {
     auto& buf = me.outbox[dest];
     if (buf.empty()) return;
     if (!me.seeding) term_.reserve(static_cast<std::int64_t>(buf.size()));
+    // Advised before delivery (see push_external); covers seeded visitors
+    // too, so pressure conservation holds for run() and run_seeded alike.
+    if (cfg_.advisor != nullptr) {
+      for (const Visitor& v : buf) {
+        cfg_.advisor->on_enqueue(static_cast<std::uint64_t>(v.vertex()));
+      }
+    }
     boxes_[dest].deliver(buf);
     buf.clear();
     ++me.flushes;
@@ -478,6 +492,9 @@ class traversal_engine {
         me.visiting = false;
         ++me.visits;
         ++me.completed;  // decrement deferred to the next commit point
+        if (cfg_.advisor != nullptr) {
+          cfg_.advisor->on_complete(static_cast<std::uint64_t>(v.vertex()));
+        }
         continue;
       }
       // Local structure empty: drain the inbox; failing that, flush our
@@ -650,6 +667,9 @@ class traversal_engine {
     term_.reset_done();
     ext_pushes_.store(0, std::memory_order_relaxed);
     ext_flushes_.store(0, std::memory_order_relaxed);
+    // The discarded visitors' enqueues were already advised; drop their
+    // pending-pressure contribution with them.
+    if (cfg_.advisor != nullptr) cfg_.advisor->reset();
   }
 
   queue_run_stats finalize_stats(double elapsed) {
@@ -661,6 +681,7 @@ class traversal_engine {
       s.pushes += ln.pushes;
       s.flushes += ln.flushes;
       s.wakeups += ln.wakeups;
+      s.hot_pops += ln.local.take_hot_pops();
       s.max_queue_length = std::max(s.max_queue_length, ln.max_len);
       s.visits_per_queue.push_back(ln.visits);
       ln.visits = ln.pushes = ln.flushes = ln.wakeups = ln.max_len = 0;
@@ -698,6 +719,7 @@ class traversal_engine {
     reg.get_counter("queue.pushes").add(0, s.pushes);
     reg.get_counter("queue.flushes").add(0, s.flushes);
     reg.get_counter("queue.wakeups").add(0, s.wakeups);
+    reg.get_counter("queue.hot_pops").add(0, s.hot_pops);
     reg.get_gauge("queue.max_queue_length")
         .record_max(static_cast<std::int64_t>(s.max_queue_length));
     telemetry::histogram& h = reg.get_histogram("queue.visits_per_queue");

@@ -95,6 +95,9 @@ class visitor_queue {
       case queue_order::lifo:
         engine_.template emplace<lifo_engine>(cfg_);
         break;
+      case queue_order::hot:
+        engine_.template emplace<hot_engine>(cfg_);
+        break;
     }
   }
 
@@ -222,6 +225,8 @@ class visitor_queue {
       detail::traversal_engine<Visitor, State, fifo_order<Visitor>>;
   using lifo_engine =
       detail::traversal_engine<Visitor, State, lifo_order<Visitor>>;
+  using hot_engine =
+      detail::traversal_engine<Visitor, State, hot_order<Visitor>>;
 
   /// Single dispatch point from the runtime order to the monomorphic
   /// engine. The monostate alternative only exists so the variant can be
@@ -234,8 +239,10 @@ class visitor_queue {
         return f(std::get<1>(engine_));
       case 2:
         return f(std::get<2>(engine_));
-      default:
+      case 3:
         return f(std::get<3>(engine_));
+      default:
+        return f(std::get<4>(engine_));
     }
   }
 
@@ -275,7 +282,9 @@ class visitor_queue {
   }
 
   visitor_queue_config cfg_;
-  std::variant<std::monostate, prio_engine, fifo_engine, lifo_engine> engine_;
+  std::variant<std::monostate, prio_engine, fifo_engine, lifo_engine,
+               hot_engine>
+      engine_;
   std::vector<telemetry::sampler::probe_id> probe_ids_;
 };
 

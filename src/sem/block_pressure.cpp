@@ -1,0 +1,36 @@
+#include "sem/block_pressure.hpp"
+
+namespace asyncgt::sem {
+
+std::uint64_t block_pressure::total_increments() const noexcept {
+  std::uint64_t sum = 0;
+  for (const shard& s : shards_) {
+    sum += s.increments.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+std::uint64_t block_pressure::total_decrements() const noexcept {
+  std::uint64_t sum = 0;
+  for (const shard& s : shards_) {
+    sum += s.decrements.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+std::uint64_t block_pressure::total_pending() const noexcept {
+  const std::uint64_t inc = total_increments();
+  const std::uint64_t dec = total_decrements();
+  return inc > dec ? inc - dec : 0;
+}
+
+void block_pressure::reset() noexcept {
+  for (auto& p : pending_) p.store(0, std::memory_order_relaxed);
+  for (shard& s : shards_) {
+    s.increments.store(0, std::memory_order_relaxed);
+    s.decrements.store(0, std::memory_order_relaxed);
+  }
+  out_of_range_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace asyncgt::sem

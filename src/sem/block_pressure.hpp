@@ -1,0 +1,120 @@
+// Live per-block pending-visitor counts — the hot-block scheduling signal.
+//
+// ACGraph's out-of-core result (PAPERS.md) is that processing the blocks
+// with the most pending updates first maximizes useful work per byte of
+// I/O. The mailbox layer routes visitors by vertex, so nothing in the queue
+// knows block occupancy; this tracker shifts that view: every visitor
+// delivered to a mailbox bumps the pending count of the device block its
+// adjacency list lives in (sem_hot_advisor maps vertex -> block via
+// sem_csr::adjacency_block_of), and every completed visit undoes one bump.
+// A block's pending count is therefore "how many queued visitors will need
+// this block", which is exactly what the hot ordering mode, the
+// pressure-weighted cache policy, and the prefetch lane consume.
+//
+// Layout: a dense array of relaxed per-block atomics (the block_heat
+// idiom — no locks or hashing on the hot path) plus a small array of
+// cache-line-padded shards for the aggregate increment/decrement totals, so
+// hundreds of oversubscribed workers never rendezvous on one counter. The
+// conservation law the tests pin: at quiescence,
+//   total_increments() == mailbox deliveries == total_decrements()
+//   == completed visits, and total_pending() == 0.
+//
+// All counts are relaxed-atomic heuristics, not a ledger: a stale read
+// costs a little scheduling quality and nothing else (label correction
+// keeps final labels pop-order-invariant).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "sem/block_index.hpp"
+#include "util/cache_line.hpp"
+
+namespace asyncgt::sem {
+
+class block_pressure {
+ public:
+  /// `num_blocks` bounds the tracked block-id range (size it with
+  /// sem_csr::heat_blocks_for, like block_heat); `block_bytes` is recorded
+  /// for reporting. Adds at or past num_blocks land on the out-of-range
+  /// counter instead of being dropped silently.
+  explicit block_pressure(std::uint64_t num_blocks,
+                          std::uint64_t block_bytes = default_block_bytes)
+      : block_bytes_(block_bytes ? block_bytes : default_block_bytes),
+        pending_(num_blocks) {}
+
+  std::uint64_t num_blocks() const noexcept { return pending_.size(); }
+  std::uint64_t block_bytes() const noexcept { return block_bytes_; }
+
+  /// One visitor whose adjacency lives in `block` was enqueued. Returns the
+  /// block's new pending count (0 for an out-of-range block), which is what
+  /// the advisor's threshold-crossing prefetch trigger keys on.
+  std::uint32_t add(std::uint64_t block) noexcept {
+    if (block >= pending_.size()) {
+      out_of_range_.fetch_add(1, std::memory_order_relaxed);
+      return 0;
+    }
+    const std::uint32_t now =
+        pending_[block].fetch_add(1, std::memory_order_relaxed) + 1;
+    shard_for(block).increments.fetch_add(1, std::memory_order_relaxed);
+    return now;
+  }
+
+  /// One visitor whose adjacency lives in `block` finished executing.
+  /// Clamped at zero: a remove that races reset() (or lands out of range)
+  /// must not wrap the block's count to 2^32.
+  void remove(std::uint64_t block) noexcept {
+    if (block >= pending_.size()) return;
+    const std::uint32_t prev =
+        pending_[block].fetch_sub(1, std::memory_order_relaxed);
+    if (prev == 0) {
+      pending_[block].fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    shard_for(block).decrements.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Queued visitors currently waiting on `block` (0 out of range).
+  std::uint32_t pending(std::uint64_t block) const noexcept {
+    return block < pending_.size()
+               ? pending_[block].load(std::memory_order_relaxed)
+               : 0;
+  }
+
+  std::uint64_t out_of_range() const noexcept {
+    return out_of_range_.load(std::memory_order_relaxed);
+  }
+
+  /// Aggregate totals (scrape-time shard walk, like the registries).
+  std::uint64_t total_increments() const noexcept;
+  std::uint64_t total_decrements() const noexcept;
+  /// increments - decrements: in-flight pressure. Exact at quiescence.
+  std::uint64_t total_pending() const noexcept;
+
+  /// Drops everything back to zero — per-block counts AND the aggregate
+  /// totals (post-abort reset: the queued visitors whose enqueues were
+  /// counted have been discarded, so keeping their increments would break
+  /// the pending == increments - decrements consistency the report checker
+  /// validates). Clean runs never reset, so conservation accumulates across
+  /// consecutive successful runs.
+  void reset() noexcept;
+
+ private:
+  struct alignas(cache_line_size) shard {
+    std::atomic<std::uint64_t> increments{0};
+    std::atomic<std::uint64_t> decrements{0};
+  };
+  static constexpr std::size_t num_shards = 16;  // power of two
+
+  shard& shard_for(std::uint64_t block) noexcept {
+    return shards_[block & (num_shards - 1)];
+  }
+
+  std::uint64_t block_bytes_;
+  std::vector<std::atomic<std::uint32_t>> pending_;
+  shard shards_[num_shards];
+  std::atomic<std::uint64_t> out_of_range_{0};
+};
+
+}  // namespace asyncgt::sem

@@ -1,0 +1,140 @@
+// Pluggable admission/eviction policy for block_cache.
+//
+// The seed cache hard-coded hash-map + LRU; CAVE's range-indexed BlockCache
+// (SNIPPETS.md) shows the shape a priority-admission cache wants: the
+// recency bookkeeping stays in the cache, the *choice* of what to admit and
+// what to evict moves behind an interface. block_cache owns one policy and
+// calls it under its own mutex, so policies need no locking of their own —
+// but they may read external relaxed-atomic signals (the pressure policy
+// reads block_pressure).
+//
+// Policies shipped here:
+//   lru_policy      — the behavior-identical default: admit everything,
+//                     evict the recency tail. Byte-identical eviction order
+//                     to the pre-seam cache (the block_cache unit tests pin
+//                     this).
+//   pressure_policy — resists evicting blocks with queued work: scans a
+//                     bounded window from the recency tail for a
+//                     pressure-free victim, else evicts the least-pressured
+//                     block in the window. Skipped pressured candidates are
+//                     reported back and surface as cache.policy_rejects.
+//
+// Select by name with make_cache_policy() ("lru" / "pressure") — the string
+// the --cache-policy= flag and sem_config carry.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "sem/block_pressure.hpp"
+
+namespace asyncgt::sem {
+
+/// One resident block in the cache's recency list (front = most recent).
+/// `prefetched` marks an entry installed by the readahead lane that has not
+/// been demand-hit yet — evicting one counts as prefetch_wasted.
+struct cache_entry {
+  std::uint64_t block = 0;
+  bool prefetched = false;
+};
+
+using cache_recency_list = std::list<cache_entry>;
+
+class cache_policy {
+ public:
+  virtual ~cache_policy() = default;
+
+  /// Reported in bench JSON / console output ("lru", "pressure").
+  virtual const char* name() const noexcept = 0;
+
+  /// Admission: should a missing `block` be inserted at all? Returning
+  /// false leaves the cache untouched (the access still counts as a miss;
+  /// the refusal surfaces as a policy_reject). The default admits all —
+  /// LRU semantics.
+  virtual bool admit(std::uint64_t block) noexcept {
+    (void)block;
+    return true;
+  }
+
+  /// A resident block was demand-hit (recency already refreshed).
+  virtual void on_touch(std::uint64_t block) noexcept { (void)block; }
+
+  /// Eviction: choose the victim from a non-empty recency list (front =
+  /// most recent, back = least). Must return a valid iterator into
+  /// `recency`. `rejects` is incremented by the number of candidates the
+  /// policy refused to sacrifice while choosing (0 for LRU).
+  virtual cache_recency_list::iterator pick_victim(
+      cache_recency_list& recency, std::uint64_t& rejects) noexcept = 0;
+};
+
+/// The default: classic LRU, byte-identical to the pre-seam cache.
+class lru_policy final : public cache_policy {
+ public:
+  const char* name() const noexcept override { return "lru"; }
+
+  cache_recency_list::iterator pick_victim(
+      cache_recency_list& recency, std::uint64_t& rejects) noexcept override {
+    (void)rejects;
+    return std::prev(recency.end());
+  }
+};
+
+/// Pressure-weighted eviction: a block with queued visitors is about to be
+/// read again, so evicting it trades one guaranteed future miss for the
+/// hope that the LRU tail stays cold — a bad trade whenever pressure is
+/// live. The scan window is bounded so a fully-pressured cache degrades to
+/// "evict the least-pressured of the last `scan_limit`" instead of an O(n)
+/// walk per miss.
+class pressure_policy final : public cache_policy {
+ public:
+  /// `pressure` is borrowed and may be null (degrades to pure LRU).
+  explicit pressure_policy(const block_pressure* pressure,
+                           std::size_t scan_limit = 8)
+      : pressure_(pressure), scan_limit_(scan_limit == 0 ? 1 : scan_limit) {}
+
+  const char* name() const noexcept override { return "pressure"; }
+
+  cache_recency_list::iterator pick_victim(
+      cache_recency_list& recency, std::uint64_t& rejects) noexcept override {
+    auto victim = std::prev(recency.end());
+    if (pressure_ == nullptr) return victim;
+    auto best = victim;
+    std::uint32_t best_pending = pressure_->pending(victim->block);
+    std::size_t scanned = 1;
+    auto it = victim;
+    while (best_pending > 0 && scanned < scan_limit_ &&
+           it != recency.begin()) {
+      --it;
+      ++scanned;
+      const std::uint32_t p = pressure_->pending(it->block);
+      if (p < best_pending) {
+        best = it;
+        best_pending = p;
+      }
+    }
+    // Everything passed over on the way to the chosen victim was a
+    // pressured candidate the policy refused to sacrifice.
+    rejects += scanned - 1;
+    return best;
+  }
+
+ private:
+  const block_pressure* pressure_;
+  std::size_t scan_limit_;
+};
+
+/// Policy factory for the --cache-policy= flag and sem_config. `pressure`
+/// is only consulted for the pressure policy (and may be null there, which
+/// degrades it to LRU). Throws std::invalid_argument on an unknown name.
+inline std::unique_ptr<cache_policy> make_cache_policy(
+    const std::string& name, const block_pressure* pressure = nullptr) {
+  if (name.empty() || name == "lru") return std::make_unique<lru_policy>();
+  if (name == "pressure") return std::make_unique<pressure_policy>(pressure);
+  throw std::invalid_argument("unknown cache policy '" + name +
+                              "' (expected lru|pressure)");
+}
+
+}  // namespace asyncgt::sem

@@ -1,0 +1,103 @@
+// SEM implementation of the queue's hot-vertex advisory interface.
+//
+// Maps each visitor's vertex to the device block holding its adjacency list
+// (sem_csr::adjacency_block_of — one offset lookup and a divide) and keys
+// the three hot-block consumers off that:
+//
+//   on_enqueue  -> block_pressure::add, and when the block's pending count
+//                  crosses the hotness threshold while non-resident, a
+//                  readahead hint to the prefetcher (re-hinted every
+//                  threshold-th enqueue after, so a block evicted while
+//                  still hot gets another chance).
+//   on_complete -> block_pressure::remove.
+//   is_hot      -> cache residency; pending >= threshold only when no
+//                  cache is attached (see the method comment for why
+//                  pending must NOT promote non-resident blocks).
+//   reset       -> block_pressure::reset (the engine discarded the queued
+//                  visitors the pending counts described).
+//
+// One advisor serves one sem graph + cache + pressure triple. When several
+// jobs traverse the same graph concurrently, they share the pressure
+// tracker — the counts then describe the union of their frontiers, which is
+// exactly the signal a shared cache wants, but per-job conservation no
+// longer holds (document-level caveat; the conservation tests run one job).
+#pragma once
+
+#include <cstdint>
+
+#include "queue/hot_advisor.hpp"
+#include "sem/block_cache.hpp"
+#include "sem/block_pressure.hpp"
+#include "sem/prefetcher.hpp"
+#include "sem/sem_csr.hpp"
+
+namespace asyncgt::sem {
+
+template <typename VertexId>
+class sem_hot_advisor final : public hot_advisor {
+ public:
+  /// `graph` and `pressure` are required; `cache` and `prefetch` are
+  /// nullable (no residency signal / no readahead). `hot_threshold` is the
+  /// pending count at which a block counts as hot (>= 1).
+  sem_hot_advisor(const sem_csr<VertexId>& graph, block_pressure* pressure,
+                  block_cache* cache = nullptr, prefetcher* prefetch = nullptr,
+                  std::uint32_t hot_threshold = 4) noexcept
+      : graph_(&graph),
+        pressure_(pressure),
+        cache_(cache),
+        prefetch_(prefetch),
+        threshold_(hot_threshold == 0 ? 1 : hot_threshold) {}
+
+  std::uint32_t hot_threshold() const noexcept { return threshold_; }
+
+  bool is_hot(std::uint64_t vertex) const noexcept override {
+    if (vertex >= graph_->num_vertices()) return false;
+    const std::uint64_t b =
+        graph_->adjacency_block_of(static_cast<VertexId>(vertex));
+    // Residency is the band signal: a resident-block visitor costs zero
+    // device I/O right now. Pending counts deliberately do NOT promote a
+    // non-resident block — the whole win of hot ordering is DEFERRING
+    // cold-block visitors while their backlog accumulates, and a pending
+    // clause here promotes exactly the visitors that should wait (measured:
+    // it drags bytes/visit back to the static-semi-sort baseline, see
+    // docs/hot_blocks.md). The backlog reaches the I/O layer through the
+    // pressure-weighted eviction policy and the prefetch lane instead.
+    // Without a cache there is no residency signal, so the pending
+    // threshold is the only usable band classifier.
+    if (cache_ != nullptr) return cache_->contains(b);
+    return pressure_->pending(b) >= threshold_;
+  }
+
+  void on_enqueue(std::uint64_t vertex) noexcept override {
+    if (vertex >= graph_->num_vertices()) return;
+    const std::uint64_t b =
+        graph_->adjacency_block_of(static_cast<VertexId>(vertex));
+    const std::uint32_t pending = pressure_->add(b);
+    // Hint readahead at every threshold-th enqueue (crossing included):
+    // amortizes the residency probe to 1/threshold enqueues, and re-hints a
+    // block that was evicted while its backlog kept growing. The prefetcher
+    // dedups and drops on overload, so over-hinting is cheap.
+    if (prefetch_ != nullptr && pending >= threshold_ &&
+        pending % threshold_ == 0 &&
+        (cache_ == nullptr || !cache_->contains(b))) {
+      prefetch_->request(b);
+    }
+  }
+
+  void on_complete(std::uint64_t vertex) noexcept override {
+    if (vertex >= graph_->num_vertices()) return;
+    pressure_->remove(
+        graph_->adjacency_block_of(static_cast<VertexId>(vertex)));
+  }
+
+  void reset() noexcept override { pressure_->reset(); }
+
+ private:
+  const sem_csr<VertexId>* graph_;
+  block_pressure* pressure_;
+  block_cache* cache_;
+  prefetcher* prefetch_;
+  std::uint32_t threshold_;
+};
+
+}  // namespace asyncgt::sem

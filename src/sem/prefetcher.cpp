@@ -1,0 +1,77 @@
+#include "sem/prefetcher.hpp"
+
+namespace asyncgt::sem {
+
+prefetcher::prefetcher(block_cache* cache, ssd_model* device,
+                       std::uint64_t block_bytes, std::size_t queue_capacity)
+    : cache_(cache),
+      device_(device),
+      block_bytes_(block_bytes ? block_bytes : default_block_bytes),
+      queue_capacity_(queue_capacity ? queue_capacity : 1),
+      worker_([this] { worker_loop(); }) {}
+
+prefetcher::~prefetcher() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+void prefetcher::request(std::uint64_t block) noexcept {
+  {
+    std::lock_guard lk(mu_);
+    if (stop_ || queue_.size() >= queue_capacity_ ||
+        !queued_.insert(block).second) {
+      ++counters_.dropped;
+      return;
+    }
+    queue_.push_back(block);
+    ++counters_.requested;
+  }
+  cv_.notify_one();
+}
+
+void prefetcher::drain() {
+  std::unique_lock lk(mu_);
+  drained_.wait(lk, [this] { return (queue_.empty() && !busy_) || stop_; });
+}
+
+prefetcher::counters prefetcher::stats() const {
+  std::lock_guard lk(mu_);
+  return counters_;
+}
+
+void prefetcher::worker_loop() {
+  std::unique_lock lk(mu_);
+  for (;;) {
+    cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+    if (stop_) return;
+    const std::uint64_t block = queue_.front();
+    queue_.pop_front();
+    queued_.erase(block);
+    busy_ = true;
+    // The cache probe, the simulated charge, and the install all run
+    // unlocked: the charge blocks this thread for the simulated service
+    // time, which is exactly the latency being taken off the workers.
+    lk.unlock();
+    if (cache_->contains(block)) {
+      lk.lock();
+      ++counters_.stale;
+    } else {
+      if (device_ != nullptr) device_->read(block_bytes_);
+      const bool installed = cache_->install(block);
+      lk.lock();
+      if (installed) {
+        ++counters_.issued;
+      } else {
+        ++counters_.stale;  // raced with a demand miss, or policy refusal
+      }
+    }
+    busy_ = false;
+    if (queue_.empty()) drained_.notify_all();
+  }
+}
+
+}  // namespace asyncgt::sem

@@ -1,0 +1,90 @@
+// Asynchronous hot-block readahead lane.
+//
+// When the pressure tracker says a block has crossed the hotness threshold
+// while NOT cache-resident, every queued visitor for it is heading for the
+// same miss. The prefetcher moves that miss off the worker threads: a
+// single background thread pops requested blocks, charges the simulated
+// device for one block read (so accounting stays honest — prefetched bytes
+// are real bytes, and a wasted prefetch shows up as extra device traffic),
+// and installs the block into the cache via block_cache::install(), which
+// keeps it outside the hit/miss ledger until a demand access redeems it.
+//
+// The request side is nonblocking and deduplicating: a bounded queue plus a
+// resident-set filter, so the enqueue hot path costs one short mutex hold
+// and a full queue simply drops the hint (counted). Prefetching is a
+// heuristic accelerator — dropping a request is always correct, the demand
+// path will just pay its own miss.
+//
+// Scope: the lane is deliberately independent of the io_backend plumbing —
+// it never touches the edge_file, so fault-injector plan sequences and the
+// backends' host-read batching are unaffected. sem_config gates it to the
+// coalescing/uring backends (the sync backend has no async lane to overlap
+// with; see docs/io_backends.md).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+
+#include "sem/block_cache.hpp"
+#include "sem/block_index.hpp"
+#include "sem/ssd_model.hpp"
+
+namespace asyncgt::sem {
+
+class prefetcher {
+ public:
+  struct counters {
+    std::uint64_t requested = 0;  // request() calls that were accepted
+    std::uint64_t issued = 0;     // blocks actually charged and installed
+    std::uint64_t dropped = 0;    // queue-full / duplicate hints discarded
+    std::uint64_t stale = 0;      // popped blocks already resident (raced
+                                  // with a demand miss that cached them)
+  };
+
+  /// `cache` is required; `device` may be null (install without simulated
+  /// charge — degenerate but harmless, used by unit tests). `block_bytes`
+  /// is the charge granularity (pass the device's; 0 means the default
+  /// 4 KiB page). The worker thread starts immediately.
+  prefetcher(block_cache* cache, ssd_model* device,
+             std::uint64_t block_bytes = default_block_bytes,
+             std::size_t queue_capacity = 64);
+
+  /// Stops the worker and joins it; queued hints are discarded.
+  ~prefetcher();
+
+  prefetcher(const prefetcher&) = delete;
+  prefetcher& operator=(const prefetcher&) = delete;
+
+  /// Hints that `block` is worth reading ahead. Nonblocking: duplicates of
+  /// a still-queued hint and hints beyond the queue bound are dropped.
+  void request(std::uint64_t block) noexcept;
+
+  /// Blocks until every currently queued hint has been processed (tests).
+  void drain();
+
+  counters stats() const;
+
+ private:
+  void worker_loop();
+
+  block_cache* cache_;
+  ssd_model* device_;
+  const std::uint64_t block_bytes_;
+  const std::size_t queue_capacity_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;        // worker wakeups
+  std::condition_variable drained_;   // drain() wakeups
+  std::deque<std::uint64_t> queue_;
+  std::unordered_set<std::uint64_t> queued_;  // dedup filter
+  counters counters_;
+  bool stop_ = false;
+  bool busy_ = false;  // worker is processing a popped block
+  std::thread worker_;
+};
+
+}  // namespace asyncgt::sem

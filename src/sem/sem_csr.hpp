@@ -36,6 +36,7 @@
 #include "graph/types.hpp"
 #include "sem/block_cache.hpp"
 #include "sem/block_heat.hpp"
+#include "sem/block_index.hpp"
 #include "sem/edge_file.hpp"
 #include "sem/io_backend.hpp"
 #include "sem/ssd_model.hpp"
@@ -148,6 +149,16 @@ class sem_csr {
   ssd_model* device() const noexcept { return device_; }
   block_cache* cache() const noexcept { return cache_; }
 
+  // ---- Piecewise wiring setters ----
+  //
+  // DEPRECATED as a construction surface: new code builds a fully wired
+  // graph (device, cache+policy, heat, pressure, backend, retries, faults,
+  // recorder, prefetch, hot advisor) through the sem_config builder
+  // (sem/sem_config.hpp) in one declaration. These setters remain as the
+  // thin primitives the builder — and existing tests — compose from, and
+  // keep their exact semantics; they are not going away, but call sites
+  // wiring five of them by hand should migrate (docs/hot_blocks.md).
+
   /// Attaches a telemetry I/O recorder (borrowed, nullable) to the
   /// underlying edge file — and the reverse one, when open: every adjacency
   /// pread then reports bytes and host-side latency into its log2 histogram.
@@ -177,15 +188,39 @@ class sem_csr {
   /// when one is set, else the recorder's own block_bytes — size the
   /// recorder with heat_blocks_for(). With heat attached but no device, the
   /// charge walk still runs (to classify hits/misses) but charges nothing.
-  void set_block_heat(block_heat* heat) noexcept { heat_ = heat; }
+  /// When a cache is attached, recording lives inside the cache's own probe
+  /// (block_cache::set_block_heat — the cache_policy seam), so heat misses
+  /// agree with the cache's miss counters by construction.
+  void set_block_heat(block_heat* heat) noexcept {
+    heat_ = heat;
+    if (cache_ != nullptr) cache_->set_block_heat(heat);
+  }
   block_heat* heat() const noexcept { return heat_; }
 
+  /// The block granularity every charge/heat/pressure derivation on this
+  /// graph uses: the attached device's block_bytes, else the heat
+  /// recorder's, else the 4 KiB default (block_index.hpp).
+  std::uint64_t charge_block_bytes() const noexcept {
+    if (device_ != nullptr) return device_->params().block_bytes;
+    if (heat_ != nullptr) return heat_->block_bytes();
+    return default_block_bytes;
+  }
+
   /// Blocks needed to cover this file at the granularity charge_device will
-  /// use — pass to block_heat's constructor.
+  /// use — pass to block_heat's / block_pressure's constructor.
   std::uint64_t heat_blocks_for(std::uint64_t block_bytes = 4096) const {
     const std::uint64_t bs =
         device_ != nullptr ? device_->params().block_bytes : block_bytes;
-    return bs == 0 ? 0 : (file_.size() + bs - 1) / bs;
+    return blocks_covering(file_.size(), bs);
+  }
+
+  /// The device block holding the first bytes of v's adjacency list — the
+  /// vertex -> block mapping the hot-block advisor keys pressure, residency,
+  /// and prefetch by. (An adjacency list can span several blocks; the head
+  /// block is the representative, which keeps the mapping O(1).)
+  std::uint64_t adjacency_block_of(VertexId v) const noexcept {
+    return block_index_of(targets_pos_ + offsets_[v] * sizeof(VertexId),
+                          charge_block_bytes());
   }
 
   /// Swaps the I/O backend every adjacency read routes through (default:
@@ -313,21 +348,24 @@ class sem_csr {
 
  private:
   /// Charges the device for the blocks of [pos, pos+bytes) that miss the
-  /// simulated page cache (all of them when no cache is attached), and
-  /// records per-block heat when a recorder is attached. The heat recording
-  /// shares the cache probe that decides the charge, so heat misses agree
-  /// exactly with the cache's miss counters.
+  /// simulated page cache (all of them when no cache is attached). Heat
+  /// recording rides the cache's own probe when a cache is attached (the
+  /// probe that decides the charge is the probe that is recorded — the
+  /// cache_policy seam, block_cache::set_block_heat — so heat misses agree
+  /// exactly with the cache's miss counters); with heat but no cache, every
+  /// touch records as a miss here, matching the full charge.
   void charge_device(std::uint64_t pos, std::uint64_t bytes) const {
     if (heat_ == nullptr) {
-      // Pre-heat fast path, bit-identical to the original accounting.
+      // No-heat fast path, bit-identical to the original accounting (in
+      // particular: no device means no cache probes at all).
       if (device_ == nullptr) return;
       if (cache_ == nullptr) {
         device_->read(bytes);
         return;
       }
       const std::uint64_t bs = device_->params().block_bytes;
-      const std::uint64_t first = pos / bs;
-      const std::uint64_t last = (pos + bytes - 1) / bs;
+      const std::uint64_t first = block_index_of(pos, bs);
+      const std::uint64_t last = block_index_of_last(pos, bytes, bs);
       std::uint64_t missing = 0;
       for (std::uint64_t b = first; b <= last; ++b) {
         missing += cache_->access(b) ? 0 : 1;
@@ -335,25 +373,21 @@ class sem_csr {
       if (missing > 0) device_->read(missing * bs);
       return;
     }
-    const std::uint64_t bs = device_ != nullptr
-                                 ? device_->params().block_bytes
-                                 : heat_->block_bytes();
-    const std::uint64_t first = pos / bs;
-    const std::uint64_t last = (pos + bytes - 1) / bs;
+    const std::uint64_t bs = charge_block_bytes();
+    const std::uint64_t first = block_index_of(pos, bs);
+    const std::uint64_t last = block_index_of_last(pos, bytes, bs);
+    if (cache_ == nullptr) {
+      for (std::uint64_t b = first; b <= last; ++b) heat_->record(b, true);
+      // Match the cache-less fast path's charge (raw bytes, not whole
+      // blocks) so attaching heat never changes simulated-device time.
+      if (device_ != nullptr) device_->read(bytes);
+      return;
+    }
     std::uint64_t missing = 0;
     for (std::uint64_t b = first; b <= last; ++b) {
-      const bool miss = cache_ == nullptr || !cache_->access(b);
-      missing += miss ? 1 : 0;
-      heat_->record(b, miss);
+      missing += cache_->access(b) ? 0 : 1;  // the cache records heat
     }
-    if (device_ == nullptr || missing == 0) return;
-    // Match the cache-less fast path's charge (raw bytes, not whole blocks)
-    // so attaching heat never changes simulated-device time.
-    if (cache_ == nullptr) {
-      device_->read(bytes);
-    } else {
-      device_->read(missing * bs);
-    }
+    if (device_ != nullptr && missing > 0) device_->read(missing * bs);
   }
 
   edge_file file_;

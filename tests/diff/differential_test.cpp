@@ -30,23 +30,31 @@
 namespace asyncgt {
 namespace {
 
-/// One execution mode: in-memory, or semi-external through a named backend.
+/// One execution mode: in-memory, or semi-external through a named backend;
+/// `hot` additionally runs the traversal under hot-block scheduling
+/// (queue_order::hot; for SEM storage also the pressure-weighted cache
+/// policy and a deliberately small cache — docs/hot_blocks.md). Labels are
+/// pop-order independent, so every hot row must stay bit-identical.
 struct exec_mode {
   std::string name;
   bool sem = false;
   sem::io_backend_kind kind = sem::io_backend_kind::sync;
   std::uint32_t batch = 8;
+  bool hot = false;
 };
 
 const std::vector<exec_mode>& modes() {
   static const std::vector<exec_mode> m = [] {
     std::vector<exec_mode> out;
-    out.push_back({"im", false, sem::io_backend_kind::sync, 0});
+    out.push_back({"im", false, sem::io_backend_kind::sync, 0, false});
+    out.push_back({"im_hot", false, sem::io_backend_kind::sync, 0, true});
     for (const auto kind : sem::compiled_io_backends()) {
       if (!sem::io_backend_available(kind)) continue;
       // Batch 4 keeps several merge/flush cycles in even the small graphs.
       out.push_back(
-          {std::string("sem_") + sem::to_string(kind), true, kind, 4});
+          {std::string("sem_") + sem::to_string(kind), true, kind, 4, false});
+      out.push_back({std::string("sem_") + sem::to_string(kind) + "_hot",
+                     true, kind, 4, true});
     }
     return out;
   }();
@@ -65,12 +73,36 @@ class Differential : public ::testing::TestWithParam<int> {
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }
 
+  /// Queue config for this mode. Hot modes pop through the two-band hot
+  /// ordering; on SEM storage the band signal is the live advisor of the
+  /// bundle currently opened by on_mode (in memory there is no block
+  /// pressure, so the advisor stays null and every visitor lands in the
+  /// cold band — still exercising the hot engine end to end).
   visitor_queue_config cfg() const {
     visitor_queue_config c;
     c.num_threads = 8;
     c.flush_batch = 1;
     c.secondary_vertex_sort = true;
+    if (mode_.hot) {
+      c.order = queue_order::hot;
+      c.advisor = advisor_;
+    }
     return c;
+  }
+
+  /// SEM builder for this mode: backend from the mode axis; hot modes add
+  /// a small cache under the pressure-weighted policy plus the pressure
+  /// tracker/advisor (threshold 2, so the tiny graphs actually produce hot
+  /// blocks).
+  sem::sem_config sem_cfg(const std::string& p) const {
+    sem::sem_config scfg(p);
+    scfg.with_io_backend(sem::to_string(mode_.kind), mode_.batch);
+    if (mode_.hot) {
+      scfg.with_cache_fraction(0.25)
+          .with_cache_policy("pressure")
+          .with_hot_ordering(true, 2);
+    }
+    return scfg;
   }
 
   /// Run `fn` against `g` in this mode's storage: directly for in-memory,
@@ -80,12 +112,11 @@ class Differential : public ::testing::TestWithParam<int> {
     if (!mode_.sem) return fn(g);
     const std::string p = (dir_ / (tag + ".agt")).string();
     write_graph(p, g);
-    sem::sem_csr32 sg(p);
-    sem::io_backend_config bcfg;
-    bcfg.kind = mode_.kind;
-    bcfg.batch = mode_.batch;
-    sg.set_io_backend(bcfg);
-    return fn(sg);
+    const auto bundle = sem_cfg(p).open<vertex32>();
+    advisor_ = bundle.advisor.get();
+    auto result = fn(*bundle.graph);
+    advisor_ = nullptr;
+    return result;
   }
 
   /// Like on_mode, but the storage carries a reverse (transpose) view —
@@ -102,13 +133,11 @@ class Differential : public ::testing::TestWithParam<int> {
     }
     const std::string p = (dir_ / (tag + ".agt")).string();
     write_graph_with_reverse(p, g);
-    sem::sem_csr32 sg(p);
-    sg.open_reverse();
-    sem::io_backend_config bcfg;
-    bcfg.kind = mode_.kind;
-    bcfg.batch = mode_.batch;
-    sg.set_io_backend(bcfg);
-    return fn(sg);
+    const auto bundle = sem_cfg(p).with_reverse().open<vertex32>();
+    advisor_ = bundle.advisor.get();
+    auto result = fn(*bundle.graph);
+    advisor_ = nullptr;
+    return result;
   }
 
   /// The seeded graph families under test. CC additionally needs symmetric
@@ -135,6 +164,9 @@ class Differential : public ::testing::TestWithParam<int> {
 
   exec_mode mode_;
   std::filesystem::path dir_;
+  // Borrowed from the bundle on_mode currently holds open; cfg() installs
+  // it on the queue config of hot SEM runs.
+  hot_advisor* advisor_ = nullptr;
 };
 
 TEST_P(Differential, BfsMatchesSerialBaseline) {

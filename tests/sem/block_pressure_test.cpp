@@ -1,0 +1,108 @@
+// block_pressure — the sharded pending-visitor tracker behind hot-block
+// scheduling (docs/hot_blocks.md). Covered here:
+//
+//   * add/remove/pending round trips and the add() return value (the new
+//     count, so the advisor's threshold trigger needs no second load);
+//   * the zero clamp on remove (a racy decrement never underflows) and the
+//     out-of-range counter (blocks past num_blocks are counted, not
+//     tracked);
+//   * aggregate conservation: total_increments - total_decrements ==
+//     total_pending, under single-threaded and concurrent hammering;
+//   * reset zeroing both the per-block counts and the shard totals.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "sem/block_pressure.hpp"
+
+namespace asyncgt::sem {
+namespace {
+
+TEST(BlockPressure, AddRemoveRoundTrip) {
+  block_pressure p(8);
+  EXPECT_EQ(p.pending(3), 0u);
+  EXPECT_EQ(p.add(3), 1u);
+  EXPECT_EQ(p.add(3), 2u);
+  EXPECT_EQ(p.add(5), 1u);
+  EXPECT_EQ(p.pending(3), 2u);
+  EXPECT_EQ(p.pending(5), 1u);
+  p.remove(3);
+  EXPECT_EQ(p.pending(3), 1u);
+  EXPECT_EQ(p.total_increments(), 3u);
+  EXPECT_EQ(p.total_decrements(), 1u);
+  EXPECT_EQ(p.total_pending(), 2u);
+}
+
+TEST(BlockPressure, RemoveClampsAtZero) {
+  block_pressure p(4);
+  p.remove(2);  // nothing pending: must not underflow
+  EXPECT_EQ(p.pending(2), 0u);
+  EXPECT_EQ(p.total_decrements(), 0u);
+  p.add(2);
+  p.remove(2);
+  p.remove(2);  // second remove clamps again
+  EXPECT_EQ(p.pending(2), 0u);
+  EXPECT_EQ(p.total_increments(), 1u);
+  EXPECT_EQ(p.total_decrements(), 1u);
+  EXPECT_EQ(p.total_pending(), 0u);
+}
+
+TEST(BlockPressure, OutOfRangeIsCountedNotTracked) {
+  block_pressure p(4);
+  EXPECT_EQ(p.add(4), 0u);
+  EXPECT_EQ(p.add(1000), 0u);
+  p.remove(99);  // out-of-range removes are ignored, only adds are counted
+  EXPECT_EQ(p.out_of_range(), 2u);
+  EXPECT_EQ(p.total_increments(), 0u);
+  EXPECT_EQ(p.total_decrements(), 0u);
+  EXPECT_EQ(p.pending(1000), 0u);  // reads past the range are safe zeros
+}
+
+TEST(BlockPressure, ResetZerosCountsAndTotals) {
+  block_pressure p(8);
+  for (std::uint64_t b = 0; b < 8; ++b) p.add(b);
+  p.remove(0);
+  p.reset();
+  EXPECT_EQ(p.total_increments(), 0u);
+  EXPECT_EQ(p.total_decrements(), 0u);
+  EXPECT_EQ(p.total_pending(), 0u);
+  for (std::uint64_t b = 0; b < 8; ++b) EXPECT_EQ(p.pending(b), 0u);
+  // The tracker is reusable after reset.
+  EXPECT_EQ(p.add(1), 1u);
+  EXPECT_EQ(p.total_pending(), 1u);
+}
+
+// Conservation under concurrency: every add is eventually matched by one
+// remove across racing threads, so the tracker must drain to exactly zero
+// with increments == decrements — the same law the queue advisor relies on
+// (one on_enqueue per delivered visitor, one on_complete per pop).
+TEST(BlockPressure, ConcurrentConservation) {
+  constexpr std::uint64_t kBlocks = 64;
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 20000;
+  block_pressure p(kBlocks);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&p, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::uint64_t b =
+            (static_cast<std::uint64_t>(t) * 2654435761u + i) % kBlocks;
+        p.add(b);
+        p.remove(b);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(p.total_increments(),
+            static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_EQ(p.total_decrements(), p.total_increments());
+  EXPECT_EQ(p.total_pending(), 0u);
+  for (std::uint64_t b = 0; b < kBlocks; ++b) EXPECT_EQ(p.pending(b), 0u);
+  EXPECT_EQ(p.out_of_range(), 0u);
+}
+
+}  // namespace
+}  // namespace asyncgt::sem

@@ -1,0 +1,171 @@
+// cache_policy — the admission/eviction seam extracted from block_cache
+// (docs/hot_blocks.md). Covered here:
+//
+//   * replay identity: a block_cache under an explicit lru_policy produces
+//     the exact hit/miss/eviction sequence of a reference LRU model over a
+//     randomized trace (the seam is behavior-preserving by construction);
+//   * pressure-weighted eviction: a pressured block near the recency tail
+//     survives eviction while a pressure-free neighbor is sacrificed, with
+//     the skipped candidates surfacing as policy_rejects;
+//   * bounded scan: a fully-pressured window degrades to least-pressured
+//     eviction instead of refusing forever;
+//   * prefetch installs: install() is outside the hit/miss ledger, a
+//     demand hit redeems the entry, and evicting one un-hit counts as
+//     prefetch_wasted;
+//   * make_cache_policy name mapping and the unknown-name throw.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sem/block_cache.hpp"
+#include "sem/block_pressure.hpp"
+#include "sem/cache_policy.hpp"
+#include "util/rng.hpp"
+
+namespace asyncgt::sem {
+namespace {
+
+/// Straight-line reference LRU: std::list recency + map, no policy seam.
+class reference_lru {
+ public:
+  explicit reference_lru(std::uint64_t capacity) : capacity_(capacity) {}
+
+  bool access(std::uint64_t block) {
+    auto it = map_.find(block);
+    if (it != map_.end()) {
+      recency_.splice(recency_.begin(), recency_, it->second);
+      return true;
+    }
+    if (recency_.size() >= capacity_) {
+      ++evictions_;
+      map_.erase(recency_.back());
+      recency_.pop_back();
+    }
+    recency_.push_front(block);
+    map_[block] = recency_.begin();
+    return false;
+  }
+
+  std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  std::uint64_t capacity_;
+  std::list<std::uint64_t> recency_;
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> map_;
+  std::uint64_t evictions_ = 0;
+};
+
+TEST(CachePolicy, LruSeamReplaysIdenticallyToReference) {
+  constexpr std::uint64_t kCapacity = 16;
+  block_cache cache(kCapacity, std::make_unique<lru_policy>());
+  EXPECT_STREQ(cache.policy_name(), "lru");
+  reference_lru ref(kCapacity);
+
+  xoshiro256ss rng(42);
+  for (int i = 0; i < 20000; ++i) {
+    // Skewed trace: small working set with a long uniform tail, so hits,
+    // misses, and evictions all occur in volume.
+    const std::uint64_t block =
+        (rng() % 4 == 0) ? rng.next_below(128) : rng.next_below(12);
+    ASSERT_EQ(cache.access(block), ref.access(block)) << "op " << i;
+  }
+  EXPECT_EQ(cache.counters().evictions, ref.evictions());
+  EXPECT_EQ(cache.counters().policy_rejects, 0u);
+}
+
+TEST(CachePolicy, PressurePolicySparesPressuredBlocks) {
+  block_pressure pressure(64);
+  block_cache cache(4, std::make_unique<pressure_policy>(&pressure));
+  EXPECT_STREQ(cache.policy_name(), "pressure");
+
+  // Fill: recency back-to-front after these accesses is 1, 2, 3, 4.
+  for (std::uint64_t b = 1; b <= 4; ++b) cache.access(b);
+  // Block 1 sits at the LRU tail but has queued work; 2 is idle.
+  pressure.add(1);
+  pressure.add(1);
+
+  cache.access(50);  // forces an eviction
+  EXPECT_TRUE(cache.contains(1)) << "pressured tail block must survive";
+  EXPECT_FALSE(cache.contains(2)) << "idle neighbor is the right victim";
+  // One candidate (block 1) was passed over on the way to the victim.
+  EXPECT_EQ(cache.counters().policy_rejects, 1u);
+
+  // Drain the pressure: block 1 becomes evictable again.
+  pressure.remove(1);
+  pressure.remove(1);
+  cache.access(51);
+  EXPECT_FALSE(cache.contains(1));
+}
+
+TEST(CachePolicy, FullyPressuredWindowEvictsLeastPressured) {
+  block_pressure pressure(64);
+  block_cache cache(3, std::make_unique<pressure_policy>(&pressure));
+  for (std::uint64_t b = 1; b <= 3; ++b) cache.access(b);
+  // Everything is pressured; block 2 least so.
+  pressure.add(1);
+  pressure.add(1);
+  pressure.add(2);
+  pressure.add(3);
+  pressure.add(3);
+  cache.access(50);
+  EXPECT_FALSE(cache.contains(2))
+      << "a fully-pressured cache must still evict (least-pressured)";
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(3));
+}
+
+TEST(CachePolicy, NullPressureDegradesToLru) {
+  block_cache cache(2, std::make_unique<pressure_policy>(nullptr));
+  cache.access(1);
+  cache.access(2);
+  cache.access(3);
+  EXPECT_FALSE(cache.contains(1));  // plain LRU tail eviction
+  EXPECT_TRUE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+  EXPECT_EQ(cache.counters().policy_rejects, 0u);
+}
+
+TEST(CachePolicy, InstallIsOutsideTheDemandLedger) {
+  block_cache cache(2);
+  EXPECT_TRUE(cache.install(7));
+  EXPECT_FALSE(cache.install(7));  // already resident
+  auto c = cache.counters();
+  EXPECT_EQ(c.hits, 0u);
+  EXPECT_EQ(c.misses, 0u);
+  EXPECT_EQ(c.prefetch_installs, 1u);
+  EXPECT_TRUE(cache.contains(7));
+
+  // A demand access to the installed block is a hit and redeems it: a
+  // later eviction is no longer "wasted".
+  EXPECT_TRUE(cache.access(7));
+  cache.access(8);
+  cache.access(9);  // evicts 7 (tail)
+  EXPECT_FALSE(cache.contains(7));
+  EXPECT_EQ(cache.counters().prefetch_wasted, 0u);
+}
+
+TEST(CachePolicy, EvictingUnhitPrefetchCountsAsWasted) {
+  block_cache cache(2);
+  cache.install(7);
+  cache.access(8);
+  cache.access(9);  // evicts the never-hit prefetched 7
+  EXPECT_FALSE(cache.contains(7));
+  auto c = cache.counters();
+  EXPECT_EQ(c.prefetch_installs, 1u);
+  EXPECT_EQ(c.prefetch_wasted, 1u);
+}
+
+TEST(CachePolicy, MakeCachePolicyMapsNames) {
+  EXPECT_STREQ(make_cache_policy("")->name(), "lru");
+  EXPECT_STREQ(make_cache_policy("lru")->name(), "lru");
+  block_pressure p(4);
+  EXPECT_STREQ(make_cache_policy("pressure", &p)->name(), "pressure");
+  EXPECT_THROW(make_cache_policy("mru"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace asyncgt::sem

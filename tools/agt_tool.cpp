@@ -89,6 +89,15 @@ int usage() {
                "and SEM I/O backend flags (docs/io_backends.md):\n"
                "  --io-backend NAME      sync|coalescing|uring (default sync)\n"
                "  --io-batch N           coalescing batch depth (default 8)\n"
+               "hot-block scheduling flags (docs/hot_blocks.md):\n"
+               "  --ordering hot         pop visitors whose disk block is\n"
+               "                         cache-resident or heavily pending\n"
+               "  --cache-policy P       lru|pressure: pressure resists\n"
+               "                         evicting blocks with queued work\n"
+               "  --prefetch-hot         readahead hot non-resident blocks\n"
+               "                         (coalescing/uring backends only)\n"
+               "  --hot-threshold N      pending visitors that make a block\n"
+               "                         hot (default 4)\n"
                "  --checkpoint-on-error F  bfs/sssp: save emergency\n"
                "                         checkpoint to F on abort (exit 3)\n"
                "  --resume F             bfs/sssp: resume from checkpoint F\n"
@@ -358,19 +367,6 @@ int run_traversal(const options& opt, const char* name, F&& run) {
         opt.get_string("device", "intel"),
         opt.get_double("time-scale", 1.0));
     sem::ssd_model dev(params);
-    // Optional block cache between the traversal and the device. Demo mode
-    // enables it (the SEM report should show hit/miss/eviction dynamics);
-    // explicit --sem keeps the seed default of no cache unless asked.
-    const double cache_fraction =
-        opt.get_double("cache-fraction", temp_file.empty() ? 0.0 : 0.5);
-    std::unique_ptr<sem::block_cache> cache;
-    if (cache_fraction > 0.0) {
-      const std::uint64_t file_blocks =
-          std::filesystem::file_size(path) / params.block_bytes + 1;
-      cache = std::make_unique<sem::block_cache>(std::max<std::uint64_t>(
-          1, static_cast<std::uint64_t>(cache_fraction *
-                                        static_cast<double>(file_blocks))));
-    }
     telemetry::io_recorder recorder;
     // Fault-tolerance knobs: a deterministic injector (--inject) plus the
     // retry budget the edge file spends absorbing the transient faults.
@@ -380,45 +376,54 @@ int run_traversal(const options& opt, const char* name, F&& run) {
       injector = std::make_unique<sem::fault_injector>(
           sem::parse_fault_config(inject_spec));
     }
-    sem::io_retry_policy retry;
-    retry.max_retries = topt.io_retries;
-    retry.backoff_initial_us = topt.io_backoff_us;
-    std::unique_ptr<sem::sem_csr32> g;
+    if (topt.hybrid && !has_reverse_file(path)) {
+      std::fprintf(stderr,
+                   "--hybrid with --sem needs a reverse edge file at "
+                   "%s; write the graph with agt_tool transpose or the "
+                   "out-of-core builder's emit_reverse\n",
+                   reverse_path_for(path).c_str());
+      return 2;
+    }
+    // One builder declaration replaces the old five-setter wiring: backend,
+    // cache (+ policy), retries, hot-block machinery, reverse view, fault
+    // injector, and recorder all land through sem_config (sem_config.hpp).
+    // Demo mode enables the cache (the SEM report should show hit/miss/
+    // eviction dynamics); explicit --sem keeps the seed default of no cache
+    // unless --cache-fraction asks for one.
+    sem::sem_config scfg = sem::sem_config::from_options(topt, path);
+    scfg.with_device(&dev);
+    if (topt.cache_fraction < 0.0) {
+      scfg.with_cache_fraction(temp_file.empty() ? 0.0 : 0.5);
+    }
+    if (injector != nullptr) scfg.with_fault_injector(injector.get());
+    // The recorder is what carries io.retries/io.gave_up into the report
+    // and the console summary, so injected runs always attach it.
+    if (rep.enabled() || injector != nullptr) {
+      scfg.with_io_recorder(&recorder);
+    }
+    sem::sem_bundle<vertex32> bundle;
     {
       telemetry::phase_timer ph(rep.trace(), "load-graph", &rep.metrics());
-      g = std::make_unique<sem::sem_csr32>(path, &dev, cache.get());
-      g->set_retry_policy(retry);
-      sem::io_backend_config bcfg;
-      bcfg.kind = sem::parse_io_backend_kind(topt.io_backend);
-      bcfg.batch = topt.io_batch;
-      bcfg.block_bytes = static_cast<std::uint32_t>(params.block_bytes);
-      g->set_io_backend(bcfg);
-      if (topt.hybrid) {
-        if (!has_reverse_file(path)) {
-          std::fprintf(stderr,
-                       "--hybrid with --sem needs a reverse edge file at "
-                       "%s; write the graph with agt_tool transpose or the "
-                       "out-of-core builder's emit_reverse\n",
-                       reverse_path_for(path).c_str());
-          return 2;
-        }
-        // The reverse file gets its own cache (block ids are per-file); the
-        // backend/retry/recorder configuration is forwarded by sem_csr.
-        g->open_reverse();
-      }
-      // The recorder is what carries io.retries/io.gave_up into the report
-      // and the console summary, so injected runs always attach it.
-      if (rep.enabled() || injector != nullptr) g->set_io_recorder(&recorder);
-      // Attached after the offset index loaded: injection targets the
-      // traversal's adjacency reads, not the open-time index load.
-      if (injector != nullptr) g->set_fault_injector(injector.get());
+      bundle = scfg.open<vertex32>();
     }
+    // --ordering=hot: point the queue at the bundle's pressure-fed advisor.
+    bundle.wire_queue(topt.queue);
+    auto* g = bundle.graph.get();
     if (rep.enabled()) {
       rep.sampler().add_probe("ssd.inflight", [&dev] {
         return static_cast<double>(dev.inflight());
       });
+      if (bundle.pressure != nullptr) {
+        rep.sampler().add_probe("sem.pending_visitors", [&bundle] {
+          return static_cast<double>(bundle.pressure->total_pending());
+        });
+      }
     }
     rc = run(*g, topt, rep);
+    // Outstanding readahead still charges the simulated device; settle it
+    // before the counters are read so wasted prefetch shows up as traffic
+    // instead of vanishing with the worker thread.
+    if (bundle.prefetch != nullptr) bundle.prefetch->drain();
     const auto c = dev.counters();
     std::printf("device: %s reads (%s MiB)\n", fmt_count(c.reads).c_str(),
                 fmt_count(c.read_bytes >> 20).c_str());
@@ -429,10 +434,27 @@ int run_traversal(const options& opt, const char* name, F&& run) {
                 fmt_count(bc.batches).c_str(),
                 fmt_count(bc.coalesced_ranges).c_str(),
                 fmt_count(bc.inflight_peak).c_str());
-    if (cache != nullptr) {
-      std::printf("cache: %.1f%% hit rate, %s evictions\n",
-                  100.0 * cache->counters().hit_rate(),
-                  fmt_count(cache->counters().evictions).c_str());
+    if (bundle.cache != nullptr) {
+      std::printf("cache: %.1f%% hit rate, %s evictions (%s policy)\n",
+                  100.0 * bundle.cache->counters().hit_rate(),
+                  fmt_count(bundle.cache->counters().evictions).c_str(),
+                  bundle.cache->policy_name());
+    }
+    if (bundle.pressure != nullptr) {
+      std::printf("pressure: %s visitor enqueues, %s completions, %s still "
+                  "pending\n",
+                  fmt_count(bundle.pressure->total_increments()).c_str(),
+                  fmt_count(bundle.pressure->total_decrements()).c_str(),
+                  fmt_count(bundle.pressure->total_pending()).c_str());
+    }
+    if (bundle.prefetch != nullptr) {
+      const auto pf = bundle.prefetch->stats();
+      std::printf("prefetch: %s requested, %s issued, %s stale, %s dropped, "
+                  "%s evicted unused\n",
+                  fmt_count(pf.requested).c_str(),
+                  fmt_count(pf.issued).c_str(), fmt_count(pf.stale).c_str(),
+                  fmt_count(pf.dropped).c_str(),
+                  fmt_count(bundle.cache->counters().prefetch_wasted).c_str());
     }
     const auto io = recorder.snapshot();
     if (injector != nullptr) {
@@ -453,6 +475,19 @@ int run_traversal(const options& opt, const char* name, F&& run) {
           .get_counter("io.coalesced_ranges")
           .add(0, io.coalesced_ranges);
       rep.metrics().get_counter("io.inflight_peak").add(0, io.inflight_peak);
+      if (bundle.cache != nullptr) {
+        rep.metrics()
+            .get_counter("cache.policy_rejects")
+            .add(0, bundle.cache->counters().policy_rejects);
+      }
+      if (bundle.prefetch != nullptr) {
+        rep.metrics()
+            .get_counter("sem.prefetch.issued")
+            .add(0, bundle.prefetch->stats().issued);
+        rep.metrics()
+            .get_counter("sem.prefetch.wasted")
+            .add(0, bundle.cache->counters().prefetch_wasted);
+      }
     }
     if (rep.json_enabled()) {
       json_value& s = rep.section("sem");
@@ -469,8 +504,26 @@ int run_traversal(const options& opt, const char* name, F&& run) {
       bj.set("split_batches", bc.split_batches);
       bj.set("inflight_peak", bc.inflight_peak);
       s.set("backend", std::move(bj));
-      if (cache != nullptr) {
-        s.set("cache", bench::to_json(cache->counters()));
+      if (bundle.cache != nullptr) {
+        json_value cj = bench::to_json(bundle.cache->counters());
+        cj.set("policy", std::string(bundle.cache->policy_name()));
+        s.set("cache", std::move(cj));
+      }
+      if (bundle.pressure != nullptr) {
+        s.set("pressure", bench::to_json(*bundle.pressure));
+      }
+      if (bundle.prefetch != nullptr) {
+        s.set("prefetch", bench::to_json(bundle.prefetch->stats(),
+                                         bundle.cache->counters()));
+      }
+      // Bytes of device traffic per completed visit — the hot-block
+      // scheduling objective; the run lambda already reported visits into
+      // the algorithm section.
+      if (const json_value* visits = rep.section("algorithm").find("visits");
+          visits != nullptr && visits->as_int() > 0) {
+        s.set("bytes_per_visit",
+              static_cast<double>(c.read_bytes) /
+                  static_cast<double>(visits->as_int()));
       }
       s.set("io", telemetry::to_json(io));
       if (injector != nullptr) {

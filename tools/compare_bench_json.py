@@ -31,6 +31,15 @@ that starts bouncing or killing jobs under the same workload is a service
 regression even when --watch is trained on timings. Opt out with
 --no-watch-service.
 
+The cache-efficiency family is always-watched too (opt out with
+--no-watch-cache). `bytes_per_visit` (the SEM efficiency headline —
+device bytes read per completed visit) and `policy_rejects` are cost-like
+and gate on growth; `hit_rate` leaves gate in the INVERTED direction — a
+hit rate that *shrank* by more than the threshold is the regression, since
+a bigger hit rate is strictly better. With --no-watch-cache these leaves
+fall back to the default growth-direction handling of whatever --watch
+selects.
+
 Exit status: 0 = no regression, 1 = regression over threshold,
 2 = usage / unreadable input.
 """
@@ -50,6 +59,12 @@ def is_number(v):
 _SERVICE_WATCH = re.compile(
     r"service[.\]].*(rejected|shed|deadline_exceeded)"
     r"|\.(rejected|shed|shed_requests|deadline_exceeded)$")
+
+# Cache-efficiency family (see module doc). Growth-watched: bytes moved per
+# unit of completed work and eviction-policy rejects. Shrink-watched
+# (inverted direction): cache hit rates — a smaller one is the regression.
+_CACHE_GROW_WATCH = re.compile(r"bytes_per_visit$|\.policy_rejects$")
+_CACHE_SHRINK_WATCH = re.compile(r"\.hit_rate$")
 
 
 def numeric_leaves(value, where, out):
@@ -99,6 +114,10 @@ def main(argv):
     parser.add_argument("--no-watch-service", action="store_true",
                         help="do not force-watch the service overload "
                              "counters (rejected/shed/deadline_exceeded)")
+    parser.add_argument("--no-watch-cache", action="store_true",
+                        help="do not force-watch the cache-efficiency "
+                             "family (hit_rate shrink, bytes_per_visit / "
+                             "policy_rejects growth)")
     parser.add_argument("--all", action="store_true",
                         help="also print unchanged metrics")
     args = parser.parse_args(argv[1:])
@@ -139,14 +158,24 @@ def main(argv):
         delta_str = "%+.1f%%" % delta if delta is not None else "new/inf"
         print("  %-60s  %g -> %g  (%s)" % (path, old, new, delta_str))
         watched = watch is None or watch.search(path)
+        inverted = False
         if not args.no_watch_inspections and "edge_inspections" in path:
             watched = True
         if not args.no_watch_service and _SERVICE_WATCH.search(path):
             watched = True
+        if not args.no_watch_cache:
+            if _CACHE_GROW_WATCH.search(path):
+                watched = True
+            if _CACHE_SHRINK_WATCH.search(path):
+                watched = True
+                inverted = True  # a shrinking hit rate is the regression
         if args.threshold is not None and watched:
-            grew = (delta is not None and delta > args.threshold) or \
-                   (delta is None and new > 0)
-            if grew:
+            if inverted:
+                bad = delta is not None and delta < -args.threshold
+            else:
+                bad = (delta is not None and delta > args.threshold) or \
+                      (delta is None and new > 0)
+            if bad:
                 regressions.append((path, old, new, delta_str))
 
     if changed == 0:

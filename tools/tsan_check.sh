@@ -13,7 +13,11 @@
 # (async vs serial labels across storage modes), the I/O-backend battery
 # (per-thread coalescing lanes, backend-identity under injected faults),
 # and the hybrid-traversal battery (the bottom-up sweeps' range-partitioned
-# parallel writes and the frontier estimator's worker-side sampling).
+# parallel writes and the frontier estimator's worker-side sampling), and
+# the hot-block battery (sharded pressure counters hammered from all
+# workers, the two-band hot ordering, pressure-weighted eviction, the
+# sem_config bundle wiring, and the prefetch lane racing demand reads —
+# docs/hot_blocks.md).
 # Wraps the `tsan` presets in CMakePresets.json so CI and humans run the
 # identical configuration:
 #
