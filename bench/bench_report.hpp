@@ -41,6 +41,7 @@
 #include <utility>
 
 #include "core/hybrid_traversal.hpp"
+#include "core/incremental.hpp"
 #include "queue/queue_stats.hpp"
 #include "queue/visitor_queue.hpp"
 #include "sem/block_cache.hpp"
@@ -151,6 +152,17 @@ inline json_value to_json(const hybrid_extra& e) {
   return out;
 }
 
+/// One incremental repair's accounting -> the core of an "incremental"
+/// section (check_bench_json enforces reseeded <= affected <= n;
+/// compare_bench_json threshold-watches every repair_visits key).
+inline json_value to_json(const incremental_extra& e) {
+  json_value out = json_value::object();
+  out.set("affected", e.affected);
+  out.set("reseeded", e.reseeded_vertices);
+  out.set("repair_visits", e.repair_visits);
+  return out;
+}
+
 /// One job's attribution snapshot -> a "jobs" array entry (schema v3: the
 /// legacy boolean terminal flags plus the precise `outcome` name and the
 /// deadline the job ran under).
@@ -164,6 +176,7 @@ inline json_value to_json(const service::job_stats& s) {
   out.set("outcome", s.outcome);
   out.set("deadline_ms", static_cast<std::uint64_t>(s.deadline_ms));
   out.set("priority", static_cast<std::int64_t>(s.priority));
+  out.set("delta_epoch", s.delta_epoch);
   out.set("visits", s.visits);
   out.set("pushes", s.pushes);
   out.set("flushes", s.flushes);

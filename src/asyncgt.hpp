@@ -38,16 +38,19 @@
 #include "core/checkpoint.hpp"
 #include "core/graph_metrics.hpp"
 #include "core/hybrid_traversal.hpp"
+#include "core/incremental.hpp"
 #include "core/multi_source_bfs.hpp"
 #include "core/traversal_result.hpp"
 #include "core/validate.hpp"
 #include "gen/grid.hpp"
 #include "gen/random_graphs.hpp"
 #include "gen/rmat.hpp"
+#include "gen/update_stream.hpp"
 #include "gen/webgen.hpp"
 #include "gen/weights.hpp"
 #include "graph/builder.hpp"
 #include "graph/csr_graph.hpp"
+#include "graph/delta_overlay.hpp"
 #include "graph/graph_io.hpp"
 #include "graph/graph_stats.hpp"
 #include "graph/text_io.hpp"
@@ -66,6 +69,7 @@
 #include "sem/io_error.hpp"
 #include "sem/ooc_builder.hpp"
 #include "sem/prefetcher.hpp"
+#include "sem/sem_compaction.hpp"
 #include "sem/sem_config.hpp"
 #include "sem/sem_csr.hpp"
 #include "sem/ssd_model.hpp"

@@ -1,0 +1,506 @@
+// Incremental repair drivers: BFS / SSSP / CC over a delta overlay.
+//
+// The async label-correction engine is naturally incremental — a monotone
+// fixed point can be repaired from the mutated endpoints instead of being
+// recomputed from scratch. These drivers take the prior labels and the
+// delta batch just applied to the overlay behind an overlay_view and seed
+// the SAME visitors (bfs_visitor / sssp_visitor / cc_visitor, unchanged)
+// through the same batched-outbox mailbox seam:
+//
+//   * Edge inserts are pure monotone improvements: for each inserted
+//     (u, v, w) with a finite prior label at u, seed visitor{v, u,
+//     label(u) + step} and let relaxation propagate. Nothing is
+//     invalidated.
+//   * Edge deletes can strand labels. A deleted (u, v) that was v's
+//     shortest-path-tree edge (prior parent[v] == u) invalidates v and,
+//     transitively, the tree cone below it: descending via post-delta
+//     out-edges, x belongs to the cone of v when parent[x] == v and
+//     dist[x] == dist[v] + step — the classic tree-cone test. The cone is
+//     reset to infinity, then re-seeded from its frontier boundary: every
+//     in-edge (a, x) from a finite (outside) vertex a contributes seed
+//     {x, a, dist[a] + step}. Labels outside the cone stay achievable
+//     (their tree paths use no deleted edge, and deletions only lengthen
+//     paths), so monotone relaxation from the boundary plus the insert
+//     seeds converges to exactly the fixed point of the new epoch — the
+//     property the dynamic differential battery asserts bit-for-bit.
+//   * CC deletes can split a component, which min-label propagation cannot
+//     repair in place (labels would need to rise). Every component touched
+//     by a plausible delete is reset wholesale and re-seeded Algorithm-3
+//     style (each reset vertex with its own id) plus boundary and insert
+//     seeds. The symmetric-batch precondition of CC carries over: deltas
+//     must mutate both directions (delta_batch::insert_undirected).
+//
+// Deletes need the reverse view for the boundary scan — PR 7's
+// ensure_reverse / .agt.rev companions; submits throw std::invalid_argument
+// on a delete batch over a view without has_reverse(). Insert-only batches
+// run on any view.
+//
+// Accounting (surfaced through incremental_extra, the
+// incremental.reseeded_vertices / incremental.repair_visits counters, and
+// the overlay.* gauges): `affected` counts the invalidated cone plus
+// distinct insert-seed targets outside it; `reseeded_vertices` counts
+// distinct vertices receiving at least one seed, a subset of affected by
+// construction — check_bench_json.py enforces reseeded <= affected <= n on
+// every `incremental` report section. bench/ext_incremental gates
+// repair_visits against the full-recompute visit count.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <tuple>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/async_bfs.hpp"
+#include "core/async_cc.hpp"
+#include "core/async_sssp.hpp"
+#include "core/traversal_result.hpp"
+#include "graph/delta_overlay.hpp"
+#include "graph/types.hpp"
+#include "service/engine.hpp"
+
+namespace asyncgt {
+
+/// Repair accounting of one incremental job. affected and
+/// reseeded_vertices are written synchronously before the submit returns;
+/// repair_visits is written by the completing worker before the result is
+/// delivered (reading it is ordered by job::get()/wait()).
+struct incremental_extra {
+  std::uint64_t affected = 0;           ///< cone + insert-touched vertices
+  std::uint64_t reseeded_vertices = 0;  ///< distinct seed targets
+  std::uint64_t repair_visits = 0;      ///< visitor executions of the repair
+};
+
+namespace incr_detail {
+
+// mark bits: kInCone = invalidated (or reset component), kSeeded = received
+// at least one seed, kInsertTouched = insert-seed target. affected =
+// kInCone | kInsertTouched; every seed target sets one of those two, which
+// makes reseeded <= affected structural rather than asserted.
+inline constexpr std::uint8_t kInCone = 1;
+inline constexpr std::uint8_t kSeeded = 2;
+inline constexpr std::uint8_t kInsertTouched = 4;
+
+template <typename VertexId>
+struct repair_plan {
+  /// (target, source-or-id, label value). Distance repairs use all three;
+  /// CC uses the first two (target, candidate component id).
+  std::vector<std::tuple<VertexId, VertexId, dist_t>> seeds;
+  std::uint64_t affected = 0;
+  std::uint64_t reseeded = 0;
+};
+
+template <typename VertexId>
+void finish_counts(const std::vector<std::uint8_t>& mark,
+                   repair_plan<VertexId>& plan) {
+  for (const std::uint8_t m : mark) {
+    if ((m & (kInCone | kInsertTouched)) != 0) ++plan.affected;
+    if ((m & kSeeded) != 0) ++plan.reseeded;
+  }
+}
+
+/// Shared BFS/SSSP planner. Mutates dist/parent in place (cone reset); the
+/// caller then moves them into the job state. UnitWeights selects the BFS
+/// step (always 1) vs the SSSP step (edge weight).
+template <bool UnitWeights, typename View, typename VertexId>
+repair_plan<VertexId> plan_distance_repair(
+    const View& g, const delta_batch<VertexId>& delta,
+    std::vector<dist_t>& dist, std::vector<VertexId>& parent) {
+  const std::uint64_t n = g.num_vertices();
+  std::vector<std::uint8_t> mark(n, 0);
+  std::vector<VertexId> cone;  // worklist doubling as the final cone list
+
+  // Cone roots: deleted shortest-path-tree edges. The start vertex is its
+  // own parent, so it can only match on a (self, self) loop — excluded.
+  for (const auto& [u, v] : delta.deletes) {
+    if (u >= n || v >= n || u == v) continue;
+    if (parent[v] != u) continue;
+    if (dist[v] == infinite_distance<dist_t>) continue;
+    if ((mark[v] & kInCone) == 0) {
+      mark[v] |= kInCone;
+      cone.push_back(v);
+    }
+  }
+
+  // Tree-cone descent over post-delta out-edges and the OLD labels. A
+  // child whose own tree edge was also deleted is not reachable here, but
+  // it is a cone root in its own right from the loop above.
+  for (std::size_t i = 0; i < cone.size(); ++i) {
+    const VertexId v = cone[i];
+    const dist_t dv = dist[v];
+    g.for_each_out_edge(v, [&](VertexId x, weight_t w) {
+      if ((mark[x] & kInCone) != 0) return;
+      if (parent[x] != v) return;
+      if (dist[x] == infinite_distance<dist_t>) return;
+      const dist_t step = UnitWeights ? 1 : static_cast<dist_t>(w);
+      if (dist[x] != dv + step) return;
+      mark[x] |= kInCone;
+      cone.push_back(x);
+    });
+  }
+
+  for (const VertexId x : cone) {
+    dist[x] = infinite_distance<dist_t>;
+    parent[x] = invalid_vertex<VertexId>;
+  }
+
+  repair_plan<VertexId> plan;
+  // Boundary reseed: after the reset, a finite in-neighbour is by
+  // definition outside the cone and its label is still achievable.
+  for (const VertexId x : cone) {
+    g.for_each_in_edge(x, [&](VertexId a, weight_t w) {
+      if (dist[a] == infinite_distance<dist_t>) return;
+      const dist_t step = UnitWeights ? 1 : static_cast<dist_t>(w);
+      plan.seeds.emplace_back(x, a, dist[a] + step);
+      mark[x] |= kSeeded;
+    });
+  }
+  // Insert seeds: monotone re-relaxation from each live insert source.
+  // Weighted repairs must seed with the pair's LIVE weight, not the
+  // batch's listed one: set semantics turn a re-insert of a live pair
+  // into a no-op, so a smaller listed weight would seed a distance the
+  // actual edge set cannot achieve (and relaxation would happily keep).
+  for (const auto& e : delta.inserts) {
+    if (e.src >= n || e.dst >= n) continue;
+    if (dist[e.src] == infinite_distance<dist_t>) continue;
+    dist_t step = 1;
+    if (!UnitWeights) {
+      dist_t live = infinite_distance<dist_t>;
+      g.for_each_out_edge(e.src, [&](VertexId x, weight_t w) {
+        if (x == e.dst) live = std::min(live, static_cast<dist_t>(w));
+      });
+      if (live == infinite_distance<dist_t>) continue;  // out-of-range guard
+      step = live;
+    }
+    plan.seeds.emplace_back(e.dst, e.src, dist[e.src] + step);
+    mark[e.dst] |= kSeeded | kInsertTouched;
+  }
+  finish_counts(mark, plan);
+  return plan;
+}
+
+/// CC planner: resets every component a plausible delete touches (min-label
+/// propagation cannot raise labels in place), then seeds Algorithm-3 style.
+/// Mutates comp in place.
+template <typename View, typename VertexId>
+repair_plan<VertexId> plan_cc_repair(const View& g,
+                                     const delta_batch<VertexId>& delta,
+                                     std::vector<VertexId>& comp) {
+  const std::uint64_t n = g.num_vertices();
+  std::vector<std::uint8_t> mark(n, 0);
+  repair_plan<VertexId> plan;
+
+  // A real prior edge always joined vertices of one component; a delete
+  // whose endpoints disagree was a no-op on an absent pair. (A no-op
+  // delete of an absent same-component pair resets conservatively —
+  // harmless, the repair reconverges to the identical labels.)
+  std::unordered_set<VertexId> dead;
+  for (const auto& [u, v] : delta.deletes) {
+    if (u >= n || v >= n) continue;
+    if (comp[u] == invalid_vertex<VertexId>) continue;
+    if (comp[u] != comp[v]) continue;
+    dead.insert(comp[u]);
+  }
+
+  std::vector<VertexId> reset;
+  if (!dead.empty()) {
+    for (std::uint64_t x = 0; x < n; ++x) {
+      if (dead.count(comp[x]) != 0) {
+        mark[x] |= kInCone;
+        reset.push_back(static_cast<VertexId>(x));
+      }
+    }
+    for (const VertexId x : reset) comp[x] = invalid_vertex<VertexId>;
+  }
+
+  // Self seeds (each reset vertex restarts the min-id race with its own
+  // id), then boundary seeds from surviving neighbours. In a symmetric
+  // graph only freshly inserted edges can cross the reset frontier, but
+  // scanning in-edges keeps the repair honest if the prior labels were
+  // stale.
+  for (const VertexId x : reset) {
+    plan.seeds.emplace_back(x, x, 0);
+    mark[x] |= kSeeded;
+    g.for_each_in_edge(x, [&](VertexId a, weight_t) {
+      if (comp[a] == invalid_vertex<VertexId>) return;
+      plan.seeds.emplace_back(x, comp[a], 0);
+    });
+  }
+  for (const auto& e : delta.inserts) {
+    if (e.src >= n || e.dst >= n) continue;
+    if (comp[e.src] == invalid_vertex<VertexId>) continue;
+    plan.seeds.emplace_back(e.dst, comp[e.src], 0);
+    mark[e.dst] |= kSeeded | kInsertTouched;
+  }
+  finish_counts(mark, plan);
+  return plan;
+}
+
+/// Job state that owns its pinned view: the algorithm states keep a raw
+/// `g` pointer, and the job outlives the submit call, so the view lives on
+/// the heap next to the state (stable across the state's move into the
+/// typed job).
+template <typename Graph, typename Base>
+struct owning_state : Base {
+  std::shared_ptr<const overlay_view<Graph>> view;
+  owning_state(std::shared_ptr<const overlay_view<Graph>> v,
+               std::size_t threads)
+      : Base(*v, threads), view(std::move(v)) {}
+};
+
+template <typename Graph, typename VertexId>
+void require_reverse_for_deletes(const overlay_view<Graph>& g,
+                                 const delta_batch<VertexId>& delta,
+                                 const char* what) {
+  if (!delta.deletes.empty() && !g.has_reverse()) {
+    throw std::invalid_argument(
+        std::string(what) +
+        ": delete repair needs a reverse view (build with ensure_reverse / "
+        ".agt.rev companion)");
+  }
+}
+
+template <typename Graph>
+void publish_overlay_gauges(telemetry::metrics_registry* metrics,
+                            const overlay_view<Graph>& g,
+                            std::uint64_t reseeded) {
+  if (metrics == nullptr) return;
+  metrics->get_counter("incremental.reseeded_vertices").add(0, reseeded);
+  const overlay_counters oc = g.overlay().counters();
+  metrics->get_gauge("overlay.live_inserts")
+      .set(static_cast<std::int64_t>(oc.live_inserts));
+  metrics->get_gauge("overlay.live_deletes")
+      .set(static_cast<std::int64_t>(oc.live_deletes));
+  metrics->get_gauge("overlay.patched_pairs")
+      .set(static_cast<std::int64_t>(oc.patched_pairs));
+  metrics->get_gauge("overlay.epoch")
+      .record_max(static_cast<std::int64_t>(oc.epoch));
+}
+
+}  // namespace incr_detail
+
+/// Repairs a prior BFS fixed point to the view's pinned epoch. See the
+/// header comment for the algorithm and docs/dynamic_graphs.md for the
+/// lifecycle. `prior` must be the full-recompute (or previously repaired)
+/// result over the pre-delta edge set; it is consumed.
+template <typename Graph>
+job<bfs_result<typename Graph::vertex_id>> engine::submit_incremental_bfs(
+    const overlay_view<Graph>& g,
+    const delta_batch<typename Graph::vertex_id>& delta,
+    bfs_result<typename Graph::vertex_id> prior, incremental_extra* extra,
+    std::optional<traversal_options> opts) {
+  using V = typename Graph::vertex_id;
+  using view_t = overlay_view<Graph>;
+  using state_t = incr_detail::owning_state<Graph, bfs_state<view_t>>;
+  const std::uint64_t n = g.num_vertices();
+  if (prior.level.size() != n || prior.parent.size() != n) {
+    throw std::invalid_argument(
+        "submit_incremental_bfs: prior labels sized for a different graph");
+  }
+  incr_detail::require_reverse_for_deletes(g, delta,
+                                           "submit_incremental_bfs");
+  telemetry::metrics_registry* metrics = resolve_metrics(opts);
+
+  auto plan = incr_detail::plan_distance_repair<true>(g, delta, prior.level,
+                                                      prior.parent);
+  if (extra != nullptr) {
+    extra->affected = plan.affected;
+    extra->reseeded_vertices = plan.reseeded;
+    extra->repair_visits = 0;
+  }
+  incr_detail::publish_overlay_gauges(metrics, g, plan.reseeded);
+
+  auto view = std::make_shared<const view_t>(g);
+  state_t state(view, resolve_threads(opts));
+  state.level = std::move(prior.level);
+  state.parent = std::move(prior.parent);
+
+  auto tj = make_typed_job<bfs_visitor<V>>(
+      opts, std::move(state),
+      [metrics, extra](state_t& s, queue_run_stats stats) {
+        if (extra != nullptr) extra->repair_visits = stats.visits;
+        if (metrics != nullptr) {
+          metrics->get_counter("incremental.repair_visits")
+              .add(0, stats.visits);
+        }
+        bfs_result<V> out;
+        out.level = std::move(s.level);
+        out.parent = std::move(s.parent);
+        out.stats = std::move(stats);
+        out.updates = s.updates.total();
+        if (metrics != nullptr) out.work().record(*metrics, "incremental_bfs");
+        return out;
+      },
+      "incremental_bfs");
+  tj->scope->delta_epoch = g.epoch();
+  for (const auto& [x, src, d] : plan.seeds) {
+    tj->queue.push(bfs_visitor<V>{x, src, d});
+  }
+  return start_job(tj, [this](auto& jq, auto& jstate, auto done) {
+    jq.run_async(pool_, jstate, std::move(done));
+  });
+}
+
+/// Repairs a prior SSSP fixed point to the view's pinned epoch; see
+/// submit_incremental_bfs.
+template <typename Graph>
+job<sssp_result<typename Graph::vertex_id>> engine::submit_incremental_sssp(
+    const overlay_view<Graph>& g,
+    const delta_batch<typename Graph::vertex_id>& delta,
+    sssp_result<typename Graph::vertex_id> prior, incremental_extra* extra,
+    std::optional<traversal_options> opts) {
+  using V = typename Graph::vertex_id;
+  using view_t = overlay_view<Graph>;
+  using state_t = incr_detail::owning_state<Graph, sssp_state<view_t>>;
+  const std::uint64_t n = g.num_vertices();
+  if (prior.dist.size() != n || prior.parent.size() != n) {
+    throw std::invalid_argument(
+        "submit_incremental_sssp: prior labels sized for a different graph");
+  }
+  incr_detail::require_reverse_for_deletes(g, delta,
+                                           "submit_incremental_sssp");
+  telemetry::metrics_registry* metrics = resolve_metrics(opts);
+
+  auto plan = incr_detail::plan_distance_repair<false>(g, delta, prior.dist,
+                                                       prior.parent);
+  if (extra != nullptr) {
+    extra->affected = plan.affected;
+    extra->reseeded_vertices = plan.reseeded;
+    extra->repair_visits = 0;
+  }
+  incr_detail::publish_overlay_gauges(metrics, g, plan.reseeded);
+
+  auto view = std::make_shared<const view_t>(g);
+  state_t state(view, resolve_threads(opts));
+  state.dist = std::move(prior.dist);
+  state.parent = std::move(prior.parent);
+
+  auto tj = make_typed_job<sssp_visitor<V>>(
+      opts, std::move(state),
+      [metrics, extra](state_t& s, queue_run_stats stats) {
+        if (extra != nullptr) extra->repair_visits = stats.visits;
+        if (metrics != nullptr) {
+          metrics->get_counter("incremental.repair_visits")
+              .add(0, stats.visits);
+        }
+        sssp_result<V> out;
+        out.dist = std::move(s.dist);
+        out.parent = std::move(s.parent);
+        out.stats = std::move(stats);
+        out.updates = s.updates.total();
+        if (metrics != nullptr) {
+          out.work().record(*metrics, "incremental_sssp");
+        }
+        return out;
+      },
+      "incremental_sssp");
+  tj->scope->delta_epoch = g.epoch();
+  for (const auto& [x, src, d] : plan.seeds) {
+    tj->queue.push(sssp_visitor<V>{x, src, d});
+  }
+  return start_job(tj, [this](auto& jq, auto& jstate, auto done) {
+    jq.run_async(pool_, jstate, std::move(done));
+  });
+}
+
+/// Repairs a prior CC fixed point to the view's pinned epoch. The batch
+/// must be symmetric (both directions of every mutation —
+/// delta_batch::insert_undirected / erase_undirected), matching CC's
+/// symmetric-graph precondition.
+template <typename Graph>
+job<cc_result<typename Graph::vertex_id>> engine::submit_incremental_cc(
+    const overlay_view<Graph>& g,
+    const delta_batch<typename Graph::vertex_id>& delta,
+    cc_result<typename Graph::vertex_id> prior, incremental_extra* extra,
+    std::optional<traversal_options> opts) {
+  using V = typename Graph::vertex_id;
+  using view_t = overlay_view<Graph>;
+  using state_t = incr_detail::owning_state<Graph, cc_state<view_t>>;
+  const std::uint64_t n = g.num_vertices();
+  if (prior.component.size() != n) {
+    throw std::invalid_argument(
+        "submit_incremental_cc: prior labels sized for a different graph");
+  }
+  incr_detail::require_reverse_for_deletes(g, delta, "submit_incremental_cc");
+  telemetry::metrics_registry* metrics = resolve_metrics(opts);
+
+  auto plan = incr_detail::plan_cc_repair(g, delta, prior.component);
+  if (extra != nullptr) {
+    extra->affected = plan.affected;
+    extra->reseeded_vertices = plan.reseeded;
+    extra->repair_visits = 0;
+  }
+  incr_detail::publish_overlay_gauges(metrics, g, plan.reseeded);
+
+  auto view = std::make_shared<const view_t>(g);
+  state_t state(view, resolve_threads(opts));
+  state.ccid = std::move(prior.component);
+
+  auto tj = make_typed_job<cc_visitor<V>>(
+      opts, std::move(state),
+      [metrics, extra](state_t& s, queue_run_stats stats) {
+        if (extra != nullptr) extra->repair_visits = stats.visits;
+        if (metrics != nullptr) {
+          metrics->get_counter("incremental.repair_visits")
+              .add(0, stats.visits);
+        }
+        cc_result<V> out;
+        out.component = std::move(s.ccid);
+        out.stats = std::move(stats);
+        out.updates = s.updates.total();
+        if (metrics != nullptr) out.work().record(*metrics, "incremental_cc");
+        return out;
+      },
+      "incremental_cc");
+  tj->scope->delta_epoch = g.epoch();
+  for (const auto& [x, id, unused] : plan.seeds) {
+    (void)unused;
+    tj->queue.push(cc_visitor<V>{x, id});
+  }
+  return start_job(tj, [this](auto& jq, auto& jstate, auto done) {
+    jq.run_async(pool_, jstate, std::move(done));
+  });
+}
+
+// ---- One-shot wrappers over the process-local engine (submit + get) ----
+
+template <typename Graph>
+bfs_result<typename Graph::vertex_id> incremental_bfs(
+    const overlay_view<Graph>& g,
+    const delta_batch<typename Graph::vertex_id>& delta,
+    bfs_result<typename Graph::vertex_id> prior,
+    incremental_extra* extra = nullptr, traversal_options opts = {}) {
+  return engine::process_default()
+      .submit_incremental_bfs(g, delta, std::move(prior), extra,
+                              std::move(opts))
+      .get();
+}
+
+template <typename Graph>
+sssp_result<typename Graph::vertex_id> incremental_sssp(
+    const overlay_view<Graph>& g,
+    const delta_batch<typename Graph::vertex_id>& delta,
+    sssp_result<typename Graph::vertex_id> prior,
+    incremental_extra* extra = nullptr, traversal_options opts = {}) {
+  return engine::process_default()
+      .submit_incremental_sssp(g, delta, std::move(prior), extra,
+                               std::move(opts))
+      .get();
+}
+
+template <typename Graph>
+cc_result<typename Graph::vertex_id> incremental_cc(
+    const overlay_view<Graph>& g,
+    const delta_batch<typename Graph::vertex_id>& delta,
+    cc_result<typename Graph::vertex_id> prior,
+    incremental_extra* extra = nullptr, traversal_options opts = {}) {
+  return engine::process_default()
+      .submit_incremental_cc(g, delta, std::move(prior), extra,
+                             std::move(opts))
+      .get();
+}
+
+}  // namespace asyncgt

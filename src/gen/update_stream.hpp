@@ -1,0 +1,167 @@
+// Seeded randomized update-stream generator for the dynamic-graph battery.
+//
+// Produces a sequence of delta_batches over an existing graph: each op is
+// an insert of a currently-absent edge or a delete of a currently-live one,
+// drawn from an internal evolving edge model that tracks the graph as the
+// stream mutates it. Deletes therefore always target edges that exist at
+// that point in the stream (base edges or earlier inserts), and inserts
+// never duplicate a live edge — every op is "real" under the overlay's set
+// semantics, which keeps the differential tests' affected-set accounting
+// meaningful. Same seed, same stream, like every generator in src/gen.
+//
+// symmetric=true keeps a symmetric base symmetric: ops are drawn on
+// canonical (min, max) pairs and emitted in both directions — the
+// precondition for incremental CC (docs/dynamic_graphs.md).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graph/delta_overlay.hpp"
+#include "graph/types.hpp"
+
+namespace asyncgt {
+
+struct update_stream_params {
+  std::uint64_t seed = 1;
+  std::size_t num_batches = 8;
+  std::size_t batch_size = 64;
+  double delete_fraction = 0.3;  ///< probability an op is a delete
+  bool symmetric = false;        ///< mutate both directions (CC bases)
+  std::uint32_t min_weight = 1;  ///< inserted weights drawn from [min, max]
+  std::uint32_t max_weight = 1;  ///< (min > max collapses to min)
+};
+
+namespace detail {
+
+struct pair_key_hash {
+  std::size_t operator()(
+      const std::pair<std::uint64_t, std::uint64_t>& p) const noexcept {
+    // splitmix-style combine; ids fit 32 bits in every shipped config but
+    // stay correct for vertex64.
+    std::uint64_t h = p.first * 0x9E3779B97F4A7C15ull;
+    h ^= p.second + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Live-edge set with O(1) insert, erase, and uniform random sampling:
+/// a vector of pairs plus a position map with swap-remove.
+class edge_pool {
+ public:
+  using key = std::pair<std::uint64_t, std::uint64_t>;
+
+  bool contains(const key& k) const { return pos_.count(k) != 0; }
+  std::size_t size() const noexcept { return live_.size(); }
+
+  bool insert(const key& k) {
+    if (!pos_.emplace(k, live_.size()).second) return false;
+    live_.push_back(k);
+    return true;
+  }
+
+  bool erase(const key& k) {
+    auto it = pos_.find(k);
+    if (it == pos_.end()) return false;
+    const std::size_t i = it->second;
+    live_[i] = live_.back();
+    pos_[live_[i]] = i;
+    live_.pop_back();
+    pos_.erase(it);
+    return true;
+  }
+
+  template <typename Rng>
+  key sample(Rng& rng) const {
+    return live_[std::uniform_int_distribution<std::size_t>(
+        0, live_.size() - 1)(rng)];
+  }
+
+ private:
+  std::vector<key> live_;
+  std::unordered_map<key, std::size_t, pair_key_hash> pos_;
+};
+
+}  // namespace detail
+
+/// Generates params.num_batches delta batches over `g`. The internal model
+/// starts from g's distinct edge pairs and evolves with each emitted op.
+template <typename Graph>
+std::vector<delta_batch<typename Graph::vertex_id>> generate_update_stream(
+    const Graph& g, const update_stream_params& params) {
+  using V = typename Graph::vertex_id;
+  const std::uint64_t n = g.num_vertices();
+  std::vector<delta_batch<V>> stream;
+  if (n < 2) return stream;
+
+  detail::edge_pool live;
+  for (std::uint64_t u = 0; u < n; ++u) {
+    g.for_each_out_edge(static_cast<V>(u), [&](V v, weight_t) {
+      std::uint64_t a = u;
+      std::uint64_t b = static_cast<std::uint64_t>(v);
+      if (params.symmetric && a > b) std::swap(a, b);
+      live.insert({a, b});
+    });
+  }
+
+  std::mt19937_64 rng(params.seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::uniform_int_distribution<std::uint64_t> vert(0, n - 1);
+  const std::uint32_t wlo = params.min_weight == 0 ? 1 : params.min_weight;
+  std::uniform_int_distribution<std::uint32_t> wdist(
+      wlo, std::max(wlo, params.max_weight));
+
+  stream.reserve(params.num_batches);
+  for (std::size_t b = 0; b < params.num_batches; ++b) {
+    delta_batch<V> batch;
+    for (std::size_t i = 0; i < params.batch_size; ++i) {
+      const bool want_delete =
+          coin(rng) < params.delete_fraction && live.size() > 0;
+      if (want_delete) {
+        const auto [u, v] = live.sample(rng);
+        live.erase({u, v});
+        if (params.symmetric) {
+          batch.erase_undirected(static_cast<V>(u), static_cast<V>(v));
+        } else {
+          batch.erase(static_cast<V>(u), static_cast<V>(v));
+        }
+        continue;
+      }
+      // Rejection-sample an absent non-loop pair; dense-graph fallback to
+      // a delete keeps the stream the requested length.
+      bool inserted = false;
+      for (int attempt = 0; attempt < 32; ++attempt) {
+        std::uint64_t u = vert(rng);
+        std::uint64_t v = vert(rng);
+        if (u == v) continue;
+        if (params.symmetric && u > v) std::swap(u, v);
+        if (!live.insert({u, v})) continue;
+        const weight_t w = static_cast<weight_t>(wdist(rng));
+        if (params.symmetric) {
+          batch.insert_undirected(static_cast<V>(u), static_cast<V>(v), w);
+        } else {
+          batch.insert(static_cast<V>(u), static_cast<V>(v), w);
+        }
+        inserted = true;
+        break;
+      }
+      if (!inserted && live.size() > 0) {
+        const auto [u, v] = live.sample(rng);
+        live.erase({u, v});
+        if (params.symmetric) {
+          batch.erase_undirected(static_cast<V>(u), static_cast<V>(v));
+        } else {
+          batch.erase(static_cast<V>(u), static_cast<V>(v));
+        }
+      }
+    }
+    stream.push_back(std::move(batch));
+  }
+  return stream;
+}
+
+}  // namespace asyncgt

@@ -111,6 +111,7 @@ class fault_injector {
     const std::uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
     ops_.fetch_add(1, std::memory_order_relaxed);
     fault_plan out;
+    if (disarmed_.load(std::memory_order_relaxed)) return out;
 
     // Persistent bad range dominates every probabilistic draw: real media
     // defects do not go away because the dice said so.
@@ -166,6 +167,25 @@ class fault_injector {
     return c;
   }
 
+  /// Arm/disarm toggle. While disarmed, plan() returns the no-fault plan
+  /// (counters still count ops) — the device behaves healthily. Two uses:
+  /// scoping faults to one phase of a run (agt_tool update
+  /// --inject-at=compact constructs disarmed and arms only for the
+  /// compaction pass), and separating a failure's blast radius from the
+  /// data it must not have corrupted (after a fatally-injected compaction
+  /// fails, disarm and sweep the pinned overlay epoch to prove it is still
+  /// fully readable — the question is the epoch's integrity, not the dead
+  /// device's). disarm() also releases in-progress stalls; that latch stays
+  /// released across a re-arm.
+  void arm() noexcept { disarmed_.store(false, std::memory_order_relaxed); }
+  void disarm() noexcept {
+    disarmed_.store(true, std::memory_order_relaxed);
+    release_stalls();
+  }
+  bool disarmed() const noexcept {
+    return disarmed_.load(std::memory_order_relaxed);
+  }
+
   /// One-way "device recovered" latch: ends every in-progress stall and
   /// stops planning new ones. Not cleared by reset() — a test that released
   /// the device keeps it released for subsequent runs.
@@ -198,6 +218,7 @@ class fault_injector {
   std::atomic<std::uint64_t> range_hits_{0};
   std::atomic<std::uint64_t> stalls_{0};
   std::atomic<bool> stalls_released_{false};
+  std::atomic<bool> disarmed_{false};
 };
 
 /// Parses the CLI fault spec accepted by benches and agt_tool:

@@ -1,0 +1,89 @@
+// SEM overlay compaction: rewrite a delta_overlay's pinned edge set as a
+// clean on-disk .agt through the ooc_builder seam.
+//
+// The in-memory path (delta_overlay::compact + write_graph) holds the
+// materialized edge list; this path never does — it streams the view's
+// edges straight into the external-sort builder, so compacting a
+// semi-external graph keeps the semi-external memory profile. With
+// emit_reverse (the default here, unlike the builder's) the .agt.rev
+// companion is regenerated in the same pass, keeping the reverse view —
+// which the incremental repair drivers depend on — valid across
+// compactions.
+//
+// Output bytes are canonical: self-loop removal and dedup are forced OFF
+// (the overlay IS the edge set; set semantics already deduplicated) and the
+// builder's (src, dst, weight) record sort matches build_csr's adjacency
+// sort, so the file is byte-identical to write_graph(overlay.compact()) —
+// the property the dynamic battery asserts.
+//
+// Failure containment: any exception mid-write (including injected faults
+// during a soak) removes the partial output and its .rev companion before
+// rethrowing, so the previous epoch's files stay the only readable state —
+// the same abort-containment contract as the rest of the SEM layer.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "graph/delta_overlay.hpp"
+#include "graph/graph_io.hpp"
+#include "sem/ooc_builder.hpp"
+
+namespace asyncgt::sem {
+
+struct sem_compaction_options {
+  std::uint64_t memory_budget_bytes = 64 << 20;
+  std::filesystem::path scratch_dir =
+      std::filesystem::temp_directory_path() / "asyncgt_compact";
+  /// Regenerate the .agt.rev companion alongside the clean CSR. Defaults
+  /// on: overlays feeding incremental repair need the reverse view.
+  bool emit_reverse = true;
+};
+
+struct sem_compaction_stats {
+  std::uint64_t epoch = 0;         ///< overlay epoch that was compacted
+  std::uint64_t edges = 0;         ///< edges written to the clean CSR
+  ooc_build_stats build;           ///< external-sort accounting
+};
+
+/// Streams `view`'s edge set into a clean .agt at `out_path` (plus .rev
+/// companion when requested). On exception, removes partial outputs and
+/// rethrows; existing files for other epochs are never touched.
+template <typename Graph>
+sem_compaction_stats compact_to_file(const overlay_view<Graph>& view,
+                                     const std::string& out_path,
+                                     const sem_compaction_options& opt = {}) {
+  using V = typename Graph::vertex_id;
+  ooc_build_options bopt;
+  bopt.memory_budget_bytes = opt.memory_budget_bytes;
+  bopt.scratch_dir = opt.scratch_dir;
+  bopt.remove_self_loops = false;
+  bopt.remove_duplicates = false;
+  bopt.symmetrize = false;
+  bopt.emit_reverse = opt.emit_reverse;
+
+  sem_compaction_stats stats;
+  stats.epoch = view.epoch();
+  try {
+    ooc_graph_builder<V> builder(view.num_vertices(), out_path, bopt);
+    const std::uint64_t n = view.num_vertices();
+    for (std::uint64_t u = 0; u < n; ++u) {
+      view.for_each_out_edge(static_cast<V>(u), [&](V v, weight_t w) {
+        builder.add_edge(static_cast<V>(u), v, w);
+      });
+    }
+    stats.build = builder.finalize();
+    stats.edges = stats.build.output_edges;
+  } catch (...) {
+    // Leave only the old epoch readable: scrub whatever partial output this
+    // attempt produced (the builder writes directly to out_path).
+    std::error_code ec;
+    std::filesystem::remove(out_path, ec);
+    std::filesystem::remove(reverse_path_for(out_path), ec);
+    throw;
+  }
+  return stats;
+}
+
+}  // namespace asyncgt::sem

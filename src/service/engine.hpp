@@ -82,6 +82,13 @@ template <typename VertexId> struct pagerank_result;
 template <typename VertexId> struct kcore_result;
 struct pagerank_options;
 
+// Dynamic-graph types owned by graph/delta_overlay.hpp and
+// core/incremental.hpp; named here so the submit_incremental_* declarations
+// can spell their parameters.
+template <typename VertexId> struct delta_batch;
+template <typename Graph> class overlay_view;
+struct incremental_extra;
+
 namespace service {
 
 /// Type-erased control block shared between a job handle and the engine:
@@ -245,6 +252,38 @@ class engine {
   template <typename Graph>
   job<kcore_result<typename Graph::vertex_id>> submit_kcore(
       const Graph& g, std::optional<traversal_options> opts = std::nullopt);
+
+  // Incremental repair entry points (core/incremental.hpp): given the
+  // prior labels of a full traversal and the delta batch just applied to
+  // the overlay behind `g`, repair the labels to the fixed point of g's
+  // pinned epoch instead of recomputing from scratch. `prior` is consumed;
+  // the repaired arrays come back through the job handle. `extra` (may be
+  // null) receives the affected/reseeded accounting synchronously at
+  // submit and repair_visits before the result is delivered.
+
+  template <typename Graph>
+  job<bfs_result<typename Graph::vertex_id>> submit_incremental_bfs(
+      const overlay_view<Graph>& g,
+      const delta_batch<typename Graph::vertex_id>& delta,
+      bfs_result<typename Graph::vertex_id> prior,
+      incremental_extra* extra = nullptr,
+      std::optional<traversal_options> opts = std::nullopt);
+
+  template <typename Graph>
+  job<sssp_result<typename Graph::vertex_id>> submit_incremental_sssp(
+      const overlay_view<Graph>& g,
+      const delta_batch<typename Graph::vertex_id>& delta,
+      sssp_result<typename Graph::vertex_id> prior,
+      incremental_extra* extra = nullptr,
+      std::optional<traversal_options> opts = std::nullopt);
+
+  template <typename Graph>
+  job<cc_result<typename Graph::vertex_id>> submit_incremental_cc(
+      const overlay_view<Graph>& g,
+      const delta_batch<typename Graph::vertex_id>& delta,
+      cc_result<typename Graph::vertex_id> prior,
+      incremental_extra* extra = nullptr,
+      std::optional<traversal_options> opts = std::nullopt);
 
   // ---- Generic submission (what the named submits are built from) ----
 

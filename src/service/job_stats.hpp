@@ -51,6 +51,9 @@ struct job_stats {
   std::uint32_t deadline_ms = 0;
   /// Admission priority class the job was submitted with.
   int priority = 0;
+  /// Overlay epoch an incremental repair job ran against (0 for full
+  /// traversals over static snapshots — epoch 0 is the pristine base).
+  std::uint64_t delta_epoch = 0;
 
   std::uint64_t visits = 0;
   std::uint64_t pushes = 0;
@@ -116,6 +119,10 @@ struct job_scope_state {
   std::uint32_t stall_grace_ms = 0;
   int priority = 0;
   std::uint64_t memory_estimate_bytes = 0;
+  // Overlay epoch for incremental repair jobs; set by the submit_incremental_*
+  // entry points between make_typed_job and job launch (same
+  // written-once-before-visible discipline as the fields above).
+  std::uint64_t delta_epoch = 0;
 
   job_scope_state(std::uint64_t job_id, std::string label, std::size_t shards)
       : scope(job_id, std::move(label), shards) {}
@@ -141,6 +148,7 @@ struct job_scope_state {
     s.outcome = job_outcome_name(out);
     s.deadline_ms = deadline_ms;
     s.priority = priority;
+    s.delta_epoch = delta_epoch;
     using hot = telemetry::metric_scope::hot;
     s.visits = scope.total(hot::visits);
     s.pushes = scope.total(hot::pushes);

@@ -12,6 +12,11 @@
 // The mode axis is discovered at registration time (compiled_io_backends()
 // filtered by host availability), so the same test binary tightens itself
 // when -DASYNCGT_WITH_URING is on and the host allows io_uring_setup.
+//
+// The Incremental* rows run the delta-overlay repair drivers
+// (docs/dynamic_graphs.md) against a full recompute over the same pinned
+// view, per mode — the overlay must compose with every storage/transport
+// combination exactly like a static graph does.
 #include <gtest/gtest.h>
 #include <unistd.h>
 
@@ -303,6 +308,100 @@ TEST_P(Differential, DobfsMatchesSerialOnDirected) {
       EXPECT_EQ(got.level, expected.level);
       EXPECT_GT(extra.bottom_up_levels, 0u);
     }
+  }
+}
+
+// Incremental rows (docs/dynamic_graphs.md): the delta-overlay repair
+// drivers must agree with a full recompute over the same pinned view in
+// every execution mode — the overlay composes with whatever storage the
+// mode axis supplies (in-memory CSR, or sem_csr through each compiled
+// backend, hot or not). Deletes are in play, so every row runs through
+// on_mode_reverse. Labels chain: each epoch repairs the previous epoch's
+// repaired labels, so a divergence compounds instead of washing out.
+TEST_P(Differential, IncrementalBfsMatchesRecompute) {
+  for (const std::uint64_t seed : kSeeds) {
+    const auto fam = families(seed, false)[0];  // rmat_a
+    SCOPED_TRACE("mode=" + mode_.name + " family=" + fam.name +
+                 " seed=" + std::to_string(seed));
+    on_mode_reverse(fam.graph, fam.name + "_inc" + std::to_string(seed),
+                    [&](const auto& g) {
+      delta_overlay<std::decay_t<decltype(g)>> ov(g);
+      const auto stream = generate_update_stream(
+          g, {.seed = seed, .num_batches = 2, .batch_size = 32,
+              .delete_fraction = 0.4});
+      auto prior = async_bfs(ov.snapshot(), vertex32{0}, cfg());
+      for (const auto& batch : stream) {
+        ov.apply(batch);
+        auto view = ov.snapshot();
+        incremental_extra ex;
+        prior = incremental_bfs(view, batch, std::move(prior), &ex,
+                                traversal_options(cfg()));
+        const auto full = async_bfs(view, vertex32{0}, cfg());
+        EXPECT_EQ(prior.level, full.level)
+            << "epoch=" << ov.epoch() << " seed=" << seed;
+        EXPECT_LE(ex.reseeded_vertices, ex.affected);
+      }
+      return 0;
+    });
+  }
+}
+
+TEST_P(Differential, IncrementalSsspMatchesRecompute) {
+  for (const std::uint64_t seed : kSeeds) {
+    const auto fam = families(seed, false)[0];
+    SCOPED_TRACE("mode=" + mode_.name + " family=" + fam.name +
+                 " seed=" + std::to_string(seed));
+    const csr32 weighted =
+        add_weights(fam.graph, weight_scheme::log_uniform, seed);
+    on_mode_reverse(weighted, fam.name + "_incs" + std::to_string(seed),
+                    [&](const auto& g) {
+      delta_overlay<std::decay_t<decltype(g)>> ov(g);
+      const auto stream = generate_update_stream(
+          g, {.seed = seed, .num_batches = 2, .batch_size = 32,
+              .delete_fraction = 0.4, .max_weight = 6});
+      auto prior = async_sssp(ov.snapshot(), vertex32{0}, cfg());
+      for (const auto& batch : stream) {
+        ov.apply(batch);
+        auto view = ov.snapshot();
+        incremental_extra ex;
+        prior = incremental_sssp(view, batch, std::move(prior), &ex,
+                                 traversal_options(cfg()));
+        const auto full = async_sssp(view, vertex32{0}, cfg());
+        EXPECT_EQ(prior.dist, full.dist)
+            << "epoch=" << ov.epoch() << " seed=" << seed;
+        EXPECT_LE(ex.reseeded_vertices, ex.affected);
+      }
+      return 0;
+    });
+  }
+}
+
+TEST_P(Differential, IncrementalCcMatchesRecompute) {
+  for (const std::uint64_t seed : kSeeds) {
+    const auto fam = families(seed, true)[0];  // symmetric rmat_a
+    SCOPED_TRACE("mode=" + mode_.name + " family=" + fam.name +
+                 " seed=" + std::to_string(seed));
+    on_mode_reverse(fam.graph, fam.name + "_incc" + std::to_string(seed),
+                    [&](const auto& g) {
+      delta_overlay<std::decay_t<decltype(g)>> ov(g);
+      // CC repair assumes a symmetric delta, matching the symmetric base.
+      const auto stream = generate_update_stream(
+          g, {.seed = seed, .num_batches = 2, .batch_size = 24,
+              .delete_fraction = 0.4, .symmetric = true});
+      auto prior = async_cc(ov.snapshot(), cfg());
+      for (const auto& batch : stream) {
+        ov.apply(batch);
+        auto view = ov.snapshot();
+        incremental_extra ex;
+        prior = incremental_cc(view, batch, std::move(prior), &ex,
+                               traversal_options(cfg()));
+        const auto full = async_cc(view, cfg());
+        EXPECT_EQ(prior.component, full.component)
+            << "epoch=" << ov.epoch() << " seed=" << seed;
+        EXPECT_LE(ex.reseeded_vertices, ex.affected);
+      }
+      return 0;
+    });
   }
 }
 

@@ -14,6 +14,10 @@
 //   metrics   FILE [--sweeps=2] [--samples=3]   diameter/path-length stats
 //   stats     [FILE] [--jobs=4] [--sem]   mixed service workload, per-job
 //                                  telemetry + lifecycle percentiles
+//   update    FILE --delta=DELTAS  apply edge-delta batches through the
+//                                  delta overlay, optionally verifying
+//                                  incremental repair against recompute
+//                                  and compacting to a clean .agt
 //   import    EDGELIST.txt --out=FILE [--vertices=N] [--undirected]
 //   export    FILE --out=EDGELIST.txt
 //
@@ -59,6 +63,16 @@ int usage() {
                "           [--device=fusionio|intel|corsair] "
                "[--time-scale=1]\n"
                "  cc [FILE] [--threads=16] [--sem] [--device=...]\n"
+               "  update FILE --delta=DELTAS [--verify] [--algo=bfs|sssp|cc]\n"
+               "           [--start=0] [--undirected] [--compact --out=FILE]\n"
+               "           [--sem] [--inject=SPEC] [--inject-at=open|compact]\n"
+               "           [--memory-mb=64]\n"
+               "           apply an edge-delta file ('+ u v [w]' / '- u v'\n"
+               "           lines, blank line = new batch/epoch) through the\n"
+               "           delta overlay; --verify checks incremental repair\n"
+               "           against a full recompute each epoch; --compact\n"
+               "           rewrites the head epoch as a clean .agt (+.rev)\n"
+               "           (docs/dynamic_graphs.md)\n"
                "  stats [FILE] [--jobs=4] [--threads=16] [--sem]\n"
                "           run a mixed bfs/sssp/cc workload through the\n"
                "           service and print per-job telemetry (counters,\n"
@@ -789,6 +803,302 @@ int cmd_kcore(const options& opt) {
   });
 }
 
+/// Parses a delta file for `agt_tool update` (docs/dynamic_graphs.md):
+/// one op per line, `+ u v [w]` inserts and `- u v` deletes, `#` comments,
+/// blank lines separating batches (each batch becomes one overlay epoch).
+/// --undirected mirrors every op in both directions (the symmetric-delta
+/// precondition of incremental CC). Throws std::invalid_argument with the
+/// offending line number on a malformed op.
+std::vector<delta_batch<vertex32>> parse_delta_file(const std::string& path,
+                                                    bool undirected) {
+  std::ifstream in(path);
+  if (!in) throw std::invalid_argument("cannot open delta file " + path);
+  std::vector<delta_batch<vertex32>> batches;
+  delta_batch<vertex32> cur;
+  std::string line;
+  std::size_t lineno = 0;
+  const auto flush = [&] {
+    if (!cur.empty()) {
+      batches.push_back(std::move(cur));
+      cur = delta_batch<vertex32>{};
+    }
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::istringstream ls(line);
+    std::string op;
+    if (!(ls >> op)) {  // blank line: batch boundary
+      flush();
+      continue;
+    }
+    if (op[0] == '#') continue;
+    unsigned long long u = 0, v = 0;
+    if ((op != "+" && op != "-") || !(ls >> u >> v)) {
+      throw std::invalid_argument(
+          path + ":" + std::to_string(lineno) +
+          ": expected '+ u v [w]' or '- u v', got '" + line + "'");
+    }
+    const auto su = static_cast<vertex32>(u);
+    const auto sv = static_cast<vertex32>(v);
+    if (op == "+") {
+      unsigned long long w = 1;
+      ls >> w;
+      if (undirected) {
+        cur.insert_undirected(su, sv, static_cast<weight_t>(w));
+      } else {
+        cur.insert(su, sv, static_cast<weight_t>(w));
+      }
+    } else if (undirected) {
+      cur.erase_undirected(su, sv);
+    } else {
+      cur.erase(su, sv);
+    }
+  }
+  flush();
+  return batches;
+}
+
+/// The storage-generic body of `agt_tool update`: applies the parsed
+/// batches as overlay epochs, optionally differentially verifying each one
+/// (--verify: incremental repair vs full recompute over the same pin), and
+/// optionally compacting the head epoch to a clean .agt (+.rev) through
+/// the out-of-core builder. A failed compaction (e.g. injected SEM faults)
+/// must leave no partial output and the pinned epoch readable — both are
+/// demonstrated, and surface as exit 3.
+template <typename Graph>
+int run_update(const options& opt, const Graph& g, traversal_options& topt,
+               bench::bench_report& rep,
+               const std::vector<delta_batch<vertex32>>& batches,
+               sem::fault_injector* injector = nullptr) {
+  delta_overlay<Graph> ov(g);
+  const bool verify = opt.get_bool("verify", false);
+  const std::string algo = opt.get_string("algo", "bfs");
+  const auto start = static_cast<vertex32>(opt.get_int("start", 0));
+  std::uint64_t delta_inserts = 0, delta_deletes = 0;
+  for (const auto& b : batches) {
+    delta_inserts += b.inserts.size();
+    delta_deletes += b.deletes.size();
+  }
+
+  incremental_extra totals;
+  wall_timer t;
+  int vrc = 0;
+  if (verify) {
+    // Chained differential: each epoch repairs the previous epoch's
+    // repaired labels, then compares against a full recompute over the
+    // same pin — a divergence compounds instead of washing out.
+    const auto drive = [&](auto prior, auto repair, auto full,
+                           auto labels) -> int {
+      for (std::size_t i = 0; i < batches.size(); ++i) {
+        ov.apply(batches[i]);
+        auto view = ov.snapshot();
+        incremental_extra ex;
+        prior = repair(view, batches[i], std::move(prior), &ex);
+        totals.affected += ex.affected;
+        totals.reseeded_vertices += ex.reseeded_vertices;
+        totals.repair_visits += ex.repair_visits;
+        auto recomputed = full(view);
+        if (labels(prior) != labels(recomputed)) {
+          std::fprintf(stderr,
+                       "update: %s labels diverged from recompute at "
+                       "epoch %llu\n",
+                       algo.c_str(),
+                       static_cast<unsigned long long>(ov.epoch()));
+          return 1;
+        }
+      }
+      std::printf("verified %zu epoch(s): incremental %s == recompute "
+                  "(affected %s, reseeded %s, repair visits %s)\n",
+                  batches.size(), algo.c_str(),
+                  fmt_count(totals.affected).c_str(),
+                  fmt_count(totals.reseeded_vertices).c_str(),
+                  fmt_count(totals.repair_visits).c_str());
+      return 0;
+    };
+    auto v0 = ov.snapshot();
+    if (algo == "bfs") {
+      vrc = drive(
+          async_bfs(v0, start, topt),
+          [&](auto& view, const auto& b, auto prior, incremental_extra* ex) {
+            return incremental_bfs(view, b, std::move(prior), ex, topt);
+          },
+          [&](auto& view) { return async_bfs(view, start, topt); },
+          [](const auto& r) -> const auto& { return r.level; });
+    } else if (algo == "sssp") {
+      vrc = drive(
+          async_sssp(v0, start, topt),
+          [&](auto& view, const auto& b, auto prior, incremental_extra* ex) {
+            return incremental_sssp(view, b, std::move(prior), ex, topt);
+          },
+          [&](auto& view) { return async_sssp(view, start, topt); },
+          [](const auto& r) -> const auto& { return r.dist; });
+    } else if (algo == "cc") {
+      vrc = drive(
+          async_cc(v0, topt),
+          [&](auto& view, const auto& b, auto prior, incremental_extra* ex) {
+            return incremental_cc(view, b, std::move(prior), ex, topt);
+          },
+          [&](auto& view) { return async_cc(view, topt); },
+          [](const auto& r) -> const auto& { return r.component; });
+    } else {
+      std::fprintf(stderr, "update: --algo must be bfs, sssp or cc\n");
+      return 2;
+    }
+  } else {
+    for (const auto& b : batches) ov.apply(b);
+  }
+
+  const auto c = ov.counters();
+  std::printf("applied %zu batch(es): epoch %llu, %s inserts / %s deletes "
+              "live, %s patched pairs, %s -> %s edges (%.3fs)\n",
+              batches.size(), static_cast<unsigned long long>(ov.epoch()),
+              fmt_count(c.live_inserts).c_str(),
+              fmt_count(c.live_deletes).c_str(),
+              fmt_count(c.patched_pairs).c_str(),
+              fmt_count(g.num_edges()).c_str(),
+              fmt_count(ov.num_edges()).c_str(), t.elapsed_seconds());
+
+  if (rep.json_enabled()) {
+    json_value& s = rep.section("overlay");
+    s.set("epoch", ov.epoch());
+    s.set("live_inserts", c.live_inserts);
+    s.set("live_deletes", c.live_deletes);
+    s.set("patched_pairs", c.patched_pairs);
+    s.set("overlay_bytes", ov.overlay_bytes());
+    if (verify) {
+      json_value& inc = rep.section("incremental");
+      inc.set("n", static_cast<std::uint64_t>(g.num_vertices()));
+      inc.set("base_edges", g.num_edges());
+      inc.set("delta_inserts", delta_inserts);
+      inc.set("delta_deletes", delta_deletes);
+      inc.set("epoch", ov.epoch());
+      json_value algos = json_value::object();
+      algos.set(algo, bench::to_json(totals));
+      inc.set("algos", std::move(algos));
+    }
+  }
+  if (vrc != 0) return vrc;
+
+  if (opt.get_bool("compact", false)) {
+    const std::string out = opt.get_string("out", "");
+    if (out.empty()) {
+      std::fprintf(stderr, "update: --compact requires --out=FILE\n");
+      return 2;
+    }
+    auto view = ov.snapshot();
+    // --inject-at=compact scopes device faults to this pass: the injector
+    // was constructed disarmed and goes hot only now (a no-op when it was
+    // armed from the start).
+    if (injector != nullptr) injector->arm();
+    try {
+      sem::sem_compaction_options copt;
+      copt.memory_budget_bytes =
+          static_cast<std::uint64_t>(opt.get_int("memory-mb", 64)) << 20;
+      wall_timer ct;
+      const auto st = sem::compact_to_file(view, out, copt);
+      std::printf("compacted epoch %llu -> %s: %s edges, %llu sort runs "
+                  "(%.3fs)\n",
+                  static_cast<unsigned long long>(st.epoch), out.c_str(),
+                  fmt_count(st.edges).c_str(),
+                  static_cast<unsigned long long>(st.build.sort_runs),
+                  ct.elapsed_seconds());
+      if (rep.json_enabled()) {
+        json_value& cj = rep.section("compaction");
+        cj.set("epoch", st.epoch);
+        cj.set("edges", st.edges);
+        cj.set("sort_runs", st.build.sort_runs);
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "update: compaction failed: %s\n", e.what());
+      // The failure contract: no partial output, and the pinned epoch is
+      // still fully readable — prove the latter with a complete sweep.
+      // Disarm any fault injector first: the question here is the epoch's
+      // integrity, not whether the faulty device keeps faulting.
+      if (injector != nullptr) injector->disarm();
+      std::uint64_t edges = 0;
+      for (vertex32 v = 0; v < view.num_vertices(); ++v) {
+        view.for_each_out_edge(v, [&](vertex32, weight_t) { ++edges; });
+      }
+      std::printf("overlay epoch %llu still readable after failed "
+                  "compaction: %s edges iterated (expected %s)\n",
+                  static_cast<unsigned long long>(view.epoch()),
+                  fmt_count(edges).c_str(),
+                  fmt_count(view.num_edges()).c_str());
+      return edges == view.num_edges() ? 3 : 1;
+    }
+  }
+  return 0;
+}
+
+/// `agt_tool update`: applies an edge-delta file to a graph through the
+/// delta overlay — epoch per batch, optional differential verification,
+/// optional compaction to a clean .agt (docs/dynamic_graphs.md).
+int cmd_update(const options& opt) {
+  if (opt.positional().size() < 2) return usage();
+  const std::string path = opt.positional()[1];
+  const std::string delta_path = opt.get_string("delta", "");
+  if (delta_path.empty()) {
+    std::fprintf(stderr, "update: --delta=FILE is required\n");
+    return 2;
+  }
+  std::vector<delta_batch<vertex32>> batches;
+  try {
+    batches = parse_delta_file(delta_path, opt.get_bool("undirected", false));
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "update: %s\n", e.what());
+    return 2;
+  }
+  if (batches.empty()) {
+    std::fprintf(stderr, "update: %s holds no operations\n",
+                 delta_path.c_str());
+    return 2;
+  }
+
+  const bool sem_mode = opt.get_bool("sem", false);
+  bench::bench_report rep(opt, "agt_tool_update");
+  traversal_options topt = traversal_options::from_flags(opt, sem_mode);
+  rep.attach(topt.queue);
+
+  int rc;
+  if (sem_mode) {
+    const auto params = sem::device_preset_by_name(
+        opt.get_string("device", "intel"), opt.get_double("time-scale", 1.0));
+    sem::ssd_model dev(params);
+    std::unique_ptr<sem::fault_injector> injector;
+    const std::string inject_spec = opt.get_string("inject", "");
+    if (!inject_spec.empty()) {
+      injector = std::make_unique<sem::fault_injector>(
+          sem::parse_fault_config(inject_spec));
+      const std::string at = opt.get_string("inject-at", "open");
+      if (at == "compact") {
+        injector->disarm();  // run_update re-arms for the compaction pass
+      } else if (at != "open") {
+        std::fprintf(stderr, "update: --inject-at must be open or compact\n");
+        return 2;
+      }
+    }
+    sem::sem_config scfg = sem::sem_config::from_options(topt, path);
+    scfg.with_device(&dev);
+    if (injector != nullptr) scfg.with_fault_injector(injector.get());
+    // Deletes repair through in-edges; adopt the on-disk reverse when the
+    // .rev companion exists (agt_tool transpose writes one).
+    if (has_reverse_file(path)) scfg.with_reverse();
+    auto bundle = scfg.open<vertex32>();
+    bundle.wire_queue(topt.queue);
+    rc = run_update(opt, *bundle.graph, topt, rep, batches, injector.get());
+    if (injector != nullptr) {
+      const auto fc = injector->counters();
+      std::printf("faults: %s injected over %s reads\n",
+                  fmt_count(fc.errors).c_str(), fmt_count(fc.ops).c_str());
+    }
+  } else {
+    const csr32 g = read_graph32_with_reverse(path);
+    rc = run_update(opt, g, topt, rep, batches);
+  }
+  rep.finish();
+  return rc;
+}
+
 /// `agt_tool stats`: runs a short mixed workload (bfs/sssp/cc cycling over
 /// --jobs) through one engine and prints the job-scoped telemetry surface —
 /// per-job attribution counters, terminal flags, lifecycle latencies, and
@@ -978,6 +1288,7 @@ int main(int argc, char** argv) {
     if (cmd == "kcore") return cmd_kcore(opt);
     if (cmd == "metrics") return cmd_metrics(opt);
     if (cmd == "stats") return cmd_stats(opt);
+    if (cmd == "update") return cmd_update(opt);
     if (cmd == "import") return cmd_import(opt);
     if (cmd == "export") return cmd_export(opt);
     if (cmd == "verify-json") return cmd_verify_json(opt);

@@ -36,6 +36,10 @@ of counting a phantom decrement), and when all three are present they must
 satisfy pending == increments - decrements — the conservation law the hot
 scheduling machinery rests on (docs/hot_blocks.md).
 
+An "incremental" section (ext_incremental, docs/dynamic_graphs.md) is
+checked against the repair planner's structural law: per algorithm,
+0 <= reseeded <= affected <= n, with non-negative repair/full visit counts.
+
 Usage: check_bench_json.py FILE [FILE...]
 Exit status 0 if every file conforms, 1 otherwise.
 """
@@ -182,6 +186,50 @@ def check_service(section):
     return None
 
 
+def check_incremental(section):
+    """Validates an "incremental" section; returns an error or None.
+
+    The section is emitted by ext_incremental (and agt_tool update --json):
+    batch shape at the top level plus per-algorithm repair accounting under
+    "algos". Each algorithm entry must satisfy the structural law of the
+    repair planner: 0 <= reseeded <= affected <= n (reseeded vertices are a
+    subset of the affected set by construction — docs/dynamic_graphs.md),
+    and repair_visits / full_visits / visit_ratio must be non-negative.
+    """
+    n = _num(section, "n")
+    for key in ("n", "base_edges", "delta_inserts", "delta_deletes",
+                "epoch"):
+        if key in section:
+            v = _num(section, key)
+            if v is None or v < 0:
+                return "incremental.%s must be a non-negative number" % key
+    algos = section.get("algos")
+    if algos is None:
+        return None
+    if not isinstance(algos, dict):
+        return "incremental.algos must be an object"
+    for name, entry in algos.items():
+        where = "incremental.algos.%s" % name
+        if not isinstance(entry, dict):
+            return "%s is not an object" % where
+        affected = _num(entry, "affected")
+        reseeded = _num(entry, "reseeded")
+        if affected is None or reseeded is None:
+            return "%s must carry numeric affected and reseeded" % where
+        if not (0 <= reseeded <= affected):
+            return ("%s: reseeded=%r must be within [0, affected=%r]"
+                    % (where, reseeded, affected))
+        if n is not None and affected > n:
+            return "%s: affected=%r exceeds n=%r" % (where, affected, n)
+        for key in ("repair_visits", "full_visits", "visit_ratio"):
+            if key in entry:
+                v = _num(entry, key)
+                if v is None or v < 0:
+                    return "%s.%s must be a non-negative number" % (where,
+                                                                   key)
+    return None
+
+
 def check(doc):
     """Returns None if `doc` conforms to schema v1/v2/v3, else an error."""
     if not isinstance(doc, dict):
@@ -202,6 +250,10 @@ def check(doc):
             return "section '%s' is not an object" % key
         if key == "service":
             error = check_service(value)
+            if error is not None:
+                return error
+        if key == "incremental":
+            error = check_incremental(value)
             if error is not None:
                 return error
     rows = doc.get("rows")

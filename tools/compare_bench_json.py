@@ -40,6 +40,12 @@ a bigger hit rate is strictly better. With --no-watch-cache these leaves
 fall back to the default growth-direction handling of whatever --watch
 selects.
 
+The incremental-repair work metrics (paths ending in `repair_visits` or
+`visit_ratio` — ext_incremental's "incremental" section, per-job
+attribution) are always growth-watched too: a repair creeping toward
+full-recompute cost is the regression the delta overlay exists to prevent.
+Opt out with --no-watch-incremental.
+
 Exit status: 0 = no regression, 1 = regression over threshold,
 2 = usage / unreadable input.
 """
@@ -65,6 +71,11 @@ _SERVICE_WATCH = re.compile(
 # (inverted direction): cache hit rates — a smaller one is the regression.
 _CACHE_GROW_WATCH = re.compile(r"bytes_per_visit$|\.policy_rejects$")
 _CACHE_SHRINK_WATCH = re.compile(r"\.hit_rate$")
+
+# Incremental-repair work (see module doc): repair_visits is the dynamic
+# extension's headline cost — a repair quietly approaching full-recompute
+# work is the regression ext_incremental's gate exists to prevent.
+_INCREMENTAL_WATCH = re.compile(r"repair_visits$|\.visit_ratio$")
 
 
 def numeric_leaves(value, where, out):
@@ -118,6 +129,9 @@ def main(argv):
                         help="do not force-watch the cache-efficiency "
                              "family (hit_rate shrink, bytes_per_visit / "
                              "policy_rejects growth)")
+    parser.add_argument("--no-watch-incremental", action="store_true",
+                        help="do not force-watch the incremental-repair "
+                             "work metrics (repair_visits / visit_ratio)")
     parser.add_argument("--all", action="store_true",
                         help="also print unchanged metrics")
     args = parser.parse_args(argv[1:])
@@ -169,6 +183,8 @@ def main(argv):
             if _CACHE_SHRINK_WATCH.search(path):
                 watched = True
                 inverted = True  # a shrinking hit rate is the regression
+        if not args.no_watch_incremental and _INCREMENTAL_WATCH.search(path):
+            watched = True
         if args.threshold is not None and watched:
             if inverted:
                 bad = delta is not None and delta < -args.threshold

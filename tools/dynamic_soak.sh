@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# Builds the tree under AddressSanitizer + UBSan and soaks the dynamic-graph
+# extension (docs/dynamic_graphs.md): repeated rounds of the randomized
+# differential battery (ctest label `dynamic` — overlay multiset-model
+# properties, incremental==recompute for BFS/SSSP/CC over IM and SEM,
+# concurrent update/query interleaves), then an end-to-end `agt_tool update`
+# pass over a generated graph:
+#
+#   1. IM differential: every algorithm's incremental repair must be
+#      bit-identical to a full recompute, epoch by epoch.
+#   2. SEM differential + compaction: same checks through the block-cached
+#      storage path, then the head epoch is rewritten as a clean .agt
+#      (+.rev) which must validate and traverse to the same summary.
+#   3. Injected-fault compaction: a fatally-faulting device makes the
+#      compaction fail mid-stream; the run must exit 3, leave NO partial
+#      output file behind, and prove the pinned overlay epoch is still
+#      fully readable (agt_tool disarms the injector and sweeps every
+#      edge of the epoch).
+#
+#   tools/dynamic_soak.sh [-jN] [--rounds=N]
+#
+# Exits non-zero on any sanitizer report (halt_on_error=1), test failure,
+# or contract breach in the end-to-end pass. The concurrency-racy subset of
+# the same battery also runs under TSan via tools/tsan_check.sh.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="-j$(nproc)"
+ROUNDS=3
+for arg in "$@"; do
+  case "${arg}" in
+    -j*) JOBS="${arg}" ;;
+    --rounds=*) ROUNDS="${arg#--rounds=}" ;;
+    *)
+      echo "unknown argument: ${arg}" >&2
+      exit 2
+      ;;
+  esac
+done
+
+cmake --preset asan
+cmake --build --preset asan "${JOBS}" --target test_dynamic agt_tool
+
+# The battery is seed-deterministic; the rounds exercise the scheduling
+# nondeterminism around it (thread interleavings, mailbox timing).
+for round in $(seq 1 "${ROUNDS}"); do
+  echo "=== dynamic soak: ctest -L dynamic, round ${round}/${ROUNDS} ==="
+  (cd build-asan && ctest -L dynamic --output-on-failure "${JOBS}")
+done
+
+TOOL=./build-asan/tools/agt_tool
+WORK="$(mktemp -d /tmp/asyncgt_dynamic_soak.XXXXXX)"
+trap 'rm -rf "${WORK}"' EXIT
+
+echo "=== dynamic soak: end-to-end agt_tool update ==="
+"${TOOL}" generate --type=rmat-a --scale=12 --undirected --weights=uw \
+  --seed=7 --out="${WORK}/soak.agt"
+"${TOOL}" transpose "${WORK}/soak.agt"   # deletes repair through in-edges
+
+# Delta file: 4 batches (= 4 overlay epochs) of mixed inserts/deletes over
+# the 4096-vertex id space, mirrored by --undirected below so the graph
+# stays symmetric (incremental CC's precondition).
+awk 'BEGIN {
+  srand(7);
+  for (b = 0; b < 4; b++) {
+    for (i = 0; i < 64; i++) {
+      u = int(rand() * 4096); v = int(rand() * 4096);
+      if (i % 4 == 3) printf "- %d %d\n", u, v;
+      else            printf "+ %d %d %d\n", u, v, 1 + int(rand() * 4);
+    }
+    print "";
+  }
+}' > "${WORK}/delta.txt"
+
+# 1. IM differential, every algorithm.
+for algo in bfs sssp cc; do
+  echo "--- update --verify --algo=${algo} (in-memory) ---"
+  "${TOOL}" update "${WORK}/soak.agt" --delta="${WORK}/delta.txt" \
+    --undirected --verify --algo="${algo}" --threads=8
+done
+
+# 2. SEM differential + clean compaction; the compacted file must validate
+# and produce the same traversal the overlay did.
+echo "--- update --verify --sem + compaction ---"
+"${TOOL}" update "${WORK}/soak.agt" --delta="${WORK}/delta.txt" \
+  --undirected --verify --algo=bfs --threads=8 \
+  --sem --time-scale=0.01 --compact --out="${WORK}/compacted.agt" \
+  --json="${WORK}/update.json"
+"${TOOL}" validate "${WORK}/compacted.agt"
+"${TOOL}" bfs "${WORK}/compacted.agt" --threads=8
+"${TOOL}" verify-json "${WORK}/update.json"
+
+# 3. Fatal faults mid-compaction: exit 3 (failed-but-contained), no partial
+# output, pinned epoch proven readable. eio=0.005,fatal makes roughly one
+# in 200 device reads a non-retryable EIO — the external-sort pass over
+# ~100k edges is statistically guaranteed to hit several.
+echo "--- update --compact under fatal injected faults ---"
+rc=0
+"${TOOL}" update "${WORK}/soak.agt" --delta="${WORK}/delta.txt" \
+  --undirected --threads=8 --sem --time-scale=0.01 \
+  --inject=eio=0.005,seed=11,fatal --inject-at=compact \
+  --compact --out="${WORK}/doomed.agt" || rc=$?
+if [ "${rc}" -ne 3 ]; then
+  echo "FAIL: faulted compaction exited ${rc}, expected 3" >&2
+  exit 1
+fi
+for leftover in "${WORK}/doomed.agt" "${WORK}/doomed.agt.rev"; do
+  if [ -e "${leftover}" ]; then
+    echo "FAIL: failed compaction left partial output ${leftover}" >&2
+    exit 1
+  fi
+done
+
+echo "dynamic soak passed: ${ROUNDS} battery round(s) + end-to-end update"

@@ -17,7 +17,9 @@
 # the hot-block battery (sharded pressure counters hammered from all
 # workers, the two-band hot ordering, pressure-weighted eviction, the
 # sem_config bundle wiring, and the prefetch lane racing demand reads —
-# docs/hot_blocks.md).
+# docs/hot_blocks.md), and the dynamic-graph battery (delta batches
+# applied while pinned readers iterate and async jobs run over old
+# epochs, plus the incremental-vs-recompute stream — docs/dynamic_graphs.md).
 # Wraps the `tsan` presets in CMakePresets.json so CI and humans run the
 # identical configuration:
 #
@@ -33,5 +35,5 @@ cd "$(dirname "$0")/.."
 JOBS="${1:--j$(nproc)}"
 
 cmake --preset tsan
-cmake --build --preset tsan "${JOBS}" --target test_queue test_core test_fault test_service test_overload test_diff test_backend test_telemetry test_sem test_hybrid
+cmake --build --preset tsan "${JOBS}" --target test_queue test_core test_fault test_service test_overload test_diff test_backend test_telemetry test_sem test_hybrid test_dynamic
 ctest --preset tsan
